@@ -1,0 +1,153 @@
+// bench_cells — reproduces E6 (§5 + footnote 9): ADUs over ATM cells.
+//
+//   paper: ATM segments data into 48-byte cells — "probably too small a
+//   unit of data to permit manipulation operations to be synchronized on
+//   each cell" — and cell loss must be handled above the cell (the
+//   Adaptation Layer detects it; the ADU is the recovery unit).
+//
+// Two series:
+//   (a) loss amplification: per-cell loss p vs per-ADU delivery rate for
+//       several ADU sizes — survival ~ (1-p)^cells, so the ADU loss rate
+//       is amplified by the cell count;
+//   (b) the same ALF endpoints, unmodified, running over the packet path
+//       and the cell path with recovery on — goodput and retransmit
+//       volume, showing the ADU-sized recovery cost that motivates §5's
+//       "ADU lengths should be reasonably bounded".
+#include <cmath>
+#include <cstdio>
+
+#include "alf/receiver.h"
+#include "alf/sender.h"
+#include "netsim/cell_link.h"
+#include "netsim/net_path.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace {
+
+using namespace ngp;
+
+LinkConfig cell_cfg(std::uint64_t seed) {
+  LinkConfig cfg;
+  cfg.bandwidth_bps = 150e6;  // SONET-ish ATM rate
+  cfg.propagation_delay = 2 * kMillisecond;
+  // Deep queue: the amplification series offers hundreds of thousands of
+  // cells back to back, and tail-drop would contaminate the loss-rate
+  // measurement (only the Bernoulli process should drop cells here).
+  cfg.queue_limit = 1 << 21;
+  cfg.seed = seed;
+  return cfg;
+}
+
+void series_amplification() {
+  std::printf("=== E6a: cell-loss -> ADU-loss amplification (no recovery) ===\n");
+  std::printf("%10s | %8s | %12s | %12s | %12s\n", "ADU bytes", "cells",
+              "cell loss", "ADU loss", "(1-p)^n");
+
+  for (std::size_t adu : {100u, 1000u, 4000u, 16000u}) {
+    for (double p : {0.001, 0.01, 0.05}) {
+      EventLoop loop;
+      CellLink cells(loop, cell_cfg(static_cast<std::uint64_t>(adu * 1000 + p * 1e4)),
+                     /*max_frame=*/65535);
+      cells.set_cell_loss_rate(p);
+      int delivered = 0;
+      cells.set_handler([&](ConstBytes) { ++delivered; });
+      ByteBuffer frame(adu);
+      const int n = 2000;
+      for (int i = 0; i < n; ++i) cells.send(frame.span());
+      loop.run();
+      const double ncells = static_cast<double>(CellLink::cells_for_frame(adu));
+      std::printf("%10zu | %8.0f | %11.1f%% | %11.1f%% | %11.1f%%\n", adu, ncells,
+                  p * 100, 100.0 * (1.0 - static_cast<double>(delivered) / n),
+                  100.0 * (1.0 - std::pow(1 - p, ncells)));
+    }
+  }
+  std::printf("shape check: ADU loss >> cell loss, growing with ADU size -> see rows\n\n");
+}
+
+struct PathResult {
+  double completion_s;
+  std::uint64_t adus_retransmitted;
+  std::uint64_t payload_sent;
+  double goodput_mbps;
+};
+
+PathResult run_alf_over(NetPath& data, Link& feedback_link, EventLoop& loop,
+                        std::size_t adu_size, std::size_t total_bytes) {
+  LinkPath fb_tx(feedback_link), fb_rx(feedback_link);
+  alf::SessionConfig scfg;
+  scfg.nack_delay = 10 * kMillisecond;
+  scfg.nack_retry = 25 * kMillisecond;
+  alf::AlfSender sender(loop, data, fb_rx, scfg);
+  alf::AlfReceiver receiver(loop, data, fb_tx, scfg);
+
+  std::uint64_t delivered_bytes = 0;
+  receiver.set_on_adu([&](Adu&& a) { delivered_bytes += a.payload.size(); });
+
+  ByteBuffer file(total_bytes);
+  Rng rng(3);
+  rng.fill(file.span());
+  for (std::size_t off = 0; off < total_bytes; off += adu_size) {
+    const std::size_t len = std::min(adu_size, total_bytes - off);
+    if (!sender.send_adu(FileRegionName{off, len}.to_name(),
+                         file.span().subspan(off, len))
+             .ok()) {
+      std::abort();
+    }
+  }
+  sender.finish();
+  loop.run();
+
+  PathResult r;
+  r.completion_s = to_seconds(loop.now());
+  r.adus_retransmitted = sender.stats().adus_retransmitted;
+  r.payload_sent = sender.stats().payload_bytes_sent;
+  r.goodput_mbps = megabits_per_second(delivered_bytes, r.completion_s);
+  return r;
+}
+
+void series_alf_over_cells() {
+  std::printf("=== E6b: same ALF endpoints over packets vs ATM cells ===\n");
+  const std::size_t total = 1 << 20;
+  std::printf("transfer %zu bytes, 1%% unit loss on each substrate\n", total);
+  std::printf("%10s | %9s | %8s | %10s | %12s\n", "ADU bytes", "substrate",
+              "time(s)", "Mb/s", "ADU rtx");
+
+  for (std::size_t adu : {1000u, 4000u, 16000u}) {
+    {
+      EventLoop loop;
+      LinkConfig pkt = cell_cfg(500 + adu);
+      pkt.mtu = 1500;
+      Link packet_link(loop, pkt);
+      packet_link.set_loss_rate(0.01);
+      LinkPath packets(packet_link);
+      Link fb(loop, cell_cfg(501 + adu));
+      PathResult r = run_alf_over(packets, fb, loop, adu, total);
+      std::printf("%10zu | %9s | %8.3f | %10.1f | %12zu\n", adu, "packet",
+                  r.completion_s, r.goodput_mbps,
+                  static_cast<std::size_t>(r.adus_retransmitted));
+    }
+    {
+      EventLoop loop;
+      CellLink cells(loop, cell_cfg(600 + adu));
+      cells.set_cell_loss_rate(0.01);
+      Link fb(loop, cell_cfg(601 + adu));
+      PathResult r = run_alf_over(cells, fb, loop, adu, total);
+      std::printf("%10zu | %9s | %8.3f | %10.1f | %12zu\n", adu, "ATM cell",
+                  r.completion_s, r.goodput_mbps,
+                  static_cast<std::size_t>(r.adus_retransmitted));
+    }
+  }
+  std::printf("\nshape checks (paper §5): the protocol runs unmodified over both\n"
+              "substrates (ADU decouples architecture from transmission unit);\n"
+              "larger ADUs suffer more retransmission volume per unit loss —\n"
+              "\"ADU lengths should be reasonably bounded\".\n");
+}
+
+}  // namespace
+
+int main() {
+  series_amplification();
+  series_alf_over_cells();
+  return 0;
+}

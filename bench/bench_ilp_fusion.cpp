@@ -1,0 +1,281 @@
+// bench_ilp_fusion — reproduces the paper's two ILP experiments (§4):
+//
+//   E1: copy 130 Mb/s and checksum 115 Mb/s run separately compose to an
+//       effective ~60 Mb/s; a hand-coded loop doing both at once ran at
+//       90 Mb/s (~1.5x). "The effect would be much more beneficial if
+//       several of the necessary manipulation steps were combined."
+//       -> series 1: N-stage pipelines (copy, +checksum, +encrypt,
+//          +byteswap), layered vs integrated vs runtime-dispatched.
+//
+//   E4: ASN.1 conversion at 28 Mb/s; conversion + checksum fused only
+//       dropped it to 24 Mb/s — once a heavy stage is in the loop, an
+//       extra cheap stage is nearly free.
+//       -> series 2: BER encode alone, BER encode + separate checksum
+//          pass, BER encode with the checksum fused into the encode loop.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "checksum/internet.h"
+#include "crypto/chacha20.h"
+#include "ilp/engine.h"
+#include "ilp/kernels.h"
+#include "ilp/runtime.h"
+#include "presentation/ber.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace ngp;
+
+constexpr std::size_t kBuf = 64 * 1024;
+
+ByteBuffer make_buffer(std::size_t n) {
+  ByteBuffer b(n);
+  Rng rng(0xF00D);
+  rng.fill(b.span());
+  return b;
+}
+
+// ---- google-benchmark: layered vs fused at each pipeline depth ----------------
+
+template <int Depth, bool Fused>
+void run_pipeline(ConstBytes src, MutableBytes dst, const ChaChaKey& key) {
+  ChecksumStage ck;
+  EncryptStage enc(key, 0);
+  Byteswap32Stage bs;
+  if constexpr (Depth == 1) {
+    if constexpr (Fused) {
+      ilp_fused(src, dst);
+    } else {
+      ilp_layered(src, dst);
+    }
+  } else if constexpr (Depth == 2) {
+    if constexpr (Fused) {
+      ilp_fused(src, dst, ck);
+    } else {
+      ilp_layered(src, dst, ck);
+    }
+  } else if constexpr (Depth == 3) {
+    if constexpr (Fused) {
+      ilp_fused(src, dst, ck, enc);
+    } else {
+      ilp_layered(src, dst, ck, enc);
+    }
+  } else {
+    if constexpr (Fused) {
+      ilp_fused(src, dst, ck, enc, bs);
+    } else {
+      ilp_layered(src, dst, ck, enc, bs);
+    }
+  }
+  benchmark::DoNotOptimize(dst.data());
+}
+
+template <int Depth, bool Fused>
+void BM_Pipeline(benchmark::State& state) {
+  ByteBuffer src = make_buffer(kBuf), dst(kBuf);
+  ChaChaKey key{};
+  for (auto _ : state) run_pipeline<Depth, Fused>(src.span(), dst.span(), key);
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kBuf));
+}
+
+void register_pipeline_benches() {
+  benchmark::RegisterBenchmark("layered/copy", BM_Pipeline<1, false>);
+  benchmark::RegisterBenchmark("fused/copy", BM_Pipeline<1, true>);
+  benchmark::RegisterBenchmark("layered/copy+cksum", BM_Pipeline<2, false>);
+  benchmark::RegisterBenchmark("fused/copy+cksum", BM_Pipeline<2, true>);
+  benchmark::RegisterBenchmark("layered/copy+cksum+encrypt", BM_Pipeline<3, false>);
+  benchmark::RegisterBenchmark("fused/copy+cksum+encrypt", BM_Pipeline<3, true>);
+  benchmark::RegisterBenchmark("layered/copy+cksum+encrypt+swap",
+                               BM_Pipeline<4, false>);
+  benchmark::RegisterBenchmark("fused/copy+cksum+encrypt+swap", BM_Pipeline<4, true>);
+}
+
+// ---- Paper-style summaries ------------------------------------------------------
+
+void print_e1() {
+  using ngp::bench::measure_mbps;
+  using ngp::bench::print_header;
+  using ngp::bench::print_row;
+
+  ByteBuffer src = make_buffer(kBuf), dst(kBuf);
+  ChaChaKey key{};
+
+  const double copy_alone =
+      measure_mbps(kBuf, [&] { copy_unrolled(src.span(), dst.span()); });
+  volatile std::uint16_t sink = 0;
+  const double cksum_alone =
+      measure_mbps(kBuf, [&] { sink = internet_checksum_unrolled(src.span()); });
+  (void)sink;
+  const double separate = measure_mbps(kBuf, [&] {
+    ChecksumStage ck;
+    ilp_layered(src.span(), dst.span(), ck);
+    benchmark::DoNotOptimize(ck.result());
+  });
+  const double fused = measure_mbps(kBuf, [&] {
+    ChecksumStage ck;
+    ilp_fused(src.span(), dst.span(), ck);
+    benchmark::DoNotOptimize(ck.result());
+  });
+
+  print_header("E1 (paper §4): copy + checksum, separate vs integrated");
+  print_row("copy alone", copy_alone);
+  print_row("checksum alone", cksum_alone);
+  print_row("copy then checksum (layered)", separate);
+  print_row("copy+checksum (one fused loop)", fused, separate);
+  const double predicted =
+      1.0 / (1.0 / copy_alone + 1.0 / cksum_alone);  // serial composition
+  std::printf("  serial-composition prediction: %.1f Mb/s (paper: 130,115 -> ~60)\n",
+              predicted);
+  std::printf("  paper: separate ~60 Mb/s, fused 90 Mb/s (1.5x). ours: %.2fx\n",
+              fused / separate);
+  std::printf("  shape check: fused >= separate -> %s\n",
+              fused >= separate * 0.98 ? "HOLDS" : "FAILS");
+
+  // Deeper MEMORY-BOUND pipelines: the fusion gain grows with stage count
+  // because each extra layered stage is another full traversal of the
+  // buffer, while the fused loop still reads each word once (§4's "the
+  // effect would be much more beneficial if several of the necessary
+  // manipulation steps were combined").
+  print_header("E1b: fusion gain vs pipeline depth (memory-bound stages)");
+  struct RowResult {
+    const char* name;
+    double layered, fused;
+  };
+  std::vector<RowResult> rows;
+  // Use a buffer larger than L2 so layered passes genuinely re-read memory.
+  const std::size_t big = 32 << 20;
+  ByteBuffer bsrc = make_buffer(big), bdst(big);
+  {
+    double l = measure_mbps(big, [&] {
+      ChecksumStage ck;
+      ilp_layered(bsrc.span(), bdst.span(), ck);
+    });
+    double f = measure_mbps(big, [&] {
+      ChecksumStage ck;
+      ilp_fused(bsrc.span(), bdst.span(), ck);
+    });
+    rows.push_back({"2 stages (copy,cksum)", l, f});
+  }
+  {
+    double l = measure_mbps(big, [&] {
+      ChecksumStage ck;
+      Byteswap32Stage bs;
+      ilp_layered(bsrc.span(), bdst.span(), ck, bs);
+    });
+    double f = measure_mbps(big, [&] {
+      ChecksumStage ck;
+      Byteswap32Stage bs;
+      ilp_fused(bsrc.span(), bdst.span(), ck, bs);
+    });
+    rows.push_back({"3 stages (+byteswap)", l, f});
+  }
+  {
+    double l = measure_mbps(big, [&] {
+      ChecksumStage ck;
+      Byteswap32Stage bs;
+      AppSumStage sum;
+      ilp_layered(bsrc.span(), bdst.span(), ck, bs, sum);
+    });
+    double f = measure_mbps(big, [&] {
+      ChecksumStage ck;
+      Byteswap32Stage bs;
+      AppSumStage sum;
+      ilp_fused(bsrc.span(), bdst.span(), ck, bs, sum);
+    });
+    rows.push_back({"4 stages (+app read)", l, f});
+  }
+  double depth4_gain = 0;
+  for (const auto& r : rows) {
+    std::printf("  %-28s layered %8.1f  fused %8.1f  gain %.2fx\n", r.name,
+                r.layered, r.fused, r.fused / r.layered);
+    depth4_gain = r.fused / r.layered;
+  }
+  std::printf("  shape check: gain at depth 4 exceeds depth 2 -> %s\n",
+              depth4_gain > rows.front().fused / rows.front().layered ? "HOLDS"
+                                                                      : "FAILS");
+
+  // The compute-bound counter-example (the paper's own caveat: "ILP is
+  // just an engineering principle, to be applied only when useful").
+  print_header("E1c: compute-bound stage (ChaCha20) — fusion does not help");
+  {
+    double l = measure_mbps(kBuf, [&] {
+      ChecksumStage ck;
+      EncryptStage e(key, 0);
+      ilp_layered(src.span(), dst.span(), ck, e);
+    });
+    double f = measure_mbps(kBuf, [&] {
+      ChecksumStage ck;
+      EncryptStage e(key, 0);
+      ilp_fused(src.span(), dst.span(), ck, e);
+    });
+    std::printf("  copy+cksum+encrypt: layered %8.1f  fused %8.1f  gain %.2fx\n", l,
+                f, f / l);
+    std::printf("  cipher arithmetic, not memory traffic, is the bottleneck here;\n"
+                "  fusing buys nothing — matching the paper's 'only when useful'.\n");
+  }
+}
+
+void print_e4() {
+  using ngp::bench::measure_mbps;
+  using ngp::bench::print_header;
+  using ngp::bench::print_row;
+
+  // The paper's §4 integer-array workload.
+  std::vector<std::int32_t> values(16384);
+  Rng rng(0xA5);
+  for (auto& v : values) v = static_cast<std::int32_t>(rng.next());
+  const std::size_t bytes = values.size() * 4;
+
+  ByteBuffer out;
+  const double convert_alone = measure_mbps(bytes, [&] {
+    ber::encode_int_array_into(values, out);
+    benchmark::DoNotOptimize(out.data());
+  });
+  volatile std::uint16_t sink = 0;
+  const double convert_then_cksum = measure_mbps(bytes, [&] {
+    ber::encode_int_array_into(values, out);
+    sink = internet_checksum_unrolled(out.span());
+  });
+  std::uint16_t fused_ck = 0;
+  const double convert_fused_cksum = measure_mbps(bytes, [&] {
+    out = ber::encode_int_array_checksummed(values, fused_ck);
+    benchmark::DoNotOptimize(fused_ck);
+  });
+  (void)sink;
+
+  print_header("E4 (paper §4): ASN.1 conversion with checksum fused in");
+  print_row("BER convert alone", convert_alone);
+  print_row("convert + separate checksum pass", convert_then_cksum, convert_alone);
+  print_row("convert with fused checksum", convert_fused_cksum, convert_alone);
+  std::printf("  paper: 28 Mb/s alone -> 24 Mb/s fused = 86%% retained; the claim\n"
+              "  is that once conversion dominates, the checksum is nearly free.\n");
+  std::printf("  ours: %.0f%% retained fused; %.0f%% retained with a separate pass\n",
+              100.0 * convert_fused_cksum / convert_alone,
+              100.0 * convert_then_cksum / convert_alone);
+  const bool nearly_free = convert_fused_cksum >= 0.70 * convert_alone &&
+                           convert_then_cksum >= 0.70 * convert_alone;
+  std::printf("  shape check: checksum added to conversion costs <30%% either way\n"
+              "  (paper lost 14%%) -> %s\n",
+              nearly_free ? "HOLDS" : "FAILS");
+  std::printf("  note: in 1990 fusing beat a second pass because the second pass\n"
+              "  re-read memory; today the just-written buffer is in L1 and the\n"
+              "  separate unrolled pass is effectively free, while instruction-\n"
+              "  granularity fusion lengthens the encode dependency chain. The\n"
+              "  paper's premise (memory traffic dominates) picks the winner —\n"
+              "  see E1, where both passes are memory-bound and fusion wins.\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_pipeline_benches();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  print_e1();
+  print_e4();
+  return 0;
+}

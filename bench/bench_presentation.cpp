@@ -1,0 +1,176 @@
+// bench_presentation — reproduces E2 (§4): presentation conversion cost
+// relative to a plain copy.
+//
+//   paper: word-aligned copy 130 Mb/s; hand-coded ASN.1 conversion of an
+//   integer array 28 Mb/s — "a factor of 4-5 slower". The ISODE-style
+//   generic path was far slower still (the other end of the §4 range).
+//
+// We measure encode and decode of a 32-bit integer array through every
+// transfer syntax, against the copy baseline, and print the slowdown
+// factors next to the paper's.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "ilp/kernels.h"
+#include "presentation/ber.h"
+#include "presentation/codec.h"
+#include "presentation/lwts.h"
+#include "presentation/xdr.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace ngp;
+
+constexpr std::size_t kElems = 16384;  // 64 KB of integers
+
+std::vector<std::int32_t> make_values() {
+  std::vector<std::int32_t> v(kElems);
+  Rng rng(0xCAFE);
+  for (auto& x : v) x = static_cast<std::int32_t>(rng.next());
+  return v;
+}
+
+// ---- google-benchmark registrations ----------------------------------------------
+
+void BM_EncodeSyntax(benchmark::State& state, TransferSyntax syntax) {
+  auto values = make_values();
+  for (auto _ : state) {
+    ByteBuffer out = encode_int_array(syntax, values);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kElems * 4));
+}
+
+void BM_DecodeSyntax(benchmark::State& state, TransferSyntax syntax) {
+  auto values = make_values();
+  ByteBuffer enc = encode_int_array(syntax, values);
+  for (auto _ : state) {
+    auto out = decode_int_array(syntax, enc.span());
+    benchmark::DoNotOptimize(out.ok());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kElems * 4));
+}
+
+void register_benches() {
+  for (TransferSyntax s : {TransferSyntax::kRaw, TransferSyntax::kLwts,
+                           TransferSyntax::kXdr, TransferSyntax::kBer,
+                           TransferSyntax::kBerToolkit}) {
+    const std::string enc_name = std::string("encode/") + std::string(transfer_syntax_name(s));
+    const std::string dec_name = std::string("decode/") + std::string(transfer_syntax_name(s));
+    benchmark::RegisterBenchmark(enc_name.c_str(),
+                                 [s](benchmark::State& st) { BM_EncodeSyntax(st, s); });
+    benchmark::RegisterBenchmark(dec_name.c_str(),
+                                 [s](benchmark::State& st) { BM_DecodeSyntax(st, s); });
+  }
+}
+
+// ---- Paper-style summary ----------------------------------------------------------
+
+void print_e2() {
+  using ngp::bench::measure_mbps;
+  using ngp::bench::print_header;
+  using ngp::bench::print_row;
+
+  auto values = make_values();
+  const std::size_t bytes = kElems * 4;
+  ByteBuffer src(bytes), dst(bytes);
+  Rng rng(1);
+  rng.fill(src.span());
+
+  const double copy = measure_mbps(bytes, [&] {
+    copy_unrolled(src.span(), dst.span());
+    benchmark::DoNotOptimize(dst.data());
+  });
+
+  print_header("E2 (paper §4): presentation conversion vs copy (encode side)");
+  print_row("word-aligned copy (baseline)", copy);
+  struct Row {
+    TransferSyntax syntax;
+    const char* note;
+  };
+  const Row rows[] = {
+      {TransferSyntax::kLwts, "light-weight syntax [8]"},
+      {TransferSyntax::kXdr, "Sun XDR [16]"},
+      {TransferSyntax::kBer, "ASN.1 BER, hand-coded"},
+      {TransferSyntax::kBerToolkit, "ASN.1 BER, prototype toolkit"},
+  };
+  // Steady-state encode: a reused scratch buffer, as a real datapath would
+  // do (the one-shot API's allocation would otherwise dominate LWTS).
+  auto encode_into = [&](TransferSyntax s, ByteBuffer& out) {
+    switch (s) {
+      case TransferSyntax::kLwts: lwts::encode_int_array_into(values, out); break;
+      case TransferSyntax::kXdr: xdr::encode_int_array_into(values, out); break;
+      case TransferSyntax::kBer: ber::encode_int_array_into(values, out); break;
+      default: out = encode_int_array(s, values); break;
+    }
+  };
+  for (const auto& row : rows) {
+    ByteBuffer out;
+    const double enc = measure_mbps(bytes, [&] {
+      encode_into(row.syntax, out);
+      benchmark::DoNotOptimize(out.data());
+    });
+    std::printf("  %-28s %10.1f Mb/s   copy/this = %5.1fx   (%s)\n",
+                std::string(transfer_syntax_name(row.syntax)).c_str(), enc,
+                copy / enc, row.note);
+  }
+  std::printf("  paper: copy 130 Mb/s, hand-coded ASN.1 28 Mb/s -> 4-5x slower\n");
+
+  print_header("E2b: decode side");
+  for (const auto& row : rows) {
+    ByteBuffer enc_buf = encode_int_array(row.syntax, values);
+    const double dec = measure_mbps(bytes, [&] {
+      auto out = decode_int_array(row.syntax, enc_buf.span());
+      benchmark::DoNotOptimize(out.ok());
+    });
+    std::printf("  %-28s %10.1f Mb/s   copy/this = %5.1fx\n",
+                std::string(transfer_syntax_name(row.syntax)).c_str(), dec,
+                copy / dec);
+  }
+
+  // Shape checks.
+  ByteBuffer tmp;
+  const double ber_enc = measure_mbps(bytes, [&] {
+    ber::encode_int_array_into(values, tmp);
+    benchmark::DoNotOptimize(tmp.data());
+  });
+  const double toolkit_enc = measure_mbps(bytes, [&] {
+    tmp = encode_int_array(TransferSyntax::kBerToolkit, values);
+    benchmark::DoNotOptimize(tmp.data());
+  });
+  const double lwts_enc = measure_mbps(bytes, [&] {
+    lwts::encode_int_array_into(values, tmp);
+    benchmark::DoNotOptimize(tmp.data());
+  });
+  std::printf("\n  shape checks:\n");
+  std::printf("    hand-coded BER materially slower than copy (>2x): %s (%.1fx)\n",
+              copy / ber_enc > 2 ? "HOLDS" : "FAILS", copy / ber_enc);
+  std::printf("    toolkit BER slower than hand-coded BER: %s (%.1fx)\n",
+              toolkit_enc < ber_enc ? "HOLDS" : "FAILS", ber_enc / toolkit_enc);
+  // LWTS encode is a memcpy on like hosts and may legitimately beat the
+  // unrolled copy kernel (libc memcpy vectorizes harder), so the ordering
+  // claim is: tuned syntax ~ copy, then a strict slowdown ladder.
+  std::printf("    ordering LWTS ~ copy >> BER > toolkit: %s\n",
+              copy / lwts_enc < 3.0 && copy > 2 * ber_enc && ber_enc > toolkit_enc
+                  ? "HOLDS"
+                  : "FAILS");
+  std::printf("    note: the 1990 4-5x copy/ASN.1 gap widens on modern hosts\n"
+              "    because copy bandwidth grew ~1000x while the byte-serial\n"
+              "    TLV conversion grew only with scalar IPC — the paper's\n"
+              "    'presentation dominates' conclusion strengthens.\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_benches();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  print_e2();
+  return 0;
+}

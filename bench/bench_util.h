@@ -1,0 +1,63 @@
+// bench_util.h — shared measurement helpers for the paper-reproduction
+// benches. Each bench binary regenerates one table/figure (DESIGN.md §3):
+// it runs its measurements, then prints a paper-style comparison block so
+// the reader can line our numbers up with the 1990 ones.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+
+#include "util/stats.h"
+
+namespace ngp::bench {
+
+/// Wall-clock seconds for one invocation of `fn`.
+inline double time_once(const std::function<void()>& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+/// Measures `fn` (which processes `bytes_per_iter` bytes per call) and
+/// returns throughput in Mb/s. Runs warmups, then batches until the
+/// measurement window exceeds ~100ms for stability.
+inline double measure_mbps(std::size_t bytes_per_iter, const std::function<void()>& fn,
+                           int warmup = 3) {
+  for (int i = 0; i < warmup; ++i) fn();
+  int iters = 1;
+  double elapsed = 0;
+  for (;;) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < iters; ++i) fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    elapsed = std::chrono::duration<double>(t1 - t0).count();
+    if (elapsed > 0.1) break;
+    iters *= 4;
+  }
+  return megabits_per_second(bytes_per_iter * static_cast<std::size_t>(iters), elapsed);
+}
+
+/// Prints one "name: X Mb/s (ratio vs baseline)" row.
+inline void print_row(const std::string& name, double mbps, double baseline_mbps = 0) {
+  if (baseline_mbps > 0) {
+    std::printf("  %-36s %10.1f Mb/s   (%.2fx vs baseline)\n", name.c_str(), mbps,
+                mbps / baseline_mbps);
+  } else {
+    std::printf("  %-36s %10.1f Mb/s\n", name.c_str(), mbps);
+  }
+}
+
+/// Prints a section header.
+inline void print_header(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+/// Prints the paper's reference numbers for side-by-side comparison.
+inline void print_paper_note(const std::string& note) {
+  std::printf("  paper (1990): %s\n", note.c_str());
+}
+
+}  // namespace ngp::bench

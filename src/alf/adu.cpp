@@ -1,0 +1,29 @@
+#include "alf/adu.h"
+
+namespace ngp {
+
+std::string AduName::to_string() const {
+  switch (ns) {
+    case NameSpace::kGeneric:
+      return "generic(" + std::to_string(a) + ")";
+    case NameSpace::kFileRegion: {
+      const auto f = FileRegionName::from_name(*this);
+      return "file[" + std::to_string(f.receiver_offset) + "+" +
+             std::to_string(f.length) + ")";
+    }
+    case NameSpace::kVideoRegion: {
+      const auto v = VideoRegionName::from_name(*this);
+      return "video(f" + std::to_string(v.frame) + ",x" + std::to_string(v.tile_x) +
+             ",y" + std::to_string(v.tile_y) + ",t" + std::to_string(v.timestamp_ms) +
+             "ms)";
+    }
+    case NameSpace::kRpcArg: {
+      const auto r = RpcArgName::from_name(*this);
+      return "rpc(call " + std::to_string(r.call_id) + ", arg " +
+             std::to_string(r.arg_index) + ")";
+    }
+  }
+  return "?";
+}
+
+}  // namespace ngp

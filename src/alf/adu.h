@@ -1,0 +1,109 @@
+// adu.h — Application Data Units and their name-spaces.
+//
+// The paper's central architectural principle (§5): the application breaks
+// its data into ADUs; the lower layers preserve those boundaries; each ADU
+// carries a name the *receiver* understands, so complete ADUs can be
+// processed out of order and losses can be expressed in application terms.
+//
+// "The sender must be able to specify the disposition of the ADU in terms
+//  meaningful to the receiver." — the AduName encodes that disposition.
+//
+// Three concrete name-spaces from the paper's own examples, plus a generic
+// one:
+//   * FileRegionName — "for each ADU, the sender must provide information
+//     as to its eventual location within the receiver's file"
+//   * VideoRegionName — "each ADU must be identified with its location,
+//     both in space (where on the screen it goes) and in time (which video
+//     frame it is a part of)"
+//   * RpcArgName — "the incoming data is made to appear as parameters of a
+//     subroutine call"
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "presentation/codec.h"
+#include "util/bytes.h"
+
+namespace ngp {
+
+/// Which application name-space an ADU name lives in.
+enum class NameSpace : std::uint8_t {
+  kGeneric = 0,     ///< opaque 64-bit ordinal chosen by the application
+  kFileRegion = 1,  ///< byte range in the receiver's file
+  kVideoRegion = 2, ///< (frame, x, y) tile plus presentation timestamp
+  kRpcArg = 3,      ///< (call id, argument index)
+};
+
+/// Wire-neutral ADU name: a name-space tag plus three 64-bit fields whose
+/// interpretation belongs to the name-space. Carried verbatim in every
+/// fragment so any transmission unit is self-describing.
+struct AduName {
+  NameSpace ns = NameSpace::kGeneric;
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  std::uint64_t c = 0;
+
+  bool operator==(const AduName&) const noexcept = default;
+
+  std::string to_string() const;
+};
+
+/// Generic ordinal name.
+inline AduName generic_name(std::uint64_t ordinal) {
+  return AduName{NameSpace::kGeneric, ordinal, 0, 0};
+}
+
+/// Byte region of the receiver's file. `receiver_offset` is computed by
+/// the sender *after* presentation conversion (§5: the sender performs
+/// enough conversion to compute receiver-meaningful placement).
+struct FileRegionName {
+  std::uint64_t receiver_offset = 0;
+  std::uint64_t length = 0;
+
+  AduName to_name() const {
+    return AduName{NameSpace::kFileRegion, receiver_offset, length, 0};
+  }
+  static FileRegionName from_name(const AduName& n) {
+    return FileRegionName{n.a, n.b};
+  }
+};
+
+/// Spatio-temporal tile of a video stream.
+struct VideoRegionName {
+  std::uint32_t frame = 0;        ///< which video frame (time)
+  std::uint16_t tile_x = 0;       ///< where on the screen (space)
+  std::uint16_t tile_y = 0;
+  std::uint32_t timestamp_ms = 0; ///< presentation time (§3 "timestamping")
+
+  AduName to_name() const {
+    return AduName{NameSpace::kVideoRegion, frame,
+                   (std::uint64_t{tile_x} << 16) | tile_y, timestamp_ms};
+  }
+  static VideoRegionName from_name(const AduName& n) {
+    return VideoRegionName{static_cast<std::uint32_t>(n.a),
+                           static_cast<std::uint16_t>(n.b >> 16),
+                           static_cast<std::uint16_t>(n.b & 0xFFFF),
+                           static_cast<std::uint32_t>(n.c)};
+  }
+};
+
+/// One argument of a remote procedure call.
+struct RpcArgName {
+  std::uint64_t call_id = 0;
+  std::uint32_t arg_index = 0;
+
+  AduName to_name() const { return AduName{NameSpace::kRpcArg, call_id, arg_index, 0}; }
+  static RpcArgName from_name(const AduName& n) {
+    return RpcArgName{n.a, static_cast<std::uint32_t>(n.b)};
+  }
+};
+
+/// A complete Application Data Unit as the application sees it.
+struct Adu {
+  AduName name;
+  TransferSyntax syntax = TransferSyntax::kRaw;
+  ByteBuffer payload;  ///< transfer-syntax encoded bytes
+};
+
+}  // namespace ngp

@@ -1,0 +1,42 @@
+#include "alf/fec.h"
+
+namespace ngp::alf {
+
+namespace {
+
+/// XORs `src` into `dst` (dst.size() >= src.size()), word-wise.
+void xor_into(MutableBytes dst, ConstBytes src) noexcept {
+  std::size_t i = 0;
+  while (i + 8 <= src.size()) {
+    store_u64_le(dst.data() + i, load_u64_le(dst.data() + i) ^ load_u64_le(src.data() + i));
+    i += 8;
+  }
+  for (; i < src.size(); ++i) dst[i] ^= src[i];
+}
+
+}  // namespace
+
+ByteBuffer compute_parity(ConstBytes adu_payload, const FecGroup& group) {
+  ByteBuffer parity(group.parity_length());
+  const std::size_t n = group.fragment_count();
+  for (std::size_t i = 0; i < n; ++i) {
+    xor_into(parity.span(),
+             adu_payload.subspan(group.fragment_offset(i), group.fragment_length(i)));
+  }
+  return parity;
+}
+
+ByteBuffer reconstruct_fragment(ConstBytes adu_buf, ConstBytes parity_block,
+                                const FecGroup& group, std::size_t missing_index) {
+  ByteBuffer out(parity_block);
+  const std::size_t n = group.fragment_count();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i == missing_index) continue;
+    xor_into(out.span(),
+             adu_buf.subspan(group.fragment_offset(i), group.fragment_length(i)));
+  }
+  out.resize(group.fragment_length(missing_index));
+  return out;
+}
+
+}  // namespace ngp::alf

@@ -1,0 +1,36 @@
+#include "alf/file_sink.h"
+
+namespace ngp::alf {
+
+Status FileSink::place(const Adu& adu) {
+  if (adu.name.ns != NameSpace::kFileRegion) {
+    return Error{ErrorCode::kMalformed, "not a file-region ADU"};
+  }
+  const auto region = FileRegionName::from_name(adu.name);
+
+  // Stage-2 presentation processing: decode the transfer syntax here, in
+  // application context.
+  auto decoded = decode_octets(adu.syntax, adu.payload.span());
+  if (!decoded) return decoded.error();
+  if (decoded->size() != region.length) {
+    return Error{ErrorCode::kMalformed, "decoded size != named region length"};
+  }
+
+  const std::uint64_t end = region.receiver_offset + region.length;
+  if (end > file_.size()) file_.resize(end);
+  std::memcpy(file_.data() + region.receiver_offset, decoded->data(), decoded->size());
+
+  ++adus_placed_;
+  bytes_placed_ += region.length;
+  if (region.receiver_offset < highest_end_) ++ooo_placements_;
+  highest_end_ = std::max(highest_end_, end);
+  return Status::ok();
+}
+
+void FileSink::mark_lost(const AduName& name) {
+  if (name.ns != NameSpace::kFileRegion) return;
+  const auto region = FileRegionName::from_name(name);
+  holes_.emplace_back(region.receiver_offset, region.length);
+}
+
+}  // namespace ngp::alf

@@ -1,0 +1,55 @@
+// file_sink.h — out-of-order file assembly from FileRegion-named ADUs.
+//
+// The paper's file-transfer analysis (§5): "the sender must provide
+// information as to its eventual location within the receiver's file ...
+// the receiver can copy the data into the file at the correct location,
+// even though intervening ADUs are missing." FileSink is that receiver-side
+// copy: each ADU lands at its named offset the moment it completes,
+// independent of arrival order. The sink also decodes the transfer syntax
+// (stage-2 presentation processing in application context).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "alf/adu.h"
+#include "util/result.h"
+
+namespace ngp::alf {
+
+/// Receives FileRegion ADUs into an in-memory file image.
+class FileSink {
+ public:
+  explicit FileSink(std::size_t expected_size = 0) { file_.resize(expected_size); }
+
+  /// Places one complete ADU. Decodes the transfer syntax, then writes the
+  /// octets at the region's offset. Grows the file if needed.
+  Status place(const Adu& adu);
+
+  /// Records a loss, in file terms: the byte range that never arrived.
+  void mark_lost(const AduName& name);
+
+  ConstBytes contents() const noexcept { return {file_.data(), file_.size()}; }
+  std::size_t size() const noexcept { return file_.size(); }
+
+  std::uint64_t bytes_placed() const noexcept { return bytes_placed_; }
+  std::uint64_t adus_placed() const noexcept { return adus_placed_; }
+  std::uint64_t out_of_order_placements() const noexcept { return ooo_placements_; }
+
+  /// Lost regions as (offset, length) pairs — the application-meaningful
+  /// loss report.
+  const std::vector<std::pair<std::uint64_t, std::uint64_t>>& holes() const noexcept {
+    return holes_;
+  }
+
+ private:
+  std::vector<std::uint8_t> file_;
+  std::uint64_t bytes_placed_ = 0;
+  std::uint64_t adus_placed_ = 0;
+  std::uint64_t ooo_placements_ = 0;  ///< placements before a lower offset
+  std::uint64_t highest_end_ = 0;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> holes_;
+};
+
+}  // namespace ngp::alf

@@ -1,0 +1,96 @@
+// jitter.h — inter-arrival jitter estimation and playout-delay selection.
+//
+// §3 of the paper lists timestamping among the transfer-control functions:
+// "some real-time protocols rely on packet timestamps to support the
+// regeneration of inter-packet timing." This module regenerates that
+// timing: JitterEstimator is the interarrival-jitter filter that ALF's
+// direct descendant RTP standardized (RFC 3550 §6.4.1 form,
+// J += (|D| - J) / 16), and PlayoutClock turns the estimate into a playout
+// delay for deadline-driven sinks like VideoSink.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+
+#include "util/sim_clock.h"
+
+namespace ngp::alf {
+
+/// Smoothed interarrival jitter over (arrival time, media timestamp) pairs.
+class JitterEstimator {
+ public:
+  /// Feeds one ADU arrival. `media_time` is the sender's timestamp for the
+  /// ADU (its place in the stream's time base); `arrival` is local time.
+  void on_arrival(SimTime arrival, SimDuration media_time) noexcept {
+    if (have_prev_) {
+      // D = (arrival_i - arrival_j) - (media_i - media_j): transit
+      // difference between consecutive ADUs.
+      const SimDuration d =
+          (arrival - prev_arrival_) - (media_time - prev_media_);
+      const SimDuration ad = d < 0 ? -d : d;
+      // J += (|D| - J) / 16, RFC 3550's noise-resistant filter.
+      jitter_ += (ad - jitter_) / 16;
+      ++samples_;
+    }
+    prev_arrival_ = arrival;
+    prev_media_ = media_time;
+    have_prev_ = true;
+  }
+
+  /// Current smoothed jitter estimate.
+  SimDuration jitter() const noexcept { return jitter_; }
+  std::uint64_t samples() const noexcept { return samples_; }
+
+  void reset() noexcept { *this = JitterEstimator{}; }
+
+ private:
+  bool have_prev_ = false;
+  SimTime prev_arrival_ = 0;
+  SimDuration prev_media_ = 0;
+  SimDuration jitter_ = 0;
+  std::uint64_t samples_ = 0;
+};
+
+/// Maps media timestamps to local playout deadlines with a safety margin
+/// of `k` jitter estimates (classic adaptive playout rule).
+class PlayoutClock {
+ public:
+  /// `base_delay` is the minimum buffering; `jitter_multiplier` scales the
+  /// adaptive component (4 is the conventional choice).
+  explicit PlayoutClock(SimDuration base_delay, int jitter_multiplier = 4) noexcept
+      : base_delay_(base_delay), k_(jitter_multiplier) {}
+
+  /// Feeds an arrival (updates the jitter estimate and, on the first
+  /// sample, anchors the media clock to local time).
+  void on_arrival(SimTime arrival, SimDuration media_time) noexcept {
+    if (!anchored_) {
+      anchor_local_ = arrival;
+      anchor_media_ = media_time;
+      anchored_ = true;
+    }
+    estimator_.on_arrival(arrival, media_time);
+  }
+
+  /// Local deadline for the ADU carrying `media_time`.
+  SimTime playout_deadline(SimDuration media_time) const noexcept {
+    return anchor_local_ + (media_time - anchor_media_) + current_delay();
+  }
+
+  /// Current total playout delay (base + k * jitter).
+  SimDuration current_delay() const noexcept {
+    return base_delay_ + static_cast<SimDuration>(k_) * estimator_.jitter();
+  }
+
+  const JitterEstimator& estimator() const noexcept { return estimator_; }
+  bool anchored() const noexcept { return anchored_; }
+
+ private:
+  SimDuration base_delay_;
+  int k_;
+  bool anchored_ = false;
+  SimTime anchor_local_ = 0;
+  SimDuration anchor_media_ = 0;
+  JitterEstimator estimator_;
+};
+
+}  // namespace ngp::alf

@@ -1,0 +1,422 @@
+#include "alf/receiver.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "alf/fec.h"
+#include "ilp/engine.h"
+
+namespace ngp::alf {
+
+AlfReceiver::AlfReceiver(EventLoop& loop, NetPath& data_in, NetPath& feedback_out,
+                         SessionConfig config)
+    : loop_(loop), feedback_out_(feedback_out), cfg_(config) {
+  data_in.set_handler([this](ConstBytes frame) { on_frame(frame); });
+  // Out-of-band control cadence: the NACK scan and progress report run on
+  // their own timers, decoupled from per-fragment processing (§3). They
+  // arm lazily, on first activity (arm_timers), and stand down when idle.
+}
+
+void AlfReceiver::arm_timers() {
+  if (cfg_.retransmit != RetransmitPolicy::kNone && !nack_timer_armed_ &&
+      !complete_fired_) {
+    nack_timer_armed_ = true;
+    loop_.schedule_after(cfg_.nack_delay, [this] { nack_scan(); });
+  }
+  if (!progress_timer_armed_ && !complete_fired_) {
+    progress_timer_armed_ = true;
+    loop_.schedule_after(cfg_.progress_interval, [this] { send_progress(); });
+  }
+}
+
+void AlfReceiver::on_frame(ConstBytes frame) {
+  auto msg = decode_message(frame);
+  if (!msg) {
+    ++stats_.fragments_corrupt;
+    return;
+  }
+  switch (msg->type) {
+    case MessageType::kData:
+      if (msg->data.session == cfg_.session_id) on_data(msg->data);
+      break;
+    case MessageType::kDone:
+      if (msg->done.session == cfg_.session_id) on_done(msg->done);
+      break;
+    default:
+      break;  // NACK/PROGRESS are sender-bound; ignore here
+  }
+}
+
+void AlfReceiver::on_data(const DataFragment& f) {
+  ++stats_.fragments_received;
+  highest_seen_ = std::max(highest_seen_, f.adu_id);
+  arm_timers();
+
+  if (is_closed(f.adu_id)) {
+    ++stats_.fragments_for_done_adus;  // late duplicate of a finished ADU
+    return;
+  }
+
+  auto [it, inserted] = pending_.try_emplace(f.adu_id);
+  Reassembly& r = it->second;
+  if (inserted) {
+    r.name = f.name;
+    r.syntax = f.syntax;
+    r.flags = static_cast<std::uint8_t>(f.flags & ~kFlagFecParity);
+    r.checksum_kind = f.checksum_kind;
+    r.fec_k = f.fec_k;
+    r.adu_len = f.adu_len;
+    r.checksum = f.adu_checksum;
+    r.buf.resize(f.adu_len);
+    stats_.reassembly_bytes_peak =
+        std::max(stats_.reassembly_bytes_peak, reassembly_bytes());
+  } else if (f.adu_len != r.adu_len) {
+    return;  // inconsistent metadata: ignore the stray fragment
+  }
+
+  // Fragments reveal the sender's fragment capacity, which FEC group
+  // geometry depends on: every fragment except an ADU's last is exactly
+  // capacity-sized (and so is a non-final group's parity block). A short
+  // *final* fragment says nothing about capacity unless it is the ADU's
+  // only fragment.
+  const std::size_t unit_end = f.frag_off + f.payload.size();
+  if (unit_end < f.adu_len) {
+    r.frag_capacity = std::max(r.frag_capacity, f.payload.size());
+  } else if (f.frag_off == 0 && unit_end == f.adu_len) {
+    r.frag_capacity = std::max(r.frag_capacity, f.payload.size());
+  }
+
+  if (f.is_parity()) {
+    // FEC parity: keep the block keyed by its group start; it is not ADU
+    // data, so the range map is untouched.
+    if (!r.parity.contains(f.frag_off)) {
+      r.parity.emplace(f.frag_off, ByteBuffer(f.payload));
+    } else {
+      ++stats_.fragments_duplicate;
+    }
+    (void)try_fec_reconstruct(f.adu_id, r);
+    return;
+  }
+
+  // Stage 1 placement: copy the fragment to its offset (the one
+  // unavoidable move — "moving to/from the net", §3). Range bookkeeping
+  // detects what is genuinely new.
+  const std::uint32_t start = f.frag_off;
+  const std::uint32_t end = start + static_cast<std::uint32_t>(f.payload.size());
+  copy_bytes(r.buf.data() + start, f.payload.data(), f.payload.size());
+  if (!merge_range(r, start, end)) ++stats_.fragments_duplicate;
+
+  if (r.bytes_received == r.adu_len) {
+    complete_adu(f.adu_id, r);
+    return;
+  }
+  (void)try_fec_reconstruct(f.adu_id, r);
+}
+
+bool AlfReceiver::merge_range(Reassembly& r, std::uint32_t start, std::uint32_t end) {
+  std::uint32_t new_start = start, new_end = end;
+  auto next = r.ranges.lower_bound(start);
+  if (next != r.ranges.begin()) {
+    auto prev = std::prev(next);
+    if (prev->second >= start) {  // overlaps/abuts on the left
+      new_start = prev->first;
+      new_end = std::max(new_end, prev->second);
+      next = r.ranges.erase(prev);
+    }
+  }
+  while (next != r.ranges.end() && next->first <= new_end) {
+    new_end = std::max(new_end, next->second);
+    next = r.ranges.erase(next);
+  }
+  const std::size_t covered_before = r.bytes_received;
+  r.ranges.emplace(new_start, new_end);
+  std::size_t covered = 0;
+  for (const auto& [s, e] : r.ranges) covered += e - s;
+  r.bytes_received = covered;
+  return covered != covered_before;
+}
+
+bool AlfReceiver::range_present(const Reassembly& r, std::uint32_t start,
+                                std::uint32_t end) const {
+  if (start >= end) return true;
+  auto it = r.ranges.upper_bound(start);
+  if (it == r.ranges.begin()) return false;
+  --it;
+  return it->first <= start && it->second >= end;
+}
+
+bool AlfReceiver::try_fec_reconstruct(std::uint32_t adu_id, Reassembly& r) {
+  if (r.fec_k == 0 || r.parity.empty() || r.frag_capacity == 0) return false;
+
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (const auto& [group_start, block] : r.parity) {
+      const FecGroup group{group_start, r.fec_k, r.frag_capacity, r.adu_len};
+      // Find the missing fragments of this group.
+      std::optional<std::size_t> missing;
+      bool more_than_one = false;
+      for (std::size_t i = 0; i < group.fragment_count(); ++i) {
+        const auto s = static_cast<std::uint32_t>(group.fragment_offset(i));
+        const auto e = static_cast<std::uint32_t>(s + group.fragment_length(i));
+        if (!range_present(r, s, e)) {
+          if (missing) {
+            more_than_one = true;
+            break;
+          }
+          missing = i;
+        }
+      }
+      if (more_than_one || !missing) continue;
+
+      ByteBuffer frag = reconstruct_fragment(r.buf.span(), block.span(), group, *missing);
+      const auto s = static_cast<std::uint32_t>(group.fragment_offset(*missing));
+      std::memcpy(r.buf.data() + s, frag.data(), frag.size());
+      merge_range(r, s, s + static_cast<std::uint32_t>(frag.size()));
+      ++stats_.fragments_fec_reconstructed;
+      progressed = true;
+      break;  // parity map unchanged but ranges changed: rescan
+    }
+  }
+
+  if (r.bytes_received == r.adu_len) {
+    complete_adu(adu_id, r);
+    return true;
+  }
+  return false;
+}
+
+bool AlfReceiver::verify_and_decrypt(std::uint32_t adu_id, Reassembly& r) {
+  const bool encrypted = (r.flags & kFlagEncrypted) != 0;
+  ChaChaKey k = cfg_.key;
+  store_u32_be(k.nonce.data() + 8, adu_id);
+
+  if (cfg_.process_mode == ProcessMode::kIntegrated) {
+    // ILP stage 2: decrypt and integrity-check in ONE pass over the ADU.
+    // Internet and CRC-32 have fused word kernels; Fletcher/Adler fall
+    // back to a separate pass after the (fused) decrypt.
+    if (encrypted && r.checksum_kind == ChecksumKind::kInternet) {
+      EncryptStage dec(k, 0);
+      ChecksumStage ck;
+      ilp_fused(r.buf.span(), r.buf.span(), dec, ck);
+      return ck.result() == static_cast<std::uint16_t>(r.checksum);
+    }
+    if (encrypted && r.checksum_kind == ChecksumKind::kCrc32) {
+      EncryptStage dec(k, 0);
+      Crc32Stage ck;
+      ilp_fused(r.buf.span(), r.buf.span(), dec, ck);
+      return ck.result() == r.checksum;
+    }
+    if (encrypted) {
+      EncryptStage dec(k, 0);
+      ilp_fused(r.buf.span(), r.buf.span(), dec);
+      return compute_checksum(r.checksum_kind, r.buf.span()) == r.checksum;
+    }
+    if (r.checksum_kind == ChecksumKind::kInternet) {
+      ChecksumStage ck;
+      ilp_fused(r.buf.span(), r.buf.span(), ck);
+      return ck.result() == static_cast<std::uint16_t>(r.checksum);
+    }
+    if (r.checksum_kind == ChecksumKind::kCrc32) {
+      Crc32Stage ck;
+      ilp_fused(r.buf.span(), r.buf.span(), ck);
+      return ck.result() == r.checksum;
+    }
+    return compute_checksum(r.checksum_kind, r.buf.span()) == r.checksum;
+  }
+
+  // Layered: one full pass per manipulation, conventional ordering.
+  if (encrypted) chacha20_xor(k, 0, r.buf.span());
+  return compute_checksum(r.checksum_kind, r.buf.span()) == r.checksum;
+}
+
+void AlfReceiver::complete_adu(std::uint32_t adu_id, Reassembly& r) {
+  if (!verify_and_decrypt(adu_id, r)) {
+    // Whole-ADU integrity failure: discard the damaged bytes and let the
+    // recovery machinery re-fetch it — the ADU is the unit of error
+    // recovery (§5). The id stays open, so the NACK scan re-requests it.
+    ++stats_.adus_checksum_failed;
+    pending_.erase(adu_id);
+    return;
+  }
+  auto node = pending_.extract(adu_id);
+  deliver(adu_id, std::move(node.mapped()));
+}
+
+void AlfReceiver::deliver(std::uint32_t adu_id, Reassembly&& r) {
+  // Out of order w.r.t. the id sequence? (Any earlier id still open.)
+  // closed_prefix_ = ids 1..closed_prefix_ are all closed already.
+  const bool earlier_open = adu_id > closed_prefix_ + 1;
+  close_id(adu_id);
+  ++delivered_count_;
+  ++stats_.adus_delivered;
+  stats_.payload_bytes_delivered += r.buf.size();
+  if (earlier_open) ++stats_.adus_delivered_out_of_order;
+
+  if (on_adu_) {
+    Adu adu;
+    adu.name = r.name;
+    adu.syntax = r.syntax;
+    adu.payload = std::move(r.buf);
+    on_adu_(std::move(adu));
+  }
+  check_complete();
+}
+
+void AlfReceiver::close_id(std::uint32_t adu_id) {
+  closed_.insert(adu_id);
+  while (closed_.contains(closed_prefix_ + 1)) {
+    ++closed_prefix_;
+    closed_.erase(closed_prefix_);  // the prefix representation covers it
+  }
+}
+
+void AlfReceiver::abandon(std::uint32_t adu_id, const Reassembly* r) {
+  close_id(adu_id);
+  ++abandoned_count_;
+  ++stats_.adus_abandoned;
+  if (on_adu_lost_) {
+    if (r != nullptr) {
+      on_adu_lost_(adu_id, r->name, /*name_known=*/true);
+    } else {
+      on_adu_lost_(adu_id, generic_name(adu_id), /*name_known=*/false);
+    }
+  }
+  pending_.erase(adu_id);
+  check_complete();
+}
+
+void AlfReceiver::nack_scan() {
+  // Collect ids in [1, horizon] that are neither closed nor fully here.
+  const std::uint32_t horizon =
+      expected_total_ > 0 ? expected_total_ : highest_seen_;
+  NackMessage m;
+  m.session = cfg_.session_id;
+  std::vector<std::uint32_t> to_abandon;
+
+  // Exponential per-ADU backoff: after the n-th NACK of an id, wait
+  // nack_retry * 2^(n-1) before asking again — the retransmission needs
+  // time to traverse the sender's queue and the network. Without this, a
+  // deep sender backlog burns through max_nacks before recovery can
+  // possibly land (observed in the E5 bring-up).
+  const SimTime now = loop_.now();
+  for (std::uint32_t id = closed_prefix_ + 1;
+       id <= horizon && m.adu_ids.size() < NackMessage::kMaxIds; ++id) {
+    if (is_closed(id)) continue;
+    auto it = pending_.find(id);
+    if (it != pending_.end() && it->second.bytes_received == it->second.adu_len) {
+      continue;  // completing right now
+    }
+    int* count;
+    SimTime* next_at;
+    if (it != pending_.end()) {
+      count = &it->second.nacks;
+      next_at = &it->second.next_nack_at;
+    } else {
+      NackState& st = nack_counts_[id];
+      count = &st.count;
+      next_at = &st.next_at;
+    }
+    if (now < *next_at) continue;  // give the last request time to work
+    if (*count >= cfg_.max_nacks) {
+      to_abandon.push_back(id);
+      continue;
+    }
+    ++*count;
+    const int shift = std::min(*count - 1, 6);
+    *next_at = now + (cfg_.nack_retry << shift);
+    m.adu_ids.push_back(id);
+  }
+
+  for (std::uint32_t id : to_abandon) {
+    auto it = pending_.find(id);
+    abandon(id, it != pending_.end() ? &it->second : nullptr);
+  }
+
+  if (!m.adu_ids.empty()) {
+    ByteBuffer frame = encode_nack(m);
+    feedback_out_.send(frame.span());
+    ++stats_.nacks_sent;
+    stats_.nack_ids_sent += m.adu_ids.size();
+  }
+
+  // Re-arm only while some known ADU is still outstanding; new arrivals
+  // re-arm via arm_timers().
+  if (!complete_fired_ && recovery_work_remains()) {
+    loop_.schedule_after(cfg_.nack_retry, [this] { nack_scan(); });
+  } else {
+    nack_timer_armed_ = false;
+  }
+}
+
+void AlfReceiver::send_progress() {
+  ProgressMessage m;
+  m.session = cfg_.session_id;
+  // "complete" here means CLOSED — delivered or consciously abandoned.
+  m.complete_adus = closed_count();
+  m.highest_adu_seen = highest_seen_;
+  m.session_complete = complete_fired_;
+  const SimDuration dt = loop_.now() - last_progress_at_;
+  if (dt > 0) {
+    const double bps = static_cast<double>(stats_.payload_bytes_delivered -
+                                           bytes_at_last_progress_) *
+                       8.0 / to_seconds(dt);
+    m.consume_rate_kbps = static_cast<std::uint32_t>(bps / 1000.0);
+  }
+  last_progress_at_ = loop_.now();
+  bytes_at_last_progress_ = stats_.payload_bytes_delivered;
+
+  ByteBuffer frame = encode_progress(m);
+  feedback_out_.send(frame.span());
+  ++stats_.progress_sent;
+
+  // Keep reporting while the session is live and unfinished (this is also
+  // what lets the sender repair a lost DONE); stand down once idle.
+  if (session_active()) {
+    loop_.schedule_after(cfg_.progress_interval, [this] { send_progress(); });
+  } else {
+    progress_timer_armed_ = false;
+  }
+}
+
+void AlfReceiver::on_done(const DoneMessage& d) {
+  expected_total_ = d.total_adus;
+  arm_timers();  // DONE may precede data (tiny streams, reordered paths)
+  if (cfg_.retransmit == RetransmitPolicy::kNone) {
+    // No recovery: everything not currently complete is lost; tell the
+    // application in its own terms and finish.
+    std::vector<std::uint32_t> missing;
+    for (std::uint32_t id = closed_prefix_ + 1; id <= expected_total_; ++id) {
+      if (!is_closed(id)) missing.push_back(id);
+    }
+    for (std::uint32_t id : missing) {
+      auto it = pending_.find(id);
+      abandon(id, it != pending_.end() ? &it->second : nullptr);
+    }
+  }
+  check_complete();
+}
+
+void AlfReceiver::check_complete() {
+  if (complete_fired_ || expected_total_ == 0) return;
+  if (closed_count() < expected_total_) return;
+  complete_fired_ = true;
+  // One final report so the sender can retire its DONE-retry timer.
+  ProgressMessage m;
+  m.session = cfg_.session_id;
+  m.complete_adus = closed_count();
+  m.highest_adu_seen = highest_seen_;
+  m.session_complete = true;
+  ByteBuffer frame = encode_progress(m);
+  feedback_out_.send(frame.span());
+  ++stats_.progress_sent;
+  if (on_complete_) on_complete_();
+}
+
+std::size_t AlfReceiver::reassembly_bytes() const {
+  std::size_t total = 0;
+  for (const auto& [id, r] : pending_) total += r.buf.size();
+  return total;
+}
+
+}  // namespace ngp::alf

@@ -1,0 +1,185 @@
+// receiver.h — ALF receiving endpoint: the two-stage receive path of §6.
+//
+// Stage 1 (per transmission unit, control only): verify the fragment
+// header, demux by session and ADU id, place the payload at its offset in
+// the ADU's reassembly buffer. The fragment tells us everything — no
+// connection byte-stream state, no ordering requirement.
+//
+// Stage 2 (per complete ADU, manipulation): the moment an ADU's last byte
+// arrives — regardless of the fate of earlier ADUs — run the integrated
+// manipulation pass (decrypt + integrity verify, fused when the session
+// selects ProcessMode::kIntegrated) and hand the ADU to the application.
+// Complete ADUs are therefore delivered out of order; the presentation /
+// application pipeline never stalls behind a hole the way the in-order
+// stream transport does.
+//
+// Loss is reported in application terms (§5): the on_adu_lost callback
+// receives the ADU's application name whenever any fragment of it was seen.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+
+#include "alf/adu.h"
+#include "alf/session.h"
+#include "alf/wire.h"
+#include "netsim/net_path.h"
+#include "util/event_loop.h"
+
+namespace ngp::alf {
+
+struct ReceiverStats {
+  std::uint64_t fragments_received = 0;
+  std::uint64_t fragments_corrupt = 0;     ///< header damage (decode drop)
+  std::uint64_t fragments_duplicate = 0;   ///< fully redundant bytes
+  std::uint64_t fragments_for_done_adus = 0;
+  std::uint64_t fragments_fec_reconstructed = 0;  ///< recovered via parity
+  std::uint64_t adus_delivered = 0;
+  std::uint64_t adus_delivered_out_of_order = 0;  ///< earlier id still open
+  std::uint64_t adus_checksum_failed = 0;
+  std::uint64_t adus_abandoned = 0;        ///< gave up after max_nacks
+  std::uint64_t nacks_sent = 0;
+  std::uint64_t nack_ids_sent = 0;
+  std::uint64_t progress_sent = 0;
+  std::uint64_t payload_bytes_delivered = 0;
+  std::size_t reassembly_bytes_peak = 0;
+};
+
+/// ALF receiving endpoint for one association.
+///
+/// Timer lifecycle: maintenance timers (NACK scan, progress reports) arm on
+/// first activity and stand down when there is nothing outstanding. A
+/// session that has received data but not yet seen the sender's DONE keeps
+/// a progress heartbeat running — that heartbeat is what lets the sender
+/// repair a lost DONE — so a deliberately open long-lived session ticks at
+/// progress_interval until it completes.
+class AlfReceiver {
+ public:
+  /// `data_in` delivers fragments (handler registered here);
+  /// `feedback_out` carries NACK/PROGRESS back to the sender.
+  AlfReceiver(EventLoop& loop, NetPath& data_in, NetPath& feedback_out,
+              SessionConfig config);
+
+  AlfReceiver(const AlfReceiver&) = delete;
+  AlfReceiver& operator=(const AlfReceiver&) = delete;
+
+  /// Complete-ADU callback; invoked the moment each ADU completes, in
+  /// arrival-completion order (NOT id order — that is the point).
+  void set_on_adu(std::function<void(Adu&&)> fn) { on_adu_ = std::move(fn); }
+
+  /// Loss report in application terms. `name_known` is false only when no
+  /// fragment of the ADU ever arrived (then only the recovery id exists).
+  void set_on_adu_lost(
+      std::function<void(std::uint32_t adu_id, const AduName& name, bool name_known)> fn) {
+    on_adu_lost_ = std::move(fn);
+  }
+
+  /// Fires once: every ADU up to the sender's DONE total has either been
+  /// delivered or abandoned.
+  void set_on_complete(std::function<void()> fn) { on_complete_ = std::move(fn); }
+
+  bool complete() const noexcept { return complete_fired_; }
+  std::uint32_t adus_delivered() const noexcept { return delivered_count_; }
+  const ReceiverStats& stats() const noexcept { return stats_; }
+
+ private:
+  struct Reassembly {
+    AduName name;
+    TransferSyntax syntax = TransferSyntax::kRaw;
+    std::uint8_t flags = 0;
+    ChecksumKind checksum_kind = ChecksumKind::kInternet;
+    std::uint8_t fec_k = 0;
+    std::uint32_t adu_len = 0;
+    std::uint32_t checksum = 0;
+    ByteBuffer buf;
+    std::map<std::uint32_t, std::uint32_t> ranges;  ///< received [start,end)
+    std::map<std::uint32_t, ByteBuffer> parity;     ///< group start -> block
+    std::size_t bytes_received = 0;
+    std::size_t frag_capacity = 0;  ///< inferred from the first fragment
+    int nacks = 0;
+    SimTime next_nack_at = 0;  ///< exponential backoff per ADU
+  };
+
+  /// NACK pacing for ADUs no fragment of which has been seen.
+  struct NackState {
+    int count = 0;
+    SimTime next_at = 0;
+  };
+
+  void on_frame(ConstBytes frame);
+  void on_data(const DataFragment& f);
+  void on_done(const DoneMessage& d);
+  /// Merges [start,end) into r.ranges and updates coverage. Returns true
+  /// if any byte was new.
+  bool merge_range(Reassembly& r, std::uint32_t start, std::uint32_t end);
+  /// FEC: reconstructs any group that is one fragment short of complete.
+  /// Returns true if the ADU became complete as a result.
+  bool try_fec_reconstruct(std::uint32_t adu_id, Reassembly& r);
+  bool range_present(const Reassembly& r, std::uint32_t start,
+                     std::uint32_t end) const;
+  void complete_adu(std::uint32_t adu_id, Reassembly& r);
+  /// Stage 2: fused or layered decrypt+verify. True if intact.
+  bool verify_and_decrypt(std::uint32_t adu_id, Reassembly& r);
+  void deliver(std::uint32_t adu_id, Reassembly&& r);
+  void abandon(std::uint32_t adu_id, const Reassembly* r);
+  void nack_scan();
+  void send_progress();
+  void check_complete();
+  std::size_t reassembly_bytes() const;
+
+  /// Marks an id delivered-or-abandoned and advances the closed prefix.
+  void close_id(std::uint32_t adu_id);
+
+  /// Arms whichever maintenance timers the current state warrants.
+  void arm_timers();
+  /// ADUs closed so far (delivered + abandoned).
+  std::uint32_t closed_count() const noexcept {
+    return delivered_count_ + abandoned_count_;
+  }
+  /// True while some known ADU is still outstanding.
+  bool recovery_work_remains() const noexcept {
+    const std::uint32_t horizon =
+        expected_total_ > 0 ? expected_total_ : highest_seen_;
+    return closed_count() < horizon;
+  }
+  /// True while the session has started but not completed.
+  bool session_active() const noexcept {
+    return !complete_fired_ && (highest_seen_ > 0 || !pending_.empty());
+  }
+  bool is_closed(std::uint32_t adu_id) const noexcept {
+    return adu_id <= closed_prefix_ || closed_.contains(adu_id);
+  }
+
+  EventLoop& loop_;
+  NetPath& feedback_out_;
+  SessionConfig cfg_;
+  ReceiverStats stats_;
+
+  std::map<std::uint32_t, Reassembly> pending_;
+  std::set<std::uint32_t> closed_;        ///< closed ids above the prefix
+  std::uint32_t closed_prefix_ = 0;       ///< ids 1..prefix are all closed
+  std::uint32_t delivered_count_ = 0;
+  std::uint32_t abandoned_count_ = 0;
+  std::uint32_t highest_seen_ = 0;
+  std::uint32_t expected_total_ = 0;  ///< 0 until DONE arrives
+  std::map<std::uint32_t, NackState> nack_counts_;  ///< ids never seen at all
+  bool complete_fired_ = false;
+
+  // Maintenance timers are armed only while the session has open work, so
+  // an idle or never-used association does not keep the event loop (or a
+  // host's timer wheel) busy forever. Activity re-arms them.
+  bool nack_timer_armed_ = false;
+  bool progress_timer_armed_ = false;
+
+  // Consumption-rate measurement for PROGRESS.
+  std::uint64_t bytes_at_last_progress_ = 0;
+  SimTime last_progress_at_ = 0;
+
+  std::function<void(Adu&&)> on_adu_;
+  std::function<void(std::uint32_t, const AduName&, bool)> on_adu_lost_;
+  std::function<void()> on_complete_;
+};
+
+}  // namespace ngp::alf

@@ -1,0 +1,302 @@
+#include "alf/sender.h"
+
+#include <algorithm>
+
+#include "alf/fec.h"
+
+namespace ngp::alf {
+
+AlfSender::AlfSender(EventLoop& loop, NetPath& data_out, NetPath& feedback_in,
+                     SessionConfig config)
+    : loop_(loop), out_(data_out), cfg_(config),
+      frag_capacity_(fragment_payload_capacity(data_out.max_frame_size())) {
+  feedback_in.set_handler([this](ConstBytes frame) { on_feedback(frame); });
+}
+
+ByteBuffer AlfSender::prepare_wire_payload(std::uint32_t adu_id, ConstBytes plaintext,
+                                           std::uint32_t& checksum_out,
+                                           std::uint8_t& flags_out) {
+  // The per-ADU checksum covers the plaintext: the ADU is the unit of error
+  // detection (§5), independent of how it is fragmented or ciphered.
+  checksum_out = compute_checksum(cfg_.checksum, plaintext);
+  flags_out = 0;
+  ByteBuffer wire(plaintext);
+  if (cfg_.encrypt) {
+    // Per-ADU nonce: ADU id into the nonce tail; the ADU is the encryption
+    // synchronization unit, so any complete ADU decrypts standalone.
+    ChaChaKey k = cfg_.key;
+    store_u32_be(k.nonce.data() + 8, adu_id);
+    chacha20_xor(k, /*counter=*/0, wire.span());
+    flags_out |= kFlagEncrypted;
+  }
+  return wire;
+}
+
+Result<std::uint32_t> AlfSender::send_adu(const AduName& name, ConstBytes payload) {
+  if (finished_) return Error{ErrorCode::kClosed, "finish() already called"};
+  if (payload.empty()) return Error{ErrorCode::kOutOfRange, "empty ADU"};
+  if (payload.size() > UINT32_MAX) return Error{ErrorCode::kOutOfRange, "ADU too large"};
+  if (cfg_.retransmit == RetransmitPolicy::kTransportBuffered &&
+      stats_.retransmit_buffer_bytes + payload.size() > cfg_.retransmit_buffer_limit) {
+    return Error{ErrorCode::kLimitExceeded, "retransmit buffer full"};
+  }
+
+  const std::uint32_t adu_id = next_adu_id_++;
+  names_[adu_id] = name;
+
+  BufferedAdu b;
+  b.name = name;
+  b.wire_payload = prepare_wire_payload(adu_id, payload, b.checksum, b.flags);
+  store_.emplace(adu_id, std::move(b));
+  if (cfg_.retransmit == RetransmitPolicy::kTransportBuffered) {
+    stats_.retransmit_buffer_bytes += payload.size();
+    stats_.retransmit_buffer_peak =
+        std::max(stats_.retransmit_buffer_peak, stats_.retransmit_buffer_bytes);
+  }
+
+  ++stats_.adus_sent;
+  enqueue_adu_fragments(adu_id, /*retransmit=*/false);
+  pump();
+  return adu_id;
+}
+
+void AlfSender::enqueue_adu_fragments(std::uint32_t adu_id, bool retransmit) {
+  auto it = store_.find(adu_id);
+  if (it == store_.end()) return;
+  BufferedAdu& b = it->second;
+  const std::size_t len = b.wire_payload.size();
+  std::deque<PendingFragment> batch;
+  std::size_t off = 0;
+  std::size_t count = 0;
+  while (off < len) {
+    const auto frag_len =
+        static_cast<std::uint16_t>(std::min(frag_capacity_, len - off));
+    batch.push_back(PendingFragment{adu_id, static_cast<std::uint32_t>(off), frag_len,
+                                    retransmit, /*is_parity=*/false, 0});
+    off += frag_len;
+    ++count;
+  }
+
+  // ADU-level FEC (footnote 10): one parity fragment per fec_k data
+  // fragments, computed over the wire payload (post-encryption, so the
+  // receiver can reconstruct before decrypting).
+  if (cfg_.fec_k > 0) {
+    if (b.parity_blocks.empty()) {
+      for (std::size_t start = 0; start < len;
+           start += std::size_t{cfg_.fec_k} * frag_capacity_) {
+        const FecGroup group{start, cfg_.fec_k, frag_capacity_, len};
+        b.parity_blocks.push_back(compute_parity(b.wire_payload.span(), group));
+      }
+    }
+    for (std::size_t g = 0; g < b.parity_blocks.size(); ++g) {
+      const auto start =
+          static_cast<std::uint32_t>(g * std::size_t{cfg_.fec_k} * frag_capacity_);
+      batch.push_back(PendingFragment{
+          adu_id, start, static_cast<std::uint16_t>(b.parity_blocks[g].size()),
+          retransmit, /*is_parity=*/true, static_cast<std::uint32_t>(g)});
+      ++count;
+    }
+  }
+
+  if (retransmit) {
+    // Recovery jumps the backlog: the receiver is stalled on exactly these
+    // bytes, while the queued tail is data nobody is waiting for yet.
+    queue_.insert(queue_.begin(), batch.begin(), batch.end());
+  } else {
+    queue_.insert(queue_.end(), batch.begin(), batch.end());
+  }
+  it->second.queued_fragments += count;
+}
+
+void AlfSender::pump() {
+  // Paced transmission: at most one fragment per pacing interval; at line
+  // rate (pace_bps == 0) drain the queue immediately — the link's own
+  // serializer then provides the spacing.
+  while (!queue_.empty()) {
+    if (cfg_.pace_bps > 0 && loop_.now() < next_send_at_) {
+      if (!pace_timer_armed_) {
+        pace_timer_armed_ = true;
+        loop_.schedule_at(next_send_at_, [this] {
+          pace_timer_armed_ = false;
+          pump();
+        });
+      }
+      return;
+    }
+    PendingFragment pf = queue_.front();
+    queue_.pop_front();
+    send_fragment(pf);
+    if (cfg_.pace_bps > 0) {
+      const SimDuration gap = transmission_time(
+          pf.frag_len + DataFragment::kHeaderSize, cfg_.pace_bps);
+      next_send_at_ = std::max(loop_.now(), next_send_at_) + gap;
+    }
+  }
+
+  // Everything drained: emit DONE (with a bounded retry schedule — DONE is
+  // unreliable and the receiver's progress reports stop once it is idle,
+  // so a lost DONE on a quiet session needs sender-side initiative).
+  if (finished_ && !done_sent_ && queue_.empty()) {
+    done_sent_ = true;
+    send_done();
+  }
+}
+
+void AlfSender::send_done() {
+  if (peer_complete_) return;
+  DoneMessage d;
+  d.session = cfg_.session_id;
+  d.total_adus = next_adu_id_ - 1;
+  ByteBuffer frame = encode_done(d);
+  out_.send(frame.span());
+  if (done_timer_ != 0) return;  // a retry is already scheduled
+  if (done_retries_left_-- > 0) {
+    // Exponential spacing: 100ms, 200ms, 400ms... bounded by the retry
+    // budget, so a vanished peer cannot keep the timer wheel busy forever.
+    const SimDuration wait =
+        100 * kMillisecond * (std::int64_t{1} << std::min(8 - done_retries_left_ - 1, 6));
+    done_timer_ = loop_.schedule_after(wait, [this] {
+      done_timer_ = 0;
+      if (!peer_complete_ && queue_.empty()) send_done();
+    });
+  }
+}
+
+void AlfSender::send_fragment(const PendingFragment& pf) {
+  auto it = store_.find(pf.adu_id);
+  if (it == store_.end()) return;  // released while queued
+  BufferedAdu& b = it->second;
+
+  DataFragment f;
+  f.session = cfg_.session_id;
+  f.adu_id = pf.adu_id;
+  f.name = b.name;
+  f.syntax = cfg_.syntax;
+  f.flags = b.flags;
+  f.checksum_kind = cfg_.checksum;
+  f.fec_k = cfg_.fec_k;
+  f.adu_len = static_cast<std::uint32_t>(b.wire_payload.size());
+  f.frag_off = pf.frag_off;
+  f.adu_checksum = b.checksum;
+  if (pf.is_parity) {
+    f.flags |= kFlagFecParity;
+    f.payload = b.parity_blocks.at(pf.parity_index).span();
+  } else {
+    f.payload = b.wire_payload.subspan(pf.frag_off, pf.frag_len);
+  }
+
+  ByteBuffer frame = encode_fragment(f);
+  out_.send(frame.span());
+  ++stats_.fragments_sent;
+  if (pf.is_parity) ++stats_.fec_parity_sent;
+  stats_.payload_bytes_sent += pf.frag_len;
+
+  if (b.queued_fragments > 0) --b.queued_fragments;
+  if (b.queued_fragments == 0 &&
+      cfg_.retransmit != RetransmitPolicy::kTransportBuffered) {
+    // Nothing obliges the transport to keep a copy: the application either
+    // recomputes on demand or accepts the loss.
+    store_.erase(it);
+  }
+}
+
+void AlfSender::finish() {
+  finished_ = true;
+  pump();
+}
+
+void AlfSender::release_adu(std::uint32_t adu_id) {
+  auto it = store_.find(adu_id);
+  if (it == store_.end()) return;
+  if (it->second.queued_fragments > 0) return;  // still being transmitted
+  if (cfg_.retransmit == RetransmitPolicy::kTransportBuffered) {
+    const std::size_t sz = it->second.wire_payload.size();
+    stats_.retransmit_buffer_bytes -= std::min(stats_.retransmit_buffer_bytes, sz);
+  }
+  store_.erase(it);
+}
+
+void AlfSender::on_feedback(ConstBytes frame) {
+  auto msg = decode_message(frame);
+  if (!msg) return;
+  if (msg->type == MessageType::kNack) {
+    if (msg->nack.session != cfg_.session_id) return;
+    ++stats_.nacks_received;
+    handle_nack(msg->nack);
+  } else if (msg->type == MessageType::kProgress) {
+    if (msg->progress.session != cfg_.session_id) return;
+    ++stats_.progress_received;
+    // Out-of-band rate adaptation: if the receiver reports a drain rate
+    // below our pacing rate, slow to it (plus headroom); never stall the
+    // manipulation pipeline waiting for feedback.
+    const double reported = static_cast<double>(msg->progress.consume_rate_kbps) * 1000.0;
+    if (reported > 0 && cfg_.pace_bps > 0 && reported < cfg_.pace_bps) {
+      cfg_.pace_bps = std::max(reported * 1.1, 1000.0);
+    }
+    // Only the receiver's explicit completion claim retires the DONE
+    // machinery; any other PROGRESS after we finished means the receiver
+    // is still waiting (possibly for a lost DONE) — resend it.
+    if (msg->progress.session_complete && done_sent_) {
+      peer_complete_ = true;
+      if (done_timer_ != 0) {
+        loop_.cancel(done_timer_);
+        done_timer_ = 0;
+      }
+    } else if (done_sent_ && queue_.empty()) {
+      send_done();
+    }
+  }
+}
+
+void AlfSender::handle_nack(const NackMessage& m) {
+  for (std::uint32_t adu_id : m.adu_ids) {
+    switch (cfg_.retransmit) {
+      case RetransmitPolicy::kTransportBuffered: {
+        auto it = store_.find(adu_id);
+        if (it == store_.end()) {
+          ++stats_.nacks_ignored;  // already released
+          break;
+        }
+        if (it->second.queued_fragments > 0) {
+          ++stats_.nacks_ignored;  // retransmission already in the queue
+          break;
+        }
+        ++stats_.adus_retransmitted;
+        enqueue_adu_fragments(adu_id, /*retransmit=*/true);
+        break;
+      }
+      case RetransmitPolicy::kApplicationRecompute: {
+        auto name_it = names_.find(adu_id);
+        if (name_it == names_.end() || !recompute_) {
+          ++stats_.nacks_ignored;
+          break;
+        }
+        if (auto it = store_.find(adu_id);
+            it != store_.end() && it->second.queued_fragments > 0) {
+          ++stats_.nacks_ignored;  // recomputed copy already queued
+          break;
+        }
+        auto payload = recompute_(adu_id, name_it->second);
+        if (!payload) {
+          ++stats_.nacks_ignored;  // app declined (e.g. data superseded)
+          break;
+        }
+        // Re-prepare under the same id so the receiver can reconcile.
+        BufferedAdu b;
+        b.name = name_it->second;
+        b.wire_payload = prepare_wire_payload(adu_id, payload->span(), b.checksum, b.flags);
+        store_[adu_id] = std::move(b);
+        ++stats_.adus_recomputed;
+        ++stats_.adus_retransmitted;
+        enqueue_adu_fragments(adu_id, /*retransmit=*/true);
+        break;
+      }
+      case RetransmitPolicy::kNone:
+        ++stats_.nacks_ignored;
+        break;
+    }
+  }
+  pump();
+}
+
+}  // namespace ngp::alf

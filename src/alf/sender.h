@@ -1,0 +1,146 @@
+// sender.h — ALF sending endpoint.
+//
+// The sender-side realization of Application Level Framing:
+//
+//   * the application hands over whole named ADUs (never an anonymous byte
+//     stream) — send_adu();
+//   * each ADU is checksummed and (optionally) encrypted as a unit, then
+//     fragmented into self-describing transmission units sized to the path
+//     (packets or cells — the sender does not care, §5);
+//   * transmission is paced at the session rate: flow control is
+//     out-of-band and never gates the manipulation pipeline (§3);
+//   * loss recovery honours the application's chosen policy (§5): the
+//     transport buffers, or asks the application to recompute, or does
+//     nothing (real-time).
+//
+// Note what is absent: no in-order machinery, no byte sequence space, no
+// cumulative ACK. The ADU id exists purely as a recovery handle.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+
+#include "alf/adu.h"
+#include "alf/session.h"
+#include "alf/wire.h"
+#include "netsim/net_path.h"
+#include "util/event_loop.h"
+#include "util/result.h"
+
+namespace ngp::alf {
+
+struct SenderStats {
+  std::uint64_t adus_sent = 0;
+  std::uint64_t adus_retransmitted = 0;   ///< whole-ADU resends
+  std::uint64_t adus_recomputed = 0;      ///< via application callback
+  std::uint64_t nacks_ignored = 0;        ///< policy kNone or data gone
+  std::uint64_t fragments_sent = 0;
+  std::uint64_t fec_parity_sent = 0;  ///< parity fragments (subset of above)
+  std::uint64_t payload_bytes_sent = 0;
+  std::uint64_t nacks_received = 0;
+  std::uint64_t progress_received = 0;
+  std::size_t retransmit_buffer_bytes = 0;
+  std::size_t retransmit_buffer_peak = 0;
+};
+
+/// Regenerates an ADU's payload on demand (policy kApplicationRecompute).
+/// Return nullopt if the application can no longer produce it.
+using RecomputeFn = std::function<std::optional<ByteBuffer>(std::uint32_t adu_id,
+                                                            const AduName& name)>;
+
+/// ALF sending endpoint for one association.
+class AlfSender {
+ public:
+  /// `data_out` carries fragments; `feedback_in` delivers NACK/PROGRESS
+  /// (handler registered here).
+  AlfSender(EventLoop& loop, NetPath& data_out, NetPath& feedback_in,
+            SessionConfig config);
+
+  AlfSender(const AlfSender&) = delete;
+  AlfSender& operator=(const AlfSender&) = delete;
+
+  /// Queues one ADU. `payload` must already be in the session's transfer
+  /// syntax (the application/presentation produced it — the sender
+  /// transport does not convert). Returns the assigned ADU id, or an error
+  /// if the retransmit buffer is full.
+  Result<std::uint32_t> send_adu(const AduName& name, ConstBytes payload);
+
+  /// Marks the stream complete; a DONE message follows the last fragment.
+  void finish();
+
+  /// Installs the application's recompute callback (policy
+  /// kApplicationRecompute).
+  void set_recompute(RecomputeFn fn) { recompute_ = std::move(fn); }
+
+  /// Releases the retransmission copy of an ADU (e.g. the application
+  /// knows the receiver no longer needs it). No-op for other policies.
+  void release_adu(std::uint32_t adu_id);
+
+  /// True once all queued fragments (and DONE, if finished) have left.
+  bool idle() const noexcept { return queue_.empty() && !pace_timer_armed_; }
+
+  std::uint32_t next_adu_id() const noexcept { return next_adu_id_; }
+  const SenderStats& stats() const noexcept { return stats_; }
+  const SessionConfig& config() const noexcept { return cfg_; }
+
+ private:
+  struct PendingFragment {
+    std::uint32_t adu_id;
+    std::uint32_t frag_off;   ///< group start offset for parity fragments
+    std::uint16_t frag_len;
+    bool is_retransmit;
+    bool is_parity = false;
+    std::uint32_t parity_index = 0;  ///< index into BufferedAdu::parity_blocks
+  };
+
+  struct BufferedAdu {
+    AduName name;
+    ByteBuffer wire_payload;  ///< post-encryption bytes as sent
+    std::vector<ByteBuffer> parity_blocks;  ///< FEC parity, one per group
+    std::uint32_t checksum = 0;
+    std::uint8_t flags = 0;
+    std::size_t queued_fragments = 0;  ///< fragments not yet transmitted
+  };
+
+  /// Queues an ADU's fragments (and FEC parity). Retransmissions go to the
+  /// FRONT of the queue: recovery latency is what stalls the receiver's
+  /// pipeline, so recovered data must not wait behind the backlog.
+  void enqueue_adu_fragments(std::uint32_t adu_id, bool retransmit);
+  void pump();               ///< sends fragments respecting pacing
+  void send_fragment(const PendingFragment& pf);
+  void on_feedback(ConstBytes frame);
+  void handle_nack(const NackMessage& m);
+  ByteBuffer prepare_wire_payload(std::uint32_t adu_id, ConstBytes plaintext,
+                                  std::uint32_t& checksum_out, std::uint8_t& flags_out);
+
+  EventLoop& loop_;
+  NetPath& out_;
+  SessionConfig cfg_;
+  SenderStats stats_;
+  RecomputeFn recompute_;
+
+  void send_done();
+
+  std::uint32_t next_adu_id_ = 1;  // 0 reserved
+  bool finished_ = false;
+  bool done_sent_ = false;
+  bool peer_complete_ = false;  ///< receiver reported everything closed
+  int done_retries_left_ = 8;  ///< bounded unsolicited DONE re-sends
+  EventId done_timer_ = 0;     ///< pending retry (cancelled on completion)
+
+  // ADUs retained for retransmission (policy-dependent).
+  std::map<std::uint32_t, BufferedAdu> store_;
+  // Names are kept for all ADUs (cheap) so recompute can be offered.
+  std::map<std::uint32_t, AduName> names_;
+
+  std::deque<PendingFragment> queue_;
+  bool pace_timer_armed_ = false;
+  SimTime next_send_at_ = 0;
+
+  std::size_t frag_capacity_;
+};
+
+}  // namespace ngp::alf

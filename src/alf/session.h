@@ -1,0 +1,69 @@
+// session.h — shared per-association parameters for ALF endpoints.
+//
+// Connection establishment and option negotiation happen out-of-band (§3
+// explicitly sets aside "session initiation, service location, and so on" —
+// they do not occur at data-transfer time). Both endpoints are constructed
+// from one SessionConfig, which plays the role of the negotiated agreement:
+// the transfer syntax, integrity algorithm, encryption keying, and the
+// loss-recovery policy the application selected.
+#pragma once
+
+#include <cstdint>
+
+#include "checksum/checksum.h"
+#include "crypto/chacha20.h"
+#include "presentation/codec.h"
+#include "util/sim_clock.h"
+
+namespace ngp::alf {
+
+/// §5: "buffering by the sender transport, recomputation by the sending
+/// application, or proceeding without retransmission" — the three recovery
+/// options a general-purpose protocol must permit.
+enum class RetransmitPolicy : std::uint8_t {
+  kTransportBuffered = 0,   ///< sender transport keeps a copy until done
+  kApplicationRecompute = 1,///< sender app regenerates the ADU on demand
+  kNone = 2,                ///< real-time: losses are the receiver's problem
+};
+
+/// §6: run receive-side manipulations as one fused loop or layer-by-layer.
+enum class ProcessMode : std::uint8_t {
+  kIntegrated = 0,  ///< ILP: single pass (verify+decrypt in one loop)
+  kLayered = 1,     ///< conventional: one pass per manipulation
+};
+
+struct SessionConfig {
+  std::uint16_t session_id = 1;
+  TransferSyntax syntax = TransferSyntax::kRaw;
+  ChecksumKind checksum = ChecksumKind::kInternet;
+  RetransmitPolicy retransmit = RetransmitPolicy::kTransportBuffered;
+  ProcessMode process_mode = ProcessMode::kIntegrated;
+
+  bool encrypt = false;  ///< ChaCha20 with per-ADU nonce derived from adu_id
+  ChaChaKey key{};       ///< shared key (out-of-band key agreement)
+
+  /// ADU-level FEC (footnote 10): one XOR parity fragment per `fec_k` data
+  /// fragments. 0 disables FEC. Most valuable with RetransmitPolicy::kNone
+  /// (no time for a NACK round trip) and on high-loss substrates.
+  std::uint8_t fec_k = 0;
+
+  /// Sender pacing rate, bits/second (out-of-band flow control). 0 = line
+  /// rate (no pacing).
+  double pace_bps = 0;
+
+  /// Receiver: how long an ADU-id gap may persist before it is NACKed
+  /// (covers plain reordering without spurious recovery traffic).
+  SimDuration nack_delay = 20 * kMillisecond;
+  /// Receiver: re-NACK interval while an ADU stays missing.
+  SimDuration nack_retry = 50 * kMillisecond;
+  /// Receiver: give up on an ADU after this many NACKs (then report loss
+  /// to the application in application terms).
+  int max_nacks = 10;
+  /// Receiver: progress-report cadence (out-of-band feedback).
+  SimDuration progress_interval = 50 * kMillisecond;
+
+  /// Sender: cap on buffered-for-retransmission bytes (policy kTransportBuffered).
+  std::size_t retransmit_buffer_limit = 16 << 20;
+};
+
+}  // namespace ngp::alf

@@ -1,0 +1,163 @@
+#include "alf/wire.h"
+
+#include "checksum/internet.h"
+
+namespace ngp::alf {
+
+namespace {
+
+/// Writes the common 4-byte prologue.
+void write_prologue(WireWriter& w, MessageType type, std::uint16_t session) {
+  w.u8(kMagic);
+  w.u8(static_cast<std::uint8_t>(type));
+  w.u16(session);
+}
+
+/// Appends the header checksum over everything written so far.
+void seal_header(ByteBuffer& buf) {
+  const std::uint16_t ck = internet_checksum_unrolled(buf.span());
+  buf.append(static_cast<std::uint8_t>(ck >> 8));
+  buf.append(static_cast<std::uint8_t>(ck));
+}
+
+/// Verifies a sealed header region [0, len); len includes the checksum.
+bool header_ok(ConstBytes frame, std::size_t len) {
+  if (frame.size() < len) return false;
+  // Sum over the sealed region including the stored complemented checksum
+  // folds to 0xFFFF <=> intact. Region length is even by construction.
+  return internet_checksum_ok(frame.subspan(0, len));
+}
+
+}  // namespace
+
+ByteBuffer encode_fragment(const DataFragment& f) {
+  ByteBuffer out;
+  WireWriter w(out);
+  write_prologue(w, MessageType::kData, f.session);
+  w.u32(f.adu_id);
+  w.u8(static_cast<std::uint8_t>(f.name.ns));
+  w.u64(f.name.a);
+  w.u64(f.name.b);
+  w.u64(f.name.c);
+  w.u8(static_cast<std::uint8_t>(f.syntax));
+  w.u8(f.flags);
+  w.u8(static_cast<std::uint8_t>(f.checksum_kind));
+  w.u8(f.fec_k);
+  w.u8(0);  // reserved (pads the sealed header to an even length)
+  w.u32(f.adu_len);
+  w.u32(f.frag_off);
+  w.u16(static_cast<std::uint16_t>(f.payload.size()));
+  w.u32(f.adu_checksum);
+  seal_header(out);
+  out.append(f.payload);
+  return out;
+}
+
+ByteBuffer encode_nack(const NackMessage& m) {
+  ByteBuffer out;
+  WireWriter w(out);
+  write_prologue(w, MessageType::kNack, m.session);
+  w.u16(static_cast<std::uint16_t>(m.adu_ids.size()));
+  for (std::uint32_t id : m.adu_ids) w.u32(id);
+  seal_header(out);
+  return out;
+}
+
+ByteBuffer encode_progress(const ProgressMessage& m) {
+  ByteBuffer out;
+  WireWriter w(out);
+  write_prologue(w, MessageType::kProgress, m.session);
+  w.u32(m.complete_adus);
+  w.u32(m.highest_adu_seen);
+  w.u32(m.consume_rate_kbps);
+  w.u16(m.session_complete ? 1 : 0);
+  seal_header(out);
+  return out;
+}
+
+ByteBuffer encode_done(const DoneMessage& m) {
+  ByteBuffer out;
+  WireWriter w(out);
+  write_prologue(w, MessageType::kDone, m.session);
+  w.u32(m.total_adus);
+  seal_header(out);
+  return out;
+}
+
+std::optional<Message> decode_message(ConstBytes frame) {
+  if (frame.size() < 4 || frame[0] != kMagic) return std::nullopt;
+  const auto type_byte = frame[1];
+  if (type_byte > static_cast<std::uint8_t>(MessageType::kDone)) return std::nullopt;
+
+  Message msg;
+  msg.type = static_cast<MessageType>(type_byte);
+  WireReader r(frame);
+  std::uint8_t magic = 0, type = 0;
+  std::uint16_t session = 0;
+  (void)r.u8(magic);
+  (void)r.u8(type);
+  (void)r.u16(session);
+
+  switch (msg.type) {
+    case MessageType::kData: {
+      if (!header_ok(frame, DataFragment::kHeaderSize)) return std::nullopt;
+      DataFragment& f = msg.data;
+      f.session = session;
+      std::uint8_t ns = 0, syntax = 0, ck_kind = 0, reserved = 0;
+      std::uint16_t frag_len = 0, header_ck = 0;
+      if (!r.u32(f.adu_id) || !r.u8(ns) || !r.u64(f.name.a) || !r.u64(f.name.b) ||
+          !r.u64(f.name.c) || !r.u8(syntax) || !r.u8(f.flags) || !r.u8(ck_kind) ||
+          !r.u8(f.fec_k) || !r.u8(reserved) || !r.u32(f.adu_len) ||
+          !r.u32(f.frag_off) || !r.u16(frag_len) || !r.u32(f.adu_checksum) ||
+          !r.u16(header_ck)) {
+        return std::nullopt;
+      }
+      if (ns > static_cast<std::uint8_t>(NameSpace::kRpcArg)) return std::nullopt;
+      if (syntax > static_cast<std::uint8_t>(TransferSyntax::kBerToolkit)) {
+        return std::nullopt;
+      }
+      if (ck_kind > static_cast<std::uint8_t>(ChecksumKind::kCrc32)) return std::nullopt;
+      f.name.ns = static_cast<NameSpace>(ns);
+      f.syntax = static_cast<TransferSyntax>(syntax);
+      f.checksum_kind = static_cast<ChecksumKind>(ck_kind);
+      if (r.remaining() != frag_len) return std::nullopt;
+      if (!r.bytes(frag_len, f.payload)) return std::nullopt;
+      // Fragment must lie within the ADU.
+      if (std::uint64_t{f.frag_off} + frag_len > f.adu_len) return std::nullopt;
+      return msg;
+    }
+    case MessageType::kNack: {
+      std::uint16_t count = 0;
+      if (!r.u16(count)) return std::nullopt;
+      if (count > NackMessage::kMaxIds) return std::nullopt;
+      const std::size_t sealed = 4 + 2 + std::size_t{count} * 4 + 2;
+      if (!header_ok(frame, sealed)) return std::nullopt;
+      msg.nack.session = session;
+      msg.nack.adu_ids.resize(count);
+      for (auto& id : msg.nack.adu_ids) {
+        if (!r.u32(id)) return std::nullopt;
+      }
+      return msg;
+    }
+    case MessageType::kProgress: {
+      if (!header_ok(frame, 4 + 14 + 2)) return std::nullopt;
+      msg.progress.session = session;
+      std::uint16_t complete_flag = 0;
+      if (!r.u32(msg.progress.complete_adus) || !r.u32(msg.progress.highest_adu_seen) ||
+          !r.u32(msg.progress.consume_rate_kbps) || !r.u16(complete_flag)) {
+        return std::nullopt;
+      }
+      msg.progress.session_complete = complete_flag != 0;
+      return msg;
+    }
+    case MessageType::kDone: {
+      if (!header_ok(frame, 4 + 4 + 2)) return std::nullopt;
+      msg.done.session = session;
+      if (!r.u32(msg.done.total_adus)) return std::nullopt;
+      return msg;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace ngp::alf

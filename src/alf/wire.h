@@ -1,0 +1,122 @@
+// wire.h — ALF protocol wire formats.
+//
+// Design rule from §6: minimize in-band ordering constraints. Every DATA
+// fragment is fully self-describing — it carries the ADU's name, syntax,
+// total length, its own offset within the ADU, and the per-ADU checksum —
+// so the only control step that must precede manipulation is demux (the one
+// constraint the paper concedes is unavoidable). Any fragment can be placed
+// into its ADU with no other connection state.
+//
+// Control traffic (NACK / PROGRESS / DONE) is out-of-band with respect to
+// the data pipeline: it regulates, it never gates manipulation.
+//
+// DATA fragment layout (big-endian), header 54 bytes:
+//   magic(1) type(1) session(2) adu_id(4)
+//   ns(1) name.a(8) name.b(8) name.c(8)
+//   syntax(1) flags(1) checksum_kind(1) reserved(2)
+//   adu_len(4) frag_off(4) frag_len(2)
+//   adu_checksum(4) header_checksum(2)
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "alf/adu.h"
+#include "checksum/checksum.h"
+#include "util/bytes.h"
+
+namespace ngp::alf {
+
+constexpr std::uint8_t kMagic = 0x41;  // 'A'
+
+enum class MessageType : std::uint8_t {
+  kData = 0,
+  kNack = 1,      ///< receiver -> sender: these ADU ids are missing
+  kProgress = 2,  ///< receiver -> sender: rate/credit feedback (out-of-band)
+  kDone = 3,      ///< sender -> receiver: stream complete, total ADU count
+};
+
+enum AduFlags : std::uint8_t {
+  kFlagEncrypted = 0x01,  ///< payload is ChaCha20-encrypted (per-ADU nonce)
+  kFlagLastAdu = 0x02,    ///< this ADU is the stream's last (EOS hint)
+  kFlagFecParity = 0x04,  ///< payload is an XOR parity block, not ADU bytes
+};
+
+/// One transmission unit of an ADU.
+struct DataFragment {
+  std::uint16_t session = 0;
+  std::uint32_t adu_id = 0;     ///< sender-sequential id (recovery handle)
+  AduName name;                 ///< application name (delivery handle)
+  TransferSyntax syntax = TransferSyntax::kRaw;
+  std::uint8_t flags = 0;
+  ChecksumKind checksum_kind = ChecksumKind::kInternet;
+  /// ADU-level FEC (paper footnote 10): data fragments per XOR parity
+  /// block, 0 = FEC off. For a kFlagFecParity fragment, frag_off is the
+  /// byte offset of the group's first data fragment and the payload is the
+  /// XOR of the group's (zero-padded) fragment payloads.
+  std::uint8_t fec_k = 0;
+  std::uint32_t adu_len = 0;    ///< total encoded ADU length
+  std::uint32_t frag_off = 0;   ///< this fragment's offset within the ADU
+  std::uint32_t adu_checksum = 0;  ///< over the full (plaintext) ADU payload
+  ConstBytes payload;
+
+  static constexpr std::size_t kHeaderSize = 54;
+
+  bool is_parity() const noexcept { return (flags & kFlagFecParity) != 0; }
+};
+
+/// Receiver -> sender: ADU ids the receiver believes lost.
+struct NackMessage {
+  std::uint16_t session = 0;
+  std::vector<std::uint32_t> adu_ids;
+
+  static constexpr std::size_t kMaxIds = 256;
+};
+
+/// Receiver -> sender rate/credit report. This is the paper's out-of-band
+/// flow control: "the actual computation and negotiation of the transfer
+/// rate can be performed on an out-of-band basis" (§3).
+struct ProgressMessage {
+  std::uint16_t session = 0;
+  std::uint32_t complete_adus = 0;   ///< ADUs closed (delivered or abandoned)
+  std::uint32_t highest_adu_seen = 0;
+  std::uint32_t consume_rate_kbps = 0;  ///< receiver's measured drain rate
+  /// True once the receiver KNOWS the stream ended (it saw DONE and closed
+  /// every ADU). Distinct from complete_adus == total: a receiver that
+  /// closed everything it has seen but missed DONE is NOT complete, and
+  /// the sender must keep re-offering DONE.
+  bool session_complete = false;
+};
+
+/// Sender -> receiver end-of-stream marker.
+struct DoneMessage {
+  std::uint16_t session = 0;
+  std::uint32_t total_adus = 0;
+};
+
+// ---- Encoding --------------------------------------------------------------
+
+ByteBuffer encode_fragment(const DataFragment& f);
+ByteBuffer encode_nack(const NackMessage& m);
+ByteBuffer encode_progress(const ProgressMessage& m);
+ByteBuffer encode_done(const DoneMessage& m);
+
+/// Any decoded ALF message.
+struct Message {
+  MessageType type = MessageType::kData;
+  DataFragment data;       // valid when type == kData
+  NackMessage nack;        // valid when type == kNack
+  ProgressMessage progress;// valid when type == kProgress
+  DoneMessage done;        // valid when type == kDone
+};
+
+/// Parses and verifies a frame (header checksum). nullopt on any damage.
+std::optional<Message> decode_message(ConstBytes frame);
+
+/// Usable payload bytes per fragment for a path MTU.
+constexpr std::size_t fragment_payload_capacity(std::size_t mtu) noexcept {
+  return mtu > DataFragment::kHeaderSize ? mtu - DataFragment::kHeaderSize : 0;
+}
+
+}  // namespace ngp::alf

@@ -1,0 +1,30 @@
+#include "checksum/adler.h"
+
+namespace ngp {
+
+namespace {
+constexpr std::uint32_t kMod = 65521;
+// Max bytes before the 32-bit b accumulator could overflow.
+constexpr std::size_t kMaxBlock = 5552;
+}  // namespace
+
+std::uint32_t adler32_continue(std::uint32_t state, ConstBytes data) noexcept {
+  std::uint32_t a = state & 0xFFFF;
+  std::uint32_t b = state >> 16;
+  std::size_t i = 0;
+  while (i < data.size()) {
+    const std::size_t block = std::min(data.size() - i, kMaxBlock);
+    for (std::size_t k = 0; k < block; ++k) {
+      a += data[i + k];
+      b += a;
+    }
+    a %= kMod;
+    b %= kMod;
+    i += block;
+  }
+  return (b << 16) | a;
+}
+
+std::uint32_t adler32(ConstBytes data) noexcept { return adler32_continue(1, data); }
+
+}  // namespace ngp

@@ -1,0 +1,19 @@
+// adler.h — Adler-32 (RFC 1950).
+//
+// A faster Fletcher variant (mod 65521); the third point in the checksum
+// ablation (bench_ablation).
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace ngp {
+
+/// Adler-32 of `data`.
+std::uint32_t adler32(ConstBytes data) noexcept;
+
+/// Continues an Adler-32 from a previous state (1 for the initial state).
+std::uint32_t adler32_continue(std::uint32_t state, ConstBytes data) noexcept;
+
+}  // namespace ngp

@@ -1,0 +1,27 @@
+#include "checksum/checksum.h"
+
+namespace ngp {
+
+std::uint32_t compute_checksum(ChecksumKind kind, ConstBytes data) noexcept {
+  switch (kind) {
+    case ChecksumKind::kNone: return 0;
+    case ChecksumKind::kInternet: return internet_checksum_unrolled(data);
+    case ChecksumKind::kFletcher32: return fletcher32(data);
+    case ChecksumKind::kAdler32: return adler32(data);
+    case ChecksumKind::kCrc32: return crc32_slice8(data);
+  }
+  return 0;
+}
+
+std::string_view checksum_kind_name(ChecksumKind kind) noexcept {
+  switch (kind) {
+    case ChecksumKind::kNone: return "none";
+    case ChecksumKind::kInternet: return "internet";
+    case ChecksumKind::kFletcher32: return "fletcher32";
+    case ChecksumKind::kAdler32: return "adler32";
+    case ChecksumKind::kCrc32: return "crc32";
+  }
+  return "?";
+}
+
+}  // namespace ngp

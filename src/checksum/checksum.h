@@ -1,0 +1,47 @@
+// checksum.h — uniform front-end over the checksum algorithms.
+//
+// Transports pick an integrity algorithm per connection (an ALF design
+// knob: the ADU is the unit of error detection, §5); this header gives them
+// one switchable entry point plus names for bench output.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "checksum/adler.h"
+#include "checksum/crc32.h"
+#include "checksum/fletcher.h"
+#include "checksum/internet.h"
+#include "util/bytes.h"
+
+namespace ngp {
+
+/// Integrity algorithms a connection can negotiate.
+enum class ChecksumKind : std::uint8_t {
+  kNone = 0,      ///< trust the link (real-time media may choose this)
+  kInternet = 1,  ///< RFC 1071 16-bit one's complement
+  kFletcher32 = 2,
+  kAdler32 = 3,
+  kCrc32 = 4,
+};
+
+/// Computes the selected checksum widened to 32 bits (Internet checksum is
+/// zero-extended). kNone returns 0.
+std::uint32_t compute_checksum(ChecksumKind kind, ConstBytes data) noexcept;
+
+/// Name for bench/test output.
+std::string_view checksum_kind_name(ChecksumKind kind) noexcept;
+
+/// Wire size in bytes of the check value for `kind` (0, 2, or 4).
+constexpr std::size_t checksum_size(ChecksumKind kind) noexcept {
+  switch (kind) {
+    case ChecksumKind::kNone: return 0;
+    case ChecksumKind::kInternet: return 2;
+    case ChecksumKind::kFletcher32:
+    case ChecksumKind::kAdler32:
+    case ChecksumKind::kCrc32: return 4;
+  }
+  return 0;
+}
+
+}  // namespace ngp

@@ -1,0 +1,91 @@
+#include "checksum/crc32.h"
+
+#include <array>
+
+namespace ngp {
+
+namespace {
+
+constexpr std::uint32_t kPoly = 0xEDB88320u;  // reflected IEEE polynomial
+
+struct Tables {
+  // t[0] is the classic byte table; t[1..7] extend it for slice-by-8.
+  std::array<std::array<std::uint32_t, 256>, 8> t{};
+
+  constexpr Tables() {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) c = (c & 1) ? (kPoly ^ (c >> 1)) : (c >> 1);
+      t[0][i] = c;
+    }
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = t[0][i];
+      for (std::size_t s = 1; s < 8; ++s) {
+        c = t[0][c & 0xFF] ^ (c >> 8);
+        t[s][i] = c;
+      }
+    }
+  }
+};
+
+constexpr Tables kTables{};
+
+std::uint32_t update_bytewise(std::uint32_t crc, ConstBytes data) noexcept {
+  for (std::uint8_t b : data) {
+    crc = kTables.t[0][(crc ^ b) & 0xFF] ^ (crc >> 8);
+  }
+  return crc;
+}
+
+}  // namespace
+
+std::uint32_t crc32(ConstBytes data) noexcept {
+  return update_bytewise(0xFFFFFFFFu, data) ^ 0xFFFFFFFFu;
+}
+
+std::uint32_t crc32_slice8(ConstBytes data) noexcept {
+  std::uint32_t crc = 0xFFFFFFFFu;
+  const std::uint8_t* p = data.data();
+  std::size_t n = data.size();
+
+  while (n >= 8) {
+    const std::uint64_t w = load_u64_le(p) ^ crc;  // crc xors the low 4 bytes
+    crc = kTables.t[7][w & 0xFF] ^
+          kTables.t[6][(w >> 8) & 0xFF] ^
+          kTables.t[5][(w >> 16) & 0xFF] ^
+          kTables.t[4][(w >> 24) & 0xFF] ^
+          kTables.t[3][(w >> 32) & 0xFF] ^
+          kTables.t[2][(w >> 40) & 0xFF] ^
+          kTables.t[1][(w >> 48) & 0xFF] ^
+          kTables.t[0][(w >> 56) & 0xFF];
+    p += 8;
+    n -= 8;
+  }
+  crc = update_bytewise(crc, {p, n});
+  return crc ^ 0xFFFFFFFFu;
+}
+
+void Crc32::add(ConstBytes data) noexcept { state_ = update_bytewise(state_, data); }
+
+std::uint32_t crc32_update_word(std::uint32_t state, std::uint64_t word) noexcept {
+  const std::uint64_t w = word ^ state;
+  return kTables.t[7][w & 0xFF] ^
+         kTables.t[6][(w >> 8) & 0xFF] ^
+         kTables.t[5][(w >> 16) & 0xFF] ^
+         kTables.t[4][(w >> 24) & 0xFF] ^
+         kTables.t[3][(w >> 32) & 0xFF] ^
+         kTables.t[2][(w >> 40) & 0xFF] ^
+         kTables.t[1][(w >> 48) & 0xFF] ^
+         kTables.t[0][(w >> 56) & 0xFF];
+}
+
+std::uint32_t crc32_update_tail(std::uint32_t state, std::uint64_t word,
+                                std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto b = static_cast<std::uint8_t>(word >> (8 * i));
+    state = kTables.t[0][(state ^ b) & 0xFF] ^ (state >> 8);
+  }
+  return state;
+}
+
+}  // namespace ngp

@@ -1,0 +1,48 @@
+#include "checksum/fletcher.h"
+
+namespace ngp {
+
+std::uint16_t fletcher16(ConstBytes data) noexcept {
+  std::uint32_t a = 0, b = 0;
+  std::size_t i = 0;
+  const std::size_t n = data.size();
+  while (i < n) {
+    // Largest block before a could overflow 32 bits: 5802 bytes (classic
+    // deferred-modulo optimization).
+    std::size_t block = std::min<std::size_t>(n - i, 5802);
+    for (std::size_t k = 0; k < block; ++k) {
+      a += data[i + k];
+      b += a;
+    }
+    a %= 255;
+    b %= 255;
+    i += block;
+  }
+  return static_cast<std::uint16_t>((b << 8) | a);
+}
+
+std::uint32_t fletcher32(ConstBytes data) noexcept {
+  std::uint32_t a = 0, b = 0;
+  std::size_t i = 0;
+  const std::size_t n = data.size();
+  const std::size_t whole = n / 2 * 2;
+  while (i < whole) {
+    std::size_t block = std::min<std::size_t>(whole - i, 359 * 2);
+    for (std::size_t k = 0; k < block; k += 2) {
+      a += std::uint32_t{data[i + k]} | (std::uint32_t{data[i + k + 1]} << 8);
+      b += a;
+    }
+    a %= 65535;
+    b %= 65535;
+    i += block;
+  }
+  if (n % 2 != 0) {
+    a += data[n - 1];
+    b += a;
+    a %= 65535;
+    b %= 65535;
+  }
+  return (b << 16) | a;
+}
+
+}  // namespace ngp

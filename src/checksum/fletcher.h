@@ -1,0 +1,21 @@
+// fletcher.h — Fletcher checksums (RFC 1146 family).
+//
+// Fletcher is the classic "cheaper than CRC, stronger than the Internet
+// sum" point in the design space; included as an ablation option for the
+// per-ADU integrity check.
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace ngp {
+
+/// Fletcher-16 over bytes (modulo 255).
+std::uint16_t fletcher16(ConstBytes data) noexcept;
+
+/// Fletcher-32 over 16-bit little-endian words (modulo 65535); odd trailing
+/// byte is zero-padded.
+std::uint32_t fletcher32(ConstBytes data) noexcept;
+
+}  // namespace ngp

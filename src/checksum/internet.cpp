@@ -1,0 +1,127 @@
+#include "checksum/internet.h"
+
+namespace ngp {
+
+namespace {
+
+/// Folds a 64-bit one's-complement accumulator to 16 bits.
+std::uint16_t fold64(std::uint64_t sum) noexcept {
+  while (sum >> 16) sum = (sum & 0xFFFF) + (sum >> 16);
+  return static_cast<std::uint16_t>(sum);
+}
+
+/// Raw (uncomplemented) 16-bit sum of `data`, big-endian word order.
+std::uint64_t raw_sum(ConstBytes data) noexcept {
+  std::uint64_t sum = 0;
+  std::size_t i = 0;
+  const std::size_t n = data.size();
+  for (; i + 1 < n; i += 2) {
+    sum += (std::uint64_t{data[i]} << 8) | data[i + 1];
+  }
+  if (i < n) sum += std::uint64_t{data[i]} << 8;  // pad odd byte with zero
+  return sum;
+}
+
+}  // namespace
+
+std::uint16_t internet_checksum(ConstBytes data) noexcept {
+  return static_cast<std::uint16_t>(~fold64(raw_sum(data)));
+}
+
+std::uint16_t internet_checksum_bytewise(ConstBytes data) noexcept {
+  // Deliberately naive: one byte per iteration, fold every step.
+  std::uint32_t sum = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (i % 2 == 0) {
+      sum += std::uint32_t{data[i]} << 8;
+    } else {
+      sum += data[i];
+    }
+    sum = (sum & 0xFFFF) + (sum >> 16);
+  }
+  sum = (sum & 0xFFFF) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum);
+}
+
+std::uint16_t internet_checksum_unrolled(ConstBytes data) noexcept {
+  // The one's-complement sum is endian-symmetric: summing 16-bit words in
+  // host (little-endian) order and byte-swapping the folded result equals
+  // the big-endian sum. This lets the hot loop use native 64-bit loads, as
+  // a hand-tuned 1990 implementation used native word loads.
+  std::uint64_t sum = 0;
+  const std::uint8_t* p = data.data();
+  std::size_t n = data.size();
+
+  // 8-way unrolled 64-bit loads with carry accumulation.
+  while (n >= 64) {
+    std::uint64_t carry = 0;
+    for (int k = 0; k < 8; ++k) {
+      const std::uint64_t w = load_u64_le(p + 8 * k);
+      sum += w;
+      carry += (sum < w) ? 1 : 0;
+    }
+    sum += carry;
+    if (sum < carry) ++sum;
+    p += 64;
+    n -= 64;
+  }
+  while (n >= 8) {
+    const std::uint64_t w = load_u64_le(p);
+    sum += w;
+    if (sum < w) ++sum;
+    p += 8;
+    n -= 8;
+  }
+  // Fold 64 -> 16 in little-endian word space.
+  while (sum >> 16) sum = (sum & 0xFFFF) + (sum >> 16);
+  // Tail bytes (fewer than 8): absorb in little-endian 16-bit word order.
+  std::uint32_t tail = static_cast<std::uint32_t>(sum);
+  std::size_t i = 0;
+  for (; i + 1 < n; i += 2) {
+    tail += std::uint32_t{p[i]} | (std::uint32_t{p[i + 1]} << 8);
+  }
+  if (i < n) tail += p[i];  // final odd byte is the low byte of its word
+  while (tail >> 16) tail = (tail & 0xFFFF) + (tail >> 16);
+  // Swap back to big-endian word order and complement.
+  const auto be = static_cast<std::uint16_t>(((tail & 0xFF) << 8) | (tail >> 8));
+  return static_cast<std::uint16_t>(~be);
+}
+
+void InternetChecksum::add(ConstBytes data) noexcept {
+  if (data.empty()) return;
+  if (odd_) {
+    // Previous chunk ended mid-word: this chunk's first byte is the low
+    // half of that word.
+    sum_ += data[0];
+    data = data.subspan(1);
+    odd_ = false;
+  }
+  sum_ += raw_sum(data);
+  if (data.size() % 2 != 0) odd_ = true;
+}
+
+std::uint16_t InternetChecksum::finish() const noexcept {
+  return static_cast<std::uint16_t>(~fold64(sum_));
+}
+
+void InternetChecksum::combine(std::uint16_t checksum, std::size_t byte_count) noexcept {
+  // Un-complement to recover the folded raw sum of the fragment.
+  const std::uint16_t raw = static_cast<std::uint16_t>(~checksum);
+  if (odd_) {
+    // Fragment starts at an odd offset in the logical stream: its bytes all
+    // sit in the opposite halves of their 16-bit words, which in one's-
+    // complement arithmetic is a byte swap of the sub-sum.
+    sum_ += static_cast<std::uint16_t>((raw << 8) | (raw >> 8));
+  } else {
+    sum_ += raw;
+  }
+  if (byte_count % 2 != 0) odd_ = !odd_;
+}
+
+bool internet_checksum_ok(ConstBytes data_with_trailing_checksum) noexcept {
+  if (data_with_trailing_checksum.size() < 2) return false;
+  // Sum over payload including the stored checksum folds to 0xFFFF.
+  return fold64(raw_sum(data_with_trailing_checksum)) == 0xFFFF;
+}
+
+}  // namespace ngp

@@ -1,0 +1,61 @@
+// internet.h — RFC 1071 Internet checksum (the TCP/IP checksum).
+//
+// This is the checksum the paper measures in Table 1 and fuses with the
+// copy loop in the §4 ILP experiment. Three implementations are provided:
+//
+//   * internet_checksum_bytewise — naive byte-at-a-time reference,
+//   * internet_checksum          — 16-bit word loop with 32-bit accumulator,
+//   * internet_checksum_unrolled — 8-way unrolled 64-bit-accumulator loop,
+//     the "hand-coded unrolled loop" of Table 1.
+//
+// All three produce the identical RFC 1071 result (tested property), and an
+// incremental state type supports checksumming data that arrives in pieces
+// (per-fragment computation folded per-ADU, §5).
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace ngp {
+
+/// One's-complement 16-bit Internet checksum of `data` (RFC 1071).
+/// Returns the checksum value (already complemented, ready for the wire).
+std::uint16_t internet_checksum(ConstBytes data) noexcept;
+
+/// Byte-at-a-time reference implementation (for tests and the ablation
+/// bench on unrolling depth).
+std::uint16_t internet_checksum_bytewise(ConstBytes data) noexcept;
+
+/// Hand-unrolled 64-bit-accumulator implementation — the Table 1 kernel.
+std::uint16_t internet_checksum_unrolled(ConstBytes data) noexcept;
+
+/// Incremental Internet-checksum state.
+///
+/// RFC 1071's key property: the sum is position-independent modulo byte
+/// parity, so fragments can be summed separately and folded. `add` handles
+/// odd-length chunks by tracking byte parity across calls.
+class InternetChecksum {
+ public:
+  /// Absorbs `data` into the running sum.
+  void add(ConstBytes data) noexcept;
+
+  /// Final checksum (one's complement of the folded sum).
+  std::uint16_t finish() const noexcept;
+
+  /// Combines a sub-sum computed over `byte_count` bytes starting at an
+  /// even offset. Used to fold per-fragment sums into a per-ADU sum.
+  void combine(std::uint16_t raw_sum_complemented, std::size_t byte_count) noexcept;
+
+  void reset() noexcept { *this = InternetChecksum{}; }
+
+ private:
+  std::uint64_t sum_ = 0;
+  bool odd_ = false;  // true when an odd number of bytes absorbed so far
+};
+
+/// Verifies that `data` whose trailing 2 bytes hold its RFC 1071 checksum
+/// is intact (sum over data+checksum folds to 0xFFFF before complement).
+bool internet_checksum_ok(ConstBytes data_with_trailing_checksum) noexcept;
+
+}  // namespace ngp

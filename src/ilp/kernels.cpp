@@ -1,0 +1,42 @@
+#include "ilp/kernels.h"
+
+#include <cstring>
+
+namespace ngp {
+
+void copy_bytewise(ConstBytes src, MutableBytes dst) noexcept {
+  const std::uint8_t* in = src.data();
+  std::uint8_t* out = dst.data();
+  // volatile-free but intentionally unvectorizable-looking: one byte per
+  // iteration with a data dependence on the index only. Compilers may still
+  // vectorize; bench_ablation reports what it actually measured.
+  for (std::size_t i = 0; i < src.size(); ++i) out[i] = in[i];
+}
+
+void copy_unrolled(ConstBytes src, MutableBytes dst) noexcept {
+  const std::uint8_t* in = src.data();
+  std::uint8_t* out = dst.data();
+  std::size_t n = src.size();
+  while (n >= 32) {
+    store_u64_le(out, load_u64_le(in));
+    store_u64_le(out + 8, load_u64_le(in + 8));
+    store_u64_le(out + 16, load_u64_le(in + 16));
+    store_u64_le(out + 24, load_u64_le(in + 24));
+    in += 32;
+    out += 32;
+    n -= 32;
+  }
+  while (n >= 8) {
+    store_u64_le(out, load_u64_le(in));
+    in += 8;
+    out += 8;
+    n -= 8;
+  }
+  if (n > 0) std::memcpy(out, in, n);
+}
+
+void copy_memcpy(ConstBytes src, MutableBytes dst) noexcept {
+  copy_bytes(dst.data(), src.data(), src.size());
+}
+
+}  // namespace ngp

@@ -1,0 +1,22 @@
+// kernels.h — standalone measured kernels for the Table 1 reproduction.
+//
+// Table 1 of the paper reports copy and checksum speeds for hand-coded
+// unrolled loops. These are the exact kernels bench_table1 times; they are
+// also reused by the transports. Each has a naive and a tuned form so the
+// unrolling ablation can quantify the "hand-coded" part of the claim.
+#pragma once
+
+#include "util/bytes.h"
+
+namespace ngp {
+
+/// Byte-at-a-time copy (the untuned baseline).
+void copy_bytewise(ConstBytes src, MutableBytes dst) noexcept;
+
+/// Word-at-a-time copy, 4-way unrolled (Table 1 "Copy" kernel).
+void copy_unrolled(ConstBytes src, MutableBytes dst) noexcept;
+
+/// libc memcpy for reference (what a modern implementor would write).
+void copy_memcpy(ConstBytes src, MutableBytes dst) noexcept;
+
+}  // namespace ngp

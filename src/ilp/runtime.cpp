@@ -1,0 +1,62 @@
+#include "ilp/runtime.h"
+
+#include "ilp/engine.h"
+#include "ilp/stages.h"
+
+namespace ngp {
+
+namespace {
+
+/// Adapts a compile-time WordStage into the virtual interface. Each
+/// process() call is one full buffer pass, like detail::layered_pass.
+template <WordStage S>
+class StageAdapter final : public RuntimeStage {
+ public:
+  template <typename... Args>
+  explicit StageAdapter(std::string name, Args&&... args)
+      : name_(std::move(name)), stage_(std::forward<Args>(args)...) {}
+
+  void process(MutableBytes buf) override { detail::layered_pass(buf, stage_); }
+
+  std::uint64_t result() const override {
+    if constexpr (requires(const S& s) { s.result(); }) {
+      return static_cast<std::uint64_t>(stage_.result());
+    } else {
+      return 0;
+    }
+  }
+
+  std::string name() const override { return name_; }
+
+ private:
+  std::string name_;
+  S stage_;
+};
+
+}  // namespace
+
+std::unique_ptr<RuntimeStage> make_runtime_checksum() {
+  return std::make_unique<StageAdapter<ChecksumStage>>("checksum");
+}
+
+std::unique_ptr<RuntimeStage> make_runtime_encrypt(const ChaChaKey& key,
+                                                   std::uint32_t counter) {
+  return std::make_unique<StageAdapter<EncryptStage>>("encrypt", key, counter);
+}
+
+std::unique_ptr<RuntimeStage> make_runtime_byteswap32() {
+  return std::make_unique<StageAdapter<Byteswap32Stage>>("byteswap32");
+}
+
+std::unique_ptr<RuntimeStage> make_runtime_app_sum() {
+  return std::make_unique<StageAdapter<AppSumStage>>("app_sum");
+}
+
+MutableBytes RuntimePipeline::run(ConstBytes src, MutableBytes dst) {
+  MutableBytes window = dst.subspan(0, src.size());
+  if (dst.data() != src.data()) word_copy(src, window);
+  for (auto& s : stages_) s->process(window);
+  return window;
+}
+
+}  // namespace ngp

@@ -1,0 +1,64 @@
+// runtime.h — runtime-dispatched ("interpreted") protocol pipeline.
+//
+// §8 of the paper contrasts "compilation" of a protocol suite (ILP: the
+// stack's manipulations fused at build time — engine.h) with
+// "interpretation" (each layer is a separately dispatched module). This
+// file implements the interpreted form: stages behind a virtual interface,
+// composed into a pipeline at runtime. bench_ablation measures what the
+// indirection and per-layer passes cost relative to the fused loop.
+//
+// It is also the extension point for applications that need to assemble
+// stacks dynamically (negotiated per-connection options).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "crypto/chacha20.h"
+#include "util/bytes.h"
+
+namespace ngp {
+
+/// A dynamically dispatched manipulation layer. process() is one full pass
+/// over the buffer, in place — the conventional layered engineering.
+class RuntimeStage {
+ public:
+  virtual ~RuntimeStage() = default;
+
+  /// One pass over `buf`, in place.
+  virtual void process(MutableBytes buf) = 0;
+
+  /// 32-bit result for observer stages (checksum, app sum); 0 otherwise.
+  virtual std::uint64_t result() const { return 0; }
+
+  /// Stage name for traces and bench rows.
+  virtual std::string name() const = 0;
+};
+
+/// Factory helpers mirroring the compile-time stages in stages.h.
+std::unique_ptr<RuntimeStage> make_runtime_checksum();
+std::unique_ptr<RuntimeStage> make_runtime_encrypt(const ChaChaKey& key,
+                                                   std::uint32_t counter);
+std::unique_ptr<RuntimeStage> make_runtime_byteswap32();
+std::unique_ptr<RuntimeStage> make_runtime_app_sum();
+
+/// An ordered stack of runtime stages.
+class RuntimePipeline {
+ public:
+  RuntimePipeline() = default;
+
+  void push(std::unique_ptr<RuntimeStage> stage) { stages_.push_back(std::move(stage)); }
+  std::size_t size() const noexcept { return stages_.size(); }
+  const RuntimeStage& stage(std::size_t i) const { return *stages_.at(i); }
+
+  /// Copies src into dst, then runs every stage as its own pass over dst.
+  /// Returns the view of dst actually processed.
+  MutableBytes run(ConstBytes src, MutableBytes dst);
+
+ private:
+  std::vector<std::unique_ptr<RuntimeStage>> stages_;
+};
+
+}  // namespace ngp

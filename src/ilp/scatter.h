@@ -1,0 +1,191 @@
+// scatter.h — scatter/gather delivery into application address space.
+//
+// §6 of the paper: "A more general case will require that the data in the
+// ADU be separated into different values which are stored in different
+// variables of some program... This requirement to copy the data into
+// locations that are part of the application address space, and which may
+// be distributed in that address space rather than being a linear region,
+// is a critical architectural constraint." (It is also the paper's
+// argument against outboard protocol processors.)
+//
+// ScatterList describes where an ADU's bytes land: an ordered list of
+// (pointer, length) regions — the RPC case where each argument lives in
+// its own stack slot or variable. scatter_fused() moves the ADU into the
+// regions while running any WordStages over the data in the same single
+// pass, so "moving to application address space" fuses with checksum and
+// decryption exactly as §6 prescribes.
+#pragma once
+
+#include <cstring>
+#include <vector>
+
+#include "ilp/engine.h"
+#include "util/bytes.h"
+
+namespace ngp {
+
+/// One destination region in application memory.
+struct ScatterRegion {
+  std::uint8_t* data = nullptr;
+  std::size_t size = 0;
+};
+
+/// An ordered set of destination regions (an iovec, in effect).
+class ScatterList {
+ public:
+  ScatterList() = default;
+
+  void add(MutableBytes region) { regions_.push_back({region.data(), region.size()}); }
+
+  template <typename T>
+  void add_value(T& value) {
+    regions_.push_back({reinterpret_cast<std::uint8_t*>(&value), sizeof(T)});
+  }
+
+  std::size_t total_size() const noexcept {
+    std::size_t n = 0;
+    for (const auto& r : regions_) n += r.size;
+    return n;
+  }
+  std::size_t region_count() const noexcept { return regions_.size(); }
+  const ScatterRegion& region(std::size_t i) const { return regions_.at(i); }
+
+ private:
+  std::vector<ScatterRegion> regions_;
+};
+
+/// Scatters `src` into `dst`'s regions in order, threading every word
+/// through `stages` exactly once (fused). Requires dst.total_size() >=
+/// src.size(); trailing region space is left untouched. Returns bytes
+/// scattered.
+///
+/// Implementation note: regions are rarely word-aligned relative to the
+/// source, so the fused loop runs over the source in word units and the
+/// store splits across region boundaries — the loads (the expensive half
+/// on a read-modify pipeline) still happen exactly once.
+template <WordStage... Stages>
+std::size_t scatter_fused(ConstBytes src, ScatterList& dst, Stages&... stages) {
+  std::size_t region_idx = 0;
+  std::size_t region_off = 0;
+
+  auto store_bytes = [&](const std::uint8_t* bytes, std::size_t n) {
+    while (n > 0 && region_idx < dst.region_count()) {
+      const ScatterRegion& r = dst.region(region_idx);
+      const std::size_t room = r.size - region_off;
+      const std::size_t take = std::min(room, n);
+      std::memcpy(r.data + region_off, bytes, take);
+      bytes += take;
+      n -= take;
+      region_off += take;
+      if (region_off == r.size) {
+        ++region_idx;
+        region_off = 0;
+      }
+    }
+    return n == 0;
+  };
+
+  const std::uint8_t* in = src.data();
+  std::size_t remaining = src.size();
+  std::size_t written = 0;
+  while (remaining >= 8) {
+    std::uint64_t w = load_u64_le(in);
+    w = detail::apply_word(w, stages...);
+    std::uint8_t buf[8];
+    store_u64_le(buf, w);
+    if (!store_bytes(buf, 8)) return written;
+    written += 8;
+    in += 8;
+    remaining -= 8;
+  }
+  if (remaining > 0) {
+    std::uint64_t w = detail::load_tail(in, remaining);
+    w = detail::apply_tail(w, remaining, stages...);
+    std::uint8_t buf[8];
+    store_u64_le(buf, w);
+    if (!store_bytes(buf, remaining)) return written;
+    written += remaining;
+  }
+  return written;
+}
+
+/// One source region in application memory.
+struct GatherRegion {
+  const std::uint8_t* data = nullptr;
+  std::size_t size = 0;
+};
+
+/// Ordered source regions — the transmit-side mirror of ScatterList: the
+/// ADU is assembled from values scattered around the application's address
+/// space (RPC arguments, struct fields) in one pass.
+class GatherList {
+ public:
+  GatherList() = default;
+
+  void add(ConstBytes region) { regions_.push_back({region.data(), region.size()}); }
+
+  template <typename T>
+  void add_value(const T& value) {
+    regions_.push_back({reinterpret_cast<const std::uint8_t*>(&value), sizeof(T)});
+  }
+
+  std::size_t total_size() const noexcept {
+    std::size_t n = 0;
+    for (const auto& r : regions_) n += r.size;
+    return n;
+  }
+  std::size_t region_count() const noexcept { return regions_.size(); }
+  const GatherRegion& region(std::size_t i) const { return regions_.at(i); }
+
+ private:
+  std::vector<GatherRegion> regions_;
+};
+
+/// Gathers `src`'s regions into `dst` contiguously, threading every word
+/// through `stages` once (e.g. checksum + encrypt while marshalling).
+/// Requires dst.size() >= src.total_size(). Returns bytes gathered.
+template <WordStage... Stages>
+std::size_t gather_fused(const GatherList& src, MutableBytes dst, Stages&... stages) {
+  std::size_t region_idx = 0;
+  std::size_t region_off = 0;
+
+  auto load_bytes = [&](std::uint8_t* out, std::size_t n) -> std::size_t {
+    std::size_t got = 0;
+    while (got < n && region_idx < src.region_count()) {
+      const GatherRegion& r = src.region(region_idx);
+      const std::size_t take = std::min(r.size - region_off, n - got);
+      std::memcpy(out + got, r.data + region_off, take);
+      got += take;
+      region_off += take;
+      if (region_off == r.size) {
+        ++region_idx;
+        region_off = 0;
+      }
+    }
+    return got;
+  };
+
+  std::uint8_t* out = dst.data();
+  std::size_t total = src.total_size();
+  std::size_t written = 0;
+  while (total - written >= 8) {
+    std::uint8_t buf[8];
+    load_bytes(buf, 8);
+    std::uint64_t w = load_u64_le(buf);
+    w = detail::apply_word(w, stages...);
+    store_u64_le(out + written, w);
+    written += 8;
+  }
+  const std::size_t rest = total - written;
+  if (rest > 0) {
+    std::uint8_t buf[8] = {};
+    load_bytes(buf, rest);
+    std::uint64_t w = detail::load_tail(buf, rest);
+    w = detail::apply_tail(w, rest, stages...);
+    detail::store_tail(out + written, w, rest);
+    written += rest;
+  }
+  return written;
+}
+
+}  // namespace ngp

@@ -1,0 +1,71 @@
+#include "netsim/link.h"
+
+namespace ngp {
+
+Link::Link(EventLoop& loop, LinkConfig config)
+    : loop_(loop), config_(config), rng_(config.seed),
+      loss_(std::make_unique<NoLoss>()) {}
+
+bool Link::send(ConstBytes frame) {
+  ++stats_.frames_offered;
+  if (frame.size() > config_.mtu) {
+    ++stats_.dropped_oversize;
+    return false;
+  }
+  if (queued_ >= config_.queue_limit) {
+    ++stats_.dropped_queue;
+    return false;
+  }
+
+  // Serialization: the frame occupies the transmitter starting when it is
+  // free; it finishes tx_time later.
+  const SimTime start = std::max(loop_.now(), tx_free_at_);
+  const SimDuration tx_time = transmission_time(frame.size(), config_.bandwidth_bps);
+  tx_free_at_ = start + tx_time;
+  ++queued_;
+
+  const bool lost = loss_->drop(rng_);
+  const bool detour = !lost && rng_.bernoulli(config_.reorder_rate);
+  const bool dup = !lost && rng_.bernoulli(config_.duplicate_rate);
+
+  SimTime arrive = tx_free_at_ + config_.propagation_delay;
+  if (detour) {
+    arrive += static_cast<SimDuration>(
+        rng_.uniform(static_cast<std::uint64_t>(config_.reorder_extra_delay)) + 1);
+    ++stats_.reordered;
+  }
+
+  ByteBuffer copy(frame);
+  // The queue slot frees when serialization completes, regardless of fate.
+  loop_.schedule_at(tx_free_at_, [this] {
+    if (queued_ > 0) --queued_;
+  });
+
+  if (lost) {
+    ++stats_.dropped_loss;
+    return true;  // accepted; silently lost in flight
+  }
+
+  if (dup) {
+    ++stats_.duplicated;
+    ByteBuffer second(copy.span());
+    const SimTime dup_arrive =
+        arrive + static_cast<SimDuration>(rng_.uniform(kMillisecond) + 1);
+    loop_.schedule_at(dup_arrive, [this, f = std::move(second)]() mutable {
+      deliver(std::move(f), /*is_duplicate=*/true);
+    });
+  }
+
+  loop_.schedule_at(arrive, [this, f = std::move(copy)]() mutable {
+    deliver(std::move(f), /*is_duplicate=*/false);
+  });
+  return true;
+}
+
+void Link::deliver(ByteBuffer frame, bool /*is_duplicate*/) {
+  ++stats_.frames_delivered;
+  stats_.bytes_delivered += frame.size();
+  if (handler_) handler_(frame.span());
+}
+
+}  // namespace ngp

@@ -1,0 +1,102 @@
+// link.h — simulated unidirectional link.
+//
+// Models the substrate the paper's transports run over: finite bandwidth
+// (serialization delay), propagation delay, a drop-tail queue, and the
+// packet-switched failure modes §3 catalogues — loss, reordering,
+// duplication. Deterministic given the seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "netsim/loss_model.h"
+#include "util/bytes.h"
+#include "util/event_loop.h"
+#include "util/rng.h"
+
+namespace ngp {
+
+/// Receives frames delivered by a link.
+using FrameHandler = std::function<void(ConstBytes)>;
+
+/// Static link parameters.
+struct LinkConfig {
+  double bandwidth_bps = 100e6;              ///< serialization rate
+  SimDuration propagation_delay = kMillisecond;
+  std::size_t mtu = 1500;                    ///< max frame size accepted
+  std::size_t queue_limit = 128;             ///< frames queued at the sender
+  double reorder_rate = 0.0;                 ///< P(frame takes a detour)
+  SimDuration reorder_extra_delay = kMillisecond;  ///< detour length
+  double duplicate_rate = 0.0;               ///< P(frame delivered twice)
+  std::uint64_t seed = 1;
+};
+
+/// Per-link counters (exposed for tests and bench reports).
+struct LinkStats {
+  std::uint64_t frames_offered = 0;
+  std::uint64_t frames_delivered = 0;
+  std::uint64_t dropped_loss = 0;
+  std::uint64_t dropped_queue = 0;
+  std::uint64_t dropped_oversize = 0;
+  std::uint64_t duplicated = 0;
+  std::uint64_t reordered = 0;
+  std::uint64_t bytes_delivered = 0;
+};
+
+/// Unidirectional point-to-point link.
+///
+/// send() enqueues a frame; the simulator delivers it to the registered
+/// handler after serialization + propagation (+ reorder detour), unless the
+/// loss model or queue drops it.
+class Link {
+ public:
+  Link(EventLoop& loop, LinkConfig config);
+
+  Link(const Link&) = delete;
+  Link& operator=(const Link&) = delete;
+
+  /// Registers the delivery callback (the receiving host's rx interrupt).
+  void set_handler(FrameHandler handler) { handler_ = std::move(handler); }
+
+  /// Replaces the default Bernoulli(0) loss process.
+  void set_loss_model(std::unique_ptr<LossModel> model) { loss_ = std::move(model); }
+
+  /// Convenience: independent loss with probability `p`.
+  void set_loss_rate(double p) { loss_ = std::make_unique<BernoulliLoss>(p); }
+
+  /// Offers a frame. Returns false if rejected immediately (oversize or
+  /// full queue); loss in flight is silent, as on a real network.
+  bool send(ConstBytes frame);
+
+  const LinkStats& stats() const noexcept { return stats_; }
+  const LinkConfig& config() const noexcept { return config_; }
+  EventLoop& loop() noexcept { return loop_; }
+
+ private:
+  void deliver(ByteBuffer frame, bool is_duplicate);
+
+  EventLoop& loop_;
+  LinkConfig config_;
+  Rng rng_;
+  std::unique_ptr<LossModel> loss_;
+  FrameHandler handler_;
+  LinkStats stats_;
+  SimTime tx_free_at_ = 0;    ///< when the serializer becomes idle
+  std::size_t queued_ = 0;    ///< frames waiting in / on the serializer
+};
+
+/// A bidirectional channel: two independent links with shared defaults.
+struct DuplexChannel {
+  DuplexChannel(EventLoop& loop, const LinkConfig& forward_cfg,
+                const LinkConfig& reverse_cfg)
+      : forward(loop, forward_cfg), reverse(loop, reverse_cfg) {}
+
+  /// Symmetric channel.
+  DuplexChannel(EventLoop& loop, const LinkConfig& cfg) : DuplexChannel(loop, cfg, cfg) {}
+
+  Link forward;  ///< a -> b
+  Link reverse;  ///< b -> a
+};
+
+}  // namespace ngp

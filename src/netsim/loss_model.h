@@ -1,0 +1,70 @@
+// loss_model.h — stochastic loss processes for simulated links.
+//
+// The paper's §5 argument turns on how transports behave under loss; the
+// simulator supports both independent (Bernoulli) and bursty
+// (Gilbert-Elliott) loss so bench_alf_loss can sweep realistic regimes.
+#pragma once
+
+#include <memory>
+
+#include "util/rng.h"
+
+namespace ngp {
+
+/// Decides, per transmission unit, whether the unit is lost.
+class LossModel {
+ public:
+  virtual ~LossModel() = default;
+  /// Returns true if this unit should be dropped.
+  virtual bool drop(Rng& rng) = 0;
+};
+
+/// Never drops.
+class NoLoss final : public LossModel {
+ public:
+  bool drop(Rng&) override { return false; }
+};
+
+/// Independent loss with fixed probability.
+class BernoulliLoss final : public LossModel {
+ public:
+  explicit BernoulliLoss(double p) : p_(p) {}
+  bool drop(Rng& rng) override { return rng.bernoulli(p_); }
+
+ private:
+  double p_;
+};
+
+/// Two-state bursty loss (Gilbert-Elliott).
+///
+/// In the Good state units are lost with `loss_good` (usually 0); in the
+/// Bad state with `loss_bad` (usually high). State transitions occur per
+/// unit with probabilities `p_good_to_bad` / `p_bad_to_good`.
+class GilbertElliottLoss final : public LossModel {
+ public:
+  GilbertElliottLoss(double p_good_to_bad, double p_bad_to_good, double loss_good,
+                     double loss_bad)
+      : p_gb_(p_good_to_bad), p_bg_(p_bad_to_good), loss_good_(loss_good),
+        loss_bad_(loss_bad) {}
+
+  bool drop(Rng& rng) override {
+    if (bad_) {
+      if (rng.bernoulli(p_bg_)) bad_ = false;
+    } else {
+      if (rng.bernoulli(p_gb_)) bad_ = true;
+    }
+    return rng.bernoulli(bad_ ? loss_bad_ : loss_good_);
+  }
+
+  /// Long-run average loss rate of this process.
+  double steady_state_loss() const noexcept {
+    const double pi_bad = p_gb_ / (p_gb_ + p_bg_);
+    return pi_bad * loss_bad_ + (1 - pi_bad) * loss_good_;
+  }
+
+ private:
+  double p_gb_, p_bg_, loss_good_, loss_bad_;
+  bool bad_ = false;
+};
+
+}  // namespace ngp

@@ -1,0 +1,97 @@
+#include "presentation/codec.h"
+
+#include <cstring>
+
+#include "presentation/ber.h"
+#include "presentation/lwts.h"
+#include "presentation/xdr.h"
+
+namespace ngp {
+
+std::string_view transfer_syntax_name(TransferSyntax s) noexcept {
+  switch (s) {
+    case TransferSyntax::kRaw: return "raw";
+    case TransferSyntax::kLwts: return "lwts";
+    case TransferSyntax::kXdr: return "xdr";
+    case TransferSyntax::kBer: return "ber";
+    case TransferSyntax::kBerToolkit: return "ber_toolkit";
+  }
+  return "?";
+}
+
+ByteBuffer encode_int_array(TransferSyntax s, std::span<const std::int32_t> values) {
+  switch (s) {
+    case TransferSyntax::kRaw: {
+      ByteBuffer out(values.size() * 4);
+      copy_bytes(out.data(), values.data(), values.size() * 4);
+      return out;
+    }
+    case TransferSyntax::kLwts: return lwts::encode_int_array(values);
+    case TransferSyntax::kXdr: return xdr::encode_int_array(values);
+    case TransferSyntax::kBer: return ber::encode_int_array(values);
+    case TransferSyntax::kBerToolkit: return ber::toolkit_encode_int_array(values);
+  }
+  return ByteBuffer{};
+}
+
+Result<std::vector<std::int32_t>> decode_int_array(TransferSyntax s, ConstBytes data) {
+  switch (s) {
+    case TransferSyntax::kRaw: {
+      if (data.size() % 4 != 0) return Error{ErrorCode::kMalformed, "raw array size"};
+      std::vector<std::int32_t> out(data.size() / 4);
+      copy_bytes(out.data(), data.data(), data.size());
+      return out;
+    }
+    case TransferSyntax::kLwts: return lwts::decode_int_array(data);
+    case TransferSyntax::kXdr: return xdr::decode_int_array(data);
+    case TransferSyntax::kBer: return ber::decode_int_array(data);
+    case TransferSyntax::kBerToolkit: return ber::toolkit_decode_int_array(data);
+  }
+  return Error{ErrorCode::kUnsupported, "unknown syntax"};
+}
+
+ByteBuffer encode_octets(TransferSyntax s, ConstBytes data) {
+  switch (s) {
+    case TransferSyntax::kRaw: return ByteBuffer(data);
+    case TransferSyntax::kLwts: return lwts::encode_octets(data);
+    case TransferSyntax::kXdr: {
+      ByteBuffer out;
+      xdr::XdrWriter w(out);
+      w.put_opaque(data);
+      return out;
+    }
+    case TransferSyntax::kBer:
+    case TransferSyntax::kBerToolkit: {
+      ByteBuffer out;
+      ber::BerWriter w(out);
+      w.write_octet_string(data);
+      return out;
+    }
+  }
+  return ByteBuffer{};
+}
+
+Result<ByteBuffer> decode_octets(TransferSyntax s, ConstBytes data) {
+  switch (s) {
+    case TransferSyntax::kRaw: return ByteBuffer(data);
+    case TransferSyntax::kLwts: {
+      auto view = lwts::decode_octets_view(data);
+      if (!view) return view.error();
+      return ByteBuffer(*view);
+    }
+    case TransferSyntax::kXdr: {
+      xdr::XdrReader r(data);
+      return r.get_opaque();
+    }
+    case TransferSyntax::kBer:
+    case TransferSyntax::kBerToolkit: {
+      ber::BerReader r(data);
+      auto view = r.read_octet_string();
+      if (!view) return view.error();
+      return ByteBuffer(*view);
+    }
+  }
+  return Error{ErrorCode::kUnsupported, "unknown syntax"};
+}
+
+}  // namespace ngp

@@ -1,0 +1,44 @@
+// codec.h — uniform front-end over the transfer syntaxes.
+//
+// The ALF session negotiates a transfer syntax per association (§5: "the
+// sender and receiver can negotiate to translate in one step from the
+// sender to the receiver's format"). This header gives transports, benches
+// and examples one switchable entry point over the two workload shapes the
+// paper measures: 32-bit integer arrays (the conversion-intensive case) and
+// raw octet strings (the baseline case).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace ngp {
+
+/// Transfer syntaxes an association can negotiate.
+enum class TransferSyntax : std::uint8_t {
+  kRaw = 0,         ///< image mode: no conversion at all
+  kLwts = 1,        ///< light-weight syntax (copy on like hosts)
+  kXdr = 2,         ///< Sun XDR (byteswap per element)
+  kBer = 3,         ///< ASN.1 BER, hand-tuned array codec
+  kBerToolkit = 4,  ///< ASN.1 BER via the generic prototype-toolkit path
+};
+
+std::string_view transfer_syntax_name(TransferSyntax s) noexcept;
+
+/// Encodes an int32 array in the given syntax. kRaw emits host memory
+/// image (little-endian packed).
+ByteBuffer encode_int_array(TransferSyntax s, std::span<const std::int32_t> values);
+
+/// Decodes an int32 array.
+Result<std::vector<std::int32_t>> decode_int_array(TransferSyntax s, ConstBytes data);
+
+/// Encodes an octet string. For kRaw this is the identity (one copy).
+ByteBuffer encode_octets(TransferSyntax s, ConstBytes data);
+
+/// Decodes an octet string into an owned buffer.
+Result<ByteBuffer> decode_octets(TransferSyntax s, ConstBytes data);
+
+}  // namespace ngp

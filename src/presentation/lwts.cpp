@@ -1,0 +1,85 @@
+#include "presentation/lwts.h"
+
+#include <cstring>
+
+namespace ngp::lwts {
+
+namespace {
+
+void write_header(ByteBuffer& out, TypeId type, std::uint32_t count) {
+  out.resize(Header::kWireSize);
+  std::uint8_t* p = out.data();
+  p[0] = Header::kMagic;
+  p[1] = static_cast<std::uint8_t>(type);
+  p[2] = kLittleEndian;
+  p[3] = 0;  // reserved
+  std::memcpy(p + 4, &count, 4);  // header fields are little-endian
+}
+
+}  // namespace
+
+Result<Header> parse_header(ConstBytes data) {
+  if (data.size() < Header::kWireSize) return Error{ErrorCode::kTruncated, "LWTS header"};
+  if (data[0] != Header::kMagic) return Error{ErrorCode::kMalformed, "LWTS magic"};
+  Header h;
+  h.type = static_cast<TypeId>(data[1]);
+  h.flags = data[2];
+  std::memcpy(&h.count, data.data() + 4, 4);
+  return h;
+}
+
+ByteBuffer encode_int_array(std::span<const std::int32_t> values) {
+  ByteBuffer out;
+  encode_int_array_into(values, out);
+  return out;
+}
+
+void encode_int_array_into(std::span<const std::int32_t> values, ByteBuffer& out) {
+  out.resize(Header::kWireSize + values.size() * 4);
+  std::uint8_t* p = out.data();
+  p[0] = Header::kMagic;
+  p[1] = static_cast<std::uint8_t>(TypeId::kInt32);
+  p[2] = kLittleEndian;
+  p[3] = 0;
+  const auto count = static_cast<std::uint32_t>(values.size());
+  std::memcpy(p + 4, &count, 4);
+  // Little-endian host: packed representation == memory representation.
+  copy_bytes(p + Header::kWireSize, values.data(), values.size() * 4);
+}
+
+Result<std::vector<std::int32_t>> decode_int_array(ConstBytes data) {
+  auto h = parse_header(data);
+  if (!h) return h.error();
+  if (h->type != TypeId::kInt32) return Error{ErrorCode::kMalformed, "not int32 array"};
+  const std::size_t need = std::size_t{h->count} * 4;
+  if (data.size() - Header::kWireSize < need) {
+    return Error{ErrorCode::kTruncated, "LWTS body"};
+  }
+  std::vector<std::int32_t> out(h->count);
+  copy_bytes(out.data(), data.data() + Header::kWireSize, need);
+  if ((h->flags & kLittleEndian) == 0) {
+    for (auto& v : out) {
+      v = static_cast<std::int32_t>(byteswap32(static_cast<std::uint32_t>(v)));
+    }
+  }
+  return out;
+}
+
+ByteBuffer encode_octets(ConstBytes data) {
+  ByteBuffer out;
+  write_header(out, TypeId::kOctets, static_cast<std::uint32_t>(data.size()));
+  out.append(data);
+  return out;
+}
+
+Result<ConstBytes> decode_octets_view(ConstBytes data) {
+  auto h = parse_header(data);
+  if (!h) return h.error();
+  if (h->type != TypeId::kOctets) return Error{ErrorCode::kMalformed, "not octets"};
+  if (data.size() - Header::kWireSize < h->count) {
+    return Error{ErrorCode::kTruncated, "LWTS body"};
+  }
+  return data.subspan(Header::kWireSize, h->count);
+}
+
+}  // namespace ngp::lwts

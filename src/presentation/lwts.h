@@ -1,0 +1,65 @@
+// lwts.h — Light-Weight Transfer Syntax.
+//
+// The paper (§5) points to "the light weight transfer syntax described in
+// [8]" (Huitema & Doghri) as the tuning alternative to ASN.1/BER: choose a
+// transfer representation close enough to host representations that
+// conversion degenerates to (at most) a byteswap, and to a straight copy
+// between like hosts. Our LWTS: a fixed 8-byte header (magic, type id,
+// element count, flags incl. byte order) followed by packed fixed-width
+// little-endian elements, 8-byte aligned. On a little-endian host,
+// encode/decode of an int array is a single copy — the "presentation can be
+// nearly free" end of the paper's range.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace ngp::lwts {
+
+/// Element type ids carried in the header.
+enum class TypeId : std::uint8_t {
+  kOctets = 0,  ///< raw bytes
+  kInt32 = 1,
+  kInt64 = 2,
+  kFloat64 = 3,
+};
+
+/// Header flags.
+enum Flags : std::uint8_t {
+  kLittleEndian = 0x01,  ///< element byte order (always set by this encoder)
+};
+
+/// Fixed 8-byte LWTS header.
+struct Header {
+  TypeId type = TypeId::kOctets;
+  std::uint8_t flags = kLittleEndian;
+  std::uint32_t count = 0;  ///< element count (bytes for kOctets)
+
+  static constexpr std::size_t kWireSize = 8;
+  static constexpr std::uint8_t kMagic = 0x4C;  // 'L'
+};
+
+/// Encodes `values` (header + packed little-endian int32 elements).
+ByteBuffer encode_int_array(std::span<const std::int32_t> values);
+
+/// Zero-allocation variant: reuses `out`'s storage (resized, not freed).
+/// For steady-state datapaths that encode into a long-lived scratch buffer.
+void encode_int_array_into(std::span<const std::int32_t> values, ByteBuffer& out);
+
+/// Decodes an int32 array; byteswaps only if the flags disagree with the
+/// host (they never do for our encoder, so this is a copy).
+Result<std::vector<std::int32_t>> decode_int_array(ConstBytes data);
+
+/// Encodes raw octets (header + bytes).
+ByteBuffer encode_octets(ConstBytes data);
+
+/// Decodes raw octets (zero-copy view into `data`).
+Result<ConstBytes> decode_octets_view(ConstBytes data);
+
+/// Parses just the header.
+Result<Header> parse_header(ConstBytes data);
+
+}  // namespace ngp::lwts

@@ -1,0 +1,67 @@
+// record.h — schema-driven record marshalling across transfer syntaxes.
+//
+// §5 of the paper: "In some cases, only the application will know what the
+// sequence of data items is, so that the actual sequence of presentation
+// conversions must be driven by application knowledge." A RecordSchema is
+// that application knowledge made explicit: an ordered list of typed
+// fields. Given a schema, the codec marshals a Record (the field values)
+// into any negotiated transfer syntax and back — the same record, three
+// encodings, one application-side description.
+//
+// Supported syntaxes: kXdr (RFC 1014 field sequence), kBer (SEQUENCE of
+// TLVs), kLwts (packed little-endian with u32 length prefixes for variable
+// fields). kRaw carries no self-description and kBerToolkit shares kBer's
+// wire format; both map accordingly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "presentation/codec.h"
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace ngp {
+
+/// Field types a record may contain.
+enum class FieldType : std::uint8_t {
+  kInt32,
+  kInt64,
+  kFloat64,
+  kString,
+  kOpaque,
+  kInt32Array,
+};
+
+/// One field's value. The alternative index matches FieldType.
+using FieldValue = std::variant<std::int32_t, std::int64_t, double, std::string,
+                                ByteBuffer, std::vector<std::int32_t>>;
+
+/// An ordered set of field values.
+using Record = std::vector<FieldValue>;
+
+/// The application's description of a record type.
+struct RecordSchema {
+  std::string name;  ///< for diagnostics
+  std::vector<FieldType> fields;
+
+  std::size_t field_count() const noexcept { return fields.size(); }
+};
+
+/// True when `value`'s alternative matches `type`.
+bool field_matches(const FieldValue& value, FieldType type) noexcept;
+
+/// Validates a record against a schema (arity + per-field types).
+Status validate_record(const RecordSchema& schema, const Record& record);
+
+/// Marshals `record` (which must validate against `schema`) into `syntax`.
+Result<ByteBuffer> encode_record(TransferSyntax syntax, const RecordSchema& schema,
+                                 const Record& record);
+
+/// Unmarshals `data` according to `schema`.
+Result<Record> decode_record(TransferSyntax syntax, const RecordSchema& schema,
+                             ConstBytes data);
+
+}  // namespace ngp

@@ -1,0 +1,51 @@
+#include "presentation/text.h"
+
+namespace ngp::text {
+
+namespace {
+constexpr std::uint8_t kCR = 0x0D;
+constexpr std::uint8_t kLF = 0x0A;
+}  // namespace
+
+std::size_t network_size(ConstBytes local) noexcept {
+  std::size_t n = local.size();
+  for (std::size_t i = 0; i < local.size(); ++i) {
+    if (local[i] == kLF && (i == 0 || local[i - 1] != kCR)) ++n;
+  }
+  return n;
+}
+
+ByteBuffer to_network(ConstBytes local) {
+  ByteBuffer out;
+  out.resize(network_size(local));
+  std::size_t o = 0;
+  for (std::size_t i = 0; i < local.size(); ++i) {
+    const std::uint8_t b = local[i];
+    if (b == kLF && (i == 0 || local[i - 1] != kCR)) out[o++] = kCR;
+    out[o++] = b;
+  }
+  return out;
+}
+
+ByteBuffer from_network(ConstBytes network) {
+  ByteBuffer out;
+  out.resize(network.size());
+  std::size_t o = 0;
+  for (std::size_t i = 0; i < network.size(); ++i) {
+    if (network[i] == kCR && i + 1 < network.size() && network[i + 1] == kLF) {
+      continue;  // drop the CR of a CRLF pair
+    }
+    out[o++] = network[i];
+  }
+  out.resize(o);
+  return out;
+}
+
+bool is_network_form(ConstBytes data) noexcept {
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (data[i] == kLF && (i == 0 || data[i - 1] != kCR)) return false;
+  }
+  return true;
+}
+
+}  // namespace ngp::text

@@ -1,0 +1,34 @@
+// text.h — network text conversion (the paper's footnote 1).
+//
+// "Since ASCII is vague on the representation of its newline convention,
+// the Internet protocols require a conversion from internal ASCII to
+// external ASCII." This is the smallest possible presentation layer — and
+// still a size-changing one, which is exactly the property (§5) that
+// forces the sender to compute receiver-meaningful ADU placement after
+// conversion. to_network/from_network convert between local text (LF) and
+// the network form (CRLF, as Telnet/SMTP/FTP define it).
+#pragma once
+
+#include <cstddef>
+
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace ngp::text {
+
+/// Bytes the network form will need for `local` (LF -> CRLF growth).
+std::size_t network_size(ConstBytes local) noexcept;
+
+/// Converts local text (LF newlines) to network text (CRLF). Lone CRs are
+/// passed through unchanged.
+ByteBuffer to_network(ConstBytes local);
+
+/// Converts network text (CRLF) to local (LF). A CR not followed by LF is
+/// preserved (it is data, not a newline).
+ByteBuffer from_network(ConstBytes network);
+
+/// True if `data` already uses strict network conventions (every LF is
+/// preceded by CR).
+bool is_network_form(ConstBytes data) noexcept;
+
+}  // namespace ngp::text

@@ -1,0 +1,50 @@
+// segment.h — wire format for the TCP-like baseline stream transport (STP).
+//
+// STP ("stream transport protocol") is the conventional in-order transport
+// the paper uses as its foil: byte sequence numbers that mean nothing to
+// the application, cumulative ACKs, and delivery strictly in order. The
+// segment header mirrors TCP's essentials:
+//
+//   type(1) flags(1) length(2) seq(8) ack(8) window(4) checksum(2)  = 26 B
+//
+// checksum is the RFC 1071 Internet checksum over the whole segment with
+// the checksum field zeroed (computed by the unrolled Table 1 kernel).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "util/bytes.h"
+
+namespace ngp {
+
+enum class SegmentType : std::uint8_t {
+  kData = 0,
+  kAck = 1,
+};
+
+enum SegmentFlags : std::uint8_t {
+  kFlagFin = 0x01,  ///< sender has no data after this segment
+};
+
+/// Parsed STP segment. `payload` views into the original frame.
+struct Segment {
+  SegmentType type = SegmentType::kData;
+  std::uint8_t flags = 0;
+  std::uint64_t seq = 0;     ///< first payload byte's stream offset (DATA)
+  std::uint64_t ack = 0;     ///< next expected stream offset (ACK)
+  std::uint32_t window = 0;  ///< receiver's advertised window, bytes
+  ConstBytes payload;
+
+  static constexpr std::size_t kHeaderSize = 26;
+
+  bool fin() const noexcept { return (flags & kFlagFin) != 0; }
+};
+
+/// Encodes a segment (header + payload) with its checksum filled in.
+ByteBuffer encode_segment(const Segment& s);
+
+/// Parses and verifies a frame. nullopt on truncation or checksum failure.
+std::optional<Segment> decode_segment(ConstBytes frame);
+
+}  // namespace ngp

@@ -1,0 +1,53 @@
+#include "util/event_loop.h"
+
+namespace ngp {
+
+EventId EventLoop::schedule_at(SimTime when, std::function<void()> fn) {
+  if (when < now_) when = now_;
+  const EventId id = next_id_++;
+  heap_.push(Event{when, next_seq_++, id});
+  callbacks_.emplace(id, std::move(fn));
+  return id;
+}
+
+bool EventLoop::cancel(EventId id) {
+  if (callbacks_.erase(id) == 0) return false;
+  ++cancelled_count_;
+  return true;
+}
+
+bool EventLoop::step() {
+  while (!heap_.empty()) {
+    Event ev = heap_.top();
+    heap_.pop();
+    auto it = callbacks_.find(ev.id);
+    if (it == callbacks_.end()) {
+      // Cancelled: skip.
+      if (cancelled_count_ > 0) --cancelled_count_;
+      continue;
+    }
+    std::function<void()> fn = std::move(it->second);
+    callbacks_.erase(it);
+    now_ = ev.when;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+std::size_t EventLoop::run_until(SimTime until) {
+  std::size_t executed = 0;
+  while (!heap_.empty() && heap_.top().when <= until) {
+    if (step()) ++executed;
+  }
+  if (now_ < until) now_ = until;
+  return executed;
+}
+
+std::size_t EventLoop::run() {
+  std::size_t executed = 0;
+  while (step()) ++executed;
+  return executed;
+}
+
+}  // namespace ngp

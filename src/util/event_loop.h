@@ -1,0 +1,80 @@
+// event_loop.h — deterministic discrete-event scheduler.
+//
+// The simulator core: events are (time, callback) pairs executed in time
+// order; ties break by insertion order so runs are fully deterministic.
+// Links, transports and application timers all schedule through one loop.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "util/sim_clock.h"
+
+namespace ngp {
+
+/// Handle for cancelling a scheduled event.
+using EventId = std::uint64_t;
+
+/// Discrete-event loop over simulated time.
+///
+/// Not thread-safe by design: the whole simulation is single-threaded and
+/// deterministic (DESIGN.md §4 substitution: simulator replaces testbed).
+class EventLoop {
+ public:
+  EventLoop() = default;
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Current simulated time.
+  SimTime now() const noexcept { return now_; }
+
+  /// Schedules `fn` to run at absolute time `when` (>= now, else clamped).
+  EventId schedule_at(SimTime when, std::function<void()> fn);
+
+  /// Schedules `fn` after `delay` nanoseconds.
+  EventId schedule_after(SimDuration delay, std::function<void()> fn) {
+    return schedule_at(now_ + (delay < 0 ? 0 : delay), std::move(fn));
+  }
+
+  /// Cancels a pending event. Returns false if already fired or unknown.
+  bool cancel(EventId id);
+
+  /// Runs events until the queue drains or `until` is passed.
+  /// Returns the number of events executed.
+  std::size_t run_until(SimTime until);
+
+  /// Runs until the queue is empty. Returns events executed.
+  std::size_t run();
+
+  /// Executes at most one event. Returns false if the queue is empty.
+  bool step();
+
+  /// Number of events waiting.
+  std::size_t pending() const noexcept { return heap_.size() - cancelled_count_; }
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t seq;  // insertion order: deterministic tie-break
+    EventId id;
+    // Ordering for the min-heap (std::priority_queue is a max-heap).
+    bool operator<(const Event& other) const noexcept {
+      if (when != other.when) return when > other.when;
+      return seq > other.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  std::priority_queue<Event> heap_;
+  // Callbacks keyed by id; erased on cancel. Cancelled heap entries are
+  // skipped lazily when popped.
+  std::unordered_map<EventId, std::function<void()>> callbacks_;
+  std::size_t cancelled_count_ = 0;
+};
+
+}  // namespace ngp

@@ -1,0 +1,42 @@
+// logging.h — minimal leveled logger.
+//
+// Used by the simulator and transports for trace output in tests and
+// examples. Off by default; datapath code never logs in the fast path.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace ngp {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Global log threshold; messages below it are discarded.
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+/// Emits one formatted line to stderr if `level` passes the threshold.
+void log_line(LogLevel level, const std::string& component, const std::string& message);
+
+/// Stream-style helper: NGP_LOG(kDebug, "tcp") << "rto fired seq=" << seq;
+class LogStream {
+ public:
+  LogStream(LogLevel level, std::string component)
+      : level_(level), component_(std::move(component)) {}
+  ~LogStream() { log_line(level_, component_, ss_.str()); }
+
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    if (level_ >= log_level()) ss_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream ss_;
+};
+
+#define NGP_LOG(level, component) ::ngp::LogStream(::ngp::LogLevel::level, component)
+
+}  // namespace ngp

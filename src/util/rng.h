@@ -1,0 +1,49 @@
+// rng.h — deterministic PRNG for simulation and workload generation.
+//
+// All randomness in ngp (loss processes, reordering jitter, synthetic
+// workloads) flows through this generator so that every test and bench run
+// is reproducible from a single seed. xoshiro256** — fast, good statistical
+// quality, trivially seedable.
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace ngp {
+
+/// xoshiro256** deterministic PRNG.
+class Rng {
+ public:
+  /// Seeds via splitmix64 so that nearby seeds give uncorrelated streams.
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) noexcept;
+
+  /// Uniform 64-bit value.
+  std::uint64_t next() noexcept;
+
+  /// Uniform in [0, bound). bound == 0 returns 0.
+  std::uint64_t uniform(std::uint64_t bound) noexcept;
+
+  /// Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  std::uint64_t uniform_range(std::uint64_t lo, std::uint64_t hi) noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform01() noexcept;
+
+  /// True with probability p (clamped to [0,1]).
+  bool bernoulli(double p) noexcept;
+
+  /// Exponentially distributed value with the given mean (>0).
+  double exponential(double mean) noexcept;
+
+  /// Fills `out` with pseudo-random bytes (test payload generation).
+  void fill(MutableBytes out) noexcept;
+
+  /// Forks an independent generator (for per-component streams).
+  Rng fork() noexcept { return Rng(next()); }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace ngp

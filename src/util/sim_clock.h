@@ -1,0 +1,49 @@
+// sim_clock.h — simulated time for the event-driven network simulator.
+//
+// The netsim substrate (DESIGN.md §2) is deterministic: time is a logical
+// nanosecond counter advanced by the event loop, never by the wall clock.
+// This keeps every protocol test and loss experiment reproducible.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ngp {
+
+/// Simulated time duration, in nanoseconds. Signed so arithmetic on
+/// differences is safe (Core Guidelines ES.106: avoid unsigned arithmetic).
+using SimDuration = std::int64_t;
+
+/// Simulated absolute time, nanoseconds since simulation start.
+using SimTime = std::int64_t;
+
+constexpr SimDuration kNanosecond = 1;
+constexpr SimDuration kMicrosecond = 1000 * kNanosecond;
+constexpr SimDuration kMillisecond = 1000 * kMicrosecond;
+constexpr SimDuration kSecond = 1000 * kMillisecond;
+
+/// Seconds as a double, for rate computations.
+constexpr double to_seconds(SimDuration d) noexcept {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+
+constexpr SimDuration from_seconds(double s) noexcept {
+  return static_cast<SimDuration>(s * static_cast<double>(kSecond));
+}
+
+/// Time a transmission of `bytes` takes on a link of `bits_per_second`.
+constexpr SimDuration transmission_time(std::size_t bytes, double bits_per_second) noexcept {
+  if (bits_per_second <= 0) return 0;
+  return static_cast<SimDuration>(static_cast<double>(bytes) * 8.0 /
+                                  bits_per_second * static_cast<double>(kSecond));
+}
+
+/// "1.234ms"-style rendering for logs.
+inline std::string format_sim_time(SimTime t) {
+  if (t < kMicrosecond) return std::to_string(t) + "ns";
+  if (t < kMillisecond) return std::to_string(static_cast<double>(t) / kMicrosecond) + "us";
+  if (t < kSecond) return std::to_string(static_cast<double>(t) / kMillisecond) + "ms";
+  return std::to_string(to_seconds(t)) + "s";
+}
+
+}  // namespace ngp

@@ -1,0 +1,76 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ngp {
+
+void RunningStats::add(double x) noexcept {
+  ++n_;
+  if (n_ == 1) {
+    mean_ = min_ = max_ = x;
+    m2_ = 0.0;
+    return;
+  }
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double RunningStats::variance() const noexcept {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double Percentiles::percentile(double p) const {
+  if (samples_.empty()) return 0.0;
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  p = std::clamp(p, 0.0, 100.0);
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(samples_.size())));
+  const std::size_t idx = rank == 0 ? 0 : rank - 1;
+  return samples_[std::min(idx, samples_.size() - 1)];
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(buckets ? buckets : 1)),
+      counts_(buckets ? buckets : 1, 0) {}
+
+void Histogram::add(double x) noexcept {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  auto idx = static_cast<std::size_t>((x - lo_) / width_);
+  if (idx >= counts_.size()) idx = counts_.size() - 1;
+  ++counts_[idx];
+}
+
+std::string Histogram::render(std::size_t width) const {
+  std::uint64_t peak = 1;
+  for (auto c : counts_) peak = std::max(peak, c);
+  std::string out;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double b_lo = lo_ + width_ * static_cast<double>(i);
+    const auto bar = static_cast<std::size_t>(
+        static_cast<double>(counts_[i]) / static_cast<double>(peak) *
+        static_cast<double>(width));
+    out += "[" + std::to_string(b_lo) + ") " + std::string(bar, '#') + " " +
+           std::to_string(counts_[i]) + "\n";
+  }
+  return out;
+}
+
+}  // namespace ngp

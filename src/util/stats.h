@@ -1,0 +1,77 @@
+// stats.h — measurement helpers shared by tests and the bench harness.
+//
+// The paper reports throughput in Mb/s and relative slowdowns; this module
+// provides the accumulators the benches use to produce the same rows.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ngp {
+
+/// Streaming mean/variance/min/max (Welford).
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void reset() noexcept { *this = RunningStats{}; }
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  double variance() const noexcept;  ///< sample variance (n-1)
+  double stddev() const noexcept;
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Stores samples; computes exact percentiles. For latency/jitter reports.
+class Percentiles {
+ public:
+  void add(double x) { samples_.push_back(x); }
+  std::size_t count() const noexcept { return samples_.size(); }
+
+  /// p in [0,100]; nearest-rank. Returns 0 when empty.
+  double percentile(double p) const;
+  double median() const { return percentile(50.0); }
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+/// Fixed-bucket histogram over [lo, hi); under/overflow tracked separately.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x) noexcept;
+  std::size_t bucket_count() const noexcept { return counts_.size(); }
+  std::uint64_t bucket(std::size_t i) const { return counts_.at(i); }
+  std::uint64_t underflow() const noexcept { return underflow_; }
+  std::uint64_t overflow() const noexcept { return overflow_; }
+  std::uint64_t total() const noexcept { return total_; }
+
+  /// ASCII rendering for bench output.
+  std::string render(std::size_t width = 40) const;
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0, overflow_ = 0, total_ = 0;
+};
+
+/// Mb/s given bytes processed and elapsed seconds — the paper's unit.
+constexpr double megabits_per_second(std::size_t bytes, double seconds) noexcept {
+  if (seconds <= 0) return 0.0;
+  return static_cast<double>(bytes) * 8.0 / 1e6 / seconds;
+}
+
+}  // namespace ngp

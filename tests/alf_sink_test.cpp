@@ -1,0 +1,234 @@
+// Tests for the application-side sinks: out-of-order file assembly and
+// deadline-driven video rendering (src/alf/file_sink, video_sink).
+#include <gtest/gtest.h>
+
+#include "alf/file_sink.h"
+#include "alf/video_sink.h"
+#include "presentation/codec.h"
+#include "util/rng.h"
+
+namespace ngp::alf {
+namespace {
+
+Adu file_adu(std::uint64_t offset, ConstBytes data,
+             TransferSyntax syntax = TransferSyntax::kRaw) {
+  Adu adu;
+  adu.name = FileRegionName{offset, data.size()}.to_name();
+  adu.syntax = syntax;
+  adu.payload = encode_octets(syntax, data);
+  return adu;
+}
+
+// ---- FileSink --------------------------------------------------------------------
+
+TEST(FileSinkTest, SequentialPlacement) {
+  FileSink sink(10);
+  auto a = ByteBuffer::from_string("hello");
+  auto b = ByteBuffer::from_string("world");
+  EXPECT_TRUE(sink.place(file_adu(0, a.span())).is_ok());
+  EXPECT_TRUE(sink.place(file_adu(5, b.span())).is_ok());
+  EXPECT_EQ(ByteBuffer(sink.contents()), ByteBuffer::from_string("helloworld"));
+  EXPECT_EQ(sink.adus_placed(), 2u);
+  EXPECT_EQ(sink.out_of_order_placements(), 0u);
+}
+
+TEST(FileSinkTest, OutOfOrderPlacementWorks) {
+  FileSink sink(10);
+  auto a = ByteBuffer::from_string("hello");
+  auto b = ByteBuffer::from_string("world");
+  EXPECT_TRUE(sink.place(file_adu(5, b.span())).is_ok());  // later region first
+  EXPECT_TRUE(sink.place(file_adu(0, a.span())).is_ok());
+  EXPECT_EQ(ByteBuffer(sink.contents()), ByteBuffer::from_string("helloworld"));
+  EXPECT_EQ(sink.out_of_order_placements(), 1u);
+}
+
+TEST(FileSinkTest, GrowsBeyondExpectedSize) {
+  FileSink sink(0);
+  auto a = ByteBuffer::from_string("tail");
+  EXPECT_TRUE(sink.place(file_adu(100, a.span())).is_ok());
+  EXPECT_EQ(sink.size(), 104u);
+  EXPECT_EQ(sink.contents()[99], 0u);
+  EXPECT_EQ(sink.contents()[100], 't');
+}
+
+TEST(FileSinkTest, DecodesTransferSyntaxes) {
+  for (TransferSyntax s : {TransferSyntax::kRaw, TransferSyntax::kLwts,
+                           TransferSyntax::kXdr, TransferSyntax::kBer}) {
+    FileSink sink(16);
+    auto data = ByteBuffer::from_string("syntax-test-data");
+    EXPECT_TRUE(sink.place(file_adu(0, data.span(), s)).is_ok())
+        << transfer_syntax_name(s);
+    EXPECT_EQ(ByteBuffer(sink.contents()), data);
+  }
+}
+
+TEST(FileSinkTest, RejectsWrongNamespace) {
+  FileSink sink(10);
+  Adu adu;
+  adu.name = generic_name(1);
+  adu.payload = ByteBuffer::from_string("x");
+  EXPECT_FALSE(sink.place(adu).is_ok());
+}
+
+TEST(FileSinkTest, RejectsLengthMismatch) {
+  FileSink sink(10);
+  Adu adu;
+  adu.name = FileRegionName{0, 3}.to_name();  // claims 3 bytes
+  adu.syntax = TransferSyntax::kRaw;
+  adu.payload = ByteBuffer::from_string("more-than-3");
+  EXPECT_FALSE(sink.place(adu).is_ok());
+}
+
+TEST(FileSinkTest, HolesRecordLostRegions) {
+  FileSink sink(100);
+  sink.mark_lost(FileRegionName{40, 10}.to_name());
+  sink.mark_lost(FileRegionName{90, 10}.to_name());
+  ASSERT_EQ(sink.holes().size(), 2u);
+  EXPECT_EQ(sink.holes()[0], (std::pair<std::uint64_t, std::uint64_t>{40, 10}));
+  EXPECT_EQ(sink.holes()[1], (std::pair<std::uint64_t, std::uint64_t>{90, 10}));
+}
+
+TEST(FileSinkTest, RandomOrderReconstructsExactly) {
+  Rng rng(1);
+  const std::size_t kChunk = 1000, kChunks = 64;
+  ByteBuffer original(kChunk * kChunks);
+  rng.fill(original.span());
+
+  std::vector<std::size_t> order(kChunks);
+  for (std::size_t i = 0; i < kChunks; ++i) order[i] = i;
+  for (std::size_t i = kChunks; i > 1; --i) {
+    std::swap(order[i - 1], order[rng.uniform(i)]);
+  }
+
+  FileSink sink(original.size());
+  for (std::size_t idx : order) {
+    auto chunk = original.span().subspan(idx * kChunk, kChunk);
+    ASSERT_TRUE(sink.place(file_adu(idx * kChunk, chunk)).is_ok());
+  }
+  EXPECT_EQ(ByteBuffer(sink.contents()), original);
+  EXPECT_GT(sink.out_of_order_placements(), 0u);
+}
+
+// ---- VideoSink --------------------------------------------------------------------
+
+Adu tile_adu(std::uint32_t frame, std::uint16_t x, std::uint16_t y, ConstBytes tile) {
+  Adu adu;
+  adu.name = VideoRegionName{frame, x, y,
+                             frame * 40}  // 25 fps timestamps
+                 .to_name();
+  adu.syntax = TransferSyntax::kRaw;
+  adu.payload = ByteBuffer(tile);
+  return adu;
+}
+
+constexpr SimDuration kFrameInterval = 40 * kMillisecond;
+
+TEST(VideoSinkTest, CompleteFrameRenders) {
+  VideoSink sink(2, 2, 16, /*playout_base=*/kFrameInterval, kFrameInterval);
+  ByteBuffer tile(16);
+  for (std::uint16_t y = 0; y < 2; ++y) {
+    for (std::uint16_t x = 0; x < 2; ++x) {
+      tile[0] = static_cast<std::uint8_t>(10 + y * 2 + x);
+      ASSERT_TRUE(sink.place(tile_adu(0, x, y, tile.span()), 0).is_ok());
+    }
+  }
+  sink.render_due(kFrameInterval);
+  EXPECT_EQ(sink.frames_rendered(), 1u);
+  EXPECT_EQ(sink.stats().frames_complete, 1u);
+  EXPECT_EQ(sink.screen()[0], 10);
+  EXPECT_EQ(sink.screen()[16], 11);
+  EXPECT_EQ(sink.screen()[32], 12);
+  EXPECT_EQ(sink.screen()[48], 13);
+}
+
+TEST(VideoSinkTest, MissingTileConcealedFromPreviousFrame) {
+  VideoSink sink(2, 1, 4, kFrameInterval, kFrameInterval);
+  ByteBuffer a(4), b(4);
+  a[0] = 0xA1;
+  b[0] = 0xB1;
+  // Frame 0 complete.
+  ASSERT_TRUE(sink.place(tile_adu(0, 0, 0, a.span()), 0).is_ok());
+  ASSERT_TRUE(sink.place(tile_adu(0, 1, 0, a.span()), 0).is_ok());
+  sink.render_due(kFrameInterval);
+  // Frame 1: only tile (0,0) arrives.
+  ASSERT_TRUE(sink.place(tile_adu(1, 0, 0, b.span()), kFrameInterval).is_ok());
+  sink.render_due(2 * kFrameInterval);
+
+  EXPECT_EQ(sink.stats().frames_concealed, 1u);
+  EXPECT_EQ(sink.stats().tiles_concealed, 1u);
+  EXPECT_EQ(sink.screen()[0], 0xB1);  // fresh tile
+  EXPECT_EQ(sink.screen()[4], 0xA1);  // concealed from frame 0
+}
+
+TEST(VideoSinkTest, WhollyMissingFramePersistsScreen) {
+  VideoSink sink(1, 1, 4, kFrameInterval, kFrameInterval);
+  ByteBuffer a(4);
+  a[0] = 0x11;
+  ASSERT_TRUE(sink.place(tile_adu(0, 0, 0, a.span()), 0).is_ok());
+  sink.render_due(3 * kFrameInterval);  // frames 0,1,2 due; 1,2 missing
+  EXPECT_EQ(sink.frames_rendered(), 3u);
+  EXPECT_EQ(sink.stats().frames_complete, 1u);
+  EXPECT_EQ(sink.stats().frames_concealed, 2u);
+  EXPECT_EQ(sink.screen()[0], 0x11);
+}
+
+TEST(VideoSinkTest, LateTileDiscarded) {
+  VideoSink sink(1, 1, 4, kFrameInterval, kFrameInterval);
+  ByteBuffer a(4);
+  sink.render_due(2 * kFrameInterval);  // frames 0 and 1 already played
+  ASSERT_TRUE(sink.place(tile_adu(0, 0, 0, a.span()), 2 * kFrameInterval).is_ok());
+  EXPECT_EQ(sink.stats().tiles_late, 1u);
+  EXPECT_EQ(sink.stats().tiles_placed, 0u);
+}
+
+TEST(VideoSinkTest, TileAfterDeadlineCountsLate) {
+  VideoSink sink(1, 1, 4, kFrameInterval, kFrameInterval);
+  ByteBuffer a(4);
+  // Frame 0's deadline is kFrameInterval; arrive just after.
+  ASSERT_TRUE(
+      sink.place(tile_adu(0, 0, 0, a.span()), kFrameInterval + 1).is_ok());
+  EXPECT_EQ(sink.stats().tiles_late, 1u);
+}
+
+TEST(VideoSinkTest, RejectsOutOfBoundsTile) {
+  VideoSink sink(2, 2, 4, kFrameInterval, kFrameInterval);
+  ByteBuffer a(4);
+  EXPECT_FALSE(sink.place(tile_adu(0, 5, 0, a.span()), 0).is_ok());
+}
+
+TEST(VideoSinkTest, RejectsWrongTileSize) {
+  VideoSink sink(1, 1, 4, kFrameInterval, kFrameInterval);
+  ByteBuffer wrong(5);
+  EXPECT_FALSE(sink.place(tile_adu(0, 0, 0, wrong.span()), 0).is_ok());
+}
+
+TEST(VideoSinkTest, RejectsWrongNamespace) {
+  VideoSink sink(1, 1, 4, kFrameInterval, kFrameInterval);
+  Adu adu;
+  adu.name = generic_name(0);
+  adu.payload = ByteBuffer(4);
+  EXPECT_FALSE(sink.place(adu, 0).is_ok());
+}
+
+TEST(VideoSinkTest, LossCounterTracksMarkLost) {
+  VideoSink sink(1, 1, 4, kFrameInterval, kFrameInterval);
+  sink.mark_lost(VideoRegionName{3, 0, 0, 120}.to_name());
+  sink.mark_lost(generic_name(1));  // wrong namespace: ignored
+  EXPECT_EQ(sink.stats().tiles_lost, 1u);
+}
+
+TEST(VideoSinkTest, OutOfOrderFramesWithinDeadlineAllRender) {
+  VideoSink sink(1, 1, 4, 10 * kFrameInterval, kFrameInterval);
+  ByteBuffer t(4);
+  // Frames arrive 2,0,1 — all before their playout deadlines.
+  for (std::uint32_t f : {2u, 0u, 1u}) {
+    t[0] = static_cast<std::uint8_t>(f);
+    ASSERT_TRUE(sink.place(tile_adu(f, 0, 0, t.span()), 0).is_ok());
+  }
+  sink.render_due(12 * kFrameInterval + 1);
+  EXPECT_EQ(sink.stats().frames_complete, 3u);
+  EXPECT_EQ(sink.screen()[0], 2);  // last rendered frame
+}
+
+}  // namespace
+}  // namespace ngp::alf

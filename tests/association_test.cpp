@@ -1,0 +1,210 @@
+// Tests for the high-level Association facade: negotiation + full-duplex
+// ADU exchange through one object per side.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "alf/association.h"
+#include "netsim/net_path.h"
+#include "util/rng.h"
+
+namespace ngp::alf {
+namespace {
+
+struct Net {
+  EventLoop loop;
+  DuplexChannel channel;
+  LinkPath a_out, a_in, b_out, b_in;
+
+  explicit Net(double loss = 0.0, std::uint64_t seed = 1)
+      : channel(loop,
+                [&] {
+                  LinkConfig cfg;
+                  cfg.bandwidth_bps = 50e6;
+                  cfg.propagation_delay = 3 * kMillisecond;
+                  cfg.queue_limit = 1 << 16;
+                  cfg.seed = seed;
+                  return cfg;
+                }()),
+        a_out(channel.forward), a_in(channel.reverse),
+        b_out(channel.reverse), b_in(channel.forward) {
+    channel.forward.set_loss_rate(loss);
+    channel.reverse.set_loss_rate(loss);
+  }
+};
+
+ByteBuffer payload_of(std::size_t n, std::uint64_t seed) {
+  ByteBuffer b(n);
+  Rng rng(seed);
+  rng.fill(b.span());
+  return b;
+}
+
+TEST(Association, EstablishesAndExchangesBothWays) {
+  Net net;
+  auto server = Association::listen(net.loop, net.b_out, net.b_in, Capabilities{});
+  SessionConfig offer;
+  offer.session_id = 10;
+  auto client = Association::initiate(net.loop, net.a_out, net.a_in, offer);
+
+  bool client_up = false, server_up = false;
+  client->set_on_established([&](Result<SessionConfig> r) {
+    ASSERT_TRUE(r.ok());
+    client_up = true;
+  });
+  server->set_on_established([&](Result<SessionConfig> r) {
+    ASSERT_TRUE(r.ok());
+    server_up = true;
+  });
+
+  auto to_server = payload_of(12'000, 1);
+  auto to_client = payload_of(9'000, 2);
+  int server_got = 0, client_got = 0;
+  server->set_on_adu([&](Adu&& adu) {
+    EXPECT_EQ(adu.payload, to_server);
+    ++server_got;
+    // Reply in the other direction once data arrives.
+    ASSERT_TRUE(server->send_adu(generic_name(77), to_client.span()).ok());
+    server->finish();
+  });
+  client->set_on_adu([&](Adu&& adu) {
+    EXPECT_EQ(adu.payload, to_client);
+    EXPECT_EQ(adu.name, generic_name(77));
+    ++client_got;
+  });
+
+  // Client sends as soon as it is established.
+  client->set_on_established([&](Result<SessionConfig> r) {
+    ASSERT_TRUE(r.ok());
+    client_up = true;
+    ASSERT_TRUE(client->send_adu(generic_name(1), to_server.span()).ok());
+    client->finish();
+  });
+
+  net.loop.run();
+  EXPECT_TRUE(client_up);
+  EXPECT_TRUE(server_up);
+  EXPECT_EQ(server_got, 1);
+  EXPECT_EQ(client_got, 1);
+}
+
+TEST(Association, SendBeforeEstablishedFails) {
+  Net net;
+  SessionConfig offer;
+  auto client = Association::initiate(net.loop, net.a_out, net.a_in, offer);
+  auto payload = payload_of(100, 3);
+  auto r = client->send_adu(generic_name(1), payload.span());
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, ErrorCode::kWouldBlock);
+}
+
+TEST(Association, RefusalReportedToInitiator) {
+  Net net;
+  Capabilities caps;
+  caps.syntaxes = {TransferSyntax::kRaw};
+  auto server = Association::listen(net.loop, net.b_out, net.b_in, caps);
+  SessionConfig offer;
+  offer.syntax = TransferSyntax::kBer;  // unsupported by the server
+  auto client = Association::initiate(net.loop, net.a_out, net.a_in, offer);
+  Result<SessionConfig> result(Error{ErrorCode::kNotFound, {}});
+  client->set_on_established([&](Result<SessionConfig> r) { result = std::move(r); });
+  net.loop.run();
+  ASSERT_FALSE(result.ok());
+  EXPECT_FALSE(client->established());
+}
+
+TEST(Association, BulkBidirectionalUnderLoss) {
+  Net net(0.05, 9);
+  auto server = Association::listen(net.loop, net.b_out, net.b_in, Capabilities{});
+  SessionConfig offer;
+  offer.nack_delay = 10 * kMillisecond;
+  auto client = Association::initiate(net.loop, net.a_out, net.a_in, offer);
+
+  std::map<std::uint64_t, ByteBuffer> up, down;
+  for (std::uint64_t i = 0; i < 25; ++i) {
+    up.emplace(i, payload_of(3000, 100 + i));
+    down.emplace(i, payload_of(2000, 200 + i));
+  }
+  std::size_t server_got = 0, client_got = 0;
+  bool server_done = false, client_done = false;
+  server->set_on_adu([&](Adu&& adu) {
+    EXPECT_EQ(adu.payload, up.at(adu.name.a));
+    ++server_got;
+  });
+  client->set_on_adu([&](Adu&& adu) {
+    EXPECT_EQ(adu.payload, down.at(adu.name.a));
+    ++client_got;
+  });
+  server->set_on_peer_finished([&] { server_done = true; });
+  client->set_on_peer_finished([&] { client_done = true; });
+
+  server->set_on_established([&](Result<SessionConfig> r) {
+    ASSERT_TRUE(r.ok());
+    for (std::uint64_t i = 0; i < 25; ++i) {
+      ASSERT_TRUE(server->send_adu(generic_name(i), down.at(i).span()).ok());
+    }
+    server->finish();
+  });
+  client->set_on_established([&](Result<SessionConfig> r) {
+    ASSERT_TRUE(r.ok());
+    for (std::uint64_t i = 0; i < 25; ++i) {
+      ASSERT_TRUE(client->send_adu(generic_name(i), up.at(i).span()).ok());
+    }
+    client->finish();
+  });
+
+  net.loop.run();
+  EXPECT_EQ(server_got, 25u);
+  EXPECT_EQ(client_got, 25u);
+  EXPECT_TRUE(server_done);
+  EXPECT_TRUE(client_done);
+}
+
+TEST(Association, NegotiatedDowngradeVisibleInConfig) {
+  Net net;
+  Capabilities caps;  // unkeyed: cannot encrypt
+  auto server = Association::listen(net.loop, net.b_out, net.b_in, caps);
+  SessionConfig offer;
+  offer.encrypt = true;
+  offer.key.key[0] = 1;
+  auto client = Association::initiate(net.loop, net.a_out, net.a_in, offer);
+  net.loop.run();
+  ASSERT_TRUE(client->established());
+  EXPECT_FALSE(client->config().encrypt);
+  EXPECT_FALSE(server->config().encrypt);
+}
+
+TEST(Association, RecomputeInstalledBeforeEstablishment) {
+  Net net(0.15, 11);
+  auto server = Association::listen(net.loop, net.b_out, net.b_in, Capabilities{});
+  SessionConfig offer;
+  offer.retransmit = RetransmitPolicy::kApplicationRecompute;
+  offer.nack_delay = 10 * kMillisecond;
+  auto client = Association::initiate(net.loop, net.a_out, net.a_in, offer);
+
+  std::map<std::uint64_t, ByteBuffer> source;
+  for (std::uint64_t i = 0; i < 15; ++i) source.emplace(i, payload_of(4000, 300 + i));
+  int recomputes = 0;
+  client->set_recompute([&](std::uint32_t, const AduName& n) {
+    ++recomputes;
+    return std::optional<ByteBuffer>(ByteBuffer(source.at(n.a).span()));
+  });
+  std::size_t got = 0;
+  server->set_on_adu([&](Adu&& adu) {
+    EXPECT_EQ(adu.payload, source.at(adu.name.a));
+    ++got;
+  });
+  client->set_on_established([&](Result<SessionConfig> r) {
+    ASSERT_TRUE(r.ok());
+    for (std::uint64_t i = 0; i < 15; ++i) {
+      ASSERT_TRUE(client->send_adu(generic_name(i), source.at(i).span()).ok());
+    }
+    client->finish();
+  });
+  net.loop.run();
+  EXPECT_EQ(got, 15u);
+  EXPECT_GT(recomputes, 0);
+}
+
+}  // namespace
+}  // namespace ngp::alf

@@ -1,0 +1,296 @@
+// Tests for src/presentation/ber: TLV encoding, integer minimality, long
+// lengths, malformed-input rejection, and tuned-vs-toolkit equivalence.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "presentation/ber.h"
+#include "util/rng.h"
+
+namespace ngp::ber {
+namespace {
+
+// ---- Integer content sizing ----------------------------------------------------
+
+TEST(BerIntegerSize, MinimalTwosComplement) {
+  EXPECT_EQ(integer_content_size(0), 1u);
+  EXPECT_EQ(integer_content_size(127), 1u);
+  EXPECT_EQ(integer_content_size(128), 2u);  // needs leading 0x00
+  EXPECT_EQ(integer_content_size(-128), 1u);
+  EXPECT_EQ(integer_content_size(-129), 2u);
+  EXPECT_EQ(integer_content_size(32767), 2u);
+  EXPECT_EQ(integer_content_size(32768), 3u);
+  EXPECT_EQ(integer_content_size(std::numeric_limits<std::int64_t>::max()), 8u);
+  EXPECT_EQ(integer_content_size(std::numeric_limits<std::int64_t>::min()), 8u);
+  EXPECT_EQ(integer_content_size(-1), 1u);
+}
+
+TEST(BerLengthField, ShortAndLongForm) {
+  EXPECT_EQ(length_field_size(0), 1u);
+  EXPECT_EQ(length_field_size(127), 1u);
+  EXPECT_EQ(length_field_size(128), 2u);
+  EXPECT_EQ(length_field_size(255), 2u);
+  EXPECT_EQ(length_field_size(256), 3u);
+  EXPECT_EQ(length_field_size(65535), 3u);
+  EXPECT_EQ(length_field_size(65536), 4u);
+}
+
+// ---- Writer/reader primitives ---------------------------------------------------
+
+TEST(BerCodec, IntegerWireFormat) {
+  ByteBuffer out;
+  BerWriter w(out);
+  w.write_integer(5);
+  EXPECT_EQ(to_hex(out.span()), "020105");
+  out.clear();
+  w.write_integer(-1);
+  EXPECT_EQ(to_hex(out.span()), "0201ff");
+  out.clear();
+  w.write_integer(256);
+  EXPECT_EQ(to_hex(out.span()), "02020100");
+}
+
+TEST(BerCodec, IntegerRoundTripBoundaries) {
+  const std::int64_t values[] = {0, 1, -1, 127, 128, -128, -129, 255, 256, 65535,
+                                 -65536, INT32_MAX, INT32_MIN,
+                                 std::numeric_limits<std::int64_t>::max(),
+                                 std::numeric_limits<std::int64_t>::min()};
+  for (std::int64_t v : values) {
+    ByteBuffer out;
+    BerWriter w(out);
+    w.write_integer(v);
+    BerReader r(out.span());
+    auto got = r.read_integer();
+    ASSERT_TRUE(got.ok()) << v;
+    EXPECT_EQ(*got, v);
+    EXPECT_TRUE(r.at_end());
+  }
+}
+
+TEST(BerCodec, BooleanRoundTrip) {
+  for (bool v : {true, false}) {
+    ByteBuffer out;
+    BerWriter w(out);
+    w.write_boolean(v);
+    BerReader r(out.span());
+    auto got = r.read_boolean();
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, v);
+  }
+}
+
+TEST(BerCodec, NullRoundTrip) {
+  ByteBuffer out;
+  BerWriter w(out);
+  w.write_null();
+  EXPECT_EQ(to_hex(out.span()), "0500");
+  BerReader r(out.span());
+  EXPECT_TRUE(r.read_null().is_ok());
+}
+
+TEST(BerCodec, OctetStringRoundTripShortAndLong) {
+  Rng rng(1);
+  for (std::size_t len : {0u, 1u, 127u, 128u, 255u, 256u, 5000u}) {
+    ByteBuffer payload(len);
+    rng.fill(payload.span());
+    ByteBuffer out;
+    BerWriter w(out);
+    w.write_octet_string(payload.span());
+    BerReader r(out.span());
+    auto got = r.read_octet_string();
+    ASSERT_TRUE(got.ok()) << len;
+    EXPECT_EQ(ByteBuffer(*got), payload) << len;
+  }
+}
+
+TEST(BerCodec, SequenceNesting) {
+  ByteBuffer inner;
+  BerWriter wi(inner);
+  wi.write_integer(1);
+  wi.write_boolean(true);
+
+  ByteBuffer out;
+  BerWriter w(out);
+  w.begin_sequence(inner.size());
+  out.append(inner.span());
+
+  BerReader r(out.span());
+  auto seq = r.enter_sequence();
+  ASSERT_TRUE(seq.ok());
+  auto i = seq->read_integer();
+  ASSERT_TRUE(i.ok());
+  EXPECT_EQ(*i, 1);
+  auto b = seq->read_boolean();
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(*b);
+  EXPECT_TRUE(seq->at_end());
+  EXPECT_TRUE(r.at_end());
+}
+
+// ---- Malformed input ------------------------------------------------------------
+
+TEST(BerReaderErrors, EmptyInput) {
+  BerReader r({});
+  auto tlv = r.next();
+  EXPECT_FALSE(tlv.ok());
+  EXPECT_EQ(tlv.error().code, ErrorCode::kTruncated);
+}
+
+TEST(BerReaderErrors, TruncatedLength) {
+  auto data = from_hex("02");  // tag, no length
+  BerReader r(data.span());
+  EXPECT_EQ(r.next().error().code, ErrorCode::kTruncated);
+}
+
+TEST(BerReaderErrors, TruncatedContent) {
+  auto data = from_hex("020401");  // claims 4 bytes, has 1
+  BerReader r(data.span());
+  EXPECT_EQ(r.next().error().code, ErrorCode::kTruncated);
+}
+
+TEST(BerReaderErrors, IndefiniteLengthUnsupported) {
+  auto data = from_hex("30800000");
+  BerReader r(data.span());
+  EXPECT_EQ(r.next().error().code, ErrorCode::kUnsupported);
+}
+
+TEST(BerReaderErrors, MultiByteTagUnsupported) {
+  auto data = from_hex("1f8101");
+  BerReader r(data.span());
+  EXPECT_EQ(r.next().error().code, ErrorCode::kUnsupported);
+}
+
+TEST(BerReaderErrors, NonMinimalIntegerRejected) {
+  auto data = from_hex("02020001");  // 1 encoded with a redundant 0x00
+  BerReader r(data.span());
+  EXPECT_EQ(r.read_integer().error().code, ErrorCode::kMalformed);
+}
+
+TEST(BerReaderErrors, NonMinimalNegativeRejected) {
+  auto data = from_hex("0202ffff");  // -1 encoded in 2 bytes
+  BerReader r(data.span());
+  EXPECT_EQ(r.read_integer().error().code, ErrorCode::kMalformed);
+}
+
+TEST(BerReaderErrors, OversizeIntegerRejected) {
+  auto data = from_hex("020900112233445566778899");  // 9 content bytes
+  BerReader r(data.span());
+  EXPECT_EQ(r.read_integer().error().code, ErrorCode::kOutOfRange);
+}
+
+TEST(BerReaderErrors, WrongTagForTypedRead) {
+  ByteBuffer out;
+  BerWriter w(out);
+  w.write_integer(1);
+  BerReader r(out.span());
+  EXPECT_EQ(r.read_boolean().error().code, ErrorCode::kMalformed);
+}
+
+TEST(BerReaderErrors, BooleanWrongLength) {
+  auto data = from_hex("01020000");
+  BerReader r(data.span());
+  EXPECT_EQ(r.read_boolean().error().code, ErrorCode::kMalformed);
+}
+
+TEST(BerReaderErrors, NullWithContentRejected) {
+  auto data = from_hex("050100");
+  BerReader r(data.span());
+  EXPECT_EQ(r.read_null().error().code, ErrorCode::kMalformed);
+}
+
+// ---- Array paths ------------------------------------------------------------------
+
+TEST(BerIntArray, RoundTripVariousSizes) {
+  Rng rng(2);
+  for (std::size_t n : {0u, 1u, 2u, 10u, 100u, 1000u}) {
+    std::vector<std::int32_t> values(n);
+    for (auto& v : values) v = static_cast<std::int32_t>(rng.next());
+    ByteBuffer enc = encode_int_array(values);
+    auto dec = decode_int_array(enc.span());
+    ASSERT_TRUE(dec.ok()) << n;
+    EXPECT_EQ(*dec, values) << n;
+  }
+}
+
+TEST(BerIntArray, ToolkitProducesIdenticalBytes) {
+  Rng rng(3);
+  for (std::size_t n : {0u, 1u, 50u, 500u}) {
+    std::vector<std::int32_t> values(n);
+    for (auto& v : values) v = static_cast<std::int32_t>(rng.next());
+    EXPECT_EQ(toolkit_encode_int_array(values), encode_int_array(values)) << n;
+  }
+}
+
+TEST(BerIntArray, ToolkitDecodeMatchesTuned) {
+  Rng rng(4);
+  std::vector<std::int32_t> values(257);
+  for (auto& v : values) v = static_cast<std::int32_t>(rng.next());
+  ByteBuffer enc = encode_int_array(values);
+  auto a = decode_int_array(enc.span());
+  auto b = toolkit_decode_int_array(enc.span());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, *b);
+}
+
+TEST(BerIntArray, VariableLengthEncoding) {
+  // Small magnitudes use fewer content bytes: 0 -> 3 bytes/TLV.
+  std::vector<std::int32_t> zeros(10, 0);
+  ByteBuffer enc = encode_int_array(zeros);
+  // SEQ header (2) + 10 * (tag+len+1 content).
+  EXPECT_EQ(enc.size(), 2u + 10u * 3u);
+
+  std::vector<std::int32_t> big(10, INT32_MIN);
+  ByteBuffer enc2 = encode_int_array(big);
+  EXPECT_EQ(enc2.size(), 2u + 10u * 6u);
+}
+
+TEST(BerIntArray, RejectsElementBeyond32Bits) {
+  ByteBuffer content;
+  BerWriter w(content);
+  w.write_integer(std::int64_t{1} << 40);
+  ByteBuffer out;
+  BerWriter seq(out);
+  seq.begin_sequence(content.size());
+  out.append(content.span());
+  EXPECT_EQ(decode_int_array(out.span()).error().code, ErrorCode::kOutOfRange);
+}
+
+TEST(BerIntArray, RejectsNonSequence) {
+  auto data = from_hex("020105");
+  EXPECT_FALSE(decode_int_array(data.span()).ok());
+}
+
+TEST(BerIntArray, RejectsForeignElement) {
+  ByteBuffer content;
+  BerWriter w(content);
+  w.write_boolean(true);
+  ByteBuffer out;
+  BerWriter seq(out);
+  seq.begin_sequence(content.size());
+  out.append(content.span());
+  EXPECT_FALSE(decode_int_array(out.span()).ok());
+  EXPECT_FALSE(toolkit_decode_int_array(out.span()).ok());
+}
+
+// Parameterized: every 32-bit boundary value round-trips through both paths.
+class BerBoundaryTest : public ::testing::TestWithParam<std::int32_t> {};
+
+TEST_P(BerBoundaryTest, RoundTripsBothPaths) {
+  std::vector<std::int32_t> values{GetParam()};
+  ByteBuffer enc = encode_int_array(values);
+  auto tuned = decode_int_array(enc.span());
+  auto toolkit = toolkit_decode_int_array(enc.span());
+  ASSERT_TRUE(tuned.ok());
+  ASSERT_TRUE(toolkit.ok());
+  EXPECT_EQ((*tuned)[0], GetParam());
+  EXPECT_EQ((*toolkit)[0], GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Boundaries, BerBoundaryTest,
+                         ::testing::Values(0, 1, -1, 127, 128, -128, -129, 32767,
+                                           32768, -32768, -32769, 8388607, 8388608,
+                                           -8388608, -8388609, INT32_MAX, INT32_MIN));
+
+}  // namespace
+}  // namespace ngp::ber

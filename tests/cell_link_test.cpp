@@ -1,0 +1,197 @@
+// Tests for src/netsim/cell_link: ATM-style SAR, AAL5 trailer validation,
+// and the cell-loss -> frame-loss amplification (§5, footnote 9).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "netsim/cell_link.h"
+#include "util/event_loop.h"
+#include "util/rng.h"
+
+namespace ngp {
+namespace {
+
+LinkConfig fast_cells() {
+  LinkConfig cfg;
+  cfg.bandwidth_bps = 1e9;
+  cfg.propagation_delay = kMicrosecond;
+  cfg.queue_limit = 1 << 20;
+  return cfg;
+}
+
+TEST(CellMath, CellsForFrame) {
+  // Payload 48B; trailer 8B rides the last cell.
+  EXPECT_EQ(CellLink::cells_for_frame(0), 1u);    // trailer alone
+  EXPECT_EQ(CellLink::cells_for_frame(40), 1u);   // 40 + 8 = 48
+  EXPECT_EQ(CellLink::cells_for_frame(41), 2u);   // 41 + 8 = 49
+  EXPECT_EQ(CellLink::cells_for_frame(48), 2u);
+  EXPECT_EQ(CellLink::cells_for_frame(88), 2u);   // 88 + 8 = 96
+  EXPECT_EQ(CellLink::cells_for_frame(89), 3u);
+  EXPECT_EQ(CellLink::cells_for_frame(1500), 32u);  // 1508/48 = 31.4...
+}
+
+TEST(CellLinkTest, SingleCellFrameRoundTrip) {
+  EventLoop loop;
+  CellLink link(loop, fast_cells());
+  ByteBuffer got;
+  link.set_handler([&](ConstBytes f) { got = ByteBuffer(f); });
+  auto sent = ByteBuffer::from_string("tiny");
+  ASSERT_TRUE(link.send(sent.span()));
+  loop.run();
+  EXPECT_EQ(got, sent);
+  EXPECT_EQ(link.stats().cells_sent, 1u);
+  EXPECT_EQ(link.stats().frames_delivered, 1u);
+}
+
+TEST(CellLinkTest, MultiCellFrameRoundTrip) {
+  EventLoop loop;
+  CellLink link(loop, fast_cells());
+  ByteBuffer got;
+  link.set_handler([&](ConstBytes f) { got = ByteBuffer(f); });
+  Rng rng(1);
+  ByteBuffer sent(1500);
+  rng.fill(sent.span());
+  ASSERT_TRUE(link.send(sent.span()));
+  loop.run();
+  EXPECT_EQ(got, sent);
+  EXPECT_EQ(link.stats().cells_sent, 32u);
+}
+
+TEST(CellLinkTest, BackToBackFramesAllArrive) {
+  EventLoop loop;
+  CellLink link(loop, fast_cells());
+  std::vector<std::size_t> sizes;
+  link.set_handler([&](ConstBytes f) { sizes.push_back(f.size()); });
+  Rng rng(2);
+  for (std::size_t len : {1u, 47u, 48u, 100u, 1000u, 4000u}) {
+    ByteBuffer f(len);
+    rng.fill(f.span());
+    ASSERT_TRUE(link.send(f.span()));
+  }
+  loop.run();
+  EXPECT_EQ(sizes, (std::vector<std::size_t>{1, 47, 48, 100, 1000, 4000}));
+}
+
+TEST(CellLinkTest, OversizeFrameRejected) {
+  EventLoop loop;
+  CellLink link(loop, fast_cells(), /*max_frame=*/1000);
+  auto f = ByteBuffer(1001);
+  EXPECT_FALSE(link.send(f.span()));
+}
+
+TEST(CellLinkTest, OneLostCellKillsWholeFrame) {
+  EventLoop loop;
+  CellLink link(loop, fast_cells());
+  int frames = 0;
+  link.set_handler([&](ConstBytes) { ++frames; });
+
+  // Deterministic single-cell loss: drop exactly the 5th cell offered.
+  class DropNth final : public LossModel {
+   public:
+    explicit DropNth(int n) : n_(n) {}
+    bool drop(Rng&) override { return ++count_ == n_; }
+
+   private:
+    int n_, count_ = 0;
+  };
+  link.set_cell_loss_model(std::make_unique<DropNth>(5));
+
+  ByteBuffer big(1000);  // 21 cells
+  link.send(big.span());
+  loop.run();
+  EXPECT_EQ(frames, 0);
+  EXPECT_EQ(link.stats().frames_dropped_reassembly, 1u);
+
+  // The next frame still gets through (reassembler resynchronizes on the
+  // end-of-frame bit).
+  link.send(big.span());
+  loop.run();
+  EXPECT_EQ(frames, 1);
+}
+
+TEST(CellLinkTest, LossAmplification) {
+  // Per-cell loss p and an N-cell frame: frame survival ~ (1-p)^N. For
+  // p = 0.01 and N = 21, survival ~ 0.81 — the amplification the paper's
+  // footnote 9 anticipates.
+  EventLoop loop;
+  auto cfg = fast_cells();
+  cfg.seed = 5;
+  CellLink link(loop, cfg);
+  link.set_cell_loss_rate(0.01);
+  int frames = 0;
+  link.set_handler([&](ConstBytes) { ++frames; });
+  ByteBuffer f(1000);  // 21 cells
+  const int n = 3000;
+  for (int i = 0; i < n; ++i) link.send(f.span());
+  loop.run();
+  const double survival = static_cast<double>(frames) / n;
+  EXPECT_NEAR(survival, std::pow(0.99, 21), 0.05);
+  EXPECT_LT(survival, 0.9);  // much worse than the 1% cell rate
+}
+
+TEST(CellLinkTest, CorruptTrailerLengthRejected) {
+  // Feed the reassembler a frame whose CRC cannot match by losing only the
+  // final (trailer-bearing) cell: the next frame's trailer then sees the
+  // concatenation and must reject it.
+  EventLoop loop;
+  CellLink link(loop, fast_cells());
+  int frames = 0;
+  link.set_handler([&](ConstBytes) { ++frames; });
+
+  class DropLastOfFirstFrame final : public LossModel {
+   public:
+    bool drop(Rng&) override { return ++count_ == 3; }  // 3rd cell = trailer
+
+   private:
+    int count_ = 0;
+  };
+  link.set_cell_loss_model(std::make_unique<DropLastOfFirstFrame>());
+
+  ByteBuffer f(90);  // 3 cells (90+8=98 -> 3)
+  link.send(f.span());
+  link.send(f.span());
+  loop.run();
+  // First frame merged into second; combined blob fails validation.
+  EXPECT_EQ(frames, 0);
+  EXPECT_EQ(link.stats().frames_dropped_reassembly, 1u);
+}
+
+TEST(CellLinkTest, StatsCount) {
+  EventLoop loop;
+  CellLink link(loop, fast_cells());
+  link.set_handler([](ConstBytes) {});
+  ByteBuffer f(100);  // 100+8=108 -> 3 cells
+  link.send(f.span());
+  link.send(f.span());
+  loop.run();
+  EXPECT_EQ(link.stats().frames_offered, 2u);
+  EXPECT_EQ(link.stats().cells_sent, 6u);
+  EXPECT_EQ(link.cell_stats().frames_delivered, 6u);
+}
+
+// Parameterized survival sweep across frame sizes: bigger frames suffer
+// super-linearly under the same cell-loss rate.
+class CellAmplificationTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CellAmplificationTest, SurvivalTracksCellCount) {
+  EventLoop loop;
+  auto cfg = fast_cells();
+  cfg.seed = 17 + GetParam();
+  CellLink link(loop, cfg);
+  link.set_cell_loss_rate(0.02);
+  int frames = 0;
+  link.set_handler([&](ConstBytes) { ++frames; });
+  ByteBuffer f(GetParam());
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) link.send(f.span());
+  loop.run();
+  const double cells = static_cast<double>(CellLink::cells_for_frame(GetParam()));
+  const double expect = std::pow(0.98, cells);
+  EXPECT_NEAR(static_cast<double>(frames) / n, expect, 0.06);
+}
+
+INSTANTIATE_TEST_SUITE_P(FrameSizes, CellAmplificationTest,
+                         ::testing::Values(40u, 200u, 1000u, 4000u));
+
+}  // namespace
+}  // namespace ngp

@@ -1,0 +1,78 @@
+// Tests for the uniform transfer-syntax front-end (src/presentation/codec).
+#include <gtest/gtest.h>
+
+#include "presentation/codec.h"
+#include "util/rng.h"
+
+namespace ngp {
+namespace {
+
+constexpr TransferSyntax kAll[] = {TransferSyntax::kRaw, TransferSyntax::kLwts,
+                                   TransferSyntax::kXdr, TransferSyntax::kBer,
+                                   TransferSyntax::kBerToolkit};
+
+class CodecSyntaxTest : public ::testing::TestWithParam<TransferSyntax> {};
+
+TEST_P(CodecSyntaxTest, IntArrayRoundTrip) {
+  Rng rng(42);
+  for (std::size_t n : {0u, 1u, 17u, 512u}) {
+    std::vector<std::int32_t> values(n);
+    for (auto& v : values) v = static_cast<std::int32_t>(rng.next());
+    ByteBuffer enc = encode_int_array(GetParam(), values);
+    auto dec = decode_int_array(GetParam(), enc.span());
+    ASSERT_TRUE(dec.ok()) << transfer_syntax_name(GetParam()) << " n=" << n;
+    EXPECT_EQ(*dec, values);
+  }
+}
+
+TEST_P(CodecSyntaxTest, OctetsRoundTrip) {
+  Rng rng(43);
+  for (std::size_t n : {0u, 1u, 100u, 4096u}) {
+    ByteBuffer payload(n);
+    rng.fill(payload.span());
+    ByteBuffer enc = encode_octets(GetParam(), payload.span());
+    auto dec = decode_octets(GetParam(), enc.span());
+    ASSERT_TRUE(dec.ok()) << transfer_syntax_name(GetParam()) << " n=" << n;
+    EXPECT_EQ(*dec, payload);
+  }
+}
+
+TEST_P(CodecSyntaxTest, HasDistinctName) {
+  EXPECT_NE(transfer_syntax_name(GetParam()), "?");
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSyntaxes, CodecSyntaxTest, ::testing::ValuesIn(kAll));
+
+TEST(CodecSizes, RawIsSmallest) {
+  std::vector<std::int32_t> values(100, 1234567);
+  const std::size_t raw = encode_int_array(TransferSyntax::kRaw, values).size();
+  const std::size_t lwts = encode_int_array(TransferSyntax::kLwts, values).size();
+  const std::size_t xdr = encode_int_array(TransferSyntax::kXdr, values).size();
+  const std::size_t ber = encode_int_array(TransferSyntax::kBer, values).size();
+  EXPECT_EQ(raw, 400u);
+  EXPECT_EQ(lwts, 408u);   // 8-byte header
+  EXPECT_EQ(xdr, 404u);    // 4-byte count
+  EXPECT_GT(ber, raw);     // TLV per element
+}
+
+TEST(CodecErrors, RawRejectsRaggedArray) {
+  ByteBuffer bad(7);
+  EXPECT_FALSE(decode_int_array(TransferSyntax::kRaw, bad.span()).ok());
+}
+
+TEST(CodecErrors, CrossSyntaxDecodingFails) {
+  std::vector<std::int32_t> values{1, 2, 3};
+  ByteBuffer ber_bytes = encode_int_array(TransferSyntax::kBer, values);
+  EXPECT_FALSE(decode_int_array(TransferSyntax::kLwts, ber_bytes.span()).ok());
+  ByteBuffer lwts_bytes = encode_int_array(TransferSyntax::kLwts, values);
+  EXPECT_FALSE(decode_int_array(TransferSyntax::kBer, lwts_bytes.span()).ok());
+}
+
+TEST(CodecEquivalence, BerPathsShareWireFormat) {
+  std::vector<std::int32_t> values{9, -9, 4096};
+  EXPECT_EQ(encode_int_array(TransferSyntax::kBer, values),
+            encode_int_array(TransferSyntax::kBerToolkit, values));
+}
+
+}  // namespace
+}  // namespace ngp

@@ -1,0 +1,99 @@
+// Tests for alf/jitter: the RFC 3550-style estimator and playout clock.
+#include <gtest/gtest.h>
+
+#include "alf/jitter.h"
+#include "util/rng.h"
+
+namespace ngp::alf {
+namespace {
+
+TEST(JitterEstimator, ZeroForPerfectlyPacedStream) {
+  JitterEstimator j;
+  for (int i = 0; i < 100; ++i) {
+    j.on_arrival(i * 20 * kMillisecond, i * 20 * kMillisecond);
+  }
+  EXPECT_EQ(j.jitter(), 0);
+  EXPECT_EQ(j.samples(), 99u);
+}
+
+TEST(JitterEstimator, ConstantOffsetIsNotJitter) {
+  // A fixed transit delay shifts arrivals uniformly; jitter stays 0.
+  JitterEstimator j;
+  for (int i = 0; i < 50; ++i) {
+    j.on_arrival(i * 20 * kMillisecond + 5 * kMillisecond, i * 20 * kMillisecond);
+  }
+  EXPECT_EQ(j.jitter(), 0);
+}
+
+TEST(JitterEstimator, AlternatingDelayConverges) {
+  // Transit alternates +/-2ms: |D| = 4ms each step; J converges toward
+  // 4ms (fixed point of J += (4ms - J)/16).
+  JitterEstimator j;
+  for (int i = 0; i < 500; ++i) {
+    const SimDuration transit = (i % 2 == 0) ? 2 * kMillisecond : -2 * kMillisecond;
+    j.on_arrival(i * 20 * kMillisecond + transit, i * 20 * kMillisecond);
+  }
+  EXPECT_GT(j.jitter(), 3 * kMillisecond);
+  EXPECT_LE(j.jitter(), 4 * kMillisecond);
+}
+
+TEST(JitterEstimator, FilterDampsSingleSpike) {
+  JitterEstimator j;
+  for (int i = 0; i < 20; ++i) j.on_arrival(i * 10 * kMillisecond, i * 10 * kMillisecond);
+  EXPECT_EQ(j.jitter(), 0);
+  // One 16ms spike: J jumps by ~1/16th of it, then decays.
+  j.on_arrival(20 * 10 * kMillisecond + 16 * kMillisecond, 20 * 10 * kMillisecond);
+  const SimDuration after_spike = j.jitter();
+  EXPECT_GT(after_spike, 0);
+  EXPECT_LE(after_spike, kMillisecond);  // 16ms / 16
+  for (int i = 21; i < 40; ++i) {
+    j.on_arrival(i * 10 * kMillisecond + 16 * kMillisecond, i * 10 * kMillisecond);
+  }
+  // Constant offset resumed: jitter decays back down.
+  EXPECT_LT(j.jitter(), after_spike);
+}
+
+TEST(JitterEstimator, ResetClearsState) {
+  JitterEstimator j;
+  j.on_arrival(0, 0);
+  j.on_arrival(30 * kMillisecond, 10 * kMillisecond);
+  EXPECT_GT(j.jitter(), 0);
+  j.reset();
+  EXPECT_EQ(j.jitter(), 0);
+  EXPECT_EQ(j.samples(), 0u);
+}
+
+TEST(PlayoutClock, AnchorsOnFirstArrival) {
+  PlayoutClock clock(100 * kMillisecond);
+  EXPECT_FALSE(clock.anchored());
+  clock.on_arrival(55 * kMillisecond, 0);
+  EXPECT_TRUE(clock.anchored());
+  // Deadline for media time 0 is first-arrival + base delay.
+  EXPECT_EQ(clock.playout_deadline(0), 155 * kMillisecond);
+  // Later media times shift linearly.
+  EXPECT_EQ(clock.playout_deadline(40 * kMillisecond), 195 * kMillisecond);
+}
+
+TEST(PlayoutClock, DelayGrowsWithJitter) {
+  PlayoutClock clock(50 * kMillisecond, 4);
+  // Feed a jittery stream.
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    const auto wobble = static_cast<SimDuration>(rng.uniform(8 * kMillisecond));
+    clock.on_arrival(i * 20 * kMillisecond + wobble, i * 20 * kMillisecond);
+  }
+  EXPECT_GT(clock.current_delay(), 50 * kMillisecond);
+  EXPECT_EQ(clock.current_delay(),
+            50 * kMillisecond + 4 * clock.estimator().jitter());
+}
+
+TEST(PlayoutClock, SmoothStreamKeepsBaseDelay) {
+  PlayoutClock clock(80 * kMillisecond);
+  for (int i = 0; i < 100; ++i) {
+    clock.on_arrival(i * 20 * kMillisecond + 7 * kMillisecond, i * 20 * kMillisecond);
+  }
+  EXPECT_EQ(clock.current_delay(), 80 * kMillisecond);
+}
+
+}  // namespace
+}  // namespace ngp::alf

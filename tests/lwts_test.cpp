@@ -1,0 +1,94 @@
+// Tests for src/presentation/lwts — the light-weight transfer syntax.
+#include <gtest/gtest.h>
+
+#include "presentation/lwts.h"
+#include "util/rng.h"
+
+namespace ngp::lwts {
+namespace {
+
+TEST(LwtsHeader, FixedSizeAndMagic) {
+  std::vector<std::int32_t> v{1};
+  ByteBuffer enc = encode_int_array(v);
+  ASSERT_GE(enc.size(), Header::kWireSize);
+  EXPECT_EQ(enc[0], Header::kMagic);
+  EXPECT_EQ(enc.size(), Header::kWireSize + 4);
+}
+
+TEST(LwtsHeader, ParseRejectsBadMagic) {
+  std::vector<std::int32_t> v{1};
+  ByteBuffer enc = encode_int_array(v);
+  enc[0] = 0x00;
+  EXPECT_EQ(parse_header(enc.span()).error().code, ErrorCode::kMalformed);
+}
+
+TEST(LwtsHeader, ParseRejectsShortInput) {
+  std::uint8_t few[] = {Header::kMagic, 0, 0};
+  EXPECT_EQ(parse_header({few, 3}).error().code, ErrorCode::kTruncated);
+}
+
+TEST(LwtsIntArray, RoundTrip) {
+  Rng rng(1);
+  for (std::size_t n : {0u, 1u, 7u, 1000u}) {
+    std::vector<std::int32_t> values(n);
+    for (auto& v : values) v = static_cast<std::int32_t>(rng.next());
+    ByteBuffer enc = encode_int_array(values);
+    auto dec = decode_int_array(enc.span());
+    ASSERT_TRUE(dec.ok()) << n;
+    EXPECT_EQ(*dec, values) << n;
+  }
+}
+
+TEST(LwtsIntArray, BodyIsHostMemoryImage) {
+  // On a little-endian host the body must be bit-identical to the array —
+  // the "conversion is a copy" property the paper's tuning argument needs.
+  std::vector<std::int32_t> values{0x01020304, -5};
+  ByteBuffer enc = encode_int_array(values);
+  EXPECT_EQ(std::memcmp(enc.data() + Header::kWireSize, values.data(), 8), 0);
+}
+
+TEST(LwtsIntArray, TruncatedBodyRejected) {
+  std::vector<std::int32_t> values{1, 2, 3};
+  ByteBuffer enc = encode_int_array(values);
+  EXPECT_EQ(decode_int_array(enc.span().subspan(0, enc.size() - 1)).error().code,
+            ErrorCode::kTruncated);
+}
+
+TEST(LwtsIntArray, WrongTypeRejected) {
+  ByteBuffer enc = encode_octets(ByteBuffer::from_string("abc").span());
+  EXPECT_EQ(decode_int_array(enc.span()).error().code, ErrorCode::kMalformed);
+}
+
+TEST(LwtsIntArray, ByteswapsWhenFlagsDisagree) {
+  std::vector<std::int32_t> values{0x01020304};
+  ByteBuffer enc = encode_int_array(values);
+  enc[2] = 0;  // clear the little-endian flag: body now claims big-endian
+  auto dec = decode_int_array(enc.span());
+  ASSERT_TRUE(dec.ok());
+  EXPECT_EQ((*dec)[0], 0x04030201);
+}
+
+TEST(LwtsOctets, RoundTripAndZeroCopy) {
+  auto payload = ByteBuffer::from_string("raw image data");
+  ByteBuffer enc = encode_octets(payload.span());
+  auto view = decode_octets_view(enc.span());
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(ByteBuffer(*view), payload);
+  EXPECT_EQ(view->data(), enc.data() + Header::kWireSize);  // zero copy
+}
+
+TEST(LwtsOctets, EmptyPayload) {
+  ByteBuffer enc = encode_octets({});
+  auto view = decode_octets_view(enc.span());
+  ASSERT_TRUE(view.ok());
+  EXPECT_TRUE(view->empty());
+}
+
+TEST(LwtsOctets, CountBeyondBufferRejected) {
+  ByteBuffer enc = encode_octets(ByteBuffer::from_string("12345").span());
+  EXPECT_EQ(decode_octets_view(enc.span().subspan(0, enc.size() - 2)).error().code,
+            ErrorCode::kTruncated);
+}
+
+}  // namespace
+}  // namespace ngp::lwts

@@ -1,0 +1,220 @@
+// Tests for the schema-driven record codec (src/presentation/record).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "presentation/record.h"
+#include "util/rng.h"
+
+namespace ngp {
+namespace {
+
+RecordSchema sample_schema() {
+  return RecordSchema{"sample",
+                      {FieldType::kInt32, FieldType::kInt64, FieldType::kFloat64,
+                       FieldType::kString, FieldType::kOpaque, FieldType::kInt32Array}};
+}
+
+Record sample_record() {
+  return Record{
+      std::int32_t{-42},
+      std::int64_t{1} << 40,
+      3.14159,
+      std::string("hello record"),
+      ByteBuffer::from_string("\x00\x01\x02 blob"),
+      std::vector<std::int32_t>{1, -2, 3000000, INT32_MIN},
+  };
+}
+
+TEST(RecordValidation, AcceptsMatching) {
+  EXPECT_TRUE(validate_record(sample_schema(), sample_record()).is_ok());
+}
+
+TEST(RecordValidation, RejectsArityMismatch) {
+  Record r = sample_record();
+  r.pop_back();
+  auto s = validate_record(sample_schema(), r);
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), ErrorCode::kMalformed);
+}
+
+TEST(RecordValidation, RejectsTypeMismatch) {
+  Record r = sample_record();
+  r[0] = std::string("not an int");
+  EXPECT_FALSE(validate_record(sample_schema(), r).is_ok());
+}
+
+TEST(RecordValidation, FieldMatches) {
+  EXPECT_TRUE(field_matches(FieldValue{std::int32_t{1}}, FieldType::kInt32));
+  EXPECT_FALSE(field_matches(FieldValue{std::int32_t{1}}, FieldType::kInt64));
+  EXPECT_TRUE(field_matches(FieldValue{std::string{}}, FieldType::kString));
+}
+
+class RecordSyntaxTest : public ::testing::TestWithParam<TransferSyntax> {};
+
+TEST_P(RecordSyntaxTest, RoundTripsSampleRecord) {
+  const auto schema = sample_schema();
+  const auto record = sample_record();
+  auto enc = encode_record(GetParam(), schema, record);
+  ASSERT_TRUE(enc.ok()) << transfer_syntax_name(GetParam());
+  auto dec = decode_record(GetParam(), schema, enc->span());
+  ASSERT_TRUE(dec.ok()) << dec.error().to_string();
+  ASSERT_EQ(dec->size(), record.size());
+  EXPECT_EQ(std::get<std::int32_t>((*dec)[0]), -42);
+  EXPECT_EQ(std::get<std::int64_t>((*dec)[1]), std::int64_t{1} << 40);
+  EXPECT_DOUBLE_EQ(std::get<double>((*dec)[2]), 3.14159);
+  EXPECT_EQ(std::get<std::string>((*dec)[3]), "hello record");
+  EXPECT_EQ(std::get<ByteBuffer>((*dec)[4]), std::get<ByteBuffer>(record[4]));
+  EXPECT_EQ(std::get<std::vector<std::int32_t>>((*dec)[5]),
+            std::get<std::vector<std::int32_t>>(record[5]));
+}
+
+TEST_P(RecordSyntaxTest, RoundTripsEmptyContainers) {
+  RecordSchema schema{"empties",
+                      {FieldType::kString, FieldType::kOpaque, FieldType::kInt32Array}};
+  Record record{std::string{}, ByteBuffer{}, std::vector<std::int32_t>{}};
+  auto enc = encode_record(GetParam(), schema, record);
+  ASSERT_TRUE(enc.ok());
+  auto dec = decode_record(GetParam(), schema, enc->span());
+  ASSERT_TRUE(dec.ok()) << dec.error().to_string();
+  EXPECT_TRUE(std::get<std::string>((*dec)[0]).empty());
+  EXPECT_TRUE(std::get<ByteBuffer>((*dec)[1]).empty());
+  EXPECT_TRUE(std::get<std::vector<std::int32_t>>((*dec)[2]).empty());
+}
+
+TEST_P(RecordSyntaxTest, TruncationRejected) {
+  const auto schema = sample_schema();
+  auto enc = encode_record(GetParam(), schema, sample_record());
+  ASSERT_TRUE(enc.ok());
+  for (std::size_t keep : {std::size_t{0}, enc->size() / 2, enc->size() - 1}) {
+    EXPECT_FALSE(decode_record(GetParam(), schema, enc->subspan(0, keep)).ok())
+        << transfer_syntax_name(GetParam()) << " keep=" << keep;
+  }
+}
+
+TEST_P(RecordSyntaxTest, TrailingBytesRejected) {
+  const auto schema = sample_schema();
+  auto enc = encode_record(GetParam(), schema, sample_record());
+  ASSERT_TRUE(enc.ok());
+  ByteBuffer padded(enc->span());
+  padded.append(std::uint8_t{0});
+  // BER wraps in a SEQUENCE whose length excludes the pad byte; the outer
+  // reader tolerates data after the sequence, so only XDR/LWTS must reject.
+  if (GetParam() == TransferSyntax::kXdr || GetParam() == TransferSyntax::kLwts) {
+    EXPECT_FALSE(decode_record(GetParam(), schema, padded.span()).ok());
+  }
+}
+
+TEST_P(RecordSyntaxTest, FloatSpecialValues) {
+  RecordSchema schema{"floats", {FieldType::kFloat64, FieldType::kFloat64}};
+  Record record{-0.0, 1e308};
+  auto enc = encode_record(GetParam(), schema, record);
+  ASSERT_TRUE(enc.ok());
+  auto dec = decode_record(GetParam(), schema, enc->span());
+  ASSERT_TRUE(dec.ok());
+  EXPECT_TRUE(std::signbit(std::get<double>((*dec)[0])));
+  EXPECT_DOUBLE_EQ(std::get<double>((*dec)[1]), 1e308);
+}
+
+INSTANTIATE_TEST_SUITE_P(Syntaxes, RecordSyntaxTest,
+                         ::testing::Values(TransferSyntax::kXdr, TransferSyntax::kBer,
+                                           TransferSyntax::kLwts));
+
+TEST(RecordCodec, RawModeUnsupported) {
+  auto enc = encode_record(TransferSyntax::kRaw, sample_schema(), sample_record());
+  ASSERT_FALSE(enc.ok());
+  EXPECT_EQ(enc.error().code, ErrorCode::kUnsupported);
+}
+
+TEST(RecordCodec, EncodeRejectsInvalidRecord) {
+  Record bad{std::int32_t{1}};  // wrong arity
+  EXPECT_FALSE(encode_record(TransferSyntax::kXdr, sample_schema(), bad).ok());
+}
+
+TEST(RecordCodec, SyntaxSizesDiffer) {
+  const auto schema = sample_schema();
+  const auto record = sample_record();
+  const auto xdr = encode_record(TransferSyntax::kXdr, schema, record);
+  const auto ber = encode_record(TransferSyntax::kBer, schema, record);
+  const auto lwts = encode_record(TransferSyntax::kLwts, schema, record);
+  ASSERT_TRUE(xdr.ok() && ber.ok() && lwts.ok());
+  // LWTS (packed) never exceeds XDR (which pads to 4-byte multiples).
+  EXPECT_LE(lwts->size(), xdr->size());
+
+  // On wide data BER's per-element TLV tax dominates its minimal-integer
+  // savings: a full-range int array costs 6 bytes/element in BER vs 4 in
+  // LWTS.
+  RecordSchema wide{"wide", {FieldType::kInt32Array}};
+  Record wide_rec{std::vector<std::int32_t>(100, INT32_MIN)};
+  const auto ber_wide = encode_record(TransferSyntax::kBer, wide, wide_rec);
+  const auto lwts_wide = encode_record(TransferSyntax::kLwts, wide, wide_rec);
+  ASSERT_TRUE(ber_wide.ok() && lwts_wide.ok());
+  EXPECT_GT(ber_wide->size(), lwts_wide->size());
+}
+
+TEST(RecordCodec, BerToolkitSharesWireFormat) {
+  const auto schema = sample_schema();
+  const auto record = sample_record();
+  auto a = encode_record(TransferSyntax::kBer, schema, record);
+  auto b = encode_record(TransferSyntax::kBerToolkit, schema, record);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(*a, *b);
+  EXPECT_TRUE(decode_record(TransferSyntax::kBerToolkit, schema, a->span()).ok());
+}
+
+TEST(RecordCodec, RandomRecordsRoundTripAllSyntaxes) {
+  Rng rng(99);
+  for (int iter = 0; iter < 20; ++iter) {
+    RecordSchema schema{"fuzz", {}};
+    Record record;
+    const std::size_t nfields = 1 + rng.uniform(8);
+    for (std::size_t i = 0; i < nfields; ++i) {
+      switch (rng.uniform(6)) {
+        case 0:
+          schema.fields.push_back(FieldType::kInt32);
+          record.emplace_back(static_cast<std::int32_t>(rng.next()));
+          break;
+        case 1:
+          schema.fields.push_back(FieldType::kInt64);
+          record.emplace_back(static_cast<std::int64_t>(rng.next()));
+          break;
+        case 2:
+          schema.fields.push_back(FieldType::kFloat64);
+          record.emplace_back(rng.uniform01() * 1e6);
+          break;
+        case 3: {
+          schema.fields.push_back(FieldType::kString);
+          std::string s(rng.uniform(40), 'x');
+          record.emplace_back(std::move(s));
+          break;
+        }
+        case 4: {
+          schema.fields.push_back(FieldType::kOpaque);
+          ByteBuffer b(rng.uniform(60));
+          rng.fill(b.span());
+          record.emplace_back(std::move(b));
+          break;
+        }
+        default: {
+          schema.fields.push_back(FieldType::kInt32Array);
+          std::vector<std::int32_t> a(rng.uniform(30));
+          for (auto& v : a) v = static_cast<std::int32_t>(rng.next());
+          record.emplace_back(std::move(a));
+          break;
+        }
+      }
+    }
+    for (TransferSyntax s :
+         {TransferSyntax::kXdr, TransferSyntax::kBer, TransferSyntax::kLwts}) {
+      auto enc = encode_record(s, schema, record);
+      ASSERT_TRUE(enc.ok());
+      auto dec = decode_record(s, schema, enc->span());
+      ASSERT_TRUE(dec.ok()) << transfer_syntax_name(s) << ": "
+                            << dec.error().to_string();
+      EXPECT_EQ(dec->size(), record.size());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ngp

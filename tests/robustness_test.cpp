@@ -1,0 +1,278 @@
+// Adversarial / edge-case coverage: malformed and inconsistent inputs,
+// replay, session demux, and API misuse that must degrade gracefully.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "alf/receiver.h"
+#include "alf/sender.h"
+#include "netsim/net_path.h"
+#include "transport/stream_sender.h"
+#include "transport/stream_receiver.h"
+#include "util/rng.h"
+
+namespace ngp::alf {
+namespace {
+
+/// Synchronous in-process NetPath: send() delivers immediately. Lets tests
+/// inject hand-crafted frames without a simulator.
+class LoopbackPath final : public NetPath {
+ public:
+  bool send(ConstBytes frame) override {
+    if (handler_) handler_(frame);
+    return true;
+  }
+  void set_handler(FrameHandler handler) override { handler_ = std::move(handler); }
+  std::size_t max_frame_size() const override { return 65535; }
+
+ private:
+  FrameHandler handler_;
+};
+
+/// Sink path that records frames without delivering anywhere.
+class SinkPath final : public NetPath {
+ public:
+  bool send(ConstBytes frame) override {
+    frames.push_back(ByteBuffer(frame));
+    return true;
+  }
+  void set_handler(FrameHandler) override {}
+  std::size_t max_frame_size() const override { return 65535; }
+
+  std::vector<ByteBuffer> frames;
+};
+
+DataFragment make_fragment(std::uint16_t session, std::uint32_t adu_id,
+                           ConstBytes payload, std::uint32_t adu_len,
+                           std::uint32_t off) {
+  DataFragment f;
+  f.session = session;
+  f.adu_id = adu_id;
+  f.name = generic_name(adu_id);
+  f.syntax = TransferSyntax::kRaw;
+  f.checksum_kind = ChecksumKind::kInternet;
+  f.adu_len = adu_len;
+  f.frag_off = off;
+  f.payload = payload;
+  return f;
+}
+
+struct ReceiverFixture {
+  EventLoop loop;
+  LoopbackPath data;
+  SinkPath feedback;
+  SessionConfig scfg;
+  std::unique_ptr<AlfReceiver> receiver;
+  std::vector<Adu> delivered;
+
+  explicit ReceiverFixture(SessionConfig cfg = {}) : scfg(cfg) {
+    receiver = std::make_unique<AlfReceiver>(loop, data, feedback, scfg);
+    receiver->set_on_adu([this](Adu&& a) { delivered.push_back(std::move(a)); });
+  }
+
+  void inject(const DataFragment& f) {
+    ByteBuffer frame = encode_fragment(f);
+    data.send(frame.span());
+  }
+};
+
+TEST(ReceiverRobustness, WholeAduViaLoopback) {
+  ReceiverFixture fx;
+  auto payload = ByteBuffer::from_string("complete in one fragment");
+  auto f = make_fragment(1, 1, payload.span(),
+                         static_cast<std::uint32_t>(payload.size()), 0);
+  f.adu_checksum = internet_checksum_unrolled(payload.span());
+  fx.inject(f);
+  ASSERT_EQ(fx.delivered.size(), 1u);
+  EXPECT_EQ(fx.delivered[0].payload, payload);
+}
+
+TEST(ReceiverRobustness, WrongSessionIgnored) {
+  ReceiverFixture fx;  // session_id 1
+  auto payload = ByteBuffer::from_string("foreign session");
+  auto f = make_fragment(2, 1, payload.span(),
+                         static_cast<std::uint32_t>(payload.size()), 0);
+  f.adu_checksum = internet_checksum_unrolled(payload.span());
+  fx.inject(f);
+  EXPECT_TRUE(fx.delivered.empty());
+  EXPECT_EQ(fx.receiver->stats().fragments_received, 0u);
+}
+
+TEST(ReceiverRobustness, InconsistentAduLenIgnored) {
+  ReceiverFixture fx;
+  ByteBuffer full(2000);
+  Rng rng(1);
+  rng.fill(full.span());
+  const auto ck = internet_checksum_unrolled(full.span());
+
+  // First fragment establishes a 2000-byte ADU.
+  auto f1 = make_fragment(1, 1, full.subspan(0, 1000), 2000, 0);
+  f1.adu_checksum = ck;
+  fx.inject(f1);
+  // A stray fragment claims the same ADU is 5000 bytes: must be ignored,
+  // not corrupt or grow the reassembly buffer.
+  auto bogus = make_fragment(1, 1, full.subspan(0, 1000), 5000, 4000);
+  fx.inject(bogus);
+  EXPECT_TRUE(fx.delivered.empty());
+
+  // The consistent second half completes the ADU intact.
+  auto f2 = make_fragment(1, 1, full.subspan(1000, 1000), 2000, 1000);
+  f2.adu_checksum = ck;
+  fx.inject(f2);
+  ASSERT_EQ(fx.delivered.size(), 1u);
+  EXPECT_EQ(fx.delivered[0].payload, full);
+}
+
+TEST(ReceiverRobustness, ReplayAfterDeliveryCounted) {
+  ReceiverFixture fx;
+  auto payload = ByteBuffer::from_string("replayed payload");
+  auto f = make_fragment(1, 1, payload.span(),
+                         static_cast<std::uint32_t>(payload.size()), 0);
+  f.adu_checksum = internet_checksum_unrolled(payload.span());
+  fx.inject(f);
+  fx.inject(f);
+  fx.inject(f);
+  EXPECT_EQ(fx.delivered.size(), 1u);  // exactly once
+  EXPECT_EQ(fx.receiver->stats().fragments_for_done_adus, 2u);
+}
+
+TEST(ReceiverRobustness, DuplicateFragmentBeforeCompletionCounted) {
+  ReceiverFixture fx;
+  ByteBuffer full(3000);
+  Rng rng(3);
+  rng.fill(full.span());
+  const auto ck = internet_checksum_unrolled(full.span());
+  auto f1 = make_fragment(1, 1, full.subspan(0, 1500), 3000, 0);
+  f1.adu_checksum = ck;
+  fx.inject(f1);
+  fx.inject(f1);  // duplicate while incomplete
+  EXPECT_EQ(fx.receiver->stats().fragments_duplicate, 1u);
+  auto f2 = make_fragment(1, 1, full.subspan(1500, 1500), 3000, 1500);
+  f2.adu_checksum = ck;
+  fx.inject(f2);
+  ASSERT_EQ(fx.delivered.size(), 1u);
+  EXPECT_EQ(ByteBuffer(fx.delivered[0].payload.span()), ByteBuffer(full.span()));
+}
+
+TEST(ReceiverRobustness, OverlappingFragmentsMergeCorrectly) {
+  ReceiverFixture fx;
+  ByteBuffer full(1000);
+  Rng rng(4);
+  rng.fill(full.span());
+  const auto ck = internet_checksum_unrolled(full.span());
+  // Three overlapping pieces: [0,600), [400,900), [700,1000).
+  for (auto [off, len] : {std::pair<std::size_t, std::size_t>{0, 600},
+                          {400, 500},
+                          {700, 300}}) {
+    auto f = make_fragment(1, 1, full.subspan(off, len), 1000,
+                           static_cast<std::uint32_t>(off));
+    f.adu_checksum = ck;
+    fx.inject(f);
+  }
+  ASSERT_EQ(fx.delivered.size(), 1u);
+  EXPECT_EQ(fx.delivered[0].payload, full);
+}
+
+TEST(ReceiverRobustness, GarbageFramesOnlyBumpCorruptCounter) {
+  ReceiverFixture fx;
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    ByteBuffer junk(rng.uniform(200));
+    rng.fill(junk.span());
+    fx.data.send(junk.span());
+  }
+  EXPECT_TRUE(fx.delivered.empty());
+  EXPECT_EQ(fx.receiver->stats().fragments_corrupt, 100u);
+}
+
+TEST(ReceiverRobustness, AbandonsNeverSeenAduAfterMaxNacks) {
+  SessionConfig cfg;
+  cfg.max_nacks = 3;
+  cfg.nack_delay = 10 * kMillisecond;
+  cfg.nack_retry = 10 * kMillisecond;
+  ReceiverFixture fx(cfg);
+  std::vector<std::pair<std::uint32_t, bool>> losses;
+  fx.receiver->set_on_adu_lost(
+      [&](std::uint32_t id, const AduName&, bool known) { losses.emplace_back(id, known); });
+
+  // Deliver ADU 2 only; ADU 1 is a pure gap (never seen).
+  auto payload = ByteBuffer::from_string("the one that made it");
+  auto f = make_fragment(1, 2, payload.span(),
+                         static_cast<std::uint32_t>(payload.size()), 0);
+  f.adu_checksum = internet_checksum_unrolled(payload.span());
+  fx.inject(f);
+
+  // Run long enough for the exponential backoff to exhaust 3 NACKs:
+  // 10 + 20 + 40 ms of waits plus scan cadence.
+  fx.loop.run_until(2 * kSecond);
+  ASSERT_EQ(losses.size(), 1u);
+  EXPECT_EQ(losses[0].first, 1u);
+  EXPECT_FALSE(losses[0].second);  // name never learned
+  EXPECT_GE(fx.feedback.frames.size(), 3u);  // NACKs went out
+}
+
+TEST(ReceiverRobustness, ZeroLengthFragmentRejectedByWire) {
+  // adu_len 0 with an empty payload: wire-valid? The sender never emits
+  // it (empty ADUs are rejected at send_adu); if it appears, reassembly
+  // must not divide by zero or deliver an empty ADU spuriously.
+  ReceiverFixture fx;
+  auto f = make_fragment(1, 1, {}, 0, 0);
+  fx.inject(f);
+  // With adu_len 0 and no bytes, coverage 0 == adu_len 0 -> it would
+  // "complete" immediately with an empty payload and pass the (empty)
+  // checksum. Accept either outcome but require no crash and at most one
+  // delivery of an empty ADU.
+  EXPECT_LE(fx.delivered.size(), 1u);
+  if (!fx.delivered.empty()) EXPECT_TRUE(fx.delivered[0].payload.empty());
+}
+
+}  // namespace
+}  // namespace ngp::alf
+
+namespace ngp {
+namespace {
+
+TEST(StreamSenderRobustness, SendAfterCloseReturnsZero) {
+  EventLoop loop;
+  LinkConfig cfg;
+  DuplexChannel ch(loop, cfg);
+  LinkPath data(ch.forward), ack_tx(ch.reverse), ack_rx(ch.reverse);
+  StreamSender sender(loop, data, ack_rx);
+  StreamReceiver receiver(loop, data, ack_tx);
+  auto bytes = ByteBuffer::from_string("before close");
+  EXPECT_EQ(sender.send(bytes.span()), bytes.size());
+  sender.close();
+  EXPECT_EQ(sender.send(bytes.span()), 0u);
+  loop.run();
+  EXPECT_TRUE(sender.finished());
+}
+
+TEST(StreamSenderRobustness, DoubleCloseHarmless) {
+  EventLoop loop;
+  LinkConfig cfg;
+  DuplexChannel ch(loop, cfg);
+  LinkPath data(ch.forward), ack_tx(ch.reverse), ack_rx(ch.reverse);
+  StreamSender sender(loop, data, ack_rx);
+  StreamReceiver receiver(loop, data, ack_tx);
+  sender.close();
+  sender.close();
+  loop.run();
+  EXPECT_TRUE(sender.finished());
+  EXPECT_TRUE(receiver.closed());
+}
+
+TEST(StreamSenderRobustness, EmptySendAccepted) {
+  EventLoop loop;
+  LinkConfig cfg;
+  DuplexChannel ch(loop, cfg);
+  LinkPath data(ch.forward), ack_tx(ch.reverse), ack_rx(ch.reverse);
+  StreamSender sender(loop, data, ack_rx);
+  StreamReceiver receiver(loop, data, ack_tx);
+  EXPECT_EQ(sender.send({}), 0u);
+  sender.close();
+  loop.run();
+  EXPECT_TRUE(sender.finished());
+}
+
+}  // namespace
+}  // namespace ngp

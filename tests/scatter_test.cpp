@@ -1,0 +1,268 @@
+// Tests for ilp/scatter (application address-space delivery, §6) and the
+// Crc32Stage fused kernel.
+#include <gtest/gtest.h>
+
+#include "checksum/crc32.h"
+#include "checksum/internet.h"
+#include "ilp/scatter.h"
+#include "util/rng.h"
+
+namespace ngp {
+namespace {
+
+ByteBuffer random_bytes(std::size_t n, std::uint64_t seed) {
+  ByteBuffer b(n);
+  Rng rng(seed);
+  rng.fill(b.span());
+  return b;
+}
+
+// ---- Crc32Stage --------------------------------------------------------------------
+
+TEST(Crc32Stage, MatchesReferenceAllLengths) {
+  for (std::size_t len : {0u, 1u, 7u, 8u, 9u, 63u, 64u, 100u, 1000u, 1003u}) {
+    ByteBuffer b = random_bytes(len, 10 + len);
+    Crc32Stage s;
+    ByteBuffer out(len);
+    ilp_fused(b.span(), out.span(), s);
+    EXPECT_EQ(s.result(), crc32(b.span())) << "len=" << len;
+    EXPECT_EQ(out, b);
+  }
+}
+
+TEST(Crc32Stage, WordUpdateMatchesByteUpdates) {
+  // Direct check of the exported helpers.
+  ByteBuffer b = random_bytes(8, 1);
+  std::uint32_t via_word = 0xFFFFFFFFu;
+  via_word = crc32_update_word(via_word, load_u64_le(b.data()));
+  EXPECT_EQ(via_word ^ 0xFFFFFFFFu, crc32(b.span()));
+
+  ByteBuffer c = random_bytes(5, 2);
+  std::uint32_t via_tail = 0xFFFFFFFFu;
+  std::uint64_t w = 0;
+  std::memcpy(&w, c.data(), 5);
+  via_tail = crc32_update_tail(via_tail, w, 5);
+  EXPECT_EQ(via_tail ^ 0xFFFFFFFFu, crc32(c.span()));
+}
+
+TEST(Crc32Stage, FusedWithDecryptEqualsSeparate) {
+  ChaChaKey k;
+  k.key[0] = 9;
+  ByteBuffer plain = random_bytes(777, 3);
+  ByteBuffer cipher(plain.span());
+  chacha20_xor(k, 0, cipher.span());
+
+  EncryptStage dec(k, 0);
+  Crc32Stage crc;
+  ByteBuffer out(cipher.size());
+  ilp_fused(cipher.span(), out.span(), dec, crc);
+  EXPECT_EQ(out, plain);
+  EXPECT_EQ(crc.result(), crc32(plain.span()));
+}
+
+// ---- ScatterList / scatter_fused ----------------------------------------------------
+
+TEST(Scatter, SingleRegionEqualsCopy) {
+  ByteBuffer src = random_bytes(100, 4);
+  ByteBuffer dst(100);
+  ScatterList list;
+  list.add(dst.span());
+  EXPECT_EQ(scatter_fused(src.span(), list), 100u);
+  EXPECT_EQ(dst, src);
+}
+
+TEST(Scatter, SplitsAcrossRegionsInOrder) {
+  ByteBuffer src(10);
+  for (std::size_t i = 0; i < 10; ++i) src[i] = static_cast<std::uint8_t>(i);
+  ByteBuffer a(3), b(4), c(3);
+  ScatterList list;
+  list.add(a.span());
+  list.add(b.span());
+  list.add(c.span());
+  EXPECT_EQ(list.region_count(), 3u);
+  EXPECT_EQ(list.total_size(), 10u);
+  EXPECT_EQ(scatter_fused(src.span(), list), 10u);
+  EXPECT_EQ(a[0], 0);
+  EXPECT_EQ(a[2], 2);
+  EXPECT_EQ(b[0], 3);
+  EXPECT_EQ(b[3], 6);
+  EXPECT_EQ(c[0], 7);
+  EXPECT_EQ(c[2], 9);
+}
+
+TEST(Scatter, IntoTypedVariables) {
+  // The RPC landing: argument values scattered straight into local
+  // variables (§6's "parameters of a subroutine call").
+  std::uint32_t arg0 = 0;
+  std::uint64_t arg1 = 0;
+  std::uint16_t arg2 = 0;
+  ScatterList list;
+  list.add_value(arg0);
+  list.add_value(arg1);
+  list.add_value(arg2);
+
+  ByteBuffer src(14);
+  store_u32_be(src.data(), byteswap32(0x11223344));  // little-endian value
+  store_u64_le(src.data() + 4, 0x5566778899AABBCCull);
+  src[12] = 0xDD;
+  src[13] = 0xEE;
+
+  EXPECT_EQ(scatter_fused(src.span(), list), 14u);
+  EXPECT_EQ(arg0, 0x11223344u);
+  EXPECT_EQ(arg1, 0x5566778899AABBCCull);
+  EXPECT_EQ(arg2, 0xEEDDu);  // little-endian host
+}
+
+TEST(Scatter, FusedStagesRunExactlyOncePerByte) {
+  // Checksum computed during the scatter must equal the separate pass.
+  ByteBuffer src = random_bytes(1000, 5);
+  ByteBuffer a(300), b(300), c(400);
+  ScatterList list;
+  list.add(a.span());
+  list.add(b.span());
+  list.add(c.span());
+
+  ChecksumStage ck;
+  EXPECT_EQ(scatter_fused(src.span(), list, ck), 1000u);
+  EXPECT_EQ(ck.result(), internet_checksum(src.span()));
+
+  ByteBuffer joined;
+  joined.append(a.span());
+  joined.append(b.span());
+  joined.append(c.span());
+  EXPECT_EQ(joined, src);
+}
+
+TEST(Scatter, DecryptWhileScattering) {
+  // §6's full stage-2: decrypt + verify + move into application space in
+  // one pass.
+  ChaChaKey k;
+  k.key[31] = 0x42;
+  ByteBuffer plain = random_bytes(512, 6);
+  ByteBuffer cipher(plain.span());
+  chacha20_xor(k, 0, cipher.span());
+
+  ByteBuffer a(100), b(412);
+  ScatterList list;
+  list.add(a.span());
+  list.add(b.span());
+  EncryptStage dec(k, 0);
+  ChecksumStage ck;
+  EXPECT_EQ(scatter_fused(cipher.span(), list, dec, ck), 512u);
+  EXPECT_EQ(ck.result(), internet_checksum(plain.span()));
+  EXPECT_EQ(ByteBuffer(plain.subspan(0, 100)), a);
+  EXPECT_EQ(ByteBuffer(plain.subspan(100, 412)), b);
+}
+
+TEST(Scatter, ShortDestinationStopsCleanly) {
+  ByteBuffer src = random_bytes(100, 7);
+  ByteBuffer only(60);
+  ScatterList list;
+  list.add(only.span());
+  EXPECT_LT(scatter_fused(src.span(), list), 100u);
+  EXPECT_EQ(ByteBuffer(src.subspan(0, 56)), ByteBuffer(only.subspan(0, 56)));
+}
+
+TEST(Scatter, OversizeDestinationLeavesTailUntouched) {
+  ByteBuffer src = random_bytes(10, 8);
+  ByteBuffer big(20);
+  for (std::size_t i = 0; i < 20; ++i) big[i] = 0xAA;
+  ScatterList list;
+  list.add(big.span());
+  EXPECT_EQ(scatter_fused(src.span(), list), 10u);
+  EXPECT_EQ(big[10], 0xAA);
+  EXPECT_EQ(big[19], 0xAA);
+}
+
+TEST(Scatter, EmptySourceIsNoop) {
+  ByteBuffer dst(8);
+  ScatterList list;
+  list.add(dst.span());
+  EXPECT_EQ(scatter_fused({}, list), 0u);
+}
+
+TEST(Gather, AssemblesRegionsInOrder) {
+  auto a = ByteBuffer::from_string("abc");
+  auto b = ByteBuffer::from_string("defgh");
+  auto c = ByteBuffer::from_string("ij");
+  GatherList list;
+  list.add(a.span());
+  list.add(b.span());
+  list.add(c.span());
+  EXPECT_EQ(list.total_size(), 10u);
+  ByteBuffer out(10);
+  EXPECT_EQ(gather_fused(list, out.span()), 10u);
+  EXPECT_EQ(out, ByteBuffer::from_string("abcdefghij"));
+}
+
+TEST(Gather, FromTypedValues) {
+  const std::uint32_t x = 0x11223344;
+  const std::uint64_t y = 0x5566778899AABBCCull;
+  GatherList list;
+  list.add_value(x);
+  list.add_value(y);
+  ByteBuffer out(12);
+  EXPECT_EQ(gather_fused(list, out.span()), 12u);
+  EXPECT_EQ(load_u32_be(out.data()), byteswap32(0x11223344));  // LE memory image
+  EXPECT_EQ(load_u64_le(out.data() + 4), y);
+}
+
+TEST(Gather, ChecksumDuringMarshal) {
+  Rng rng(11);
+  ByteBuffer a(123), b(456), c(7);
+  rng.fill(a.span());
+  rng.fill(b.span());
+  rng.fill(c.span());
+  GatherList list;
+  list.add(a.span());
+  list.add(b.span());
+  list.add(c.span());
+  ByteBuffer out(list.total_size());
+  ChecksumStage ck;
+  EXPECT_EQ(gather_fused(list, out.span(), ck), out.size());
+
+  ByteBuffer joined;
+  joined.append(a.span());
+  joined.append(b.span());
+  joined.append(c.span());
+  EXPECT_EQ(out, joined);
+  EXPECT_EQ(ck.result(), internet_checksum(joined.span()));
+}
+
+TEST(Gather, RoundTripsThroughScatter) {
+  Rng rng(12);
+  ByteBuffer x(100), y(31);
+  rng.fill(x.span());
+  rng.fill(y.span());
+  GatherList gl;
+  gl.add(x.span());
+  gl.add(y.span());
+  ByteBuffer wire(131);
+  EXPECT_EQ(gather_fused(gl, wire.span()), 131u);
+
+  ByteBuffer x2(100), y2(31);
+  ScatterList sl;
+  sl.add(x2.span());
+  sl.add(y2.span());
+  EXPECT_EQ(scatter_fused(wire.span(), sl), 131u);
+  EXPECT_EQ(x2, x);
+  EXPECT_EQ(y2, y);
+}
+
+TEST(Gather, EmptyListProducesNothing) {
+  GatherList list;
+  ByteBuffer out(8);
+  EXPECT_EQ(gather_fused(list, out.span()), 0u);
+}
+
+TEST(Scatter, ManyTinyRegions) {
+  ByteBuffer src = random_bytes(64, 9);
+  std::vector<ByteBuffer> cells(64, ByteBuffer(1));
+  ScatterList list;
+  for (auto& cell : cells) list.add(cell.span());
+  EXPECT_EQ(scatter_fused(src.span(), list), 64u);
+  for (std::size_t i = 0; i < 64; ++i) EXPECT_EQ(cells[i][0], src[i]) << i;
+}
+
+}  // namespace
+}  // namespace ngp

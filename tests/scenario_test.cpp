@@ -1,0 +1,246 @@
+// Scenario (integration) tests: whole-pipeline behaviours the examples
+// demonstrate, pinned as regressions — including a miniature of the E5
+// experiment, asserting the paper's headline claim inside the test suite.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <map>
+
+#include "alf/jitter.h"
+#include "alf/receiver.h"
+#include "alf/sender.h"
+#include "alf/video_sink.h"
+#include "netsim/net_path.h"
+#include "transport/stream_receiver.h"
+#include "transport/stream_sender.h"
+#include "util/rng.h"
+
+namespace ngp {
+namespace {
+
+LinkConfig link_50mbps(std::uint64_t seed) {
+  LinkConfig cfg;
+  cfg.bandwidth_bps = 50e6;
+  cfg.propagation_delay = 5 * kMillisecond;
+  cfg.queue_limit = 1 << 16;
+  cfg.seed = seed;
+  return cfg;
+}
+
+/// Presentation-bound application model (as in bench_alf_loss): work is
+/// serialized on a busy-until clock; starvation shows up as idle time.
+struct AppModel {
+  double rate_bps;
+  SimTime busy_until = 0;
+  SimDuration idle = 0;
+  std::uint64_t bytes = 0;
+
+  void consume(SimTime now, std::size_t n) {
+    if (now > busy_until) {
+      idle += now - busy_until;
+      busy_until = now;
+    }
+    busy_until += transmission_time(n, rate_bps);
+    bytes += n;
+  }
+};
+
+TEST(Scenario, AlfKeepsBottleneckedAppBusyWhereStreamStarves) {
+  // The E5 shape as a hard assertion: at 2% loss, the in-order stream's
+  // presentation-bound app accumulates much more idle time than ALF's.
+  constexpr std::size_t kFile = 1 << 20;
+  constexpr double kLoss = 0.02;
+  constexpr double kAppRate = 30e6;
+
+  // --- In-order stream.
+  SimDuration stream_idle = 0;
+  {
+    EventLoop loop;
+    DuplexChannel ch(loop, link_50mbps(1), link_50mbps(2));
+    ch.forward.set_loss_rate(kLoss);
+    LinkPath data(ch.forward), ack_tx(ch.reverse), ack_rx(ch.reverse);
+    StreamSender sender(loop, data, ack_rx);
+    StreamReceiver receiver(loop, data, ack_tx);
+    AppModel app{kAppRate};
+    receiver.set_on_data([&](ConstBytes b) { app.consume(loop.now(), b.size()); });
+    ByteBuffer file(kFile);
+    Rng rng(1);
+    rng.fill(file.span());
+    std::size_t off = 0;
+    std::function<void()> feed = [&] {
+      off += sender.send(file.subspan(off, 128 * 1024));
+      if (off < kFile) {
+        loop.schedule_after(kMillisecond, feed);
+      } else {
+        sender.close();
+      }
+    };
+    feed();
+    loop.run();
+    ASSERT_EQ(app.bytes, kFile);
+    stream_idle = app.idle;
+  }
+
+  // --- ALF.
+  SimDuration alf_idle = 0;
+  {
+    EventLoop loop;
+    DuplexChannel ch(loop, link_50mbps(3), link_50mbps(4));
+    ch.forward.set_loss_rate(kLoss);
+    LinkPath data(ch.forward), fb_tx(ch.reverse), fb_rx(ch.reverse);
+    alf::SessionConfig scfg;
+    scfg.nack_delay = 15 * kMillisecond;
+    alf::AlfSender sender(loop, data, fb_rx, scfg);
+    alf::AlfReceiver receiver(loop, data, fb_tx, scfg);
+    AppModel app{kAppRate};
+    receiver.set_on_adu([&](Adu&& a) { app.consume(loop.now(), a.payload.size()); });
+    ByteBuffer file(kFile);
+    Rng rng(1);
+    rng.fill(file.span());
+    for (std::size_t off = 0; off < kFile; off += 8192) {
+      const std::size_t len = std::min<std::size_t>(8192, kFile - off);
+      ASSERT_TRUE(
+          sender.send_adu(FileRegionName{off, len}.to_name(), file.subspan(off, len))
+              .ok());
+    }
+    sender.finish();
+    loop.run();
+    ASSERT_EQ(app.bytes, kFile);
+    alf_idle = app.idle;
+  }
+
+  // The paper's claim, quantified: the stream starves the bottleneck app
+  // at least 5x longer than ALF under identical loss.
+  EXPECT_GT(stream_idle, 5 * std::max<SimDuration>(alf_idle, kMillisecond))
+      << "stream idle " << format_sim_time(stream_idle) << " vs alf idle "
+      << format_sim_time(alf_idle);
+}
+
+TEST(Scenario, VideoPipelineEndToEnd) {
+  // The video example's pipeline as a test: real-time tiles, policy kNone,
+  // playout deadlines, concealment bounded by the loss rate.
+  constexpr std::uint16_t kTx = 4, kTy = 4;
+  constexpr std::size_t kTileBytes = 512;
+  constexpr SimDuration kInterval = 40 * kMillisecond;
+  constexpr std::uint32_t kFrames = 50;
+  constexpr double kLoss = 0.02;
+
+  EventLoop loop;
+  LinkConfig cfg;
+  cfg.bandwidth_bps = 20e6;
+  cfg.propagation_delay = 10 * kMillisecond;
+  cfg.seed = 5;
+  DuplexChannel ch(loop, cfg);
+  ch.forward.set_loss_rate(kLoss);
+  LinkPath data(ch.forward), fb_tx(ch.reverse), fb_rx(ch.reverse);
+
+  alf::SessionConfig scfg;
+  scfg.retransmit = alf::RetransmitPolicy::kNone;
+  alf::AlfSender sender(loop, data, fb_rx, scfg);
+  alf::AlfReceiver receiver(loop, data, fb_tx, scfg);
+
+  alf::VideoSink sink(kTx, kTy, kTileBytes, 3 * kInterval, kInterval);
+  alf::PlayoutClock playout(3 * kInterval);
+  receiver.set_on_adu([&](Adu&& adu) {
+    const auto v = VideoRegionName::from_name(adu.name);
+    playout.on_arrival(loop.now(),
+                       static_cast<SimDuration>(v.timestamp_ms) * kMillisecond);
+    ASSERT_TRUE(sink.place(adu, loop.now()).is_ok());
+  });
+
+  std::function<void()> render = [&] {
+    sink.render_due(loop.now());
+    if (sink.frames_rendered() < kFrames) loop.schedule_after(kInterval, render);
+  };
+  loop.schedule_after(3 * kInterval, render);
+
+  Rng content(1);
+  ByteBuffer tile(kTileBytes);
+  std::uint32_t frame = 0;
+  std::function<void()> capture = [&] {
+    for (std::uint16_t y = 0; y < kTy; ++y) {
+      for (std::uint16_t x = 0; x < kTx; ++x) {
+        content.fill(tile.span());
+        const VideoRegionName name{frame, x, y, frame * 40};
+        (void)sender.send_adu(name.to_name(), tile.span());
+      }
+    }
+    if (++frame < kFrames) {
+      loop.schedule_after(kInterval, capture);
+    } else {
+      sender.finish();
+    }
+  };
+  capture();
+  loop.run();
+
+  const auto& st = sink.stats();
+  EXPECT_EQ(st.frames_rendered, kFrames);
+  EXPECT_EQ(sender.stats().adus_retransmitted, 0u);
+  // Concealment tracks the loss rate (generous factor for variance).
+  const double concealed_frac =
+      static_cast<double>(st.tiles_concealed) /
+      (static_cast<double>(kFrames) * kTx * kTy);
+  EXPECT_LT(concealed_frac, kLoss * 4);
+  EXPECT_GT(st.frames_complete, kFrames / 3);
+  // Jitter estimator converged on something finite and small.
+  EXPECT_LT(playout.estimator().jitter(), 20 * kMillisecond);
+  EXPECT_GT(playout.estimator().samples(), 100u);
+}
+
+TEST(Scenario, MixedTrafficSharesOneSimulation) {
+  // Two independent associations (file + video) in one event loop — the
+  // service-integration premise of the paper's introduction.
+  EventLoop loop;
+  DuplexChannel file_ch(loop, link_50mbps(7));
+  DuplexChannel video_ch(loop, link_50mbps(8));
+  file_ch.forward.set_loss_rate(0.03);
+  video_ch.forward.set_loss_rate(0.03);
+
+  LinkPath f_data(file_ch.forward), f_tx(file_ch.reverse), f_rx(file_ch.reverse);
+  LinkPath v_data(video_ch.forward), v_tx(video_ch.reverse), v_rx(video_ch.reverse);
+
+  alf::SessionConfig file_cfg;  // reliable
+  file_cfg.nack_delay = 10 * kMillisecond;
+  alf::SessionConfig video_cfg;  // real time
+  video_cfg.retransmit = alf::RetransmitPolicy::kNone;
+  video_cfg.fec_k = 4;
+
+  alf::AlfSender file_snd(loop, f_data, f_rx, file_cfg);
+  alf::AlfReceiver file_rcv(loop, f_data, f_tx, file_cfg);
+  alf::AlfSender video_snd(loop, v_data, v_rx, video_cfg);
+  alf::AlfReceiver video_rcv(loop, v_data, v_tx, video_cfg);
+
+  std::size_t file_adus = 0, video_adus = 0, video_lost = 0;
+  bool file_complete = false;
+  file_rcv.set_on_adu([&](Adu&&) { ++file_adus; });
+  file_rcv.set_on_complete([&] { file_complete = true; });
+  video_rcv.set_on_adu([&](Adu&&) { ++video_adus; });
+  video_rcv.set_on_adu_lost([&](std::uint32_t, const AduName&, bool) { ++video_lost; });
+
+  Rng rng(9);
+  ByteBuffer payload(4000);
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    rng.fill(payload.span());
+    ASSERT_TRUE(file_snd.send_adu(FileRegionName{i * 4000, 4000}.to_name(),
+                                  payload.span())
+                    .ok());
+    ASSERT_TRUE(
+        video_snd.send_adu(VideoRegionName{static_cast<std::uint32_t>(i), 0, 0,
+                                           static_cast<std::uint32_t>(i * 40)}
+                               .to_name(),
+                           payload.span())
+            .ok());
+  }
+  file_snd.finish();
+  video_snd.finish();
+  loop.run();
+
+  EXPECT_TRUE(file_complete);
+  EXPECT_EQ(file_adus, 50u);                       // reliable: everything
+  EXPECT_EQ(video_adus + video_lost, 50u);         // real time: accounted
+  EXPECT_GT(video_adus, 40u);                      // FEC keeps losses low
+}
+
+}  // namespace
+}  // namespace ngp

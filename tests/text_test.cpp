@@ -1,0 +1,76 @@
+// Tests for the network-ASCII text codec (footnote 1 of the paper).
+#include <gtest/gtest.h>
+
+#include "presentation/text.h"
+#include "util/rng.h"
+
+namespace ngp::text {
+namespace {
+
+ByteBuffer bytes(const char* s) { return ByteBuffer::from_string(s); }
+
+TEST(TextCodec, LfBecomesCrlf) {
+  EXPECT_EQ(to_network(bytes("a\nb\n").span()), bytes("a\r\nb\r\n"));
+}
+
+TEST(TextCodec, ExistingCrlfUntouched) {
+  EXPECT_EQ(to_network(bytes("a\r\nb").span()), bytes("a\r\nb"));
+}
+
+TEST(TextCodec, LoneCrPreserved) {
+  EXPECT_EQ(to_network(bytes("a\rb").span()), bytes("a\rb"));
+  EXPECT_EQ(from_network(bytes("a\rb").span()), bytes("a\rb"));
+}
+
+TEST(TextCodec, FromNetworkStripsCrOfCrlf) {
+  EXPECT_EQ(from_network(bytes("line1\r\nline2\r\n").span()), bytes("line1\nline2\n"));
+}
+
+TEST(TextCodec, EmptyAndNoNewlines) {
+  EXPECT_TRUE(to_network({}).empty());
+  EXPECT_EQ(to_network(bytes("plain").span()), bytes("plain"));
+  EXPECT_EQ(from_network(bytes("plain").span()), bytes("plain"));
+}
+
+TEST(TextCodec, LeadingNewline) {
+  EXPECT_EQ(to_network(bytes("\nx").span()), bytes("\r\nx"));
+}
+
+TEST(TextCodec, SizePredictionMatches) {
+  for (const char* s : {"", "\n", "a\nb", "a\r\n", "\n\n\n", "mixed\r\nand\n"}) {
+    EXPECT_EQ(network_size(bytes(s).span()), to_network(bytes(s).span()).size()) << s;
+  }
+}
+
+TEST(TextCodec, SizeChangesAcrossConversion) {
+  // The presentation-layer property §5 hinges on: output size differs from
+  // input size, so byte offsets shift across the layer.
+  auto local = bytes("1\n2\n3\n");
+  EXPECT_EQ(to_network(local.span()).size(), local.size() + 3);
+}
+
+TEST(TextCodec, RoundTripLocalToNetworkToLocal) {
+  Rng rng(1);
+  for (int iter = 0; iter < 50; ++iter) {
+    // Random printable text with scattered LFs (no bare CRs: local form).
+    ByteBuffer local(rng.uniform(500));
+    for (std::size_t i = 0; i < local.size(); ++i) {
+      const auto r = rng.uniform(20);
+      local[i] = r == 0 ? std::uint8_t{0x0A}
+                        : static_cast<std::uint8_t>(0x20 + rng.uniform(95));
+    }
+    ByteBuffer network = to_network(local.span());
+    EXPECT_TRUE(is_network_form(network.span()));
+    EXPECT_EQ(from_network(network.span()), local);
+  }
+}
+
+TEST(TextCodec, IsNetworkForm) {
+  EXPECT_TRUE(is_network_form(bytes("a\r\nb").span()));
+  EXPECT_TRUE(is_network_form(bytes("no newlines").span()));
+  EXPECT_FALSE(is_network_form(bytes("bare\nlf").span()));
+  EXPECT_FALSE(is_network_form(bytes("\n").span()));
+}
+
+}  // namespace
+}  // namespace ngp::text

@@ -1,0 +1,436 @@
+// Tests for src/util: buffers, wire codecs, Result, RNG, stats, event loop.
+#include <gtest/gtest.h>
+
+#include "util/bytes.h"
+#include "util/event_loop.h"
+#include "util/result.h"
+#include "util/rng.h"
+#include "util/sim_clock.h"
+#include "util/stats.h"
+
+namespace ngp {
+namespace {
+
+// ---- ByteBuffer ------------------------------------------------------------
+
+TEST(ByteBuffer, DefaultIsEmpty) {
+  ByteBuffer b;
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.size(), 0u);
+}
+
+TEST(ByteBuffer, SizedConstructionZeroFills) {
+  ByteBuffer b(16);
+  ASSERT_EQ(b.size(), 16u);
+  for (std::size_t i = 0; i < b.size(); ++i) EXPECT_EQ(b[i], 0u);
+}
+
+TEST(ByteBuffer, FromStringKeepsBytes) {
+  auto b = ByteBuffer::from_string("abc");
+  ASSERT_EQ(b.size(), 3u);
+  EXPECT_EQ(b[0], 'a');
+  EXPECT_EQ(b[2], 'c');
+}
+
+TEST(ByteBuffer, DataIs64ByteAligned) {
+  for (std::size_t n : {1u, 7u, 64u, 1000u}) {
+    ByteBuffer b(n);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b.data()) % 64, 0u) << n;
+  }
+}
+
+TEST(ByteBuffer, AppendGrowsAndPreserves) {
+  ByteBuffer b;
+  b.append(std::uint8_t{1});
+  auto tail = ByteBuffer::from_string("xy");
+  b.append(tail.span());
+  ASSERT_EQ(b.size(), 3u);
+  EXPECT_EQ(b[0], 1u);
+  EXPECT_EQ(b[1], 'x');
+  EXPECT_EQ(b[2], 'y');
+}
+
+TEST(ByteBuffer, SubspanClampsToEnd) {
+  ByteBuffer b(10);
+  EXPECT_EQ(b.subspan(4, 100).size(), 6u);
+  EXPECT_EQ(b.subspan(10, 1).size(), 0u);
+  EXPECT_EQ(b.subspan(99, 1).size(), 0u);
+}
+
+TEST(ByteBuffer, EqualityIsByContent) {
+  auto a = ByteBuffer::from_string("same");
+  auto b = ByteBuffer::from_string("same");
+  auto c = ByteBuffer::from_string("diff");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+// ---- Hex -------------------------------------------------------------------
+
+TEST(Hex, RoundTrip) {
+  auto b = ByteBuffer::from_string("\x00\xff\x10 Az");
+  EXPECT_EQ(from_hex(to_hex(b.span())), b);
+}
+
+TEST(Hex, KnownEncoding) {
+  std::uint8_t raw[] = {0xde, 0xad, 0xbe, 0xef};
+  EXPECT_EQ(to_hex({raw, 4}), "deadbeef");
+}
+
+TEST(Hex, RejectsOddLength) { EXPECT_TRUE(from_hex("abc").empty()); }
+
+TEST(Hex, RejectsNonHex) { EXPECT_TRUE(from_hex("zz").empty()); }
+
+TEST(Hex, AcceptsUppercase) {
+  auto b = from_hex("DEADBEEF");
+  ASSERT_EQ(b.size(), 4u);
+  EXPECT_EQ(b[0], 0xde);
+}
+
+// ---- WireWriter / WireReader -----------------------------------------------
+
+TEST(Wire, WriteReadRoundTripAllWidths) {
+  ByteBuffer buf;
+  WireWriter w(buf);
+  w.u8(0xAB);
+  w.u16(0x1234);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFull);
+
+  WireReader r(buf.span());
+  std::uint8_t a = 0;
+  std::uint16_t b = 0;
+  std::uint32_t c = 0;
+  std::uint64_t d = 0;
+  ASSERT_TRUE(r.u8(a));
+  ASSERT_TRUE(r.u16(b));
+  ASSERT_TRUE(r.u32(c));
+  ASSERT_TRUE(r.u64(d));
+  EXPECT_EQ(a, 0xAB);
+  EXPECT_EQ(b, 0x1234);
+  EXPECT_EQ(c, 0xDEADBEEF);
+  EXPECT_EQ(d, 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(Wire, BigEndianOnTheWire) {
+  ByteBuffer buf;
+  WireWriter w(buf);
+  w.u32(0x01020304);
+  ASSERT_EQ(buf.size(), 4u);
+  EXPECT_EQ(buf[0], 0x01);
+  EXPECT_EQ(buf[3], 0x04);
+}
+
+TEST(Wire, ShortReadFailsWithoutAdvancing) {
+  ByteBuffer buf;
+  WireWriter w(buf);
+  w.u16(7);
+  WireReader r(buf.span());
+  std::uint32_t v = 0;
+  EXPECT_FALSE(r.u32(v));
+  EXPECT_EQ(r.position(), 0u);
+  std::uint16_t ok = 0;
+  EXPECT_TRUE(r.u16(ok));
+  EXPECT_EQ(ok, 7);
+}
+
+TEST(Wire, BytesViewsUnderlyingInput) {
+  ByteBuffer buf = ByteBuffer::from_string("hello world");
+  WireReader r(buf.span());
+  ConstBytes view;
+  ASSERT_TRUE(r.bytes(5, view));
+  EXPECT_EQ(view.data(), buf.data());
+  EXPECT_EQ(view.size(), 5u);
+  EXPECT_EQ(r.rest().size(), 6u);
+}
+
+TEST(Wire, ByteswapHelpers) {
+  EXPECT_EQ(byteswap32(0x01020304u), 0x04030201u);
+  EXPECT_EQ(byteswap64(0x0102030405060708ull), 0x0807060504030201ull);
+  std::uint8_t be[4] = {0x12, 0x34, 0x56, 0x78};
+  EXPECT_EQ(load_u32_be(be), 0x12345678u);
+  std::uint8_t out[4];
+  store_u32_be(out, 0x12345678u);
+  EXPECT_EQ(memcmp(be, out, 4), 0);
+}
+
+// ---- Result / Status ---------------------------------------------------------
+
+TEST(Result, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r(ErrorCode::kTruncated, "short");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, ErrorCode::kTruncated);
+  EXPECT_EQ(r.error().to_string(), "truncated: short");
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.is_ok());
+  EXPECT_EQ(s.to_string(), "ok");
+}
+
+TEST(Status, CarriesError) {
+  Status s(ErrorCode::kChecksumMismatch);
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), ErrorCode::kChecksumMismatch);
+}
+
+TEST(Result, EveryErrorCodeHasName) {
+  for (int c = 0; c <= static_cast<int>(ErrorCode::kLimitExceeded); ++c) {
+    EXPECT_STRNE(error_code_name(static_cast<ErrorCode>(c)), "unknown");
+  }
+}
+
+// ---- Rng ---------------------------------------------------------------------
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformRespectsBound) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(r.uniform(10), 10u);
+  EXPECT_EQ(r.uniform(0), 0u);
+  EXPECT_EQ(r.uniform(1), 0u);
+}
+
+TEST(Rng, UniformRangeInclusive) {
+  Rng r(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    auto v = r.uniform_range(3, 5);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 5u);
+    saw_lo |= v == 3;
+    saw_hi |= v == 5;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng r(9);
+  for (int i = 0; i < 1000; ++i) {
+    double u = r.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng r(11);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += r.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng r(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.bernoulli(0.0));
+    EXPECT_TRUE(r.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng r(13);
+  double sum = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(5.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.3);
+}
+
+TEST(Rng, FillCoversAllLengths) {
+  Rng r(17);
+  for (std::size_t len : {0u, 1u, 7u, 8u, 9u, 31u, 64u}) {
+    ByteBuffer b(len);
+    r.fill(b.span());
+    if (len >= 16) {
+      // Overwhelmingly unlikely to stay all-zero.
+      bool nonzero = false;
+      for (std::size_t i = 0; i < len; ++i) nonzero |= b[i] != 0;
+      EXPECT_TRUE(nonzero);
+    }
+  }
+}
+
+TEST(Rng, ForkIndependent) {
+  Rng a(21);
+  Rng b = a.fork();
+  EXPECT_NE(a.next(), b.next());
+}
+
+// ---- Stats -------------------------------------------------------------------
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStats, KnownMoments) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 0.001);  // sample stddev
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(Percentiles, NearestRank) {
+  Percentiles p;
+  for (int i = 1; i <= 100; ++i) p.add(i);
+  EXPECT_EQ(p.percentile(50), 50.0);
+  EXPECT_EQ(p.percentile(99), 99.0);
+  EXPECT_EQ(p.percentile(100), 100.0);
+  EXPECT_EQ(p.percentile(0), 1.0);
+}
+
+TEST(Histogram, BucketsAndOverflow) {
+  Histogram h(0, 10, 10);
+  h.add(-1);
+  h.add(0);
+  h.add(9.99);
+  h.add(10);
+  h.add(5);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(9), 1u);
+  EXPECT_EQ(h.bucket(5), 1u);
+  EXPECT_EQ(h.total(), 5u);
+}
+
+TEST(Stats, MegabitsPerSecond) {
+  EXPECT_DOUBLE_EQ(megabits_per_second(1'000'000, 1.0), 8.0);
+  EXPECT_DOUBLE_EQ(megabits_per_second(125'000, 1.0), 1.0);
+  EXPECT_EQ(megabits_per_second(100, 0.0), 0.0);
+}
+
+// ---- SimClock ------------------------------------------------------------------
+
+TEST(SimClock, Conversions) {
+  EXPECT_EQ(kSecond, 1'000'000'000);
+  EXPECT_DOUBLE_EQ(to_seconds(kSecond), 1.0);
+  EXPECT_EQ(from_seconds(0.5), 500 * kMillisecond);
+}
+
+TEST(SimClock, TransmissionTime) {
+  // 1500 bytes at 12 Mb/s = 1 ms.
+  EXPECT_EQ(transmission_time(1500, 12e6), kMillisecond);
+  EXPECT_EQ(transmission_time(1500, 0), 0);
+}
+
+// ---- EventLoop -------------------------------------------------------------------
+
+TEST(EventLoop, RunsInTimeOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.schedule_at(30, [&] { order.push_back(3); });
+  loop.schedule_at(10, [&] { order.push_back(1); });
+  loop.schedule_at(20, [&] { order.push_back(2); });
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(loop.now(), 30);
+}
+
+TEST(EventLoop, TieBreaksByInsertionOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    loop.schedule_at(42, [&order, i] { order.push_back(i); });
+  }
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventLoop, ScheduleAfterUsesNow) {
+  EventLoop loop;
+  SimTime seen = -1;
+  loop.schedule_at(100, [&] {
+    loop.schedule_after(50, [&] { seen = loop.now(); });
+  });
+  loop.run();
+  EXPECT_EQ(seen, 150);
+}
+
+TEST(EventLoop, PastTimesClampToNow) {
+  EventLoop loop;
+  loop.schedule_at(100, [] {});
+  loop.run();
+  SimTime seen = -1;
+  loop.schedule_at(5, [&] { seen = loop.now(); });  // in the past
+  loop.run();
+  EXPECT_EQ(seen, 100);
+}
+
+TEST(EventLoop, CancelPreventsExecution) {
+  EventLoop loop;
+  bool ran = false;
+  EventId id = loop.schedule_at(10, [&] { ran = true; });
+  EXPECT_TRUE(loop.cancel(id));
+  EXPECT_FALSE(loop.cancel(id));  // second cancel is a no-op
+  loop.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventLoop, RunUntilStopsAtBoundaryAndAdvancesClock) {
+  EventLoop loop;
+  int count = 0;
+  loop.schedule_at(10, [&] { ++count; });
+  loop.schedule_at(20, [&] { ++count; });
+  loop.schedule_at(30, [&] { ++count; });
+  EXPECT_EQ(loop.run_until(20), 2u);
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(loop.now(), 20);
+  loop.run();
+  EXPECT_EQ(count, 3);
+}
+
+TEST(EventLoop, EventsScheduledDuringRunExecute) {
+  EventLoop loop;
+  int depth = 0;
+  std::function<void()> recur = [&] {
+    if (++depth < 5) loop.schedule_after(10, recur);
+  };
+  loop.schedule_at(0, recur);
+  loop.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(loop.now(), 40);
+}
+
+TEST(EventLoop, StepExecutesExactlyOne) {
+  EventLoop loop;
+  int count = 0;
+  loop.schedule_at(1, [&] { ++count; });
+  loop.schedule_at(2, [&] { ++count; });
+  EXPECT_TRUE(loop.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(loop.step());
+  EXPECT_FALSE(loop.step());
+  EXPECT_EQ(count, 2);
+}
+
+}  // namespace
+}  // namespace ngp

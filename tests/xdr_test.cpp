@@ -1,0 +1,207 @@
+// Tests for src/presentation/xdr against RFC 1014 conventions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "presentation/xdr.h"
+#include "util/rng.h"
+
+namespace ngp::xdr {
+namespace {
+
+TEST(XdrWire, IntIsBigEndian4Bytes) {
+  ByteBuffer out;
+  XdrWriter w(out);
+  w.put_int(0x01020304);
+  EXPECT_EQ(to_hex(out.span()), "01020304");
+  out.clear();
+  w.put_int(-1);
+  EXPECT_EQ(to_hex(out.span()), "ffffffff");
+}
+
+TEST(XdrWire, HyperIs8Bytes) {
+  ByteBuffer out;
+  XdrWriter w(out);
+  w.put_hyper(0x0102030405060708);
+  EXPECT_EQ(to_hex(out.span()), "0102030405060708");
+}
+
+TEST(XdrWire, BoolIsFullWord) {
+  ByteBuffer out;
+  XdrWriter w(out);
+  w.put_bool(true);
+  w.put_bool(false);
+  EXPECT_EQ(to_hex(out.span()), "0000000100000000");
+}
+
+TEST(XdrWire, StringPaddedToFourBytes) {
+  ByteBuffer out;
+  XdrWriter w(out);
+  w.put_string("hi!");
+  // length 3, 'h' 'i' '!', one pad byte.
+  EXPECT_EQ(to_hex(out.span()), "0000000368692100");
+}
+
+TEST(XdrWire, OpaqueFixedPads) {
+  ByteBuffer out;
+  XdrWriter w(out);
+  std::uint8_t five[] = {1, 2, 3, 4, 5};
+  w.put_opaque_fixed({five, 5});
+  EXPECT_EQ(out.size(), 8u);
+  EXPECT_EQ(out[5], 0u);
+  EXPECT_EQ(out[7], 0u);
+}
+
+TEST(XdrRoundTrip, AllScalarTypes) {
+  ByteBuffer out;
+  XdrWriter w(out);
+  w.put_int(-42);
+  w.put_uint(0xDEADBEEF);
+  w.put_hyper(-123456789012345);
+  w.put_uhyper(0xFFFFFFFFFFFFFFFFull);
+  w.put_bool(true);
+  w.put_float(3.5f);
+  w.put_double(-2.25);
+
+  XdrReader r(out.span());
+  EXPECT_EQ(*r.get_int(), -42);
+  EXPECT_EQ(*r.get_uint(), 0xDEADBEEFu);
+  EXPECT_EQ(*r.get_hyper(), -123456789012345);
+  EXPECT_EQ(*r.get_uhyper(), 0xFFFFFFFFFFFFFFFFull);
+  EXPECT_TRUE(*r.get_bool());
+  EXPECT_EQ(*r.get_float(), 3.5f);
+  EXPECT_EQ(*r.get_double(), -2.25);
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(XdrRoundTrip, FloatSpecials) {
+  ByteBuffer out;
+  XdrWriter w(out);
+  w.put_double(std::numeric_limits<double>::infinity());
+  w.put_double(-0.0);
+  w.put_float(std::numeric_limits<float>::denorm_min());
+
+  XdrReader r(out.span());
+  EXPECT_TRUE(std::isinf(*r.get_double()));
+  const double neg_zero = *r.get_double();
+  EXPECT_EQ(neg_zero, 0.0);
+  EXPECT_TRUE(std::signbit(neg_zero));
+  EXPECT_EQ(*r.get_float(), std::numeric_limits<float>::denorm_min());
+}
+
+TEST(XdrRoundTrip, StringsIncludingEmpty) {
+  for (const std::string s : {"", "a", "abc", "exactly8", "padded-now?"}) {
+    ByteBuffer out;
+    XdrWriter w(out);
+    w.put_string(s);
+    EXPECT_EQ(out.size() % 4, 0u) << s;
+    XdrReader r(out.span());
+    auto got = r.get_string();
+    ASSERT_TRUE(got.ok()) << s;
+    EXPECT_EQ(*got, s);
+    EXPECT_TRUE(r.at_end());
+  }
+}
+
+TEST(XdrRoundTrip, OpaqueVariable) {
+  Rng rng(1);
+  for (std::size_t len : {0u, 1u, 3u, 4u, 5u, 100u, 1001u}) {
+    ByteBuffer payload(len);
+    rng.fill(payload.span());
+    ByteBuffer out;
+    XdrWriter w(out);
+    w.put_opaque(payload.span());
+    EXPECT_EQ(out.size(), 4 + len + pad4(len)) << len;
+    XdrReader r(out.span());
+    auto got = r.get_opaque();
+    ASSERT_TRUE(got.ok()) << len;
+    EXPECT_EQ(*got, payload) << len;
+  }
+}
+
+TEST(XdrRoundTrip, OpaqueViewIsZeroCopy) {
+  ByteBuffer out;
+  XdrWriter w(out);
+  auto payload = ByteBuffer::from_string("zero-copy");
+  w.put_opaque(payload.span());
+  XdrReader r(out.span());
+  auto view = r.get_opaque_view();
+  ASSERT_TRUE(view.ok());
+  EXPECT_GE(view->data(), out.data());
+  EXPECT_LT(view->data(), out.data() + out.size());
+}
+
+TEST(XdrErrors, TruncatedScalar) {
+  auto data = from_hex("0102");
+  XdrReader r(data.span());
+  EXPECT_EQ(r.get_int().error().code, ErrorCode::kTruncated);
+}
+
+TEST(XdrErrors, TruncatedOpaqueBody) {
+  ByteBuffer out;
+  XdrWriter w(out);
+  w.put_uint(100);  // claims 100 bytes, none follow
+  XdrReader r(out.span());
+  EXPECT_EQ(r.get_opaque().error().code, ErrorCode::kTruncated);
+}
+
+TEST(XdrErrors, BoolOutOfRange) {
+  ByteBuffer out;
+  XdrWriter w(out);
+  w.put_uint(2);
+  XdrReader r(out.span());
+  EXPECT_EQ(r.get_bool().error().code, ErrorCode::kMalformed);
+}
+
+TEST(XdrIntArray, RoundTrip) {
+  Rng rng(2);
+  for (std::size_t n : {0u, 1u, 3u, 100u, 4096u}) {
+    std::vector<std::int32_t> values(n);
+    for (auto& v : values) v = static_cast<std::int32_t>(rng.next());
+    ByteBuffer enc = encode_int_array(values);
+    EXPECT_EQ(enc.size(), 4 + 4 * n) << n;
+    auto dec = decode_int_array(enc.span());
+    ASSERT_TRUE(dec.ok()) << n;
+    EXPECT_EQ(*dec, values) << n;
+  }
+}
+
+TEST(XdrIntArray, WriterPathMatchesFastPath) {
+  std::vector<std::int32_t> values{1, -2, 300000, INT32_MIN};
+  ByteBuffer fast = encode_int_array(values);
+  ByteBuffer slow;
+  XdrWriter w(slow);
+  w.put_int_array(values);
+  EXPECT_EQ(fast, slow);
+  XdrReader r(slow.span());
+  auto got = r.get_int_array();
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, values);
+}
+
+TEST(XdrIntArray, TrailingGarbageRejected) {
+  std::vector<std::int32_t> values{1, 2};
+  ByteBuffer enc = encode_int_array(values);
+  enc.append(std::uint8_t{0});
+  EXPECT_EQ(decode_int_array(enc.span()).error().code, ErrorCode::kMalformed);
+}
+
+TEST(XdrIntArray, TruncatedArrayRejected) {
+  std::vector<std::int32_t> values{1, 2, 3};
+  ByteBuffer enc = encode_int_array(values);
+  EXPECT_EQ(decode_int_array(enc.span().subspan(0, enc.size() - 2)).error().code,
+            ErrorCode::kTruncated);
+}
+
+TEST(XdrPad4, Values) {
+  EXPECT_EQ(pad4(0), 0u);
+  EXPECT_EQ(pad4(1), 3u);
+  EXPECT_EQ(pad4(2), 2u);
+  EXPECT_EQ(pad4(3), 1u);
+  EXPECT_EQ(pad4(4), 0u);
+  EXPECT_EQ(pad4(5), 3u);
+}
+
+}  // namespace
+}  // namespace ngp::xdr
