@@ -1,0 +1,53 @@
+// adversary.h — protocol-aware adversarial frame forgery for FaultyPath.
+//
+// FaultyPath (netsim) mangles frames as opaque bytes; the attacks that
+// actually probe the receive path's resource bounds need valid-looking ALF
+// headers — a forged adu_len that asks for gigabytes, a fragment replayed
+// under a foreign session id, a stray id far outside the recovery window.
+// ChaosAdversary observes real fragments in flight and derives such frames
+// from them (correct magic, sealed header checksum), exactly the frames a
+// hostile or buggy substrate could synthesize without knowing any secret.
+//
+// Used by the chaos/robustness tests and bench_faults; lives in alf because
+// it speaks the wire format.
+#pragma once
+
+#include <cstdint>
+
+#include "alf/wire.h"
+#include "netsim/fault.h"
+
+namespace ngp::alf {
+
+/// What the forged frames claim, and how often each shape is produced
+/// (the adversary rotates deterministically through the enabled shapes).
+struct AdversaryConfig {
+  bool forge_len = true;        ///< fresh adu_id claiming `forged_adu_len` bytes
+  bool cross_session = true;    ///< same fragment under a foreign session id
+  bool conflicting_len = true;  ///< existing adu_id, contradictory adu_len
+  bool far_future_id = true;    ///< id far beyond the recovery window
+
+  std::uint32_t forged_adu_len = 0x80000000u;  ///< 2^31: the classic forged claim
+  std::uint16_t foreign_session_delta = 7;     ///< added to the observed session id
+  std::uint32_t far_id_delta = 1u << 24;       ///< added to the observed adu_id
+};
+
+/// Counts of each forged shape actually emitted (for test assertions).
+struct AdversaryStats {
+  std::uint64_t forged_len = 0;
+  std::uint64_t cross_session = 0;
+  std::uint64_t conflicting_len = 0;
+  std::uint64_t far_future_id = 0;
+};
+
+/// Builds an AdversaryFn for FaultyPath::set_adversary. The returned
+/// callable keeps a reference to `stats`; the caller owns both lifetimes.
+AdversaryFn make_chaos_adversary(AdversaryConfig config, AdversaryStats& stats);
+
+/// Forges a single fragment claiming `claimed_len` total ADU bytes with a
+/// tiny payload — the minimal "unbounded allocation" probe, usable without
+/// any observed traffic.
+ByteBuffer forge_len_fragment(std::uint16_t session, std::uint32_t adu_id,
+                              std::uint32_t claimed_len);
+
+}  // namespace ngp::alf

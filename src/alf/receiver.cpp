@@ -19,17 +19,52 @@ AlfReceiver::AlfReceiver(EventLoop& loop, NetPath& data_in, NetPath& feedback_ou
 
 void AlfReceiver::arm_timers() {
   if (cfg_.retransmit != RetransmitPolicy::kNone && !nack_timer_armed_ &&
-      !complete_fired_) {
+      !complete_fired_ && !failed_) {
     nack_timer_armed_ = true;
     loop_.schedule_after(cfg_.nack_delay, [this] { nack_scan(); });
   }
-  if (!progress_timer_armed_ && !complete_fired_) {
+  if (!progress_timer_armed_ && !complete_fired_ && !failed_) {
     progress_timer_armed_ = true;
     loop_.schedule_after(cfg_.progress_interval, [this] { send_progress(); });
   }
+  if (cfg_.stall_timeout > 0 && !watchdog_armed_ && !complete_fired_ && !failed_) {
+    watchdog_armed_ = true;
+    last_progress_mark_ = loop_.now();
+    watchdog_timer_ =
+        loop_.schedule_after(cfg_.stall_timeout, [this] { watchdog_tick(); });
+  }
+}
+
+void AlfReceiver::watchdog_tick() {
+  watchdog_timer_ = 0;
+  if (complete_fired_ || failed_) {
+    watchdog_armed_ = false;
+    return;
+  }
+  const SimDuration idle = loop_.now() - last_progress_mark_;
+  if (idle >= cfg_.stall_timeout) {
+    watchdog_armed_ = false;
+    fail_session();
+    return;
+  }
+  watchdog_timer_ = loop_.schedule_after(cfg_.stall_timeout - idle,
+                                         [this] { watchdog_tick(); });
+}
+
+void AlfReceiver::fail_session() {
+  failed_ = true;
+  ++stats_.watchdog_fired;
+  // Release everything: a failed session must hold no memory and schedule
+  // no further work. Ids are not individually reported — the session-level
+  // failure supersedes per-ADU loss reporting.
+  pending_.clear();
+  reassembly_bytes_ = 0;
+  nack_counts_.clear();
+  if (on_session_failed_) on_session_failed_();
 }
 
 void AlfReceiver::on_frame(ConstBytes frame) {
+  if (failed_) return;  // abandoned sessions ignore the substrate
   auto msg = decode_message(frame);
   if (!msg) {
     ++stats_.fragments_corrupt;
@@ -49,6 +84,23 @@ void AlfReceiver::on_frame(ConstBytes frame) {
 
 void AlfReceiver::on_data(const DataFragment& f) {
   ++stats_.fragments_received;
+
+  // Hostile-substrate validation BEFORE any resource is committed: the
+  // header's claims are attacker-controlled until the ADU checksum has
+  // spoken, so a claimed length or id outside the session's bounds is
+  // treated exactly like header damage.
+  if (f.adu_len > cfg_.max_adu_len) {
+    ++stats_.fragments_corrupt;
+    ++stats_.fragments_oversized;
+    return;
+  }
+  if (cfg_.adu_id_window > 0 &&
+      std::uint64_t{f.adu_id} > std::uint64_t{closed_prefix_} + cfg_.adu_id_window) {
+    ++stats_.fragments_corrupt;
+    ++stats_.fragments_out_of_window;
+    return;
+  }
+
   highest_seen_ = std::max(highest_seen_, f.adu_id);
   arm_timers();
 
@@ -60,6 +112,11 @@ void AlfReceiver::on_data(const DataFragment& f) {
   auto [it, inserted] = pending_.try_emplace(f.adu_id);
   Reassembly& r = it->second;
   if (inserted) {
+    if (!reserve_bytes(f.adu_id, f.adu_len)) {
+      pending_.erase(it);
+      ++stats_.fragments_dropped_mem;
+      return;
+    }
     r.name = f.name;
     r.syntax = f.syntax;
     r.flags = static_cast<std::uint8_t>(f.flags & ~kFlagFecParity);
@@ -68,8 +125,8 @@ void AlfReceiver::on_data(const DataFragment& f) {
     r.adu_len = f.adu_len;
     r.checksum = f.adu_checksum;
     r.buf.resize(f.adu_len);
-    stats_.reassembly_bytes_peak =
-        std::max(stats_.reassembly_bytes_peak, reassembly_bytes());
+    r.charged_bytes = f.adu_len;
+    note_progress();
   } else if (f.adu_len != r.adu_len) {
     return;  // inconsistent metadata: ignore the stray fragment
   }
@@ -88,9 +145,16 @@ void AlfReceiver::on_data(const DataFragment& f) {
 
   if (f.is_parity()) {
     // FEC parity: keep the block keyed by its group start; it is not ADU
-    // data, so the range map is untouched.
+    // data, so the range map is untouched. Parity blocks are memory too —
+    // charged against the same reassembly budget.
     if (!r.parity.contains(f.frag_off)) {
+      if (!reserve_bytes(f.adu_id, f.payload.size())) {
+        ++stats_.fragments_dropped_mem;
+        return;
+      }
       r.parity.emplace(f.frag_off, ByteBuffer(f.payload));
+      r.charged_bytes += f.payload.size();
+      note_progress();
     } else {
       ++stats_.fragments_duplicate;
     }
@@ -104,7 +168,11 @@ void AlfReceiver::on_data(const DataFragment& f) {
   const std::uint32_t start = f.frag_off;
   const std::uint32_t end = start + static_cast<std::uint32_t>(f.payload.size());
   copy_bytes(r.buf.data() + start, f.payload.data(), f.payload.size());
-  if (!merge_range(r, start, end)) ++stats_.fragments_duplicate;
+  if (merge_range(r, start, end)) {
+    note_progress();
+  } else {
+    ++stats_.fragments_duplicate;
+  }
 
   if (r.bytes_received == r.adu_len) {
     complete_adu(f.adu_id, r);
@@ -236,10 +304,12 @@ void AlfReceiver::complete_adu(std::uint32_t adu_id, Reassembly& r) {
     // recovery machinery re-fetch it — the ADU is the unit of error
     // recovery (§5). The id stays open, so the NACK scan re-requests it.
     ++stats_.adus_checksum_failed;
-    pending_.erase(adu_id);
+    release_pending(pending_.find(adu_id));
     return;
   }
-  auto node = pending_.extract(adu_id);
+  auto it = pending_.find(adu_id);
+  reassembly_bytes_ -= std::min(reassembly_bytes_, it->second.charged_bytes);
+  auto node = pending_.extract(it);
   deliver(adu_id, std::move(node.mapped()));
 }
 
@@ -264,11 +334,13 @@ void AlfReceiver::deliver(std::uint32_t adu_id, Reassembly&& r) {
 }
 
 void AlfReceiver::close_id(std::uint32_t adu_id) {
+  nack_counts_.erase(adu_id);  // bookkeeping for closed ids is dead weight
   closed_.insert(adu_id);
   while (closed_.contains(closed_prefix_ + 1)) {
     ++closed_prefix_;
     closed_.erase(closed_prefix_);  // the prefix representation covers it
   }
+  note_progress();
 }
 
 void AlfReceiver::abandon(std::uint32_t adu_id, const Reassembly* r) {
@@ -282,14 +354,60 @@ void AlfReceiver::abandon(std::uint32_t adu_id, const Reassembly* r) {
       on_adu_lost_(adu_id, generic_name(adu_id), /*name_known=*/false);
     }
   }
-  pending_.erase(adu_id);
+  release_pending(pending_.find(adu_id));
   check_complete();
 }
 
+void AlfReceiver::release_pending(std::map<std::uint32_t, Reassembly>::iterator it) {
+  if (it == pending_.end()) return;
+  reassembly_bytes_ -= std::min(reassembly_bytes_, it->second.charged_bytes);
+  pending_.erase(it);
+}
+
+void AlfReceiver::evict(std::map<std::uint32_t, Reassembly>::iterator it) {
+  // The evicted ADU's bytes are dropped but its id stays OPEN: the nack
+  // bookkeeping inherits the per-ADU recovery state, so the id is
+  // re-fetched from scratch (bounded by max_nacks like any other loss).
+  ++stats_.reassembly_evictions;
+  NackState& st = nack_counts_[it->first];
+  st.count = std::max(st.count, it->second.nacks);
+  st.next_at = std::max(st.next_at, it->second.next_nack_at);
+  release_pending(it);
+}
+
+bool AlfReceiver::reserve_bytes(std::uint32_t for_id, std::size_t need) {
+  if (cfg_.reassembly_bytes_limit == 0) {
+    reassembly_bytes_ += need;
+    stats_.reassembly_bytes_peak = std::max(stats_.reassembly_bytes_peak, reassembly_bytes_);
+    return true;
+  }
+  if (need > cfg_.reassembly_bytes_limit) return false;
+  while (reassembly_bytes_ + need > cfg_.reassembly_bytes_limit) {
+    // Oldest-incomplete first: the lowest id has waited longest for its
+    // holes and is the most likely casualty of a burst long past.
+    auto victim = pending_.begin();
+    if (victim != pending_.end() && victim->first == for_id) ++victim;
+    if (victim == pending_.end()) return false;
+    evict(victim);
+  }
+  reassembly_bytes_ += need;
+  stats_.reassembly_bytes_peak = std::max(stats_.reassembly_bytes_peak, reassembly_bytes_);
+  return true;
+}
+
 void AlfReceiver::nack_scan() {
+  if (failed_ || complete_fired_) {
+    nack_timer_armed_ = false;
+    return;
+  }
   // Collect ids in [1, horizon] that are neither closed nor fully here.
-  const std::uint32_t horizon =
-      expected_total_ > 0 ? expected_total_ : highest_seen_;
+  // The horizon is clamped to the id window so a forged DONE total cannot
+  // turn the scan into an unbounded walk or grow nack_counts_ without end.
+  std::uint32_t horizon = expected_total_ > 0 ? expected_total_ : highest_seen_;
+  if (cfg_.adu_id_window > 0) {
+    horizon = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+        horizon, std::uint64_t{closed_prefix_} + cfg_.adu_id_window));
+  }
   NackMessage m;
   m.session = cfg_.session_id;
   std::vector<std::uint32_t> to_abandon;
@@ -342,7 +460,7 @@ void AlfReceiver::nack_scan() {
 
   // Re-arm only while some known ADU is still outstanding; new arrivals
   // re-arm via arm_timers().
-  if (!complete_fired_ && recovery_work_remains()) {
+  if (!complete_fired_ && !failed_ && recovery_work_remains()) {
     loop_.schedule_after(cfg_.nack_retry, [this] { nack_scan(); });
   } else {
     nack_timer_armed_ = false;
@@ -350,6 +468,10 @@ void AlfReceiver::nack_scan() {
 }
 
 void AlfReceiver::send_progress() {
+  if (failed_) {
+    progress_timer_armed_ = false;
+    return;
+  }
   ProgressMessage m;
   m.session = cfg_.session_id;
   // "complete" here means CLOSED — delivered or consciously abandoned.
@@ -381,12 +503,19 @@ void AlfReceiver::send_progress() {
 
 void AlfReceiver::on_done(const DoneMessage& d) {
   expected_total_ = d.total_adus;
+  note_progress();  // learning the stream's extent is progress
   arm_timers();  // DONE may precede data (tiny streams, reordered paths)
   if (cfg_.retransmit == RetransmitPolicy::kNone) {
     // No recovery: everything not currently complete is lost; tell the
-    // application in its own terms and finish.
+    // application in its own terms and finish. The walk is clamped to the
+    // id window — a forged total cannot trigger an unbounded abandon loop.
+    std::uint32_t limit = expected_total_;
+    if (cfg_.adu_id_window > 0) {
+      limit = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+          limit, std::uint64_t{closed_prefix_} + cfg_.adu_id_window));
+    }
     std::vector<std::uint32_t> missing;
-    for (std::uint32_t id = closed_prefix_ + 1; id <= expected_total_; ++id) {
+    for (std::uint32_t id = closed_prefix_ + 1; id <= limit; ++id) {
       if (!is_closed(id)) missing.push_back(id);
     }
     for (std::uint32_t id : missing) {
@@ -401,6 +530,13 @@ void AlfReceiver::check_complete() {
   if (complete_fired_ || expected_total_ == 0) return;
   if (closed_count() < expected_total_) return;
   complete_fired_ = true;
+  // A completed session must not hold the event loop open: the pending
+  // watchdog check would only be a no-op that stretches simulated time.
+  if (watchdog_timer_ != 0) {
+    loop_.cancel(watchdog_timer_);
+    watchdog_timer_ = 0;
+    watchdog_armed_ = false;
+  }
   // One final report so the sender can retire its DONE-retry timer.
   ProgressMessage m;
   m.session = cfg_.session_id;
@@ -411,12 +547,6 @@ void AlfReceiver::check_complete() {
   feedback_out_.send(frame.span());
   ++stats_.progress_sent;
   if (on_complete_) on_complete_();
-}
-
-std::size_t AlfReceiver::reassembly_bytes() const {
-  std::size_t total = 0;
-  for (const auto& [id, r] : pending_) total += r.buf.size();
-  return total;
 }
 
 }  // namespace ngp::alf

@@ -45,6 +45,13 @@ struct ReceiverStats {
   std::uint64_t progress_sent = 0;
   std::uint64_t payload_bytes_delivered = 0;
   std::size_t reassembly_bytes_peak = 0;
+
+  // Hardened-path counters (hostile substrates; see SessionConfig bounds).
+  std::uint64_t fragments_oversized = 0;     ///< adu_len > max_adu_len (also corrupt)
+  std::uint64_t fragments_out_of_window = 0; ///< adu_id beyond window (also corrupt)
+  std::uint64_t fragments_dropped_mem = 0;   ///< no reassembly room even after eviction
+  std::uint64_t reassembly_evictions = 0;    ///< incomplete ADUs evicted for space
+  std::uint64_t watchdog_fired = 0;          ///< stall watchdog abandoned the session
 };
 
 /// ALF receiving endpoint for one association.
@@ -80,7 +87,15 @@ class AlfReceiver {
   /// delivered or abandoned.
   void set_on_complete(std::function<void()> fn) { on_complete_ = std::move(fn); }
 
+  /// Fires once if the stall watchdog abandons the session (no progress for
+  /// SessionConfig::stall_timeout): the application degrades gracefully
+  /// instead of hanging on a dead or hostile substrate.
+  void set_on_session_failed(std::function<void()> fn) {
+    on_session_failed_ = std::move(fn);
+  }
+
   bool complete() const noexcept { return complete_fired_; }
+  bool failed() const noexcept { return failed_; }
   std::uint32_t adus_delivered() const noexcept { return delivered_count_; }
   const ReceiverStats& stats() const noexcept { return stats_; }
 
@@ -98,6 +113,7 @@ class AlfReceiver {
     std::map<std::uint32_t, ByteBuffer> parity;     ///< group start -> block
     std::size_t bytes_received = 0;
     std::size_t frag_capacity = 0;  ///< inferred from the first fragment
+    std::size_t charged_bytes = 0;  ///< counted against reassembly_bytes_limit
     int nacks = 0;
     SimTime next_nack_at = 0;  ///< exponential backoff per ADU
   };
@@ -127,7 +143,20 @@ class AlfReceiver {
   void nack_scan();
   void send_progress();
   void check_complete();
-  std::size_t reassembly_bytes() const;
+  std::size_t reassembly_bytes() const noexcept { return reassembly_bytes_; }
+
+  /// Charges `need` bytes against reassembly_bytes_limit, evicting the
+  /// oldest incomplete ADUs (never `for_id`) to make room. False = no room.
+  bool reserve_bytes(std::uint32_t for_id, std::size_t need);
+  /// Drops an incomplete ADU's buffers; the id stays recoverable via NACK.
+  void evict(std::map<std::uint32_t, Reassembly>::iterator it);
+  /// Erases a pending entry and returns its memory charge to the pool.
+  void release_pending(std::map<std::uint32_t, Reassembly>::iterator it);
+  /// Records substantive forward progress (feeds the stall watchdog).
+  void note_progress() { last_progress_mark_ = loop_.now(); }
+  void watchdog_tick();
+  /// Stall watchdog verdict: abandon everything, tell the application once.
+  void fail_session();
 
   /// Marks an id delivered-or-abandoned and advances the closed prefix.
   void close_id(std::uint32_t adu_id);
@@ -144,9 +173,9 @@ class AlfReceiver {
         expected_total_ > 0 ? expected_total_ : highest_seen_;
     return closed_count() < horizon;
   }
-  /// True while the session has started but not completed.
+  /// True while the session has started but not completed or failed.
   bool session_active() const noexcept {
-    return !complete_fired_ && (highest_seen_ > 0 || !pending_.empty());
+    return !complete_fired_ && !failed_ && (highest_seen_ > 0 || !pending_.empty());
   }
   bool is_closed(std::uint32_t adu_id) const noexcept {
     return adu_id <= closed_prefix_ || closed_.contains(adu_id);
@@ -166,12 +195,18 @@ class AlfReceiver {
   std::uint32_t expected_total_ = 0;  ///< 0 until DONE arrives
   std::map<std::uint32_t, NackState> nack_counts_;  ///< ids never seen at all
   bool complete_fired_ = false;
+  bool failed_ = false;  ///< stall watchdog gave up; session is inert
+  std::size_t reassembly_bytes_ = 0;  ///< bytes charged across pending_
 
   // Maintenance timers are armed only while the session has open work, so
   // an idle or never-used association does not keep the event loop (or a
   // host's timer wheel) busy forever. Activity re-arms them.
   bool nack_timer_armed_ = false;
   bool progress_timer_armed_ = false;
+  bool watchdog_armed_ = false;
+  EventId watchdog_timer_ = 0;  ///< cancelled on completion so a finished
+                                ///< session leaves no event pending
+  SimTime last_progress_mark_ = 0;  ///< last substantive forward progress
 
   // Consumption-rate measurement for PROGRESS.
   std::uint64_t bytes_at_last_progress_ = 0;
@@ -180,6 +215,7 @@ class AlfReceiver {
   std::function<void(Adu&&)> on_adu_;
   std::function<void(std::uint32_t, const AduName&, bool)> on_adu_lost_;
   std::function<void()> on_complete_;
+  std::function<void()> on_session_failed_;
 };
 
 }  // namespace ngp::alf

@@ -33,6 +33,7 @@ ByteBuffer AlfSender::prepare_wire_payload(std::uint32_t adu_id, ConstBytes plai
 }
 
 Result<std::uint32_t> AlfSender::send_adu(const AduName& name, ConstBytes payload) {
+  if (failed_) return Error{ErrorCode::kClosed, "session failed (feedback watchdog)"};
   if (finished_) return Error{ErrorCode::kClosed, "finish() already called"};
   if (payload.empty()) return Error{ErrorCode::kOutOfRange, "empty ADU"};
   if (payload.size() > UINT32_MAX) return Error{ErrorCode::kOutOfRange, "ADU too large"};
@@ -109,6 +110,7 @@ void AlfSender::enqueue_adu_fragments(std::uint32_t adu_id, bool retransmit) {
 }
 
 void AlfSender::pump() {
+  if (failed_) return;
   // Paced transmission: at most one fragment per pacing interval; at line
   // rate (pace_bps == 0) drain the queue immediately — the link's own
   // serializer then provides the spacing.
@@ -143,7 +145,7 @@ void AlfSender::pump() {
 }
 
 void AlfSender::send_done() {
-  if (peer_complete_) return;
+  if (peer_complete_ || failed_) return;
   DoneMessage d;
   d.session = cfg_.session_id;
   d.total_adus = next_adu_id_ - 1;
@@ -201,8 +203,48 @@ void AlfSender::send_fragment(const PendingFragment& pf) {
 }
 
 void AlfSender::finish() {
+  if (failed_) return;
   finished_ = true;
   pump();
+  // From here on the sender is waiting on the receiver: NACKs to serve,
+  // then the DONE-ack. A dead feedback channel would leave it (and its
+  // retransmit buffers) waiting forever — the watchdog bounds that wait.
+  if (cfg_.stall_timeout > 0 && !watchdog_armed_ && !peer_complete_) {
+    watchdog_armed_ = true;
+    last_feedback_at_ = loop_.now();
+    watchdog_timer_ =
+        loop_.schedule_after(cfg_.stall_timeout, [this] { watchdog_tick(); });
+  }
+}
+
+void AlfSender::watchdog_tick() {
+  watchdog_timer_ = 0;
+  if (peer_complete_ || failed_) {
+    watchdog_armed_ = false;
+    return;
+  }
+  const SimDuration idle = loop_.now() - last_feedback_at_;
+  if (idle >= cfg_.stall_timeout) {
+    watchdog_armed_ = false;
+    fail_session();
+    return;
+  }
+  watchdog_timer_ = loop_.schedule_after(cfg_.stall_timeout - idle,
+                                         [this] { watchdog_tick(); });
+}
+
+void AlfSender::fail_session() {
+  failed_ = true;
+  ++stats_.watchdog_fired;
+  queue_.clear();
+  store_.clear();
+  names_.clear();
+  stats_.retransmit_buffer_bytes = 0;
+  if (done_timer_ != 0) {
+    loop_.cancel(done_timer_);
+    done_timer_ = 0;
+  }
+  if (on_session_failed_) on_session_failed_();
 }
 
 void AlfSender::release_adu(std::uint32_t adu_id) {
@@ -217,14 +259,17 @@ void AlfSender::release_adu(std::uint32_t adu_id) {
 }
 
 void AlfSender::on_feedback(ConstBytes frame) {
+  if (failed_) return;
   auto msg = decode_message(frame);
   if (!msg) return;
   if (msg->type == MessageType::kNack) {
     if (msg->nack.session != cfg_.session_id) return;
+    last_feedback_at_ = loop_.now();
     ++stats_.nacks_received;
     handle_nack(msg->nack);
   } else if (msg->type == MessageType::kProgress) {
     if (msg->progress.session != cfg_.session_id) return;
+    last_feedback_at_ = loop_.now();
     ++stats_.progress_received;
     // Out-of-band rate adaptation: if the receiver reports a drain rate
     // below our pacing rate, slow to it (plus headroom); never stall the
@@ -241,6 +286,12 @@ void AlfSender::on_feedback(ConstBytes frame) {
       if (done_timer_ != 0) {
         loop_.cancel(done_timer_);
         done_timer_ = 0;
+      }
+      // A retired session must not hold the event loop open.
+      if (watchdog_timer_ != 0) {
+        loop_.cancel(watchdog_timer_);
+        watchdog_timer_ = 0;
+        watchdog_armed_ = false;
       }
     } else if (done_sent_ && queue_.empty()) {
       send_done();

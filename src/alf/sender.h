@@ -44,6 +44,7 @@ struct SenderStats {
   std::uint64_t progress_received = 0;
   std::size_t retransmit_buffer_bytes = 0;
   std::size_t retransmit_buffer_peak = 0;
+  std::uint64_t watchdog_fired = 0;  ///< gave up on a dead feedback channel
 };
 
 /// Regenerates an ADU's payload on demand (policy kApplicationRecompute).
@@ -79,8 +80,17 @@ class AlfSender {
   /// knows the receiver no longer needs it). No-op for other policies.
   void release_adu(std::uint32_t adu_id);
 
+  /// Fires once if, after finish(), the feedback channel stays silent for
+  /// SessionConfig::stall_timeout: instead of waiting forever for the
+  /// DONE-ack, the sender releases its buffers and reports the failure.
+  void set_on_session_failed(std::function<void()> fn) {
+    on_session_failed_ = std::move(fn);
+  }
+
   /// True once all queued fragments (and DONE, if finished) have left.
   bool idle() const noexcept { return queue_.empty() && !pace_timer_armed_; }
+
+  bool failed() const noexcept { return failed_; }
 
   std::uint32_t next_adu_id() const noexcept { return next_adu_id_; }
   const SenderStats& stats() const noexcept { return stats_; }
@@ -124,12 +134,22 @@ class AlfSender {
 
   void send_done();
 
+  void watchdog_tick();
+  /// Dead-feedback verdict: release everything, tell the application once.
+  void fail_session();
+
   std::uint32_t next_adu_id_ = 1;  // 0 reserved
   bool finished_ = false;
   bool done_sent_ = false;
   bool peer_complete_ = false;  ///< receiver reported everything closed
+  bool failed_ = false;         ///< feedback watchdog gave up
   int done_retries_left_ = 8;  ///< bounded unsolicited DONE re-sends
   EventId done_timer_ = 0;     ///< pending retry (cancelled on completion)
+  bool watchdog_armed_ = false;
+  EventId watchdog_timer_ = 0;  ///< cancelled on DONE-ack so a completed
+                                ///< session leaves no event pending
+  SimTime last_feedback_at_ = 0;  ///< any valid feedback for our session
+  std::function<void()> on_session_failed_;
 
   // ADUs retained for retransmission (policy-dependent).
   std::map<std::uint32_t, BufferedAdu> store_;

@@ -64,6 +64,34 @@ struct SessionConfig {
 
   /// Sender: cap on buffered-for-retransmission bytes (policy kTransportBuffered).
   std::size_t retransmit_buffer_limit = 16 << 20;
+
+  // --- Hostile-substrate hardening (fault-injection work, DESIGN.md §5) ---
+  // Every fragment header is attacker-controlled input: a forged adu_len is
+  // one header away from unbounded allocation, a forged adu_id from
+  // unbounded bookkeeping. These bounds cap what any frame can commit the
+  // receiver to before its bytes have proven themselves.
+
+  /// Receiver: largest claimed adu_len accepted; fragments claiming more
+  /// are counted corrupt and dropped before any allocation.
+  std::uint32_t max_adu_len = 8 << 20;
+
+  /// Receiver: cap on total reassembly memory (ADU buffers + FEC parity)
+  /// across all pending ADUs. When a new ADU does not fit, the oldest
+  /// incomplete ADU is evicted (its id stays recoverable via NACK).
+  /// 0 = unlimited.
+  std::size_t reassembly_bytes_limit = 32 << 20;
+
+  /// Receiver: ADU ids are only accepted within this window above the
+  /// closed prefix, bounding the nack/closed bookkeeping sets and the NACK
+  /// scan range against forged far-future ids. 0 = unlimited.
+  std::uint32_t adu_id_window = 1 << 16;
+
+  /// Both ends: stall watchdog. A receiver session making no progress (no
+  /// new payload bytes, no ADU closed, no DONE news) for this long is
+  /// abandoned via on_session_failed; a finished sender hearing no feedback
+  /// for this long gives up waiting for the DONE-ack and releases its
+  /// buffers. 0 disables.
+  SimDuration stall_timeout = 30 * kSecond;
 };
 
 }  // namespace ngp::alf

@@ -1,0 +1,108 @@
+#include "netsim/fault.h"
+
+#include <algorithm>
+
+namespace ngp {
+
+FaultyPath::FaultyPath(EventLoop& loop, NetPath& inner, FaultPlan plan)
+    : loop_(loop), inner_(inner), plan_(std::move(plan)), rng_(plan_.seed) {
+  for (const auto& [when, frame] : plan_.scheduled_frames) {
+    loop_.schedule_at(when, [this, f = ByteBuffer(frame.span())] {
+      ++stats_.scheduled_injected;
+      deliver(f.span());
+    });
+  }
+}
+
+bool FaultyPath::in_outage() const noexcept {
+  if (plan_.outage_period <= 0 || plan_.outage_duration <= 0) return false;
+  const SimDuration down = std::min(plan_.outage_duration, plan_.outage_period);
+  const SimDuration phase = loop_.now() % plan_.outage_period;
+  return phase >= plan_.outage_period - down;
+}
+
+bool FaultyPath::send(ConstBytes frame) {
+  ++stats_.frames_offered;
+  if (in_outage()) {
+    // A flapped link accepts the frame and loses it: outages are silent at
+    // the sender, exactly like loss in flight.
+    ++stats_.outage_dropped;
+    return true;
+  }
+  return inner_.send(frame);
+}
+
+void FaultyPath::set_handler(FrameHandler handler) {
+  handler_ = std::move(handler);
+  inner_.set_handler([this](ConstBytes frame) { on_inner_delivery(frame); });
+}
+
+void FaultyPath::deliver(ConstBytes frame) {
+  ++stats_.frames_delivered;
+  if (handler_) handler_(frame);
+}
+
+void FaultyPath::on_inner_delivery(ConstBytes frame) {
+  ++stats_.frames_seen;
+  if (in_outage()) {
+    ++stats_.outage_dropped;
+    return;
+  }
+  if (rng_.bernoulli(plan_.blackhole_rate)) {
+    ++stats_.blackholed;
+    return;
+  }
+
+  // Pristine copy retained for replay (replays model the network repeating
+  // an old frame verbatim, not repeating our corruption of it).
+  history_.emplace_back(frame);
+  while (history_.size() > std::max<std::size_t>(plan_.replay_history, 1)) {
+    history_.pop_front();
+  }
+  if (rng_.bernoulli(plan_.replay_rate)) {
+    const auto pick = static_cast<std::size_t>(rng_.uniform(history_.size()));
+    ++stats_.replays;
+    loop_.schedule_after(std::max<SimDuration>(plan_.replay_delay, 0),
+                         [this, f = ByteBuffer(history_[pick].span())] {
+                           deliver(f.span());
+                         });
+  }
+
+  ByteBuffer forged;
+  if (adversary_ && rng_.bernoulli(plan_.adversary_rate)) {
+    forged = adversary_(frame, rng_);
+  }
+
+  ByteBuffer mangled(frame);
+  if (!mangled.empty() && rng_.bernoulli(plan_.header_byte_rate)) {
+    const std::size_t prefix = std::min(plan_.header_bytes, mangled.size());
+    const auto idx = static_cast<std::size_t>(rng_.uniform(std::max<std::size_t>(prefix, 1)));
+    mangled[idx] ^= static_cast<std::uint8_t>(rng_.uniform_range(1, 255));
+    ++stats_.header_mutations;
+  }
+  if (!mangled.empty() && rng_.bernoulli(plan_.payload_bitflip_rate)) {
+    const auto bit = static_cast<std::size_t>(rng_.uniform(mangled.size() * 8));
+    mangled[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    ++stats_.payload_bitflips;
+  }
+  if (!mangled.empty() && rng_.bernoulli(plan_.truncate_rate)) {
+    mangled.resize(static_cast<std::size_t>(rng_.uniform(mangled.size())));
+    ++stats_.truncations;
+  }
+  if (rng_.bernoulli(plan_.extend_rate)) {
+    const auto extra = static_cast<std::size_t>(
+        rng_.uniform_range(1, std::max<std::uint64_t>(plan_.extend_max, 1)));
+    ByteBuffer junk(extra);
+    rng_.fill(junk.span());
+    mangled.append(junk.span());
+    ++stats_.extensions;
+  }
+
+  deliver(mangled.span());
+  if (!forged.empty()) {
+    ++stats_.adversarial_injected;
+    deliver(forged.span());
+  }
+}
+
+}  // namespace ngp

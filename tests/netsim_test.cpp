@@ -242,6 +242,19 @@ TEST(LossModels, GilbertElliottSteadyState) {
   EXPECT_NEAR(static_cast<double>(drops) / n, expect, 0.01);
 }
 
+TEST(LossModels, GilbertElliottSteadyStateConvergesAtScale) {
+  // At 1M trials the empirical rate must sit well inside the 200k-trial
+  // tolerance above: the analytic steady_state_loss() is the true mean of
+  // the chain, not just an approximation.
+  Rng rng(7);
+  GilbertElliottLoss m(0.02, 0.25, 0.002, 0.4);
+  const double expect = m.steady_state_loss();
+  std::uint64_t drops = 0;
+  const int n = 1'000'000;
+  for (int i = 0; i < n; ++i) drops += m.drop(rng) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(drops) / n, expect, 0.003);
+}
+
 TEST(LossModels, GilbertElliottIsBursty) {
   // Compare run-length of losses against Bernoulli at the same average
   // rate: GE must produce longer loss bursts.

@@ -1,5 +1,6 @@
 // Adversarial / edge-case coverage: malformed and inconsistent inputs,
-// replay, session demux, and API misuse that must degrade gracefully.
+// replay, session demux, resource-bound enforcement, and API misuse that
+// must degrade gracefully. Shared path doubles live in test_paths.h.
 #include <gtest/gtest.h>
 
 #include <memory>
@@ -11,70 +12,15 @@
 #include "transport/stream_receiver.h"
 #include "util/rng.h"
 
+#include "test_paths.h"
+
 namespace ngp::alf {
 namespace {
 
-/// Synchronous in-process NetPath: send() delivers immediately. Lets tests
-/// inject hand-crafted frames without a simulator.
-class LoopbackPath final : public NetPath {
- public:
-  bool send(ConstBytes frame) override {
-    if (handler_) handler_(frame);
-    return true;
-  }
-  void set_handler(FrameHandler handler) override { handler_ = std::move(handler); }
-  std::size_t max_frame_size() const override { return 65535; }
-
- private:
-  FrameHandler handler_;
-};
-
-/// Sink path that records frames without delivering anywhere.
-class SinkPath final : public NetPath {
- public:
-  bool send(ConstBytes frame) override {
-    frames.push_back(ByteBuffer(frame));
-    return true;
-  }
-  void set_handler(FrameHandler) override {}
-  std::size_t max_frame_size() const override { return 65535; }
-
-  std::vector<ByteBuffer> frames;
-};
-
-DataFragment make_fragment(std::uint16_t session, std::uint32_t adu_id,
-                           ConstBytes payload, std::uint32_t adu_len,
-                           std::uint32_t off) {
-  DataFragment f;
-  f.session = session;
-  f.adu_id = adu_id;
-  f.name = generic_name(adu_id);
-  f.syntax = TransferSyntax::kRaw;
-  f.checksum_kind = ChecksumKind::kInternet;
-  f.adu_len = adu_len;
-  f.frag_off = off;
-  f.payload = payload;
-  return f;
-}
-
-struct ReceiverFixture {
-  EventLoop loop;
-  LoopbackPath data;
-  SinkPath feedback;
-  SessionConfig scfg;
-  std::unique_ptr<AlfReceiver> receiver;
-  std::vector<Adu> delivered;
-
-  explicit ReceiverFixture(SessionConfig cfg = {}) : scfg(cfg) {
-    receiver = std::make_unique<AlfReceiver>(loop, data, feedback, scfg);
-    receiver->set_on_adu([this](Adu&& a) { delivered.push_back(std::move(a)); });
-  }
-
-  void inject(const DataFragment& f) {
-    ByteBuffer frame = encode_fragment(f);
-    data.send(frame.span());
-  }
-};
+using ngp::test::LoopbackPath;
+using ngp::test::SinkPath;
+using ngp::test::make_fragment;
+using ngp::test::ReceiverFixture;
 
 TEST(ReceiverRobustness, WholeAduViaLoopback) {
   ReceiverFixture fx;
@@ -223,7 +169,213 @@ TEST(ReceiverRobustness, ZeroLengthFragmentRejectedByWire) {
   // checksum. Accept either outcome but require no crash and at most one
   // delivery of an empty ADU.
   EXPECT_LE(fx.delivered.size(), 1u);
-  if (!fx.delivered.empty()) EXPECT_TRUE(fx.delivered[0].payload.empty());
+  if (!fx.delivered.empty()) {
+    EXPECT_TRUE(fx.delivered[0].payload.empty());
+  }
+}
+
+// ---- Hardened receive path: resource bounds and the stall watchdog ----
+
+TEST(ReceiverHardening, ForgedHugeAduLenAllocatesNothing) {
+  // The acceptance case: a fragment claiming adu_len 2^31 passes the wire
+  // decoder (its offsets are internally consistent) but must be refused
+  // before a single byte of reassembly buffer is allocated.
+  ReceiverFixture fx;
+  ByteBuffer bait(64);
+  Rng rng(7);
+  rng.fill(bait.span());
+  auto f = make_fragment(1, 1, bait.span(), 0x80000000u, 0);
+  fx.inject(f);
+  EXPECT_TRUE(fx.delivered.empty());
+  EXPECT_EQ(fx.receiver->stats().fragments_oversized, 1u);
+  EXPECT_EQ(fx.receiver->stats().fragments_corrupt, 1u);
+  EXPECT_EQ(fx.receiver->stats().reassembly_bytes_peak, 0u);
+}
+
+TEST(ReceiverHardening, ClaimAboveConfiguredMaxRefused) {
+  SessionConfig cfg;
+  cfg.max_adu_len = 4096;
+  ReceiverFixture fx(cfg);
+  ByteBuffer piece(100);
+  auto f = make_fragment(1, 1, piece.span(), 8192, 0);
+  fx.inject(f);
+  EXPECT_EQ(fx.receiver->stats().fragments_oversized, 1u);
+  EXPECT_EQ(fx.receiver->stats().reassembly_bytes_peak, 0u);
+  // An honest claim under the cap still reassembles.
+  ByteBuffer ok = ByteBuffer::from_string("fits under the cap");
+  auto g = make_fragment(1, 2, ok.span(), static_cast<std::uint32_t>(ok.size()), 0);
+  g.adu_checksum = internet_checksum_unrolled(ok.span());
+  fx.inject(g);
+  ASSERT_EQ(fx.delivered.size(), 1u);
+}
+
+TEST(ReceiverHardening, FarFutureAduIdOutsideWindowRefused) {
+  SessionConfig cfg;
+  cfg.adu_id_window = 100;
+  ReceiverFixture fx(cfg);
+  ByteBuffer piece(16);
+  auto f = make_fragment(1, 5000, piece.span(), 16, 0);
+  f.adu_checksum = internet_checksum_unrolled(piece.span());
+  fx.inject(f);
+  EXPECT_TRUE(fx.delivered.empty());
+  EXPECT_EQ(fx.receiver->stats().fragments_out_of_window, 1u);
+  // Nothing was learned from it: no reassembly state, no NACK bookkeeping
+  // stretching toward id 5000.
+  EXPECT_EQ(fx.receiver->stats().reassembly_bytes_peak, 0u);
+}
+
+TEST(ReceiverHardening, MemoryPressureEvictsOldestIncomplete) {
+  SessionConfig cfg;
+  cfg.reassembly_bytes_limit = 10000;
+  ReceiverFixture fx(cfg);
+  ByteBuffer full(8000);
+  Rng rng(8);
+  rng.fill(full.span());
+  const auto ck = internet_checksum_unrolled(full.span());
+
+  // ADU 1: first half only — 8000 bytes charged, incomplete.
+  auto f1 = make_fragment(1, 1, full.subspan(0, 4000), 8000, 0);
+  f1.adu_checksum = ck;
+  fx.inject(f1);
+  EXPECT_EQ(fx.receiver->stats().reassembly_bytes_peak, 8000u);
+
+  // ADU 2 needs another 8000: over the 10000 cap, so ADU 1 (oldest
+  // incomplete) is evicted to make room.
+  auto f2 = make_fragment(1, 2, full.subspan(0, 4000), 8000, 0);
+  f2.adu_checksum = ck;
+  fx.inject(f2);
+  EXPECT_EQ(fx.receiver->stats().reassembly_evictions, 1u);
+  EXPECT_LE(fx.receiver->stats().reassembly_bytes_peak, cfg.reassembly_bytes_limit);
+
+  // Both ADUs still complete once their bytes (re)arrive: eviction reclaims
+  // memory, not correctness — the id stays recoverable.
+  auto f2b = make_fragment(1, 2, full.subspan(4000, 4000), 8000, 4000);
+  f2b.adu_checksum = ck;
+  fx.inject(f2b);
+  auto f1a = make_fragment(1, 1, full.subspan(0, 4000), 8000, 0);
+  f1a.adu_checksum = ck;
+  auto f1b = make_fragment(1, 1, full.subspan(4000, 4000), 8000, 4000);
+  f1b.adu_checksum = ck;
+  fx.inject(f1a);
+  fx.inject(f1b);
+  ASSERT_EQ(fx.delivered.size(), 2u);
+  EXPECT_EQ(fx.delivered[0].payload, full);
+  EXPECT_EQ(fx.delivered[1].payload, full);
+  EXPECT_LE(fx.receiver->stats().reassembly_bytes_peak, cfg.reassembly_bytes_limit);
+}
+
+TEST(ReceiverHardening, AduLargerThanWholeBudgetDropped) {
+  SessionConfig cfg;
+  cfg.reassembly_bytes_limit = 1000;
+  ReceiverFixture fx(cfg);
+  ByteBuffer piece(100);
+  auto f = make_fragment(1, 1, piece.span(), 5000, 0);
+  fx.inject(f);
+  EXPECT_EQ(fx.receiver->stats().fragments_dropped_mem, 1u);
+  EXPECT_EQ(fx.receiver->stats().reassembly_bytes_peak, 0u);
+}
+
+TEST(ReceiverHardening, StallWatchdogAbandonsDeadSession) {
+  SessionConfig cfg;
+  cfg.stall_timeout = 200 * kMillisecond;
+  cfg.max_nacks = 2;
+  cfg.nack_delay = 10 * kMillisecond;
+  cfg.nack_retry = 10 * kMillisecond;
+  ReceiverFixture fx(cfg);
+  int failures = 0;
+  fx.receiver->set_on_session_failed([&] { ++failures; });
+
+  // Half an ADU arrives, then the substrate goes dark. Without the
+  // watchdog the progress heartbeat would tick forever; with it, run()
+  // terminates — "watchdog or completion always fires".
+  ByteBuffer full(2000);
+  Rng rng(9);
+  rng.fill(full.span());
+  auto f = make_fragment(1, 1, full.subspan(0, 1000), 2000, 0);
+  f.adu_checksum = internet_checksum_unrolled(full.span());
+  fx.inject(f);
+  fx.loop.run();
+
+  EXPECT_TRUE(fx.receiver->failed());
+  EXPECT_EQ(failures, 1);
+  EXPECT_EQ(fx.receiver->stats().watchdog_fired, 1u);
+  EXPECT_TRUE(fx.delivered.empty());
+  // A failed session holds no memory and ignores late frames.
+  fx.inject(f);
+  EXPECT_EQ(fx.receiver->stats().watchdog_fired, 1u);
+  EXPECT_TRUE(fx.delivered.empty());
+}
+
+TEST(SenderHardening, DeadFeedbackChannelTriggersFallback) {
+  EventLoop loop;
+  SinkPath data_out;       // fragments vanish downstream
+  LoopbackPath feedback;   // nothing ever speaks on it
+  SessionConfig cfg;
+  cfg.stall_timeout = 200 * kMillisecond;
+  AlfSender sender(loop, data_out, feedback, cfg);
+  int failures = 0;
+  sender.set_on_session_failed([&] { ++failures; });
+
+  ByteBuffer payload(4096);
+  Rng rng(10);
+  rng.fill(payload.span());
+  ASSERT_TRUE(sender.send_adu(generic_name(1), payload.span()).ok());
+  sender.finish();
+  loop.run();  // terminates: the watchdog bounds the DONE-ack wait
+
+  EXPECT_TRUE(sender.failed());
+  EXPECT_EQ(failures, 1);
+  EXPECT_EQ(sender.stats().watchdog_fired, 1u);
+  EXPECT_EQ(sender.stats().retransmit_buffer_bytes, 0u);
+  // Further sends are refused instead of silently buffered.
+  EXPECT_FALSE(sender.send_adu(generic_name(2), payload.span()).ok());
+}
+
+TEST(SenderHardening, LiveFeedbackNeverTripsWatchdog) {
+  EventLoop loop;
+  LoopbackPath data;
+  LoopbackPath feedback;
+  SessionConfig cfg;
+  cfg.stall_timeout = 150 * kMillisecond;
+  AlfSender sender(loop, data, feedback, cfg);
+  AlfReceiver receiver(loop, data, feedback, cfg);
+  int delivered = 0;
+  receiver.set_on_adu([&](Adu&&) { ++delivered; });
+
+  ByteBuffer payload(1000);
+  Rng rng(11);
+  rng.fill(payload.span());
+  ASSERT_TRUE(sender.send_adu(generic_name(1), payload.span()).ok());
+  sender.finish();
+  loop.run();
+
+  EXPECT_EQ(delivered, 1);
+  EXPECT_FALSE(sender.failed());
+  EXPECT_FALSE(receiver.failed());
+  EXPECT_TRUE(receiver.complete());
+  EXPECT_EQ(sender.stats().watchdog_fired, 0u);
+  EXPECT_EQ(receiver.stats().watchdog_fired, 0u);
+}
+
+TEST(ReceiverHardening, NackBookkeepingErasedOnClose) {
+  // Regression guard for the nack_counts_ leak: once an id closes, its
+  // never-seen bookkeeping must go with it (observable as no further NACKs
+  // for it after abandonment).
+  SessionConfig cfg;
+  cfg.max_nacks = 2;
+  cfg.nack_delay = 10 * kMillisecond;
+  cfg.nack_retry = 10 * kMillisecond;
+  cfg.stall_timeout = kSecond;
+  ReceiverFixture fx(cfg);
+  ByteBuffer payload = ByteBuffer::from_string("id 2 arrives, id 1 never");
+  auto f = make_fragment(1, 2, payload.span(),
+                         static_cast<std::uint32_t>(payload.size()), 0);
+  f.adu_checksum = internet_checksum_unrolled(payload.span());
+  fx.inject(f);
+  fx.loop.run_until(500 * kMillisecond);
+  const auto nacks_after_abandon = fx.receiver->stats().nacks_sent;
+  fx.loop.run_until(900 * kMillisecond);
+  EXPECT_EQ(fx.receiver->stats().nacks_sent, nacks_after_abandon);
 }
 
 }  // namespace
