@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_alf_loss.dir/bench_alf_loss.cpp.o"
+  "CMakeFiles/bench_alf_loss.dir/bench_alf_loss.cpp.o.d"
+  "bench_alf_loss"
+  "bench_alf_loss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_alf_loss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cells.dir/bench_cells.cpp.o"
+  "CMakeFiles/bench_cells.dir/bench_cells.cpp.o.d"
+  "bench_cells"
+  "bench_cells.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cells.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_faults.cpp" "bench/CMakeFiles/bench_faults.dir/bench_faults.cpp.o" "gcc" "bench/CMakeFiles/bench_faults.dir/bench_faults.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/alf/CMakeFiles/ngp_alf.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/transport/CMakeFiles/ngp_transport.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/netsim/CMakeFiles/ngp_netsim.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/presentation/CMakeFiles/ngp_presentation.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/ilp/CMakeFiles/ngp_ilp.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/crypto/CMakeFiles/ngp_crypto.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/checksum/CMakeFiles/ngp_checksum.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/util/CMakeFiles/ngp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ilp_fusion.dir/bench_ilp_fusion.cpp.o"
+  "CMakeFiles/bench_ilp_fusion.dir/bench_ilp_fusion.cpp.o.d"
+  "bench_ilp_fusion"
+  "bench_ilp_fusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ilp_fusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_presentation.dir/bench_presentation.cpp.o"
+  "CMakeFiles/bench_presentation.dir/bench_presentation.cpp.o.d"
+  "bench_presentation"
+  "bench_presentation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_presentation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpc.dir/rpc.cpp.o"
+  "CMakeFiles/rpc.dir/rpc.cpp.o.d"
+  "rpc"
+  "rpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/text_over_fiber.dir/text_over_fiber.cpp.o"
+  "CMakeFiles/text_over_fiber.dir/text_over_fiber.cpp.o.d"
+  "text_over_fiber"
+  "text_over_fiber.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/text_over_fiber.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

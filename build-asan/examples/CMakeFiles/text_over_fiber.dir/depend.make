@@ -1,0 +1,2 @@
+# Empty dependencies file for text_over_fiber.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/alf/adu.cpp" "src/alf/CMakeFiles/ngp_alf.dir/adu.cpp.o" "gcc" "src/alf/CMakeFiles/ngp_alf.dir/adu.cpp.o.d"
+  "/root/repo/src/alf/adversary.cpp" "src/alf/CMakeFiles/ngp_alf.dir/adversary.cpp.o" "gcc" "src/alf/CMakeFiles/ngp_alf.dir/adversary.cpp.o.d"
+  "/root/repo/src/alf/association.cpp" "src/alf/CMakeFiles/ngp_alf.dir/association.cpp.o" "gcc" "src/alf/CMakeFiles/ngp_alf.dir/association.cpp.o.d"
+  "/root/repo/src/alf/fec.cpp" "src/alf/CMakeFiles/ngp_alf.dir/fec.cpp.o" "gcc" "src/alf/CMakeFiles/ngp_alf.dir/fec.cpp.o.d"
+  "/root/repo/src/alf/file_sink.cpp" "src/alf/CMakeFiles/ngp_alf.dir/file_sink.cpp.o" "gcc" "src/alf/CMakeFiles/ngp_alf.dir/file_sink.cpp.o.d"
+  "/root/repo/src/alf/negotiate.cpp" "src/alf/CMakeFiles/ngp_alf.dir/negotiate.cpp.o" "gcc" "src/alf/CMakeFiles/ngp_alf.dir/negotiate.cpp.o.d"
+  "/root/repo/src/alf/receiver.cpp" "src/alf/CMakeFiles/ngp_alf.dir/receiver.cpp.o" "gcc" "src/alf/CMakeFiles/ngp_alf.dir/receiver.cpp.o.d"
+  "/root/repo/src/alf/router.cpp" "src/alf/CMakeFiles/ngp_alf.dir/router.cpp.o" "gcc" "src/alf/CMakeFiles/ngp_alf.dir/router.cpp.o.d"
+  "/root/repo/src/alf/sender.cpp" "src/alf/CMakeFiles/ngp_alf.dir/sender.cpp.o" "gcc" "src/alf/CMakeFiles/ngp_alf.dir/sender.cpp.o.d"
+  "/root/repo/src/alf/striper.cpp" "src/alf/CMakeFiles/ngp_alf.dir/striper.cpp.o" "gcc" "src/alf/CMakeFiles/ngp_alf.dir/striper.cpp.o.d"
+  "/root/repo/src/alf/video_sink.cpp" "src/alf/CMakeFiles/ngp_alf.dir/video_sink.cpp.o" "gcc" "src/alf/CMakeFiles/ngp_alf.dir/video_sink.cpp.o.d"
+  "/root/repo/src/alf/wire.cpp" "src/alf/CMakeFiles/ngp_alf.dir/wire.cpp.o" "gcc" "src/alf/CMakeFiles/ngp_alf.dir/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/util/CMakeFiles/ngp_util.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/checksum/CMakeFiles/ngp_checksum.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/crypto/CMakeFiles/ngp_crypto.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/ilp/CMakeFiles/ngp_ilp.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/presentation/CMakeFiles/ngp_presentation.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/netsim/CMakeFiles/ngp_netsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

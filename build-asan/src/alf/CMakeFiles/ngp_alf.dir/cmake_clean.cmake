@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ngp_alf.dir/adu.cpp.o"
+  "CMakeFiles/ngp_alf.dir/adu.cpp.o.d"
+  "CMakeFiles/ngp_alf.dir/adversary.cpp.o"
+  "CMakeFiles/ngp_alf.dir/adversary.cpp.o.d"
+  "CMakeFiles/ngp_alf.dir/association.cpp.o"
+  "CMakeFiles/ngp_alf.dir/association.cpp.o.d"
+  "CMakeFiles/ngp_alf.dir/fec.cpp.o"
+  "CMakeFiles/ngp_alf.dir/fec.cpp.o.d"
+  "CMakeFiles/ngp_alf.dir/file_sink.cpp.o"
+  "CMakeFiles/ngp_alf.dir/file_sink.cpp.o.d"
+  "CMakeFiles/ngp_alf.dir/negotiate.cpp.o"
+  "CMakeFiles/ngp_alf.dir/negotiate.cpp.o.d"
+  "CMakeFiles/ngp_alf.dir/receiver.cpp.o"
+  "CMakeFiles/ngp_alf.dir/receiver.cpp.o.d"
+  "CMakeFiles/ngp_alf.dir/router.cpp.o"
+  "CMakeFiles/ngp_alf.dir/router.cpp.o.d"
+  "CMakeFiles/ngp_alf.dir/sender.cpp.o"
+  "CMakeFiles/ngp_alf.dir/sender.cpp.o.d"
+  "CMakeFiles/ngp_alf.dir/striper.cpp.o"
+  "CMakeFiles/ngp_alf.dir/striper.cpp.o.d"
+  "CMakeFiles/ngp_alf.dir/video_sink.cpp.o"
+  "CMakeFiles/ngp_alf.dir/video_sink.cpp.o.d"
+  "CMakeFiles/ngp_alf.dir/wire.cpp.o"
+  "CMakeFiles/ngp_alf.dir/wire.cpp.o.d"
+  "libngp_alf.a"
+  "libngp_alf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ngp_alf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

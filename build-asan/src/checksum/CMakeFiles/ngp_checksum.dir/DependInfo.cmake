@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/checksum/adler.cpp" "src/checksum/CMakeFiles/ngp_checksum.dir/adler.cpp.o" "gcc" "src/checksum/CMakeFiles/ngp_checksum.dir/adler.cpp.o.d"
+  "/root/repo/src/checksum/checksum.cpp" "src/checksum/CMakeFiles/ngp_checksum.dir/checksum.cpp.o" "gcc" "src/checksum/CMakeFiles/ngp_checksum.dir/checksum.cpp.o.d"
+  "/root/repo/src/checksum/crc32.cpp" "src/checksum/CMakeFiles/ngp_checksum.dir/crc32.cpp.o" "gcc" "src/checksum/CMakeFiles/ngp_checksum.dir/crc32.cpp.o.d"
+  "/root/repo/src/checksum/fletcher.cpp" "src/checksum/CMakeFiles/ngp_checksum.dir/fletcher.cpp.o" "gcc" "src/checksum/CMakeFiles/ngp_checksum.dir/fletcher.cpp.o.d"
+  "/root/repo/src/checksum/internet.cpp" "src/checksum/CMakeFiles/ngp_checksum.dir/internet.cpp.o" "gcc" "src/checksum/CMakeFiles/ngp_checksum.dir/internet.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/util/CMakeFiles/ngp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

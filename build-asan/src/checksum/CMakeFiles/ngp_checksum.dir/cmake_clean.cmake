@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ngp_checksum.dir/adler.cpp.o"
+  "CMakeFiles/ngp_checksum.dir/adler.cpp.o.d"
+  "CMakeFiles/ngp_checksum.dir/checksum.cpp.o"
+  "CMakeFiles/ngp_checksum.dir/checksum.cpp.o.d"
+  "CMakeFiles/ngp_checksum.dir/crc32.cpp.o"
+  "CMakeFiles/ngp_checksum.dir/crc32.cpp.o.d"
+  "CMakeFiles/ngp_checksum.dir/fletcher.cpp.o"
+  "CMakeFiles/ngp_checksum.dir/fletcher.cpp.o.d"
+  "CMakeFiles/ngp_checksum.dir/internet.cpp.o"
+  "CMakeFiles/ngp_checksum.dir/internet.cpp.o.d"
+  "libngp_checksum.a"
+  "libngp_checksum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ngp_checksum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

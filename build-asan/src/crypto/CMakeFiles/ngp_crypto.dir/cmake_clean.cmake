@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ngp_crypto.dir/chacha20.cpp.o"
+  "CMakeFiles/ngp_crypto.dir/chacha20.cpp.o.d"
+  "libngp_crypto.a"
+  "libngp_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ngp_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ilp/kernels.cpp" "src/ilp/CMakeFiles/ngp_ilp.dir/kernels.cpp.o" "gcc" "src/ilp/CMakeFiles/ngp_ilp.dir/kernels.cpp.o.d"
+  "/root/repo/src/ilp/runtime.cpp" "src/ilp/CMakeFiles/ngp_ilp.dir/runtime.cpp.o" "gcc" "src/ilp/CMakeFiles/ngp_ilp.dir/runtime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/util/CMakeFiles/ngp_util.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/checksum/CMakeFiles/ngp_checksum.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/crypto/CMakeFiles/ngp_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ngp_ilp.dir/kernels.cpp.o"
+  "CMakeFiles/ngp_ilp.dir/kernels.cpp.o.d"
+  "CMakeFiles/ngp_ilp.dir/runtime.cpp.o"
+  "CMakeFiles/ngp_ilp.dir/runtime.cpp.o.d"
+  "libngp_ilp.a"
+  "libngp_ilp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ngp_ilp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

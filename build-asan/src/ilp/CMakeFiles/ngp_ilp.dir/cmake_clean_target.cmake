@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libngp_ilp.a"
+)

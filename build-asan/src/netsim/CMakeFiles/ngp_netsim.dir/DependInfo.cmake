@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netsim/byte_stream_link.cpp" "src/netsim/CMakeFiles/ngp_netsim.dir/byte_stream_link.cpp.o" "gcc" "src/netsim/CMakeFiles/ngp_netsim.dir/byte_stream_link.cpp.o.d"
+  "/root/repo/src/netsim/cell_link.cpp" "src/netsim/CMakeFiles/ngp_netsim.dir/cell_link.cpp.o" "gcc" "src/netsim/CMakeFiles/ngp_netsim.dir/cell_link.cpp.o.d"
+  "/root/repo/src/netsim/fault.cpp" "src/netsim/CMakeFiles/ngp_netsim.dir/fault.cpp.o" "gcc" "src/netsim/CMakeFiles/ngp_netsim.dir/fault.cpp.o.d"
+  "/root/repo/src/netsim/framing.cpp" "src/netsim/CMakeFiles/ngp_netsim.dir/framing.cpp.o" "gcc" "src/netsim/CMakeFiles/ngp_netsim.dir/framing.cpp.o.d"
+  "/root/repo/src/netsim/link.cpp" "src/netsim/CMakeFiles/ngp_netsim.dir/link.cpp.o" "gcc" "src/netsim/CMakeFiles/ngp_netsim.dir/link.cpp.o.d"
+  "/root/repo/src/netsim/relay.cpp" "src/netsim/CMakeFiles/ngp_netsim.dir/relay.cpp.o" "gcc" "src/netsim/CMakeFiles/ngp_netsim.dir/relay.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/util/CMakeFiles/ngp_util.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/checksum/CMakeFiles/ngp_checksum.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

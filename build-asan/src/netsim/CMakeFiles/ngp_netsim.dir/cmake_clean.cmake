@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ngp_netsim.dir/byte_stream_link.cpp.o"
+  "CMakeFiles/ngp_netsim.dir/byte_stream_link.cpp.o.d"
+  "CMakeFiles/ngp_netsim.dir/cell_link.cpp.o"
+  "CMakeFiles/ngp_netsim.dir/cell_link.cpp.o.d"
+  "CMakeFiles/ngp_netsim.dir/fault.cpp.o"
+  "CMakeFiles/ngp_netsim.dir/fault.cpp.o.d"
+  "CMakeFiles/ngp_netsim.dir/framing.cpp.o"
+  "CMakeFiles/ngp_netsim.dir/framing.cpp.o.d"
+  "CMakeFiles/ngp_netsim.dir/link.cpp.o"
+  "CMakeFiles/ngp_netsim.dir/link.cpp.o.d"
+  "CMakeFiles/ngp_netsim.dir/relay.cpp.o"
+  "CMakeFiles/ngp_netsim.dir/relay.cpp.o.d"
+  "libngp_netsim.a"
+  "libngp_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ngp_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/presentation/ber.cpp" "src/presentation/CMakeFiles/ngp_presentation.dir/ber.cpp.o" "gcc" "src/presentation/CMakeFiles/ngp_presentation.dir/ber.cpp.o.d"
+  "/root/repo/src/presentation/codec.cpp" "src/presentation/CMakeFiles/ngp_presentation.dir/codec.cpp.o" "gcc" "src/presentation/CMakeFiles/ngp_presentation.dir/codec.cpp.o.d"
+  "/root/repo/src/presentation/lwts.cpp" "src/presentation/CMakeFiles/ngp_presentation.dir/lwts.cpp.o" "gcc" "src/presentation/CMakeFiles/ngp_presentation.dir/lwts.cpp.o.d"
+  "/root/repo/src/presentation/record.cpp" "src/presentation/CMakeFiles/ngp_presentation.dir/record.cpp.o" "gcc" "src/presentation/CMakeFiles/ngp_presentation.dir/record.cpp.o.d"
+  "/root/repo/src/presentation/text.cpp" "src/presentation/CMakeFiles/ngp_presentation.dir/text.cpp.o" "gcc" "src/presentation/CMakeFiles/ngp_presentation.dir/text.cpp.o.d"
+  "/root/repo/src/presentation/xdr.cpp" "src/presentation/CMakeFiles/ngp_presentation.dir/xdr.cpp.o" "gcc" "src/presentation/CMakeFiles/ngp_presentation.dir/xdr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/util/CMakeFiles/ngp_util.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/checksum/CMakeFiles/ngp_checksum.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/ilp/CMakeFiles/ngp_ilp.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/crypto/CMakeFiles/ngp_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

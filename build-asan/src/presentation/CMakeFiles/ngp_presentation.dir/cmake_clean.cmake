@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ngp_presentation.dir/ber.cpp.o"
+  "CMakeFiles/ngp_presentation.dir/ber.cpp.o.d"
+  "CMakeFiles/ngp_presentation.dir/codec.cpp.o"
+  "CMakeFiles/ngp_presentation.dir/codec.cpp.o.d"
+  "CMakeFiles/ngp_presentation.dir/lwts.cpp.o"
+  "CMakeFiles/ngp_presentation.dir/lwts.cpp.o.d"
+  "CMakeFiles/ngp_presentation.dir/record.cpp.o"
+  "CMakeFiles/ngp_presentation.dir/record.cpp.o.d"
+  "CMakeFiles/ngp_presentation.dir/text.cpp.o"
+  "CMakeFiles/ngp_presentation.dir/text.cpp.o.d"
+  "CMakeFiles/ngp_presentation.dir/xdr.cpp.o"
+  "CMakeFiles/ngp_presentation.dir/xdr.cpp.o.d"
+  "libngp_presentation.a"
+  "libngp_presentation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ngp_presentation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transport/segment.cpp" "src/transport/CMakeFiles/ngp_transport.dir/segment.cpp.o" "gcc" "src/transport/CMakeFiles/ngp_transport.dir/segment.cpp.o.d"
+  "/root/repo/src/transport/stream_receiver.cpp" "src/transport/CMakeFiles/ngp_transport.dir/stream_receiver.cpp.o" "gcc" "src/transport/CMakeFiles/ngp_transport.dir/stream_receiver.cpp.o.d"
+  "/root/repo/src/transport/stream_sender.cpp" "src/transport/CMakeFiles/ngp_transport.dir/stream_sender.cpp.o" "gcc" "src/transport/CMakeFiles/ngp_transport.dir/stream_sender.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/util/CMakeFiles/ngp_util.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/checksum/CMakeFiles/ngp_checksum.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/netsim/CMakeFiles/ngp_netsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

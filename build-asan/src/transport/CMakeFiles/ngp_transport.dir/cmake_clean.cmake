@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ngp_transport.dir/segment.cpp.o"
+  "CMakeFiles/ngp_transport.dir/segment.cpp.o.d"
+  "CMakeFiles/ngp_transport.dir/stream_receiver.cpp.o"
+  "CMakeFiles/ngp_transport.dir/stream_receiver.cpp.o.d"
+  "CMakeFiles/ngp_transport.dir/stream_sender.cpp.o"
+  "CMakeFiles/ngp_transport.dir/stream_sender.cpp.o.d"
+  "libngp_transport.a"
+  "libngp_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ngp_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

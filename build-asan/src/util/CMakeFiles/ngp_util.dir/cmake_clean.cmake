@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ngp_util.dir/bytes.cpp.o"
+  "CMakeFiles/ngp_util.dir/bytes.cpp.o.d"
+  "CMakeFiles/ngp_util.dir/event_loop.cpp.o"
+  "CMakeFiles/ngp_util.dir/event_loop.cpp.o.d"
+  "CMakeFiles/ngp_util.dir/logging.cpp.o"
+  "CMakeFiles/ngp_util.dir/logging.cpp.o.d"
+  "CMakeFiles/ngp_util.dir/rng.cpp.o"
+  "CMakeFiles/ngp_util.dir/rng.cpp.o.d"
+  "CMakeFiles/ngp_util.dir/stats.cpp.o"
+  "CMakeFiles/ngp_util.dir/stats.cpp.o.d"
+  "libngp_util.a"
+  "libngp_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ngp_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alf_sink_test.dir/alf_sink_test.cpp.o"
+  "CMakeFiles/alf_sink_test.dir/alf_sink_test.cpp.o.d"
+  "alf_sink_test"
+  "alf_sink_test.pdb"
+  "alf_sink_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alf_sink_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alf_test.dir/alf_test.cpp.o"
+  "CMakeFiles/alf_test.dir/alf_test.cpp.o.d"
+  "alf_test"
+  "alf_test.pdb"
+  "alf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

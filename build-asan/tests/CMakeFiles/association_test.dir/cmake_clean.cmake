@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/association_test.dir/association_test.cpp.o"
+  "CMakeFiles/association_test.dir/association_test.cpp.o.d"
+  "association_test"
+  "association_test.pdb"
+  "association_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/association_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

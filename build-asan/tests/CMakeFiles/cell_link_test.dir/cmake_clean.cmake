@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cell_link_test.dir/cell_link_test.cpp.o"
+  "CMakeFiles/cell_link_test.dir/cell_link_test.cpp.o.d"
+  "cell_link_test"
+  "cell_link_test.pdb"
+  "cell_link_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cell_link_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fec_test.dir/fec_test.cpp.o"
+  "CMakeFiles/fec_test.dir/fec_test.cpp.o.d"
+  "fec_test"
+  "fec_test.pdb"
+  "fec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

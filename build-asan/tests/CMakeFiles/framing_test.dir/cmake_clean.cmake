@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/framing_test.dir/framing_test.cpp.o"
+  "CMakeFiles/framing_test.dir/framing_test.cpp.o.d"
+  "framing_test"
+  "framing_test.pdb"
+  "framing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/framing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lwts_test.dir/lwts_test.cpp.o"
+  "CMakeFiles/lwts_test.dir/lwts_test.cpp.o.d"
+  "lwts_test"
+  "lwts_test.pdb"
+  "lwts_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lwts_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/negotiate_test.dir/negotiate_test.cpp.o"
+  "CMakeFiles/negotiate_test.dir/negotiate_test.cpp.o.d"
+  "negotiate_test"
+  "negotiate_test.pdb"
+  "negotiate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/negotiate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

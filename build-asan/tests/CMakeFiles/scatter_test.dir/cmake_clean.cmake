@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scatter_test.dir/scatter_test.cpp.o"
+  "CMakeFiles/scatter_test.dir/scatter_test.cpp.o.d"
+  "scatter_test"
+  "scatter_test.pdb"
+  "scatter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scatter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

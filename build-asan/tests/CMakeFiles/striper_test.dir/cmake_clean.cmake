@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/striper_test.dir/striper_test.cpp.o"
+  "CMakeFiles/striper_test.dir/striper_test.cpp.o.d"
+  "striper_test"
+  "striper_test.pdb"
+  "striper_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/striper_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
