@@ -22,6 +22,7 @@
 #include "bench_util.h"
 #include "checksum/internet.h"
 #include "ilp/kernels.h"
+#include "obs/metrics.h"
 #include "presentation/codec.h"
 #include "util/rng.h"
 
@@ -44,11 +45,35 @@ struct LayerTimes {
   double presentation() const { return presentation_tx + presentation_rx; }
 };
 
+/// §4 cost ledgers, one per stack layer, so the timing attribution above is
+/// backed by mechanical memory-pass counts in the same report.
+struct StackCosts {
+  obs::CostAccount presentation_tx;
+  obs::CostAccount transport_tx;
+  obs::CostAccount transport_rx;
+  obs::CostAccount presentation_rx;
+
+  void register_metrics(obs::MetricsRegistry& reg, const std::string& prefix) const {
+    reg.add_source(prefix + ".presentation.tx", [this](obs::MetricSink& s) {
+      obs::emit_cost(s, "cost", presentation_tx);
+    });
+    reg.add_source(prefix + ".transport.tx", [this](obs::MetricSink& s) {
+      obs::emit_cost(s, "cost", transport_tx);
+    });
+    reg.add_source(prefix + ".transport.rx", [this](obs::MetricSink& s) {
+      obs::emit_cost(s, "cost", transport_rx);
+    });
+    reg.add_source(prefix + ".presentation.rx", [this](obs::MetricSink& s) {
+      obs::emit_cost(s, "cost", presentation_rx);
+    });
+  }
+};
+
 /// Runs one full stack traversal of the octet-string workload (raw mode —
 /// the paper's baseline case) or the integer-array workload in `syntax`.
 /// Returns per-layer CPU times.
 template <bool Ints>
-LayerTimes run_stack(TransferSyntax syntax, int reps) {
+LayerTimes run_stack(TransferSyntax syntax, int reps, StackCosts* costs = nullptr) {
   Rng rng(7);
   // Application source data.
   std::vector<std::int32_t> ints(kBytes / 4);
@@ -62,10 +87,11 @@ LayerTimes run_stack(TransferSyntax syntax, int reps) {
     // ---- Presentation encode (sender, application context).
     auto t0 = clock::now();
     ByteBuffer wire;
+    obs::CostAccount* ptx = costs != nullptr ? &costs->presentation_tx : nullptr;
     if constexpr (Ints) {
-      wire = encode_int_array(syntax, ints);
+      wire = encode_int_array(syntax, ints, ptx);
     } else {
-      wire = encode_octets(syntax, octets.span());
+      wire = encode_octets(syntax, octets.span(), ptx);
     }
     auto t1 = clock::now();
 
@@ -75,6 +101,11 @@ LayerTimes run_stack(TransferSyntax syntax, int reps) {
     for (std::size_t off = 0; off < wire.size(); off += kMss) {
       const std::size_t len = std::min(kMss, wire.size() - off);
       checksums.push_back(internet_checksum_unrolled(wire.subspan(off, len)));
+    }
+    if (costs != nullptr) {
+      // One read-only checksum pass over the whole payload.
+      costs->transport_tx.charge_operation(wire.size());
+      costs->transport_tx.charge_pass(wire.size(), /*stores=*/false);
     }
     auto t2 = clock::now();
 
@@ -88,15 +119,22 @@ LayerTimes run_stack(TransferSyntax syntax, int reps) {
       if (internet_checksum_unrolled(view) != checksums[seg]) std::abort();
       copy_unrolled(view, MutableBytes{rx.data() + off, len});
     }
+    if (costs != nullptr) {
+      // Verify pass (read-only) + reassembly copy pass (stores).
+      costs->transport_rx.charge_operation(wire.size());
+      costs->transport_rx.charge_pass(wire.size(), /*stores=*/false);
+      costs->transport_rx.charge_pass(wire.size(), /*stores=*/true);
+    }
     auto t3 = clock::now();
 
     // ---- Presentation decode (receiver, application context).
+    obs::CostAccount* prx = costs != nullptr ? &costs->presentation_rx : nullptr;
     if constexpr (Ints) {
-      auto out = decode_int_array(syntax, rx.span());
+      auto out = decode_int_array(syntax, rx.span(), prx);
       if (!out.ok()) std::abort();
       benchmark::DoNotOptimize(out->data());
     } else {
-      auto out = decode_octets(syntax, rx.span());
+      auto out = decode_octets(syntax, rx.span(), prx);
       if (!out.ok()) std::abort();
       benchmark::DoNotOptimize(out->data());
     }
@@ -122,7 +160,8 @@ void run_e3() {
   const int reps = 8;
 
   // Baseline: long OCTET STRING in raw/image mode (no conversion).
-  const LayerTimes base = run_stack<false>(TransferSyntax::kRaw, reps);
+  StackCosts base_costs;
+  const LayerTimes base = run_stack<false>(TransferSyntax::kRaw, reps, &base_costs);
 
   print_header("E3 (paper §4): full stack, baseline vs conversion-intensive");
   std::printf("  workload: %zu bytes end to end, MSS %zu\n", kBytes, kMss);
@@ -133,7 +172,9 @@ void run_e3() {
              base.total());
   const LayerTimes ber = run_stack<true>(TransferSyntax::kBer, reps);
   print_case("int array, BER hand-coded", ber, base.total());
-  const LayerTimes toolkit = run_stack<true>(TransferSyntax::kBerToolkit, reps);
+  StackCosts toolkit_costs;
+  const LayerTimes toolkit =
+      run_stack<true>(TransferSyntax::kBerToolkit, reps, &toolkit_costs);
   print_case("int array, BER toolkit (ISODE-like)", toolkit, base.total());
 
   std::printf("\n  paper: conversion-intensive ~30x slower; ~97%% of stack overhead\n");
@@ -149,6 +190,13 @@ void run_e3() {
   std::printf("    toolkit slowdown >> hand-coded slowdown: %s (%.1fx vs %.1fx)\n",
               toolkit.total() > 2 * ber.total() ? "HOLDS" : "FAILS",
               toolkit.total() / base.total(), ber.total() / base.total());
+
+  // Machine-readable per-layer cost profile: the timing attribution above,
+  // re-derived as memory-pass counts (deterministic across machines).
+  obs::MetricsRegistry reg;
+  base_costs.register_metrics(reg, "stack.octets_raw");
+  toolkit_costs.register_metrics(reg, "stack.ints_ber_toolkit");
+  std::printf("\nSTACK_SNAPSHOT_JSON %s\n", reg.snapshot().to_json().c_str());
 }
 
 // google-benchmark registration of the end-to-end stack per syntax.

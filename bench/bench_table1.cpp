@@ -19,6 +19,8 @@
 #include "bench_util.h"
 #include "checksum/internet.h"
 #include "ilp/kernels.h"
+#include "obs/cost.h"
+#include "obs/metrics.h"
 #include "util/rng.h"
 
 namespace {
@@ -128,6 +130,20 @@ void print_table1() {
               cksum / copy, 60.0 / 42.0, 115.0 / 130.0);
   std::printf("  shape check: both kernels within one order of magnitude -> %s\n",
               (cksum / copy > 0.1 && cksum / copy < 10.0) ? "HOLDS" : "FAILS");
+
+  // §4 cost taxonomy for the two kernels: copy = 1 load + 1 store per
+  // word; checksum = 1 load per word, no stores. Both are single-pass —
+  // which is WHY they land within one order of magnitude above.
+  obs::CostAccount copy_cost, cksum_cost;
+  copy_cost.charge_fused(n);
+  cksum_cost.charge_operation(n);
+  cksum_cost.charge_pass(n, /*stores=*/false);
+  obs::MetricsRegistry reg;
+  reg.add_source("table1.copy",
+                 [&](obs::MetricSink& s) { obs::emit_cost(s, "cost", copy_cost); });
+  reg.add_source("table1.checksum",
+                 [&](obs::MetricSink& s) { obs::emit_cost(s, "cost", cksum_cost); });
+  std::printf("COST_PROFILE_JSON %s\n", reg.snapshot().to_json().c_str());
 }
 
 }  // namespace

@@ -2,6 +2,8 @@
 
 #include <memory>
 
+#include "obs/metrics.h"
+
 namespace ngp::alf {
 
 ByteBuffer forge_len_fragment(std::uint16_t session, std::uint32_t adu_id,
@@ -66,6 +68,20 @@ AdversaryFn make_chaos_adversary(AdversaryConfig config, AdversaryStats& stats) 
     }
     return {};
   };
+}
+
+void emit_metrics(obs::MetricSink& sink, const AdversaryStats& stats) {
+  sink.counter("forged_len", stats.forged_len);
+  sink.counter("cross_session", stats.cross_session);
+  sink.counter("conflicting_len", stats.conflicting_len);
+  sink.counter("far_future_id", stats.far_future_id);
+}
+
+void register_metrics(obs::MetricsRegistry& reg, std::string prefix,
+                      const AdversaryStats& stats) {
+  reg.add_source(std::move(prefix), [&stats](obs::MetricSink& sink) {
+    emit_metrics(sink, stats);
+  });
 }
 
 }  // namespace ngp::alf

@@ -13,9 +13,15 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "alf/wire.h"
 #include "netsim/fault.h"
+
+namespace ngp::obs {
+class MetricSink;
+class MetricsRegistry;
+}  // namespace ngp::obs
 
 namespace ngp::alf {
 
@@ -43,6 +49,13 @@ struct AdversaryStats {
 /// Builds an AdversaryFn for FaultyPath::set_adversary. The returned
 /// callable keeps a reference to `stats`; the caller owns both lifetimes.
 AdversaryFn make_chaos_adversary(AdversaryConfig config, AdversaryStats& stats);
+
+/// Writes the forged-shape counters into one snapshot source.
+void emit_metrics(obs::MetricSink& sink, const AdversaryStats& stats);
+/// Registers the adversary counters under `prefix` (e.g. "chaos.adversary").
+/// `stats` must outlive the registry or the source must be removed first.
+void register_metrics(obs::MetricsRegistry& reg, std::string prefix,
+                      const AdversaryStats& stats);
 
 /// Forges a single fragment claiming `claimed_len` total ADU bytes with a
 /// tiny payload — the minimal "unbounded allocation" probe, usable without

@@ -1,5 +1,7 @@
 #include "alf/association.h"
 
+#include "obs/metrics.h"
+
 namespace ngp::alf {
 
 Association::Association(EventLoop& loop, NetPath& out_link, NetPath& in_link)
@@ -78,6 +80,20 @@ Result<std::uint32_t> Association::send_adu(const AduName& name, ConstBytes payl
 
 void Association::finish() {
   if (tx_) tx_->finish();
+}
+
+void Association::register_metrics(obs::MetricsRegistry& reg,
+                                   const std::string& prefix) const {
+  // The endpoints are created at establishment, possibly after
+  // registration; a source for a not-yet-established direction simply
+  // contributes no samples.
+  reg.add_source(prefix + ".tx", [this](obs::MetricSink& sink) {
+    if (tx_) tx_->emit_metrics(sink);
+  });
+  reg.add_source(prefix + ".rx", [this](obs::MetricSink& sink) {
+    if (rx_) rx_->emit_metrics(sink);
+  });
+  in_router_.register_metrics(reg, prefix + ".router");
 }
 
 void Association::set_recompute(RecomputeFn fn) {

@@ -68,9 +68,16 @@ class Association {
   bool established() const noexcept { return established_; }
   const SessionConfig& config() const noexcept { return agreed_; }
 
-  /// Transport statistics (valid after establishment).
-  const SenderStats& sender_stats() const { return tx_->stats(); }
-  const ReceiverStats& receiver_stats() const { return rx_->stats(); }
+  /// Transport endpoints (valid after establishment). Stats follow the
+  /// uniform convention: a.sender().stats(), a.receiver().stats().
+  const AlfSender& sender() const { return *tx_; }
+  const AlfReceiver& receiver() const { return *rx_; }
+
+  /// Registers the association's snapshot sources under `prefix`:
+  /// prefix.tx (sender), prefix.rx (receiver), prefix.router (demux).
+  /// Sources registered before establishment emit nothing until the
+  /// endpoints exist; the association must outlive the registry.
+  void register_metrics(obs::MetricsRegistry& reg, const std::string& prefix) const;
 
  private:
   Association(EventLoop& loop, NetPath& out_link, NetPath& in_link);

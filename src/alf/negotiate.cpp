@@ -40,6 +40,10 @@ bool Capabilities::supports(ChecksumKind c) const noexcept {
 
 Result<SessionConfig> respond_to_offer(const SessionConfig& offer,
                                        const Capabilities& local) {
+  // Single error path for malformed offers: every bound the endpoints rely
+  // on is checked here, at handshake time, before any endpoint exists.
+  if (Status v = offer.validate(); !v) return v.error();
+
   SessionConfig agreed = offer;
 
   // Transfer syntax is non-negotiable semantics: without a common syntax
@@ -61,8 +65,11 @@ Result<SessionConfig> respond_to_offer(const SessionConfig& offer,
   }
   // Encryption requires both ends keyed.
   if (offer.encrypt && !local.can_encrypt) agreed.encrypt = false;
-  // FEC depth bounded by the responder's reconstruction budget.
+  // FEC depth bounded by the responder's reconstruction budget. A clamp
+  // down to 1 would be pure duplication (validate() rejects it), so the
+  // downgrade path disables FEC instead.
   agreed.fec_k = std::min(agreed.fec_k, local.max_fec_k);
+  if (agreed.fec_k == 1) agreed.fec_k = 0;
   return agreed;
 }
 
@@ -212,7 +219,16 @@ HandshakeInitiator::HandshakeInitiator(EventLoop& loop, NetPath& tx, NetPath& rx
   rx.set_handler([this](ConstBytes frame) { on_frame(frame); });
 }
 
-void HandshakeInitiator::start() { send_offer(); }
+void HandshakeInitiator::start() {
+  // A locally malformed offer fails fast, through the same single error
+  // path a responder would use — never onto the wire.
+  if (Status v = offer_.validate(); !v) {
+    done_ = true;
+    if (on_done_) on_done_(v.error());
+    return;
+  }
+  send_offer();
+}
 
 void HandshakeInitiator::send_offer() {
   if (done_) return;

@@ -5,6 +5,8 @@
 
 #include "alf/fec.h"
 #include "ilp/engine.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace ngp::alf {
 
@@ -259,42 +261,55 @@ bool AlfReceiver::verify_and_decrypt(std::uint32_t adu_id, Reassembly& r) {
   ChaChaKey k = cfg_.key;
   store_u32_be(k.nonce.data() + 8, adu_id);
 
+  obs::TraceSpan span(trace_, "alf.rx.manip", r.buf.size());
+
   if (cfg_.process_mode == ProcessMode::kIntegrated) {
     // ILP stage 2: decrypt and integrity-check in ONE pass over the ADU.
     // Internet and CRC-32 have fused word kernels; Fletcher/Adler fall
-    // back to a separate pass after the (fused) decrypt.
+    // back to a separate pass after the (fused) decrypt. The accounted
+    // executors charge manip_cost_ — this is where the live pipeline's
+    // fused-vs-layered pass counts come from.
     if (encrypted && r.checksum_kind == ChecksumKind::kInternet) {
       EncryptStage dec(k, 0);
       ChecksumStage ck;
-      ilp_fused(r.buf.span(), r.buf.span(), dec, ck);
+      ilp_fused_accounted(&manip_cost_, r.buf.span(), r.buf.span(), dec, ck);
       return ck.result() == static_cast<std::uint16_t>(r.checksum);
     }
     if (encrypted && r.checksum_kind == ChecksumKind::kCrc32) {
       EncryptStage dec(k, 0);
       Crc32Stage ck;
-      ilp_fused(r.buf.span(), r.buf.span(), dec, ck);
+      ilp_fused_accounted(&manip_cost_, r.buf.span(), r.buf.span(), dec, ck);
       return ck.result() == r.checksum;
     }
     if (encrypted) {
       EncryptStage dec(k, 0);
-      ilp_fused(r.buf.span(), r.buf.span(), dec);
+      ilp_fused_accounted(&manip_cost_, r.buf.span(), r.buf.span(), dec);
+      // Fallback checksum costs one extra read-only pass.
+      manip_cost_.charge_pass(r.buf.size(), /*stores=*/false);
       return compute_checksum(r.checksum_kind, r.buf.span()) == r.checksum;
     }
     if (r.checksum_kind == ChecksumKind::kInternet) {
       ChecksumStage ck;
-      ilp_fused(r.buf.span(), r.buf.span(), ck);
+      ilp_fused_accounted(&manip_cost_, r.buf.span(), r.buf.span(), ck);
       return ck.result() == static_cast<std::uint16_t>(r.checksum);
     }
     if (r.checksum_kind == ChecksumKind::kCrc32) {
       Crc32Stage ck;
-      ilp_fused(r.buf.span(), r.buf.span(), ck);
+      ilp_fused_accounted(&manip_cost_, r.buf.span(), r.buf.span(), ck);
       return ck.result() == r.checksum;
     }
+    manip_cost_.charge_operation(r.buf.size());
+    manip_cost_.charge_pass(r.buf.size(), /*stores=*/false);
     return compute_checksum(r.checksum_kind, r.buf.span()) == r.checksum;
   }
 
   // Layered: one full pass per manipulation, conventional ordering.
-  if (encrypted) chacha20_xor(k, 0, r.buf.span());
+  manip_cost_.charge_operation(r.buf.size());
+  if (encrypted) {
+    chacha20_xor(k, 0, r.buf.span());
+    manip_cost_.charge_pass(r.buf.size(), /*stores=*/true);
+  }
+  manip_cost_.charge_pass(r.buf.size(), /*stores=*/false);
   return compute_checksum(r.checksum_kind, r.buf.span()) == r.checksum;
 }
 
@@ -547,6 +562,36 @@ void AlfReceiver::check_complete() {
   feedback_out_.send(frame.span());
   ++stats_.progress_sent;
   if (on_complete_) on_complete_();
+}
+
+void AlfReceiver::emit_metrics(obs::MetricSink& sink) const {
+  const ReceiverStats& s = stats_;
+  sink.counter("fragments_received", s.fragments_received);
+  sink.counter("fragments_corrupt", s.fragments_corrupt);
+  sink.counter("fragments_duplicate", s.fragments_duplicate);
+  sink.counter("fragments_for_done_adus", s.fragments_for_done_adus);
+  sink.counter("fragments_fec_reconstructed", s.fragments_fec_reconstructed);
+  sink.counter("adus_delivered", s.adus_delivered);
+  sink.counter("adus_delivered_out_of_order", s.adus_delivered_out_of_order);
+  sink.counter("adus_checksum_failed", s.adus_checksum_failed);
+  sink.counter("adus_abandoned", s.adus_abandoned);
+  sink.counter("nacks_sent", s.nacks_sent);
+  sink.counter("nack_ids_sent", s.nack_ids_sent);
+  sink.counter("progress_sent", s.progress_sent);
+  sink.counter("payload_bytes_delivered", s.payload_bytes_delivered);
+  sink.counter("reassembly_bytes_peak", s.reassembly_bytes_peak);
+  sink.counter("fragments_oversized", s.fragments_oversized);
+  sink.counter("fragments_out_of_window", s.fragments_out_of_window);
+  sink.counter("fragments_dropped_mem", s.fragments_dropped_mem);
+  sink.counter("reassembly_evictions", s.reassembly_evictions);
+  sink.counter("watchdog_fired", s.watchdog_fired);
+  sink.gauge("reassembly_bytes", static_cast<double>(reassembly_bytes_));
+  obs::emit_cost(sink, "cost", manip_cost_);
+}
+
+void AlfReceiver::register_metrics(obs::MetricsRegistry& reg, std::string prefix) const {
+  reg.add_source(std::move(prefix),
+                 [this](obs::MetricSink& sink) { emit_metrics(sink); });
 }
 
 }  // namespace ngp::alf

@@ -26,7 +26,14 @@
 #include "alf/session.h"
 #include "alf/wire.h"
 #include "netsim/net_path.h"
+#include "obs/cost.h"
 #include "util/event_loop.h"
+
+namespace ngp::obs {
+class MetricSink;
+class MetricsRegistry;
+class TraceRecorder;
+}  // namespace ngp::obs
 
 namespace ngp::alf {
 
@@ -98,6 +105,19 @@ class AlfReceiver {
   bool failed() const noexcept { return failed_; }
   std::uint32_t adus_delivered() const noexcept { return delivered_count_; }
   const ReceiverStats& stats() const noexcept { return stats_; }
+
+  /// §4 cost ledger for stage-2 manipulation (decrypt + verify). Under
+  /// ProcessMode::kIntegrated this reports ~1 pass per ADU; kLayered
+  /// reports one pass per manipulation — the fused-vs-layered claim,
+  /// measured on live traffic.
+  const obs::CostAccount& manipulation_cost() const noexcept { return manip_cost_; }
+  /// Writes all counters (stats + cost) into one snapshot source.
+  void emit_metrics(obs::MetricSink& sink) const;
+  /// Registers emit_metrics under `prefix` (e.g. "alf.rx"). The receiver
+  /// must outlive the registry or be removed first.
+  void register_metrics(obs::MetricsRegistry& reg, std::string prefix) const;
+  /// Attaches a span trace recorder (null = untraced).
+  void set_trace(obs::TraceRecorder* trace) noexcept { trace_ = trace; }
 
  private:
   struct Reassembly {
@@ -185,6 +205,8 @@ class AlfReceiver {
   NetPath& feedback_out_;
   SessionConfig cfg_;
   ReceiverStats stats_;
+  obs::CostAccount manip_cost_;
+  obs::TraceRecorder* trace_ = nullptr;
 
   std::map<std::uint32_t, Reassembly> pending_;
   std::set<std::uint32_t> closed_;        ///< closed ids above the prefix

@@ -1,6 +1,7 @@
 #include "alf/router.h"
 
 #include "alf/negotiate.h"
+#include "obs/metrics.h"
 
 namespace ngp::alf {
 
@@ -79,6 +80,17 @@ void FrameRouter::on_frame(ConstBytes frame) {
   }
   ++stats_.frames_routed;
   it->second->deliver(frame);
+}
+
+void FrameRouter::emit_metrics(obs::MetricSink& sink) const {
+  sink.counter("frames_routed", stats_.frames_routed);
+  sink.counter("frames_unroutable", stats_.frames_unroutable);
+  sink.counter("frames_undecodable", stats_.frames_undecodable);
+}
+
+void FrameRouter::register_metrics(obs::MetricsRegistry& reg, std::string prefix) const {
+  reg.add_source(std::move(prefix),
+                 [this](obs::MetricSink& sink) { emit_metrics(sink); });
 }
 
 }  // namespace ngp::alf

@@ -24,8 +24,15 @@
 #include <map>
 #include <memory>
 
+#include <string>
+
 #include "alf/wire.h"
 #include "netsim/net_path.h"
+
+namespace ngp::obs {
+class MetricSink;
+class MetricsRegistry;
+}  // namespace ngp::obs
 
 namespace ngp::alf {
 
@@ -52,6 +59,11 @@ class FrameRouter {
   NetPath& handshake_plane();
 
   const RouterStats& stats() const noexcept { return stats_; }
+
+  /// Writes the demux counters into one snapshot source.
+  void emit_metrics(obs::MetricSink& sink) const;
+  /// Registers emit_metrics under `prefix` (e.g. "alf.router").
+  void register_metrics(obs::MetricsRegistry& reg, std::string prefix) const;
 
  private:
   enum class Plane : std::uint8_t { kData, kFeedback, kHandshake };

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "alf/fec.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace ngp::alf {
 
@@ -16,20 +18,51 @@ AlfSender::AlfSender(EventLoop& loop, NetPath& data_out, NetPath& feedback_in,
 ByteBuffer AlfSender::prepare_wire_payload(std::uint32_t adu_id, ConstBytes plaintext,
                                            std::uint32_t& checksum_out,
                                            std::uint8_t& flags_out) {
+  obs::TraceSpan span(trace_, "alf.tx.manip", plaintext.size());
+  // The sender pipeline is the conventional layered engineering (the
+  // receive side is where ILP applies): the cost ledger therefore charges
+  // one full pass per manipulation below.
+  manip_cost_.charge_operation(plaintext.size());
+
   // The per-ADU checksum covers the plaintext: the ADU is the unit of error
   // detection (§5), independent of how it is fragmented or ciphered.
   checksum_out = compute_checksum(cfg_.checksum, plaintext);
+  manip_cost_.charge_pass(plaintext.size(), /*stores=*/false);
   flags_out = 0;
   ByteBuffer wire(plaintext);
+  manip_cost_.charge_pass(plaintext.size(), /*stores=*/true);  // staging copy
   if (cfg_.encrypt) {
     // Per-ADU nonce: ADU id into the nonce tail; the ADU is the encryption
     // synchronization unit, so any complete ADU decrypts standalone.
     ChaChaKey k = cfg_.key;
     store_u32_be(k.nonce.data() + 8, adu_id);
     chacha20_xor(k, /*counter=*/0, wire.span());
+    manip_cost_.charge_pass(plaintext.size(), /*stores=*/true);
     flags_out |= kFlagEncrypted;
   }
   return wire;
+}
+
+void AlfSender::emit_metrics(obs::MetricSink& sink) const {
+  const SenderStats& s = stats_;
+  sink.counter("adus_sent", s.adus_sent);
+  sink.counter("adus_retransmitted", s.adus_retransmitted);
+  sink.counter("adus_recomputed", s.adus_recomputed);
+  sink.counter("nacks_ignored", s.nacks_ignored);
+  sink.counter("fragments_sent", s.fragments_sent);
+  sink.counter("fec_parity_sent", s.fec_parity_sent);
+  sink.counter("payload_bytes_sent", s.payload_bytes_sent);
+  sink.counter("nacks_received", s.nacks_received);
+  sink.counter("progress_received", s.progress_received);
+  sink.counter("retransmit_buffer_bytes", s.retransmit_buffer_bytes);
+  sink.counter("retransmit_buffer_peak", s.retransmit_buffer_peak);
+  sink.counter("watchdog_fired", s.watchdog_fired);
+  obs::emit_cost(sink, "cost", manip_cost_);
+}
+
+void AlfSender::register_metrics(obs::MetricsRegistry& reg, std::string prefix) const {
+  reg.add_source(std::move(prefix),
+                 [this](obs::MetricSink& sink) { emit_metrics(sink); });
 }
 
 Result<std::uint32_t> AlfSender::send_adu(const AduName& name, ConstBytes payload) {

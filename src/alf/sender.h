@@ -27,8 +27,15 @@
 #include "alf/session.h"
 #include "alf/wire.h"
 #include "netsim/net_path.h"
+#include "obs/cost.h"
 #include "util/event_loop.h"
 #include "util/result.h"
+
+namespace ngp::obs {
+class MetricSink;
+class MetricsRegistry;
+class TraceRecorder;
+}  // namespace ngp::obs
 
 namespace ngp::alf {
 
@@ -96,6 +103,16 @@ class AlfSender {
   const SenderStats& stats() const noexcept { return stats_; }
   const SessionConfig& config() const noexcept { return cfg_; }
 
+  /// §4 cost ledger for outbound manipulation (checksum/copy/encrypt).
+  const obs::CostAccount& manipulation_cost() const noexcept { return manip_cost_; }
+  /// Writes all counters (stats + cost) into one snapshot source.
+  void emit_metrics(obs::MetricSink& sink) const;
+  /// Registers emit_metrics under `prefix` (e.g. "alf.tx"). The sender
+  /// must outlive the registry or be removed first.
+  void register_metrics(obs::MetricsRegistry& reg, std::string prefix) const;
+  /// Attaches a span trace recorder (null = untraced).
+  void set_trace(obs::TraceRecorder* trace) noexcept { trace_ = trace; }
+
  private:
   struct PendingFragment {
     std::uint32_t adu_id;
@@ -130,6 +147,8 @@ class AlfSender {
   NetPath& out_;
   SessionConfig cfg_;
   SenderStats stats_;
+  obs::CostAccount manip_cost_;
+  obs::TraceRecorder* trace_ = nullptr;
   RecomputeFn recompute_;
 
   void send_done();

@@ -1,0 +1,45 @@
+#include "alf/session.h"
+
+#include <cmath>
+
+namespace ngp::alf {
+
+Status SessionConfig::validate() const {
+  if (max_adu_len == 0) {
+    return Error{ErrorCode::kOutOfRange, "max_adu_len must be positive"};
+  }
+  if (reassembly_bytes_limit != 0 && reassembly_bytes_limit < max_adu_len) {
+    // A full-size ADU could never be reassembled: every transfer of one
+    // would livelock on eviction.
+    return Error{ErrorCode::kOutOfRange,
+                 "reassembly_bytes_limit smaller than max_adu_len"};
+  }
+  if (retransmit == RetransmitPolicy::kTransportBuffered &&
+      retransmit_buffer_limit < max_adu_len) {
+    return Error{ErrorCode::kOutOfRange,
+                 "retransmit_buffer_limit smaller than max_adu_len"};
+  }
+  if (!std::isfinite(pace_bps) || pace_bps < 0) {
+    return Error{ErrorCode::kOutOfRange, "pace_bps must be finite and >= 0"};
+  }
+  if (nack_delay <= 0 || nack_retry <= 0) {
+    return Error{ErrorCode::kOutOfRange, "nack timers must be positive"};
+  }
+  if (progress_interval <= 0) {
+    return Error{ErrorCode::kOutOfRange, "progress_interval must be positive"};
+  }
+  if (max_nacks < 0) {
+    return Error{ErrorCode::kOutOfRange, "max_nacks must be >= 0"};
+  }
+  if (stall_timeout < 0) {
+    return Error{ErrorCode::kOutOfRange, "stall_timeout must be >= 0"};
+  }
+  if (fec_k == 1) {
+    // One parity per single data fragment is pure duplication; the FEC
+    // grouping math requires k >= 2 (0 = disabled).
+    return Error{ErrorCode::kOutOfRange, "fec_k must be 0 (off) or >= 2"};
+  }
+  return Status::ok();
+}
+
+}  // namespace ngp::alf

@@ -13,6 +13,7 @@
 #include "checksum/checksum.h"
 #include "crypto/chacha20.h"
 #include "presentation/codec.h"
+#include "util/result.h"
 #include "util/sim_clock.h"
 
 namespace ngp::alf {
@@ -92,6 +93,13 @@ struct SessionConfig {
   /// for this long gives up waiting for the DONE-ack and releases its
   /// buffers. 0 disables.
   SimDuration stall_timeout = 30 * kSecond;
+
+  /// Single bounds-check path for a whole config (the checks the endpoint
+  /// constructors used to scatter): every rejectable combination is named
+  /// here, and negotiate.cpp runs it so a malformed offer dies at
+  /// handshake time rather than as a misbehaving endpoint. Endpoints
+  /// assume a validated config.
+  Status validate() const;
 };
 
 }  // namespace ngp::alf

@@ -1,5 +1,7 @@
 #include "alf/striper.h"
 
+#include "obs/metrics.h"
+
 namespace ngp::alf {
 
 AlfStriper::AlfStriper(std::vector<AlfSender*> lanes, Policy policy)
@@ -59,6 +61,19 @@ StripeCollector::StripeCollector(std::vector<AlfReceiver*> receivers)
       if (complete_lanes_ == receivers_.size() && on_complete_) on_complete_();
     });
   }
+}
+
+void AlfStriper::emit_metrics(obs::MetricSink& sink) const {
+  sink.counter("adus_total", stats_.adus_total);
+  for (std::size_t lane = 0; lane < stats_.adus_per_lane.size(); ++lane) {
+    sink.counter("lane" + std::to_string(lane) + ".adus",
+                 stats_.adus_per_lane[lane]);
+  }
+}
+
+void AlfStriper::register_metrics(obs::MetricsRegistry& reg, std::string prefix) const {
+  reg.add_source(std::move(prefix),
+                 [this](obs::MetricSink& sink) { emit_metrics(sink); });
 }
 
 }  // namespace ngp::alf

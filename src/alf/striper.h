@@ -52,6 +52,11 @@ class AlfStriper {
   std::size_t lane_count() const noexcept { return lanes_.size(); }
   const StriperStats& stats() const noexcept { return stats_; }
 
+  /// Writes dispatch counters (total + one per lane) into one source.
+  void emit_metrics(obs::MetricSink& sink) const;
+  /// Registers emit_metrics under `prefix` (e.g. "alf.striper").
+  void register_metrics(obs::MetricsRegistry& reg, std::string prefix) const;
+
  private:
   std::size_t pick_lane(const AduName& name) noexcept;
 

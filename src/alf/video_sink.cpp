@@ -1,5 +1,7 @@
 #include "alf/video_sink.h"
 
+#include "obs/metrics.h"
+
 namespace ngp::alf {
 
 VideoSink::VideoSink(std::uint16_t tiles_x, std::uint16_t tiles_y, std::size_t tile_bytes,
@@ -79,6 +81,21 @@ void VideoSink::render_due(SimTime now) {
     }
     pending_.erase(it);
   }
+}
+
+void VideoSink::emit_metrics(obs::MetricSink& sink) const {
+  sink.counter("tiles_placed", stats_.tiles_placed);
+  sink.counter("tiles_late", stats_.tiles_late);
+  sink.counter("tiles_lost", stats_.tiles_lost);
+  sink.counter("frames_rendered", stats_.frames_rendered);
+  sink.counter("frames_complete", stats_.frames_complete);
+  sink.counter("frames_concealed", stats_.frames_concealed);
+  sink.counter("tiles_concealed", stats_.tiles_concealed);
+}
+
+void VideoSink::register_metrics(obs::MetricsRegistry& reg, std::string prefix) const {
+  reg.add_source(std::move(prefix),
+                 [this](obs::MetricSink& sink) { emit_metrics(sink); });
 }
 
 }  // namespace ngp::alf

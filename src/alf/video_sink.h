@@ -19,6 +19,11 @@
 #include "util/result.h"
 #include "util/sim_clock.h"
 
+namespace ngp::obs {
+class MetricSink;
+class MetricsRegistry;
+}  // namespace ngp::obs
+
 namespace ngp::alf {
 
 struct VideoSinkStats {
@@ -53,6 +58,11 @@ class VideoSink {
   /// Frames [0, n) rendered so far.
   std::uint64_t frames_rendered() const noexcept { return stats_.frames_rendered; }
   const VideoSinkStats& stats() const noexcept { return stats_; }
+
+  /// Writes playout counters into one snapshot source.
+  void emit_metrics(obs::MetricSink& sink) const;
+  /// Registers emit_metrics under `prefix` (e.g. "app.video").
+  void register_metrics(obs::MetricsRegistry& reg, std::string prefix) const;
 
   /// The most recently rendered frame image (tiles row-major).
   ConstBytes screen() const noexcept { return {screen_.data(), screen_.size()}; }

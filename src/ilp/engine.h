@@ -22,6 +22,7 @@
 #include <cstring>
 
 #include "ilp/stages.h"
+#include "obs/cost.h"
 #include "util/bytes.h"
 
 namespace ngp {
@@ -135,6 +136,42 @@ void ilp_layered(ConstBytes src, MutableBytes dst, Stages&... stages) noexcept {
   }
   MutableBytes window = dst.subspan(0, src.size());
   (detail::layered_pass(window, stages), ...);
+}
+
+/// Number of stages in a pack that store data back (kMutates).
+template <WordStage... Stages>
+inline constexpr std::size_t kMutatingStageCount =
+    (std::size_t{0} + ... + (Stages::kMutates ? 1 : 0));
+
+// ---- Accounted executors --------------------------------------------------------
+//
+// Identical execution plus an analytic charge to an obs::CostAccount in the
+// paper's §4 currency (full passes, loads/stores per word). The executors
+// know their traffic exactly — fused touches each word once regardless of
+// stage count; layered pays one pass per stage — so the charge is a few
+// integer adds, not per-word instrumentation. `acct` may be null (no
+// charge), keeping one call shape for instrumented and bare callers.
+
+/// ilp_fused + charge: 1 pass, 1 load + 1 store per word, any stage count.
+template <WordStage... Stages>
+void ilp_fused_accounted(obs::CostAccount* acct, ConstBytes src, MutableBytes dst,
+                         Stages&... stages) noexcept {
+  ilp_fused(src, dst, stages...);
+  if (acct != nullptr) acct->charge_fused(src.size());
+}
+
+/// ilp_layered + charge: the copy pass (skipped in place) and then one full
+/// pass per stage, each loading every word and storing only when the stage
+/// mutates — the N-pass number the paper's layered stack pays.
+template <WordStage... Stages>
+void ilp_layered_accounted(obs::CostAccount* acct, ConstBytes src, MutableBytes dst,
+                           Stages&... stages) noexcept {
+  ilp_layered(src, dst, stages...);
+  if (acct != nullptr) {
+    acct->charge_layered(src.size(), sizeof...(Stages),
+                         kMutatingStageCount<Stages...>,
+                         /*copy_pass=*/dst.data() != src.data());
+  }
 }
 
 }  // namespace ngp

@@ -1,5 +1,7 @@
 #include "netsim/byte_stream_link.h"
 
+#include "obs/metrics.h"
+
 #include <algorithm>
 
 namespace ngp {
@@ -59,6 +61,20 @@ void ByteStreamLink::pump() {
     pump_scheduled_ = true;
     loop_.schedule_at(tx_free_at_, [this] { pump(); });
   }
+}
+
+void ByteStreamLink::emit_metrics(obs::MetricSink& sink) const {
+  sink.counter("bytes_written", stats_.bytes_written);
+  sink.counter("bytes_delivered", stats_.bytes_delivered);
+  sink.counter("bytes_corrupted", stats_.bytes_corrupted);
+  sink.counter("bytes_deleted", stats_.bytes_deleted);
+  sink.counter("bytes_rejected", stats_.bytes_rejected);
+  sink.gauge("backlog_bytes", static_cast<double>(backlog_.size()));
+}
+
+void ByteStreamLink::register_metrics(obs::MetricsRegistry& reg, std::string prefix) const {
+  reg.add_source(std::move(prefix),
+                 [this](obs::MetricSink& sink) { emit_metrics(sink); });
 }
 
 }  // namespace ngp

@@ -14,10 +14,16 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <string>
 
 #include "util/bytes.h"
 #include "util/event_loop.h"
 #include "util/rng.h"
+
+namespace ngp::obs {
+class MetricSink;
+class MetricsRegistry;
+}  // namespace ngp::obs
 
 namespace ngp {
 
@@ -57,6 +63,11 @@ class ByteStreamLink {
   std::size_t write(ConstBytes data);
 
   const ByteStreamStats& stats() const noexcept { return stats_; }
+
+  /// Writes the pipe counters into one snapshot source.
+  void emit_metrics(obs::MetricSink& sink) const;
+  /// Registers emit_metrics under `prefix` (e.g. "netsim.pipe0").
+  void register_metrics(obs::MetricsRegistry& reg, std::string prefix) const;
 
  private:
   void pump();

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "checksum/crc32.h"
+#include "obs/metrics.h"
 
 namespace ngp {
 
@@ -90,6 +91,19 @@ void CellLink::finish_frame() {
   }
   ++stats_.frames_delivered;
   if (handler_) handler_(sdu.subspan(0, frame_len));
+}
+
+void CellLink::emit_metrics(obs::MetricSink& sink) const {
+  sink.counter("frames_offered", stats_.frames_offered);
+  sink.counter("frames_delivered", stats_.frames_delivered);
+  sink.counter("frames_dropped_reassembly", stats_.frames_dropped_reassembly);
+  sink.counter("cells_sent", stats_.cells_sent);
+}
+
+void CellLink::register_metrics(obs::MetricsRegistry& reg,
+                                const std::string& prefix) const {
+  reg.add_source(prefix, [this](obs::MetricSink& sink) { emit_metrics(sink); });
+  cells_.register_metrics(reg, prefix + ".cells");
 }
 
 }  // namespace ngp

@@ -53,7 +53,15 @@ class CellLink final : public NetPath {
   void set_cell_loss_model(std::unique_ptr<LossModel> m) { cells_.set_loss_model(std::move(m)); }
 
   const CellLinkStats& stats() const noexcept { return stats_; }
-  const LinkStats& cell_stats() const noexcept { return cells_.stats(); }
+  /// The inner cell link; cell-level stats follow the uniform convention:
+  /// link.cells().stats().
+  const Link& cells() const noexcept { return cells_; }
+
+  /// Writes the frame-level SAR counters into one snapshot source.
+  void emit_metrics(obs::MetricSink& sink) const;
+  /// Registers the SAR counters under `prefix` and the inner cell link
+  /// under `prefix`.cells.
+  void register_metrics(obs::MetricsRegistry& reg, const std::string& prefix) const;
 
   /// Cells needed to carry a frame of `frame_len` bytes (incl. trailer).
   static std::size_t cells_for_frame(std::size_t frame_len) noexcept {

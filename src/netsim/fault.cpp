@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+
 namespace ngp {
 
 FaultyPath::FaultyPath(EventLoop& loop, NetPath& inner, FaultPlan plan)
@@ -103,6 +105,26 @@ void FaultyPath::on_inner_delivery(ConstBytes frame) {
     ++stats_.adversarial_injected;
     deliver(forged.span());
   }
+}
+
+void FaultyPath::emit_metrics(obs::MetricSink& sink) const {
+  sink.counter("frames_offered", stats_.frames_offered);
+  sink.counter("frames_seen", stats_.frames_seen);
+  sink.counter("frames_delivered", stats_.frames_delivered);
+  sink.counter("payload_bitflips", stats_.payload_bitflips);
+  sink.counter("header_mutations", stats_.header_mutations);
+  sink.counter("truncations", stats_.truncations);
+  sink.counter("extensions", stats_.extensions);
+  sink.counter("outage_dropped", stats_.outage_dropped);
+  sink.counter("blackholed", stats_.blackholed);
+  sink.counter("replays", stats_.replays);
+  sink.counter("adversarial_injected", stats_.adversarial_injected);
+  sink.counter("scheduled_injected", stats_.scheduled_injected);
+}
+
+void FaultyPath::register_metrics(obs::MetricsRegistry& reg, std::string prefix) const {
+  reg.add_source(std::move(prefix),
+                 [this](obs::MetricSink& sink) { emit_metrics(sink); });
 }
 
 }  // namespace ngp

@@ -17,12 +17,18 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "netsim/net_path.h"
 #include "util/event_loop.h"
 #include "util/rng.h"
+
+namespace ngp::obs {
+class MetricSink;
+class MetricsRegistry;
+}  // namespace ngp::obs
 
 namespace ngp {
 
@@ -100,6 +106,11 @@ class FaultyPath final : public NetPath {
 
   const FaultStats& stats() const noexcept { return stats_; }
   const FaultPlan& plan() const noexcept { return plan_; }
+
+  /// Writes the fault counters into one snapshot source.
+  void emit_metrics(obs::MetricSink& sink) const;
+  /// Registers emit_metrics under `prefix` (e.g. "chaos.path0").
+  void register_metrics(obs::MetricsRegistry& reg, std::string prefix) const;
 
  private:
   void on_inner_delivery(ConstBytes frame);

@@ -2,6 +2,7 @@
 
 #include "checksum/crc32.h"
 #include "checksum/internet.h"
+#include "obs/metrics.h"
 
 namespace ngp {
 
@@ -82,6 +83,19 @@ void FramedBytePath::deframe() {
     ++stats_.frames_delivered;
     if (handler_) handler_(payload.span());
   }
+}
+
+void FramedBytePath::emit_metrics(obs::MetricSink& sink) const {
+  sink.counter("frames_sent", stats_.frames_sent);
+  sink.counter("frames_delivered", stats_.frames_delivered);
+  sink.counter("resync_slides", stats_.resync_slides);
+  sink.counter("header_rejects", stats_.header_rejects);
+  sink.counter("crc_rejects", stats_.crc_rejects);
+}
+
+void FramedBytePath::register_metrics(obs::MetricsRegistry& reg, std::string prefix) const {
+  reg.add_source(std::move(prefix),
+                 [this](obs::MetricSink& sink) { emit_metrics(sink); });
 }
 
 }  // namespace ngp

@@ -20,9 +20,15 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "netsim/byte_stream_link.h"
 #include "netsim/net_path.h"
+
+namespace ngp::obs {
+class MetricSink;
+class MetricsRegistry;
+}  // namespace ngp::obs
 
 namespace ngp {
 
@@ -48,6 +54,11 @@ class FramedBytePath final : public NetPath {
   std::size_t max_frame_size() const override { return max_payload_; }
 
   const FramingStats& stats() const noexcept { return stats_; }
+
+  /// Writes the framing counters into one snapshot source.
+  void emit_metrics(obs::MetricSink& sink) const;
+  /// Registers emit_metrics under `prefix` (e.g. "netsim.framing").
+  void register_metrics(obs::MetricsRegistry& reg, std::string prefix) const;
 
   /// Encodes one frame (exposed for tests).
   static ByteBuffer encode_frame(ConstBytes payload);

@@ -1,10 +1,13 @@
 #include "netsim/link.h"
 
+#include "obs/metrics.h"
+
 namespace ngp {
 
 Link::Link(EventLoop& loop, LinkConfig config)
     : loop_(loop), config_(config), rng_(config.seed),
-      loss_(std::make_unique<NoLoss>()) {}
+      loss_(std::make_unique<NoLoss>()),
+      frame_sizes_(0.0, static_cast<double>(config.mtu) + 1.0, 16) {}
 
 bool Link::send(ConstBytes frame) {
   ++stats_.frames_offered;
@@ -23,6 +26,11 @@ bool Link::send(ConstBytes frame) {
   const SimDuration tx_time = transmission_time(frame.size(), config_.bandwidth_bps);
   tx_free_at_ = start + tx_time;
   ++queued_;
+
+  // §4's unavoidable cost: an accepted frame is one full pass over its
+  // bytes (the copy onto the wire), whatever its later fate.
+  transfer_cost_.charge_fused(frame.size());
+  frame_sizes_.add(static_cast<double>(frame.size()));
 
   const bool lost = loss_->drop(rng_);
   const bool detour = !lost && rng_.bernoulli(config_.reorder_rate);
@@ -66,6 +74,25 @@ void Link::deliver(ByteBuffer frame, bool /*is_duplicate*/) {
   ++stats_.frames_delivered;
   stats_.bytes_delivered += frame.size();
   if (handler_) handler_(frame.span());
+}
+
+void Link::emit_metrics(obs::MetricSink& sink) const {
+  sink.counter("frames_offered", stats_.frames_offered);
+  sink.counter("frames_delivered", stats_.frames_delivered);
+  sink.counter("dropped_loss", stats_.dropped_loss);
+  sink.counter("dropped_queue", stats_.dropped_queue);
+  sink.counter("dropped_oversize", stats_.dropped_oversize);
+  sink.counter("duplicated", stats_.duplicated);
+  sink.counter("reordered", stats_.reordered);
+  sink.counter("bytes_delivered", stats_.bytes_delivered);
+  sink.gauge("queue_depth", static_cast<double>(queued_));
+  sink.histogram("frame_bytes", frame_sizes_);
+  obs::emit_cost(sink, "cost", transfer_cost_);
+}
+
+void Link::register_metrics(obs::MetricsRegistry& reg, std::string prefix) const {
+  reg.add_source(std::move(prefix),
+                 [this](obs::MetricSink& sink) { emit_metrics(sink); });
 }
 
 }  // namespace ngp

@@ -9,11 +9,19 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 
 #include "netsim/loss_model.h"
+#include "obs/cost.h"
 #include "util/bytes.h"
 #include "util/event_loop.h"
+#include "util/stats.h"
 #include "util/rng.h"
+
+namespace ngp::obs {
+class MetricSink;
+class MetricsRegistry;
+}  // namespace ngp::obs
 
 namespace ngp {
 
@@ -73,6 +81,16 @@ class Link {
   const LinkConfig& config() const noexcept { return config_; }
   EventLoop& loop() noexcept { return loop_; }
 
+  /// §4 "moving to/from the net" ledger: every accepted frame costs one
+  /// full memory pass (the copy onto the wire).
+  const obs::CostAccount& transfer_cost() const noexcept { return transfer_cost_; }
+  /// Accepted-frame size distribution (the mtu determines the range).
+  const Histogram& frame_sizes() const noexcept { return frame_sizes_; }
+  /// Writes all counters (stats + cost + size histogram) into one source.
+  void emit_metrics(obs::MetricSink& sink) const;
+  /// Registers emit_metrics under `prefix` (e.g. "netsim.link0").
+  void register_metrics(obs::MetricsRegistry& reg, std::string prefix) const;
+
  private:
   void deliver(ByteBuffer frame, bool is_duplicate);
 
@@ -82,6 +100,8 @@ class Link {
   std::unique_ptr<LossModel> loss_;
   FrameHandler handler_;
   LinkStats stats_;
+  obs::CostAccount transfer_cost_;
+  Histogram frame_sizes_;
   SimTime tx_free_at_ = 0;    ///< when the serializer becomes idle
   std::size_t queued_ = 0;    ///< frames waiting in / on the serializer
 };

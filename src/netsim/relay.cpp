@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/metrics.h"
+
 namespace ngp {
 
 MultiHopPath::MultiHopPath(EventLoop& loop, const std::vector<LinkConfig>& configs) {
@@ -27,6 +29,26 @@ std::uint64_t MultiHopPath::total_congestion_drops() const noexcept {
   std::uint64_t total = 0;
   for (const auto& r : relays_) total += r->stats().frames_dropped_congestion;
   return total;
+}
+
+void Relay::emit_metrics(obs::MetricSink& sink) const {
+  sink.counter("frames_forwarded", stats_.frames_forwarded);
+  sink.counter("frames_dropped_congestion", stats_.frames_dropped_congestion);
+}
+
+void Relay::register_metrics(obs::MetricsRegistry& reg, std::string prefix) const {
+  reg.add_source(std::move(prefix),
+                 [this](obs::MetricSink& sink) { emit_metrics(sink); });
+}
+
+void MultiHopPath::register_metrics(obs::MetricsRegistry& reg,
+                                    const std::string& prefix) const {
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    links_[i]->register_metrics(reg, prefix + ".hop" + std::to_string(i));
+  }
+  for (std::size_t i = 0; i < relays_.size(); ++i) {
+    relays_[i]->register_metrics(reg, prefix + ".relay" + std::to_string(i));
+  }
 }
 
 }  // namespace ngp

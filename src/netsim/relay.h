@@ -39,6 +39,11 @@ class Relay {
 
   const RelayStats& stats() const noexcept { return stats_; }
 
+  /// Writes the forwarding counters into one snapshot source.
+  void emit_metrics(obs::MetricSink& sink) const;
+  /// Registers emit_metrics under `prefix` (e.g. "netsim.path.relay0").
+  void register_metrics(obs::MetricsRegistry& reg, std::string prefix) const;
+
  private:
   void forward(ConstBytes frame) {
     if (egress_.send(frame)) {
@@ -70,10 +75,15 @@ class MultiHopPath final : public NetPath {
 
   std::size_t hop_count() const noexcept { return links_.size(); }
   Link& hop(std::size_t i) { return *links_.at(i); }
-  const RelayStats& relay_stats(std::size_t i) const { return relays_.at(i)->stats(); }
+  /// Relay joining hop i to hop i+1; stats follow the uniform convention:
+  /// path.relay(i).stats().
+  const Relay& relay(std::size_t i) const { return *relays_.at(i); }
 
   /// Sum of congestion drops across all relays.
   std::uint64_t total_congestion_drops() const noexcept;
+
+  /// Registers every hop (prefix.hopN) and relay (prefix.relayN).
+  void register_metrics(obs::MetricsRegistry& reg, const std::string& prefix) const;
 
  private:
   std::vector<std::unique_ptr<Link>> links_;

@@ -1,0 +1,183 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace ngp::obs {
+
+namespace {
+
+/// Fixed-format double rendering: enough digits to round-trip the values
+/// we export (ratios of 64-bit counters), locale-independent.
+std::string format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.10g", v);
+  return buf;
+}
+
+void append_json_escaped(std::string& out, std::string_view s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else {
+      out += c;
+    }
+  }
+}
+
+/// MetricSink that materialises samples with the source's prefix applied.
+class CollectingSink final : public MetricSink {
+ public:
+  CollectingSink(std::vector<Sample>& out, const std::string& prefix)
+      : out_(out), prefix_(prefix) {}
+
+  void counter(std::string_view name, std::uint64_t value) override {
+    Sample s;
+    s.name = full_name(name);
+    s.kind = Sample::Kind::kCounter;
+    s.count = value;
+    out_.push_back(std::move(s));
+  }
+
+  void gauge(std::string_view name, double value) override {
+    Sample s;
+    s.name = full_name(name);
+    s.kind = Sample::Kind::kGauge;
+    s.value = value;
+    out_.push_back(std::move(s));
+  }
+
+  void histogram(std::string_view name, const Histogram& h) override {
+    Sample s;
+    s.name = full_name(name);
+    s.kind = Sample::Kind::kHistogram;
+    s.buckets.reserve(h.bucket_count());
+    for (std::size_t i = 0; i < h.bucket_count(); ++i) s.buckets.push_back(h.bucket(i));
+    s.underflow = h.underflow();
+    s.overflow = h.overflow();
+    s.count = h.total();
+    out_.push_back(std::move(s));
+  }
+
+ private:
+  std::string full_name(std::string_view name) const {
+    if (prefix_.empty()) return std::string(name);
+    std::string full = prefix_;
+    full += '.';
+    full += name;
+    return full;
+  }
+
+  std::vector<Sample>& out_;
+  const std::string& prefix_;
+};
+
+}  // namespace
+
+Snapshot::Snapshot(std::vector<Sample> samples) : samples_(std::move(samples)) {
+  std::stable_sort(samples_.begin(), samples_.end(),
+                   [](const Sample& a, const Sample& b) { return a.name < b.name; });
+}
+
+const Sample* Snapshot::find(std::string_view name) const noexcept {
+  for (const Sample& s : samples_) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+std::uint64_t Snapshot::counter_or(std::string_view name, std::uint64_t fallback) const {
+  const Sample* s = find(name);
+  return (s != nullptr && s->kind == Sample::Kind::kCounter) ? s->count : fallback;
+}
+
+double Snapshot::gauge_or(std::string_view name, double fallback) const {
+  const Sample* s = find(name);
+  return (s != nullptr && s->kind == Sample::Kind::kGauge) ? s->value : fallback;
+}
+
+std::string Snapshot::to_text() const {
+  std::size_t width = 0;
+  for (const Sample& s : samples_) width = std::max(width, s.name.size());
+  std::string out;
+  for (const Sample& s : samples_) {
+    out += s.name;
+    out.append(width - s.name.size() + 2, ' ');
+    switch (s.kind) {
+      case Sample::Kind::kCounter:
+        out += std::to_string(s.count);
+        break;
+      case Sample::Kind::kGauge:
+        out += format_double(s.value);
+        break;
+      case Sample::Kind::kHistogram: {
+        out += "hist(n=" + std::to_string(s.count);
+        out += ", buckets=[";
+        for (std::size_t i = 0; i < s.buckets.size(); ++i) {
+          if (i > 0) out += ' ';
+          out += std::to_string(s.buckets[i]);
+        }
+        out += "])";
+        break;
+      }
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string Snapshot::to_json() const {
+  std::string out = "{\"metrics\":[";
+  bool first = true;
+  for (const Sample& s : samples_) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"";
+    append_json_escaped(out, s.name);
+    out += "\",\"type\":\"";
+    switch (s.kind) {
+      case Sample::Kind::kCounter:
+        out += "counter\",\"value\":" + std::to_string(s.count);
+        break;
+      case Sample::Kind::kGauge:
+        out += "gauge\",\"value\":" + format_double(s.value);
+        break;
+      case Sample::Kind::kHistogram:
+        out += "histogram\",\"total\":" + std::to_string(s.count);
+        out += ",\"underflow\":" + std::to_string(s.underflow);
+        out += ",\"overflow\":" + std::to_string(s.overflow);
+        out += ",\"buckets\":[";
+        for (std::size_t i = 0; i < s.buckets.size(); ++i) {
+          if (i > 0) out += ',';
+          out += std::to_string(s.buckets[i]);
+        }
+        out += ']';
+        break;
+    }
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+std::size_t MetricsRegistry::add_source(std::string prefix, SourceFn fn) {
+  const std::size_t id = next_id_++;
+  sources_.push_back(Source{id, std::move(prefix), std::move(fn)});
+  return id;
+}
+
+void MetricsRegistry::remove_source(std::size_t id) {
+  std::erase_if(sources_, [id](const Source& s) { return s.id == id; });
+}
+
+Snapshot MetricsRegistry::snapshot() const {
+  std::vector<Sample> samples;
+  for (const Source& src : sources_) {
+    CollectingSink sink(samples, src.prefix);
+    src.fn(sink);
+  }
+  return Snapshot(std::move(samples));
+}
+
+}  // namespace ngp::obs

@@ -1,0 +1,64 @@
+#include "obs/trace.h"
+
+#include "obs/cost.h"
+#include "obs/metrics.h"
+
+namespace ngp::obs {
+
+void emit_cost(MetricSink& sink, std::string_view name, const CostAccount& c) {
+  const std::string base(name);
+  sink.counter(base + ".operations", c.operations);
+  sink.counter(base + ".bytes_touched", c.bytes_touched);
+  sink.counter(base + ".words_touched", c.words_touched);
+  sink.counter(base + ".memory_passes", c.memory_passes);
+  sink.counter(base + ".word_loads", c.word_loads);
+  sink.counter(base + ".word_stores", c.word_stores);
+  sink.gauge(base + ".passes_per_operation", c.passes_per_operation());
+  sink.gauge(base + ".loads_per_word", c.loads_per_word());
+  sink.gauge(base + ".stores_per_word", c.stores_per_word());
+}
+
+#if NGP_OBS_ENABLED
+
+namespace {
+void append_json_escaped(std::string& out, std::string_view s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else {
+      out += c;
+    }
+  }
+}
+}  // namespace
+
+std::string TraceRecorder::to_json() const {
+  std::string out = "{\"trace\":[";
+  bool first = true;
+  for (const TraceEvent& e : events_) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"at\":" + std::to_string(e.at);
+    out += ",\"dur\":" + std::to_string(e.duration);
+    out += ",\"arg\":" + std::to_string(e.arg);
+    out += ",\"name\":\"";
+    append_json_escaped(out, e.name);
+    out += "\"}";
+  }
+  out += "]}";
+  return out;
+}
+
+void TraceRecorder::register_metrics(MetricsRegistry& reg, std::string prefix) const {
+  reg.add_source(std::move(prefix), [this](MetricSink& sink) {
+    sink.counter("events", events_.size());
+    std::uint64_t bytes = 0;
+    for (const TraceEvent& e : events_) bytes += e.arg;
+    sink.counter("span_bytes", bytes);
+  });
+}
+
+#endif  // NGP_OBS_ENABLED
+
+}  // namespace ngp::obs

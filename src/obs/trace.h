@@ -1,0 +1,159 @@
+// trace.h — span tracing on the simulated clock.
+//
+// TraceRecorder collects timestamped span events (begin time, sim-clock
+// duration, name, a size argument) so a whole transfer's control flow can
+// be exported and diffed: deterministic simulation in, byte-identical
+// trace JSON out — a tested property.
+//
+// Cost discipline: tracing must never tax the datapath it measures.
+//   * Compile-time: the NGP_OBS CMake option (default ON) defines
+//     NGP_OBS_ENABLED; with it OFF every recorder/span method below
+//     compiles to an empty inline body and TraceSpan carries no state —
+//     call sites need no #ifdefs and produce no code.
+//   * Run-time: a recorder constructs disabled; an enabled build with
+//     tracing off costs one branch per span.
+// Components accept a nullable TraceRecorder* (null = not traced), so the
+// TraceSpan constructor is the single gate for all three off-switches.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/sim_clock.h"
+
+#ifndef NGP_OBS_ENABLED
+#define NGP_OBS_ENABLED 1
+#endif
+
+namespace ngp::obs {
+
+class MetricsRegistry;
+
+/// True when the tracing hot path is compiled in (NGP_OBS=ON).
+inline constexpr bool kEnabled = NGP_OBS_ENABLED != 0;
+
+/// One recorded span (duration 0 = instant event).
+struct TraceEvent {
+  SimTime at = 0;
+  SimDuration duration = 0;
+  std::uint64_t arg = 0;  ///< size argument (bytes), event-specific
+  std::string name;
+};
+
+#if NGP_OBS_ENABLED
+
+/// Collects TraceEvents against a caller-supplied sim-time source.
+class TraceRecorder {
+ public:
+  /// `now` must outlive the recorder (typically &EventLoop::now wrapped by
+  /// the caller; any SimTime source works — benches use a step counter).
+  using ClockFn = SimTime (*)(const void*);
+
+  TraceRecorder(ClockFn clock, const void* clock_ctx)
+      : clock_(clock), clock_ctx_(clock_ctx) {}
+
+  void set_enabled(bool on) noexcept { enabled_ = on; }
+  bool enabled() const noexcept { return enabled_; }
+
+  SimTime now() const { return clock_(clock_ctx_); }
+
+  /// Records a zero-duration event.
+  void instant(std::string_view name, std::uint64_t arg = 0) {
+    if (!enabled_) return;
+    record(now(), 0, name, arg);
+  }
+
+  void record(SimTime at, SimDuration duration, std::string_view name,
+              std::uint64_t arg) {
+    events_.push_back(TraceEvent{at, duration, arg, std::string(name)});
+  }
+
+  const std::vector<TraceEvent>& events() const noexcept { return events_; }
+  void clear() noexcept { events_.clear(); }
+
+  /// One-line JSON: {"trace":[{"at":...,"dur":...,"arg":...,"name":...}]}.
+  std::string to_json() const;
+
+  /// Registers event-count metrics under `prefix` (snapshot-on-demand).
+  void register_metrics(MetricsRegistry& reg, std::string prefix) const;
+
+ private:
+  ClockFn clock_;
+  const void* clock_ctx_;
+  bool enabled_ = false;
+  std::vector<TraceEvent> events_;
+};
+
+/// RAII span: records [construction, destruction) against the recorder's
+/// clock. Null recorder (or runtime-disabled) = no-op.
+class TraceSpan {
+ public:
+  TraceSpan(TraceRecorder* rec, std::string_view name, std::uint64_t arg = 0)
+      : rec_(rec != nullptr && rec->enabled() ? rec : nullptr) {
+    if (rec_ != nullptr) {
+      name_ = name;
+      arg_ = arg;
+      t0_ = rec_->now();
+    }
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  ~TraceSpan() {
+    if (rec_ != nullptr) rec_->record(t0_, rec_->now() - t0_, name_, arg_);
+  }
+
+ private:
+  TraceRecorder* rec_;
+  std::string_view name_;
+  std::uint64_t arg_ = 0;
+  SimTime t0_ = 0;
+};
+
+#else  // NGP_OBS_ENABLED == 0: the whole surface compiles to nothing.
+
+class TraceRecorder {
+ public:
+  using ClockFn = SimTime (*)(const void*);
+
+  TraceRecorder(ClockFn, const void*) {}
+
+  void set_enabled(bool) noexcept {}
+  bool enabled() const noexcept { return false; }
+  SimTime now() const noexcept { return 0; }
+  void instant(std::string_view, std::uint64_t = 0) noexcept {}
+  void record(SimTime, SimDuration, std::string_view, std::uint64_t) noexcept {}
+  const std::vector<TraceEvent>& events() const noexcept {
+    static const std::vector<TraceEvent> kEmpty;
+    return kEmpty;
+  }
+  void clear() noexcept {}
+  std::string to_json() const { return "{\"trace\":[]}"; }
+  void register_metrics(MetricsRegistry&, std::string) const {}
+};
+
+class TraceSpan {
+ public:
+  TraceSpan(TraceRecorder*, std::string_view, std::uint64_t = 0) noexcept {}
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+};
+
+#endif  // NGP_OBS_ENABLED
+
+/// Adapts an EventLoop (or anything with .now()) to a TraceRecorder clock.
+template <typename Loop>
+SimTime loop_clock(const void* ctx) {
+  return static_cast<const Loop*>(ctx)->now();
+}
+
+/// Convenience: a recorder driven by `loop`'s simulated clock.
+template <typename Loop>
+TraceRecorder make_loop_recorder(const Loop& loop) {
+  return TraceRecorder(&loop_clock<Loop>, &loop);
+}
+
+}  // namespace ngp::obs

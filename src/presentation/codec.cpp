@@ -19,7 +19,10 @@ std::string_view transfer_syntax_name(TransferSyntax s) noexcept {
   return "?";
 }
 
-ByteBuffer encode_int_array(TransferSyntax s, std::span<const std::int32_t> values) {
+ByteBuffer encode_int_array(TransferSyntax s, std::span<const std::int32_t> values,
+                            obs::CostAccount* cost) {
+  const std::size_t in_bytes = values.size() * 4;
+  ByteBuffer out = [&] {
   switch (s) {
     case TransferSyntax::kRaw: {
       ByteBuffer out(values.size() * 4);
@@ -32,9 +35,14 @@ ByteBuffer encode_int_array(TransferSyntax s, std::span<const std::int32_t> valu
     case TransferSyntax::kBerToolkit: return ber::toolkit_encode_int_array(values);
   }
   return ByteBuffer{};
+  }();
+  if (cost != nullptr) cost->charge_transform(in_bytes, out.size());
+  return out;
 }
 
-Result<std::vector<std::int32_t>> decode_int_array(TransferSyntax s, ConstBytes data) {
+Result<std::vector<std::int32_t>> decode_int_array(TransferSyntax s, ConstBytes data,
+                                                   obs::CostAccount* cost) {
+  auto out = [&]() -> Result<std::vector<std::int32_t>> {
   switch (s) {
     case TransferSyntax::kRaw: {
       if (data.size() % 4 != 0) return Error{ErrorCode::kMalformed, "raw array size"};
@@ -48,9 +56,13 @@ Result<std::vector<std::int32_t>> decode_int_array(TransferSyntax s, ConstBytes 
     case TransferSyntax::kBerToolkit: return ber::toolkit_decode_int_array(data);
   }
   return Error{ErrorCode::kUnsupported, "unknown syntax"};
+  }();
+  if (cost != nullptr && out.ok()) cost->charge_transform(data.size(), out->size() * 4);
+  return out;
 }
 
-ByteBuffer encode_octets(TransferSyntax s, ConstBytes data) {
+ByteBuffer encode_octets(TransferSyntax s, ConstBytes data, obs::CostAccount* cost) {
+  ByteBuffer out = [&] {
   switch (s) {
     case TransferSyntax::kRaw: return ByteBuffer(data);
     case TransferSyntax::kLwts: return lwts::encode_octets(data);
@@ -69,9 +81,14 @@ ByteBuffer encode_octets(TransferSyntax s, ConstBytes data) {
     }
   }
   return ByteBuffer{};
+  }();
+  if (cost != nullptr) cost->charge_transform(data.size(), out.size());
+  return out;
 }
 
-Result<ByteBuffer> decode_octets(TransferSyntax s, ConstBytes data) {
+Result<ByteBuffer> decode_octets(TransferSyntax s, ConstBytes data,
+                                 obs::CostAccount* cost) {
+  auto out = [&]() -> Result<ByteBuffer> {
   switch (s) {
     case TransferSyntax::kRaw: return ByteBuffer(data);
     case TransferSyntax::kLwts: {
@@ -92,6 +109,9 @@ Result<ByteBuffer> decode_octets(TransferSyntax s, ConstBytes data) {
     }
   }
   return Error{ErrorCode::kUnsupported, "unknown syntax"};
+  }();
+  if (cost != nullptr && out.ok()) cost->charge_transform(data.size(), out->size());
+  return out;
 }
 
 }  // namespace ngp

@@ -12,6 +12,7 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/cost.h"
 #include "util/bytes.h"
 #include "util/result.h"
 
@@ -28,17 +29,26 @@ enum class TransferSyntax : std::uint8_t {
 
 std::string_view transfer_syntax_name(TransferSyntax s) noexcept;
 
+// Every codec takes an optional obs::CostAccount and charges the
+// conversion's memory traffic to it (one transforming pass: each input
+// word loaded, each output word stored) — the presentation line item in a
+// stack's cost profile. Null = no accounting, no overhead.
+
 /// Encodes an int32 array in the given syntax. kRaw emits host memory
 /// image (little-endian packed).
-ByteBuffer encode_int_array(TransferSyntax s, std::span<const std::int32_t> values);
+ByteBuffer encode_int_array(TransferSyntax s, std::span<const std::int32_t> values,
+                            obs::CostAccount* cost = nullptr);
 
 /// Decodes an int32 array.
-Result<std::vector<std::int32_t>> decode_int_array(TransferSyntax s, ConstBytes data);
+Result<std::vector<std::int32_t>> decode_int_array(TransferSyntax s, ConstBytes data,
+                                                   obs::CostAccount* cost = nullptr);
 
 /// Encodes an octet string. For kRaw this is the identity (one copy).
-ByteBuffer encode_octets(TransferSyntax s, ConstBytes data);
+ByteBuffer encode_octets(TransferSyntax s, ConstBytes data,
+                         obs::CostAccount* cost = nullptr);
 
 /// Decodes an octet string into an owned buffer.
-Result<ByteBuffer> decode_octets(TransferSyntax s, ConstBytes data);
+Result<ByteBuffer> decode_octets(TransferSyntax s, ConstBytes data,
+                                 obs::CostAccount* cost = nullptr);
 
 }  // namespace ngp

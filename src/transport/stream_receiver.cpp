@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
 #include "transport/segment.h"
 
 namespace ngp {
@@ -123,6 +124,22 @@ void StreamReceiver::send_ack() {
   ByteBuffer frame = encode_segment(ack);
   ack_out_.send(frame.span());
   ++stats_.acks_sent;
+}
+
+void StreamReceiver::emit_metrics(obs::MetricSink& sink) const {
+  sink.counter("segments_received", stats_.segments_received);
+  sink.counter("segments_corrupt", stats_.segments_corrupt);
+  sink.counter("segments_duplicate", stats_.segments_duplicate);
+  sink.counter("segments_out_of_order", stats_.segments_out_of_order);
+  sink.counter("bytes_delivered", stats_.bytes_delivered);
+  sink.counter("acks_sent", stats_.acks_sent);
+  sink.counter("ooo_buffered_peak", stats_.ooo_buffered_peak);
+  sink.gauge("ooo_buffered_bytes", static_cast<double>(ooo_bytes_));
+}
+
+void StreamReceiver::register_metrics(obs::MetricsRegistry& reg, std::string prefix) const {
+  reg.add_source(std::move(prefix),
+                 [this](obs::MetricSink& sink) { emit_metrics(sink); });
 }
 
 }  // namespace ngp

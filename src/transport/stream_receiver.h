@@ -11,9 +11,15 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <string>
 
 #include "netsim/net_path.h"
 #include "util/event_loop.h"
+
+namespace ngp::obs {
+class MetricSink;
+class MetricsRegistry;
+}  // namespace ngp::obs
 
 namespace ngp {
 
@@ -59,6 +65,11 @@ class StreamReceiver {
   std::uint64_t delivered_offset() const noexcept { return rcv_nxt_; }
   bool closed() const noexcept { return close_delivered_; }
   const StreamReceiverStats& stats() const noexcept { return stats_; }
+
+  /// Writes the in-order-delivery counters into one snapshot source.
+  void emit_metrics(obs::MetricSink& sink) const;
+  /// Registers emit_metrics under `prefix` (e.g. "stream.rx").
+  void register_metrics(obs::MetricsRegistry& reg, std::string prefix) const;
 
  private:
   void on_frame(ConstBytes frame);

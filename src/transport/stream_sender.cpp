@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
 #include "transport/segment.h"
 
 namespace ngp {
@@ -208,6 +209,24 @@ void StreamSender::on_ack(std::uint64_t ack, std::uint32_t window) {
     }
   }
   last_ack_ = ack;
+}
+
+void StreamSender::emit_metrics(obs::MetricSink& sink) const {
+  sink.counter("segments_sent", stats_.segments_sent);
+  sink.counter("bytes_sent", stats_.bytes_sent);
+  sink.counter("retransmits", stats_.retransmits);
+  sink.counter("rto_fires", stats_.rto_fires);
+  sink.counter("fast_retransmits", stats_.fast_retransmits);
+  sink.counter("dup_acks", stats_.dup_acks);
+  sink.counter("acks_received", stats_.acks_received);
+  sink.gauge("cwnd_bytes", cwnd_);
+  sink.gauge("rto_seconds", to_seconds(rto_));
+  sink.gauge("unacked_bytes", static_cast<double>(snd_nxt_ - snd_una_));
+}
+
+void StreamSender::register_metrics(obs::MetricsRegistry& reg, std::string prefix) const {
+  reg.add_source(std::move(prefix),
+                 [this](obs::MetricSink& sink) { emit_metrics(sink); });
 }
 
 }  // namespace ngp

@@ -18,9 +18,15 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <string>
 
 #include "netsim/net_path.h"
 #include "util/event_loop.h"
+
+namespace ngp::obs {
+class MetricSink;
+class MetricsRegistry;
+}  // namespace ngp::obs
 
 namespace ngp {
 
@@ -74,6 +80,11 @@ class StreamSender {
   const StreamSenderStats& stats() const noexcept { return stats_; }
   SimDuration current_rto() const noexcept { return rto_; }
   double current_cwnd() const noexcept { return cwnd_; }
+
+  /// Writes counters plus cwnd/rto gauges into one snapshot source.
+  void emit_metrics(obs::MetricSink& sink) const;
+  /// Registers emit_metrics under `prefix` (e.g. "stream.tx").
+  void register_metrics(obs::MetricsRegistry& reg, std::string prefix) const;
 
  private:
   void on_frame(ConstBytes frame);

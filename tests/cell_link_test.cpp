@@ -166,7 +166,7 @@ TEST(CellLinkTest, StatsCount) {
   loop.run();
   EXPECT_EQ(link.stats().frames_offered, 2u);
   EXPECT_EQ(link.stats().cells_sent, 6u);
-  EXPECT_EQ(link.cell_stats().frames_delivered, 6u);
+  EXPECT_EQ(link.cells().stats().frames_delivered, 6u);
 }
 
 // Parameterized survival sweep across frame sizes: bigger frames suffer

@@ -192,6 +192,58 @@ TEST(RespondToOffer, ClampsFecDepth) {
   EXPECT_EQ(agreed->fec_k, 2);
 }
 
+// ---- SessionConfig::validate — the single bounds-check path ----------------------------
+
+TEST(SessionConfigValidate, DefaultAndFancyConfigsPass) {
+  EXPECT_TRUE(SessionConfig{}.validate().is_ok());
+  EXPECT_TRUE(fancy_offer().validate().is_ok());
+}
+
+TEST(SessionConfigValidate, NamesEveryRejectableField) {
+  SessionConfig c;
+  c.max_adu_len = 0;
+  EXPECT_FALSE(c.validate().is_ok());
+
+  c = SessionConfig{};
+  c.reassembly_bytes_limit = c.max_adu_len - 1;  // full-size ADU can never fit
+  EXPECT_FALSE(c.validate().is_ok());
+
+  c = SessionConfig{};
+  c.retransmit = RetransmitPolicy::kTransportBuffered;
+  c.retransmit_buffer_limit = c.max_adu_len - 1;
+  EXPECT_FALSE(c.validate().is_ok());
+
+  c = SessionConfig{};
+  c.pace_bps = -1.0;
+  EXPECT_FALSE(c.validate().is_ok());
+
+  c = SessionConfig{};
+  c.nack_delay = 0;
+  EXPECT_FALSE(c.validate().is_ok());
+
+  c = SessionConfig{};
+  c.progress_interval = 0;
+  EXPECT_FALSE(c.validate().is_ok());
+
+  c = SessionConfig{};
+  c.fec_k = 1;  // parity-per-fragment is pure duplication; grouping needs k>=2
+  EXPECT_FALSE(c.validate().is_ok());
+}
+
+TEST(RespondToOffer, RejectsMalformedOfferAtHandshake) {
+  Capabilities caps;
+  caps.can_encrypt = true;
+  SessionConfig offer = fancy_offer();
+  offer.max_adu_len = 0;  // a forged/corrupt offer must die in one place
+  auto agreed = respond_to_offer(offer, caps);
+  ASSERT_FALSE(agreed.ok());
+  EXPECT_EQ(agreed.error().code, ErrorCode::kOutOfRange);
+
+  offer = fancy_offer();
+  offer.nack_delay = -5;
+  EXPECT_FALSE(respond_to_offer(offer, caps).ok());
+}
+
 // ---- Async handshake over the simulator ------------------------------------------------
 
 struct HandshakeHarness {
