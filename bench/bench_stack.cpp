@@ -33,6 +33,10 @@ using namespace ngp;
 constexpr std::size_t kBytes = 1 << 20;  // "very long" workload: 1 MB
 constexpr std::size_t kMss = 1400;
 
+// Workload seed; --seed re-rolls the application data (default matches the
+// historical fixed seed).
+std::uint64_t g_seed = 7;
+
 struct LayerTimes {
   double presentation_tx = 0;
   double transport_tx = 0;  // segmentation + checksum
@@ -74,7 +78,7 @@ struct StackCosts {
 /// Returns per-layer CPU times.
 template <bool Ints>
 LayerTimes run_stack(TransferSyntax syntax, int reps, StackCosts* costs = nullptr) {
-  Rng rng(7);
+  Rng rng(g_seed);
   // Application source data.
   std::vector<std::int32_t> ints(kBytes / 4);
   for (auto& v : ints) v = static_cast<std::int32_t>(rng.next());
@@ -196,7 +200,7 @@ void run_e3() {
   obs::MetricsRegistry reg;
   base_costs.register_metrics(reg, "stack.octets_raw");
   toolkit_costs.register_metrics(reg, "stack.ints_ber_toolkit");
-  std::printf("\nSTACK_SNAPSHOT_JSON %s\n", reg.snapshot().to_json().c_str());
+  ngp::bench::emit_json("STACK_SNAPSHOT_JSON", reg.snapshot().to_json());
 }
 
 // google-benchmark registration of the end-to-end stack per syntax.
@@ -230,6 +234,9 @@ void register_benches() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Strip the shared bench flags BEFORE google-benchmark sees argv.
+  const ngp::bench::Args args = ngp::bench::parse_args(&argc, argv);
+  g_seed = args.seed != 1 ? args.seed : g_seed;
   register_benches();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

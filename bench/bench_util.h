@@ -5,13 +5,49 @@
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <string>
 
 #include "util/stats.h"
 
 namespace ngp::bench {
+
+/// Command-line flags shared by the bench binaries:
+///   --threads=N  engine worker count (0 = inline) for engine-aware benches
+///   --seed=S     workload / fault-plan seed, so a sweep can be re-rolled
+struct Args {
+  int threads = 0;
+  std::uint64_t seed = 1;
+};
+
+/// Parses and STRIPS the recognized flags out of argv, leaving everything
+/// else in place (so the remainder can go straight to
+/// benchmark::Initialize — call this first). Unknown flags pass through.
+inline Args parse_args(int* argc, char** argv) {
+  Args a;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--threads=", 0) == 0) {
+      a.threads = std::atoi(arg.c_str() + 10);
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      a.seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+  return a;
+}
+
+/// One-line machine-readable result record: `TAG {json}` on stdout, the
+/// format the plotting/driver scripts grep for.
+inline void emit_json(const std::string& tag, const std::string& json) {
+  std::printf("\n%s %s\n", tag.c_str(), json.c_str());
+}
 
 /// Wall-clock seconds for one invocation of `fn`.
 inline double time_once(const std::function<void()>& fn) {

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "alf/fec.h"
+#include "engine/engine.h"
 #include "ilp/engine.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -17,6 +18,13 @@ AlfReceiver::AlfReceiver(EventLoop& loop, NetPath& data_in, NetPath& feedback_ou
   // Out-of-band control cadence: the NACK scan and progress report run on
   // their own timers, decoupled from per-fragment processing (§3). They
   // arm lazily, on first activity (arm_timers), and stand down when idle.
+}
+
+AlfReceiver::~AlfReceiver() {
+  // Jobs still on the engine hold completion callbacks into this object:
+  // settle them (on this, the control thread) before the members they
+  // touch are destroyed.
+  if (eng_ != nullptr && !manip_inflight_.empty()) eng_->wait_all();
 }
 
 void AlfReceiver::arm_timers() {
@@ -62,6 +70,9 @@ void AlfReceiver::fail_session() {
   pending_.clear();
   reassembly_bytes_ = 0;
   nack_counts_.clear();
+  // In-flight engine jobs are orphaned: their completions will still be
+  // harvested (the cost was genuinely paid) but deliver nothing.
+  manip_inflight_.clear();
   if (on_session_failed_) on_session_failed_();
 }
 
@@ -108,6 +119,12 @@ void AlfReceiver::on_data(const DataFragment& f) {
 
   if (is_closed(f.adu_id)) {
     ++stats_.fragments_for_done_adus;  // late duplicate of a finished ADU
+    return;
+  }
+  if (manip_inflight_.contains(f.adu_id)) {
+    // Complete and being verified on the engine right now; any fragment
+    // arriving meanwhile is redundant by definition.
+    ++stats_.fragments_for_done_adus;
     return;
   }
 
@@ -256,64 +273,32 @@ bool AlfReceiver::try_fec_reconstruct(std::uint32_t adu_id, Reassembly& r) {
   return false;
 }
 
+ManipulationPlan AlfReceiver::make_plan(std::uint32_t adu_id,
+                                        const Reassembly& r) const {
+  ManipulationPlan p;
+  p.layered = cfg_.process_mode == ProcessMode::kLayered;
+  p.decrypt = (r.flags & kFlagEncrypted) != 0;
+  p.key = cfg_.key;
+  store_u32_be(p.key.nonce.data() + 8, adu_id);  // per-ADU nonce (§5)
+  p.checksum_kind = r.checksum_kind;
+  p.expected_checksum = r.checksum;
+  return p;
+}
+
 bool AlfReceiver::verify_and_decrypt(std::uint32_t adu_id, Reassembly& r) {
-  const bool encrypted = (r.flags & kFlagEncrypted) != 0;
-  ChaChaKey k = cfg_.key;
-  store_u32_be(k.nonce.data() + 8, adu_id);
-
+  // ILP stage 2: decrypt and integrity-check in ONE pass over the ADU
+  // (kIntegrated), or one full pass per manipulation (kLayered). The shared
+  // executor charges manip_cost_ — this is where the live pipeline's
+  // fused-vs-layered pass counts come from.
   obs::TraceSpan span(trace_, "alf.rx.manip", r.buf.size());
-
-  if (cfg_.process_mode == ProcessMode::kIntegrated) {
-    // ILP stage 2: decrypt and integrity-check in ONE pass over the ADU.
-    // Internet and CRC-32 have fused word kernels; Fletcher/Adler fall
-    // back to a separate pass after the (fused) decrypt. The accounted
-    // executors charge manip_cost_ — this is where the live pipeline's
-    // fused-vs-layered pass counts come from.
-    if (encrypted && r.checksum_kind == ChecksumKind::kInternet) {
-      EncryptStage dec(k, 0);
-      ChecksumStage ck;
-      ilp_fused_accounted(&manip_cost_, r.buf.span(), r.buf.span(), dec, ck);
-      return ck.result() == static_cast<std::uint16_t>(r.checksum);
-    }
-    if (encrypted && r.checksum_kind == ChecksumKind::kCrc32) {
-      EncryptStage dec(k, 0);
-      Crc32Stage ck;
-      ilp_fused_accounted(&manip_cost_, r.buf.span(), r.buf.span(), dec, ck);
-      return ck.result() == r.checksum;
-    }
-    if (encrypted) {
-      EncryptStage dec(k, 0);
-      ilp_fused_accounted(&manip_cost_, r.buf.span(), r.buf.span(), dec);
-      // Fallback checksum costs one extra read-only pass.
-      manip_cost_.charge_pass(r.buf.size(), /*stores=*/false);
-      return compute_checksum(r.checksum_kind, r.buf.span()) == r.checksum;
-    }
-    if (r.checksum_kind == ChecksumKind::kInternet) {
-      ChecksumStage ck;
-      ilp_fused_accounted(&manip_cost_, r.buf.span(), r.buf.span(), ck);
-      return ck.result() == static_cast<std::uint16_t>(r.checksum);
-    }
-    if (r.checksum_kind == ChecksumKind::kCrc32) {
-      Crc32Stage ck;
-      ilp_fused_accounted(&manip_cost_, r.buf.span(), r.buf.span(), ck);
-      return ck.result() == r.checksum;
-    }
-    manip_cost_.charge_operation(r.buf.size());
-    manip_cost_.charge_pass(r.buf.size(), /*stores=*/false);
-    return compute_checksum(r.checksum_kind, r.buf.span()) == r.checksum;
-  }
-
-  // Layered: one full pass per manipulation, conventional ordering.
-  manip_cost_.charge_operation(r.buf.size());
-  if (encrypted) {
-    chacha20_xor(k, 0, r.buf.span());
-    manip_cost_.charge_pass(r.buf.size(), /*stores=*/true);
-  }
-  manip_cost_.charge_pass(r.buf.size(), /*stores=*/false);
-  return compute_checksum(r.checksum_kind, r.buf.span()) == r.checksum;
+  return run_manipulation(make_plan(adu_id, r), r.buf.span(), &manip_cost_);
 }
 
 void AlfReceiver::complete_adu(std::uint32_t adu_id, Reassembly& r) {
+  if (eng_ != nullptr) {
+    offload_adu(adu_id, r);
+    return;
+  }
   if (!verify_and_decrypt(adu_id, r)) {
     // Whole-ADU integrity failure: discard the damaged bytes and let the
     // recovery machinery re-fetch it — the ADU is the unit of error
@@ -328,21 +313,85 @@ void AlfReceiver::complete_adu(std::uint32_t adu_id, Reassembly& r) {
   deliver(adu_id, std::move(node.mapped()));
 }
 
+void AlfReceiver::offload_adu(std::uint32_t adu_id, Reassembly& r) {
+  // Control keeps only what delivery needs (§5: the name addresses the
+  // ADU); the bytes travel with the job. The reassembly charge is released
+  // now — the job owns the buffer, not the reassembly pool.
+  manip_inflight_.emplace(adu_id, InflightManip{r.name, r.syntax});
+  ++stats_.adus_engine_offloaded;
+  if (trace_ != nullptr) trace_->instant("alf.rx.engine.submit", r.buf.size());
+
+  engine::ManipulationJob job;
+  job.adu_id = adu_id;
+  job.plan = make_plan(adu_id, r);
+  job.payload = std::move(r.buf);
+  job.on_done = [this, adu_id](bool intact, ByteBuffer&& payload,
+                               const obs::CostAccount& cost) {
+    on_manip_done(adu_id, intact, std::move(payload), cost);
+  };
+  release_pending(pending_.find(adu_id));
+  eng_->submit(std::move(job));
+  arm_engine_pump();
+}
+
+void AlfReceiver::arm_engine_pump() {
+  if (engine_pump_armed_) return;
+  engine_pump_armed_ = true;
+  loop_.schedule_after(engine_harvest_delay_, [this] { engine_pump(); });
+}
+
+void AlfReceiver::engine_pump() {
+  engine_pump_armed_ = false;
+  if (eng_ == nullptr) return;
+  // drain() blocks for at least one completion when none is ready yet:
+  // simulated time only advances past the harvest point once real work has
+  // actually finished, keeping the event loop's causality intact.
+  eng_->drain();
+  if (!manip_inflight_.empty()) arm_engine_pump();
+}
+
+void AlfReceiver::on_manip_done(std::uint32_t adu_id, bool intact,
+                                ByteBuffer&& payload,
+                                const obs::CostAccount& cost) {
+  // The worker charged its private ledger; merge is commutative, so the
+  // session ledger is identical whatever order completions arrive in.
+  manip_cost_.merge(cost);
+  auto it = manip_inflight_.find(adu_id);
+  if (it == manip_inflight_.end()) return;  // session failed meanwhile
+  InflightManip meta = std::move(it->second);
+  manip_inflight_.erase(it);
+  if (failed_) return;
+  if (!intact) {
+    // Same outcome as the inline path: damaged bytes are discarded and the
+    // id stays open, so the NACK scan re-fetches the whole ADU (§5).
+    ++stats_.adus_checksum_failed;
+    note_progress();
+    arm_timers();
+    return;
+  }
+  deliver_payload(adu_id, meta.name, meta.syntax, std::move(payload));
+}
+
 void AlfReceiver::deliver(std::uint32_t adu_id, Reassembly&& r) {
+  deliver_payload(adu_id, r.name, r.syntax, std::move(r.buf));
+}
+
+void AlfReceiver::deliver_payload(std::uint32_t adu_id, const AduName& name,
+                                  TransferSyntax syntax, ByteBuffer&& payload) {
   // Out of order w.r.t. the id sequence? (Any earlier id still open.)
   // closed_prefix_ = ids 1..closed_prefix_ are all closed already.
   const bool earlier_open = adu_id > closed_prefix_ + 1;
   close_id(adu_id);
   ++delivered_count_;
   ++stats_.adus_delivered;
-  stats_.payload_bytes_delivered += r.buf.size();
+  stats_.payload_bytes_delivered += payload.size();
   if (earlier_open) ++stats_.adus_delivered_out_of_order;
 
   if (on_adu_) {
     Adu adu;
-    adu.name = r.name;
-    adu.syntax = r.syntax;
-    adu.payload = std::move(r.buf);
+    adu.name = name;
+    adu.syntax = syntax;
+    adu.payload = std::move(payload);
     on_adu_(std::move(adu));
   }
   check_complete();
@@ -436,6 +485,7 @@ void AlfReceiver::nack_scan() {
   for (std::uint32_t id = closed_prefix_ + 1;
        id <= horizon && m.adu_ids.size() < NackMessage::kMaxIds; ++id) {
     if (is_closed(id)) continue;
+    if (manip_inflight_.contains(id)) continue;  // verifying on the engine
     auto it = pending_.find(id);
     if (it != pending_.end() && it->second.bytes_received == it->second.adu_len) {
       continue;  // completing right now
@@ -585,6 +635,7 @@ void AlfReceiver::emit_metrics(obs::MetricSink& sink) const {
   sink.counter("fragments_dropped_mem", s.fragments_dropped_mem);
   sink.counter("reassembly_evictions", s.reassembly_evictions);
   sink.counter("watchdog_fired", s.watchdog_fired);
+  sink.counter("adus_engine_offloaded", s.adus_engine_offloaded);
   sink.gauge("reassembly_bytes", static_cast<double>(reassembly_bytes_));
   obs::emit_cost(sink, "cost", manip_cost_);
 }

@@ -25,6 +25,7 @@
 #include "alf/adu.h"
 #include "alf/session.h"
 #include "alf/wire.h"
+#include "ilp/pipeline.h"
 #include "netsim/net_path.h"
 #include "obs/cost.h"
 #include "util/event_loop.h"
@@ -34,6 +35,10 @@ class MetricSink;
 class MetricsRegistry;
 class TraceRecorder;
 }  // namespace ngp::obs
+
+namespace ngp::engine {
+class Engine;
+}  // namespace ngp::engine
 
 namespace ngp::alf {
 
@@ -59,6 +64,9 @@ struct ReceiverStats {
   std::uint64_t fragments_dropped_mem = 0;   ///< no reassembly room even after eviction
   std::uint64_t reassembly_evictions = 0;    ///< incomplete ADUs evicted for space
   std::uint64_t watchdog_fired = 0;          ///< stall watchdog abandoned the session
+
+  /// ADUs whose stage-2 manipulation ran as an engine job (0 when inline).
+  std::uint64_t adus_engine_offloaded = 0;
 };
 
 /// ALF receiving endpoint for one association.
@@ -78,6 +86,24 @@ class AlfReceiver {
 
   AlfReceiver(const AlfReceiver&) = delete;
   AlfReceiver& operator=(const AlfReceiver&) = delete;
+
+  /// Settles any manipulation jobs still in flight on the engine (their
+  /// completions hold callbacks into this object) before teardown.
+  ~AlfReceiver();
+
+  /// Optional execution-engine hookup (the §4/§5 control/manipulation
+  /// split): frames keep being validated and reassembled on the control
+  /// path — cheap — while each complete ADU's stage-2 pipeline is
+  /// offloaded as an engine::ManipulationJob and harvested back on the
+  /// control thread `harvest_delay` of simulated time later. ADUs then
+  /// complete in ANY order (more so than inline), which ALF explicitly
+  /// permits: delivery is by ADU name. Null reverts to inline execution
+  /// (the default, bit-identical to the classic path). Set before traffic
+  /// arrives; the engine must outlive this receiver.
+  void set_engine(engine::Engine* eng, SimDuration harvest_delay = 0) noexcept {
+    eng_ = eng;
+    engine_harvest_delay_ = harvest_delay;
+  }
 
   /// Complete-ADU callback; invoked the moment each ADU completes, in
   /// arrival-completion order (NOT id order — that is the point).
@@ -156,9 +182,25 @@ class AlfReceiver {
   bool range_present(const Reassembly& r, std::uint32_t start,
                      std::uint32_t end) const;
   void complete_adu(std::uint32_t adu_id, Reassembly& r);
+  /// Builds the stage-2 pipeline description for one complete ADU; the one
+  /// recipe both the inline path and engine workers execute, so the §4
+  /// charges are identical by construction.
+  ManipulationPlan make_plan(std::uint32_t adu_id, const Reassembly& r) const;
   /// Stage 2: fused or layered decrypt+verify. True if intact.
   bool verify_and_decrypt(std::uint32_t adu_id, Reassembly& r);
+  /// Engine path for complete_adu: moves the payload into a job, releases
+  /// the reassembly charge, and arms the harvest pump.
+  void offload_adu(std::uint32_t adu_id, Reassembly& r);
+  /// Control-thread continuation of an offloaded ADU (runs inside
+  /// engine_pump's drain, i.e. at a deterministic simulated time).
+  void on_manip_done(std::uint32_t adu_id, bool intact, ByteBuffer&& payload,
+                     const obs::CostAccount& cost);
+  void arm_engine_pump();
+  void engine_pump();
   void deliver(std::uint32_t adu_id, Reassembly&& r);
+  /// Shared tail of deliver(): closes the id and hands the ADU up.
+  void deliver_payload(std::uint32_t adu_id, const AduName& name,
+                       TransferSyntax syntax, ByteBuffer&& payload);
   void abandon(std::uint32_t adu_id, const Reassembly* r);
   void nack_scan();
   void send_progress();
@@ -219,6 +261,18 @@ class AlfReceiver {
   bool complete_fired_ = false;
   bool failed_ = false;  ///< stall watchdog gave up; session is inert
   std::size_t reassembly_bytes_ = 0;  ///< bytes charged across pending_
+
+  // Engine offload state. An ADU in manip_inflight_ has left pending_ but
+  // is not yet closed: NACK machinery must neither re-request it nor count
+  // it complete until its job is harvested.
+  struct InflightManip {
+    AduName name;
+    TransferSyntax syntax = TransferSyntax::kRaw;
+  };
+  engine::Engine* eng_ = nullptr;
+  SimDuration engine_harvest_delay_ = 0;
+  bool engine_pump_armed_ = false;
+  std::map<std::uint32_t, InflightManip> manip_inflight_;
 
   // Maintenance timers are armed only while the session has open work, so
   // an idle or never-used association does not keep the event loop (or a

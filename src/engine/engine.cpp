@@ -1,0 +1,221 @@
+#include "engine/engine.h"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "engine/spsc_queue.h"
+#include "obs/metrics.h"
+#include "util/rng.h"
+
+namespace ngp::engine {
+
+struct Engine::Task {
+  std::uint64_t ticket = 0;
+  ManipulationJob job;
+};
+
+struct Engine::Completion {
+  std::uint64_t ticket = 0;
+  unsigned worker = 0;
+  bool intact = false;
+  std::uint32_t adu_id = 0;
+  std::size_t bytes = 0;        ///< plan input size (pre app-stage)
+  std::uint64_t latency_ns = 0;
+  ByteBuffer payload;
+  obs::CostAccount cost;
+  CompletionFn on_done;
+};
+
+/// The dispatch ring plus the sleep/wake machinery for one worker. The
+/// ring itself is wait-free; the mutex+condvar pair only puts an idle
+/// worker to sleep (with a bounded wait, so a missed notify costs at most
+/// one tick, never a hang).
+struct Engine::Worker {
+  explicit Worker(std::size_t capacity) : ring(capacity) {}
+
+  SpscQueue<Task> ring;
+  std::mutex m;
+  std::condition_variable cv;
+  std::atomic<bool> stop{false};
+  std::thread thread;
+};
+
+/// MPSC completion channel: any worker produces, only the control thread
+/// consumes. One lock per completed job — negligible next to the per-byte
+/// manipulation the job just paid for.
+struct Engine::DoneQueue {
+  std::mutex m;
+  std::condition_variable cv;
+  std::vector<Completion> ready;
+};
+
+Engine::Engine(EngineConfig cfg)
+    : cfg_(cfg),
+      worker_stats_(cfg.workers > 0 ? cfg.workers : 1),
+      queue_depth_(0.0, 64.0, 16),
+      job_latency_us_(0.0, 10000.0, 50),
+      done_(std::make_unique<DoneQueue>()) {
+  workers_.reserve(cfg_.workers);
+  for (unsigned i = 0; i < cfg_.workers; ++i) {
+    workers_.push_back(std::make_unique<Worker>(cfg_.queue_capacity));
+  }
+  for (unsigned i = 0; i < cfg_.workers; ++i) {
+    workers_[i]->thread = std::thread([this, i] { worker_loop(i); });
+  }
+}
+
+Engine::~Engine() {
+  for (auto& w : workers_) {
+    // Queued jobs still run (their payloads and callbacks may anchor
+    // caller state); only then is the worker told to exit.
+    while (!w->ring.empty()) std::this_thread::yield();
+    w->stop.store(true, std::memory_order_relaxed);
+    w->cv.notify_all();
+  }
+  for (auto& w : workers_) {
+    if (w->thread.joinable()) w->thread.join();
+  }
+}
+
+Engine::Completion Engine::execute_job(unsigned worker, std::uint64_t ticket,
+                                       ManipulationJob&& job) {
+  Completion c;
+  c.ticket = ticket;
+  c.worker = worker;
+  c.adu_id = job.adu_id;
+  c.bytes = job.payload.size();
+  c.on_done = std::move(job.on_done);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  c.intact = run_manipulation(job.plan, job.payload.span(), &c.cost);
+  if (c.intact && job.app_stage) job.app_stage(job.payload, c.cost);
+  const auto t1 = std::chrono::steady_clock::now();
+  c.latency_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
+  c.payload = std::move(job.payload);
+  return c;
+}
+
+void Engine::push_completion(Completion&& c) {
+  {
+    std::lock_guard lk(done_->m);
+    done_->ready.push_back(std::move(c));
+  }
+  done_->cv.notify_all();
+}
+
+void Engine::worker_loop(unsigned idx) {
+  Worker& w = *workers_[idx];
+  Task t;
+  for (;;) {
+    if (w.ring.try_pop(t)) {
+      push_completion(execute_job(idx, t.ticket, std::move(t.job)));
+      continue;
+    }
+    std::unique_lock lk(w.m);
+    if (!w.ring.empty()) continue;  // raced with a push; retry
+    if (w.stop.load(std::memory_order_relaxed)) return;
+    // Bounded wait: a notify lost between the empty-check and the wait
+    // costs one tick, not a deadlock.
+    w.cv.wait_for(lk, std::chrono::milliseconds(1));
+  }
+}
+
+std::uint64_t Engine::submit(ManipulationJob job) {
+  const std::uint64_t ticket = ++last_ticket_;
+  ++stats_.jobs_submitted;
+  stats_.bytes_submitted += job.payload.size();
+  ++outstanding_;
+
+  if (workers_.empty()) {
+    ++stats_.inline_executions;
+    push_completion(execute_job(0, ticket, std::move(job)));
+    return ticket;
+  }
+
+  const unsigned idx = static_cast<unsigned>(job.adu_id % workers_.size());
+  Worker& w = *workers_[idx];
+  queue_depth_.add(static_cast<double>(w.ring.size()));
+  Task t{ticket, std::move(job)};
+  if (!w.ring.try_push(std::move(t))) {
+    // Ring full: the worker is the only consumer and needs no help from
+    // this thread, so spinning here is safe (and rare — it means control
+    // is outrunning the pool by a whole ring).
+    ++stats_.submit_backpressure;
+    do {
+      std::this_thread::yield();
+    } while (!w.ring.try_push(std::move(t)));
+  }
+  w.cv.notify_one();
+  return ticket;
+}
+
+std::size_t Engine::drain_ready(bool block) {
+  std::vector<Completion> batch;
+  {
+    std::unique_lock lk(done_->m);
+    if (block && done_->ready.empty() && outstanding_ > 0) {
+      done_->cv.wait(lk, [&] { return !done_->ready.empty(); });
+    }
+    batch.swap(done_->ready);
+  }
+  if (batch.empty()) return 0;
+
+  if (cfg_.reorder_seed != 0 && batch.size() > 1) {
+    // Seeded Fisher-Yates per batch: an adversarial but reproducible
+    // completion schedule (the draw counter keeps batches independent).
+    Rng rng(cfg_.reorder_seed ^ (0x9E3779B97F4A7C15ull * ++reorder_draws_));
+    for (std::size_t i = batch.size() - 1; i > 0; --i) {
+      const std::size_t j = static_cast<std::size_t>(rng.uniform(i + 1));
+      if (j != i) {
+        std::swap(batch[i], batch[j]);
+        ++stats_.completions_reordered;
+      }
+    }
+  }
+
+  for (auto& c : batch) {
+    --outstanding_;
+    ++stats_.jobs_completed;
+    if (!c.intact) ++stats_.jobs_failed;
+    WorkerStats& ws = worker_stats_[c.worker];
+    ++ws.jobs;
+    ws.bytes += c.bytes;
+    job_latency_us_.add(static_cast<double>(c.latency_ns) / 1e3);
+    if (c.on_done) c.on_done(c.intact, std::move(c.payload), c.cost);
+  }
+  return batch.size();
+}
+
+void Engine::wait_all() {
+  while (outstanding_ > 0) drain_ready(true);
+}
+
+void Engine::emit_metrics(obs::MetricSink& sink) const {
+  sink.counter("workers", workers_.size());
+  sink.counter("jobs_submitted", stats_.jobs_submitted);
+  sink.counter("jobs_completed", stats_.jobs_completed);
+  sink.counter("jobs_failed", stats_.jobs_failed);
+  sink.counter("bytes_submitted", stats_.bytes_submitted);
+  sink.counter("inline_executions", stats_.inline_executions);
+  sink.counter("completions_reordered", stats_.completions_reordered);
+  sink.counter("submit_backpressure", stats_.submit_backpressure);
+  sink.gauge("outstanding", static_cast<double>(outstanding_));
+  sink.histogram("queue_depth", queue_depth_);
+  sink.histogram("job_latency_us", job_latency_us_);
+  for (std::size_t i = 0; i < worker_stats_.size(); ++i) {
+    obs::PrefixedSink ws(sink, "worker" + std::to_string(i) + ".");
+    ws.counter("jobs", worker_stats_[i].jobs);
+    ws.counter("bytes", worker_stats_[i].bytes);
+  }
+}
+
+void Engine::register_metrics(obs::MetricsRegistry& reg, std::string prefix) const {
+  reg.add_source(std::move(prefix),
+                 [this](obs::MetricSink& sink) { emit_metrics(sink); });
+}
+
+}  // namespace ngp::engine

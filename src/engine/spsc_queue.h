@@ -1,0 +1,73 @@
+// spsc_queue.h — bounded single-producer/single-consumer ring.
+//
+// The engine's dispatch fabric: the control thread is the only producer
+// into each worker's ring and that worker is the only consumer, so a
+// wait-free ring with two atomic cursors is sufficient — no lock is ever
+// taken on the per-job fast path. Jobs for the same shard key land in the
+// same ring, which is what gives the engine its per-ADU FIFO guarantee.
+//
+// Blocking (an empty ring on the consumer side, a full ring on the
+// producer side) is handled by the caller; the ring itself only offers
+// try_push/try_pop so its progress guarantees stay trivial to audit.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace ngp::engine {
+
+/// Bounded SPSC FIFO. Capacity is rounded up to a power of two; one slot
+/// is sacrificed to distinguish full from empty.
+template <typename T>
+class SpscQueue {
+ public:
+  explicit SpscQueue(std::size_t capacity) {
+    std::size_t n = 2;
+    while (n < capacity + 1) n <<= 1;
+    slots_.resize(n);
+    mask_ = n - 1;
+  }
+
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  /// Producer side. False when the ring is full.
+  bool try_push(T&& v) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    const std::size_t next = (head + 1) & mask_;
+    if (next == tail_.load(std::memory_order_acquire)) return false;
+    slots_[head] = std::move(v);
+    head_.store(next, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. False when the ring is empty.
+  bool try_pop(T& out) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail == head_.load(std::memory_order_acquire)) return false;
+    out = std::move(slots_[tail]);
+    tail_.store((tail + 1) & mask_, std::memory_order_release);
+    return true;
+  }
+
+  /// Approximate occupancy (exact on the producer thread between its own
+  /// pushes; used for the queue-depth histogram, not for control flow).
+  std::size_t size() const noexcept {
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    return (head - tail) & mask_;
+  }
+
+  bool empty() const noexcept { return size() == 0; }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t mask_ = 0;
+  // Padded apart so the producer and consumer cursors do not false-share.
+  alignas(64) std::atomic<std::size_t> head_{0};  ///< next write (producer)
+  alignas(64) std::atomic<std::size_t> tail_{0};  ///< next read (consumer)
+};
+
+}  // namespace ngp::engine

@@ -1,0 +1,85 @@
+#include "ilp/pipeline.h"
+
+#include "ilp/engine.h"
+#include "ilp/stages.h"
+
+namespace ngp {
+
+namespace {
+
+/// Fused decrypt+verify(+decode) combos. The stage pack order matters: the
+/// checksum stage sits between decrypt and byteswap so it always absorbs
+/// the plaintext wire bytes.
+template <WordStage CkStage>
+bool fused_verify(const ManipulationPlan& plan, MutableBytes buf,
+                  obs::CostAccount* acct, auto expected_of) {
+  CkStage ck;
+  if (plan.decrypt && plan.byteswap_decode) {
+    EncryptStage dec(plan.key, 0);
+    Byteswap32Stage swap;
+    ilp_fused_accounted(acct, buf, buf, dec, ck, swap);
+  } else if (plan.decrypt) {
+    EncryptStage dec(plan.key, 0);
+    ilp_fused_accounted(acct, buf, buf, dec, ck);
+  } else if (plan.byteswap_decode) {
+    Byteswap32Stage swap;
+    ilp_fused_accounted(acct, buf, buf, ck, swap);
+  } else {
+    ilp_fused_accounted(acct, buf, buf, ck);
+  }
+  return ck.result() == expected_of(plan.expected_checksum);
+}
+
+/// One separate byteswap pass (the non-fusable fallback paths); charged as
+/// a full mutating pass.
+void byteswap_pass(MutableBytes buf, obs::CostAccount* acct) {
+  Byteswap32Stage swap;
+  detail::layered_pass(buf, swap);
+  if (acct != nullptr) acct->charge_pass(buf.size(), /*stores=*/true);
+}
+
+}  // namespace
+
+bool run_manipulation(const ManipulationPlan& plan, MutableBytes buf,
+                      obs::CostAccount* acct) {
+  if (!plan.layered) {
+    // ILP: fuse every stage with a word kernel into ONE pass. Internet and
+    // CRC-32 verify fuse; Fletcher/Adler have no word kernel and cost one
+    // extra read-only pass over the plaintext (so any fused byteswap must
+    // wait until that pass has run).
+    if (plan.checksum_kind == ChecksumKind::kInternet) {
+      return fused_verify<ChecksumStage>(
+          plan, buf, acct,
+          [](std::uint32_t e) { return static_cast<std::uint16_t>(e); });
+    }
+    if (plan.checksum_kind == ChecksumKind::kCrc32) {
+      return fused_verify<Crc32Stage>(plan, buf, acct,
+                                      [](std::uint32_t e) { return e; });
+    }
+    if (plan.decrypt) {
+      EncryptStage dec(plan.key, 0);
+      ilp_fused_accounted(acct, buf, buf, dec);
+    } else if (acct != nullptr) {
+      acct->charge_operation(buf.size());
+    }
+    if (acct != nullptr) acct->charge_pass(buf.size(), /*stores=*/false);
+    const bool intact =
+        compute_checksum(plan.checksum_kind, buf) == plan.expected_checksum;
+    if (intact && plan.byteswap_decode) byteswap_pass(buf, acct);
+    return intact;
+  }
+
+  // Layered: one full pass per manipulation, conventional ordering.
+  if (acct != nullptr) acct->charge_operation(buf.size());
+  if (plan.decrypt) {
+    chacha20_xor(plan.key, 0, buf);
+    if (acct != nullptr) acct->charge_pass(buf.size(), /*stores=*/true);
+  }
+  if (acct != nullptr) acct->charge_pass(buf.size(), /*stores=*/false);
+  const bool intact =
+      compute_checksum(plan.checksum_kind, buf) == plan.expected_checksum;
+  if (intact && plan.byteswap_decode) byteswap_pass(buf, acct);
+  return intact;
+}
+
+}  // namespace ngp

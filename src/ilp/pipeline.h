@@ -1,0 +1,61 @@
+// pipeline.h — a value-type description of one ADU's manipulation pipeline.
+//
+// The paper's §4/§5 split: control decides WHAT must happen to a complete
+// ADU (which cipher, which integrity check, which presentation decode);
+// the manipulation itself is the expensive every-byte work. This header
+// reifies that decision as a ManipulationPlan so the same plan can run
+//
+//   * inline on the control thread (AlfReceiver's classic stage 2), or
+//   * on an ngp::engine worker, out of order with other ADUs (§5: complete
+//     ADUs named in an application name-space need no mutual ordering).
+//
+// run_manipulation() is the single executor both paths share, so the §4
+// cost ledger (obs::CostAccount) is charged identically no matter where a
+// plan runs — a property the engine tests pin.
+#pragma once
+
+#include "crypto/chacha20.h"
+#include "checksum/checksum.h"
+#include "obs/cost.h"
+#include "util/bytes.h"
+
+namespace ngp {
+
+/// The fused ILP stage pipeline for one complete ADU:
+/// decrypt -> verify checksum (of the plaintext) -> presentation decode.
+/// Stages are optional and independently selectable; the executor fuses
+/// whatever subset it can into one pass (ilp_fused) and falls back to extra
+/// passes only where a stage has no word kernel (Fletcher/Adler verify).
+struct ManipulationPlan {
+  /// Conventional layered engineering instead of the fused loop (one full
+  /// pass per manipulation) — ProcessMode::kLayered of the session.
+  bool layered = false;
+
+  /// ChaCha20-decrypt the buffer first. `key` must be the finished per-ADU
+  /// key (nonce tail already derived from the ADU id by the caller).
+  bool decrypt = false;
+  ChaChaKey key{};
+
+  /// Whole-ADU integrity check over the plaintext.
+  ChecksumKind checksum_kind = ChecksumKind::kInternet;
+  std::uint32_t expected_checksum = 0;
+
+  /// Presentation decode fused into the same pass: byte-swap each 32-bit
+  /// element (the XDR/LWTS integer-array decode kernel). Applied after the
+  /// checksum absorbs the plaintext, so the check still covers wire bytes.
+  bool byteswap_decode = false;
+};
+
+/// Runs `plan` over `buf` in place. Returns true when the checksum matched
+/// (the ADU is intact); the buffer then holds the decrypted (and, when
+/// requested, byte-swapped) payload. On mismatch the buffer contents are
+/// unspecified — callers discard and re-fetch, the ADU being the unit of
+/// error recovery (§5).
+///
+/// `acct` (nullable) is charged in the §4 currency exactly as the inline
+/// receive path charges it: fused plans pay one pass regardless of stage
+/// count, layered plans one pass per manipulation.
+bool run_manipulation(const ManipulationPlan& plan, MutableBytes buf,
+                      obs::CostAccount* acct);
+
+}  // namespace ngp

@@ -39,6 +39,36 @@ class MetricSink {
   virtual void histogram(std::string_view name, const Histogram& h) = 0;
 };
 
+/// Forwards samples to another sink with a name prefix prepended. Lets one
+/// registered source emit nested sub-component metrics (per-worker,
+/// per-lane) without registering a source per sub-component:
+///
+///   PrefixedSink ws(sink, "worker3.");
+///   ws.counter("jobs", n);   // exports as <source prefix>.worker3.jobs
+class PrefixedSink final : public MetricSink {
+ public:
+  PrefixedSink(MetricSink& inner, std::string prefix)
+      : inner_(inner), prefix_(std::move(prefix)) {}
+
+  void counter(std::string_view name, std::uint64_t value) override {
+    inner_.counter(full(name), value);
+  }
+  void gauge(std::string_view name, double value) override {
+    inner_.gauge(full(name), value);
+  }
+  void histogram(std::string_view name, const Histogram& h) override {
+    inner_.histogram(full(name), h);
+  }
+
+ private:
+  std::string full(std::string_view name) const {
+    return prefix_ + std::string(name);
+  }
+
+  MetricSink& inner_;
+  std::string prefix_;
+};
+
 /// One exported sample.
 struct Sample {
   enum class Kind : std::uint8_t { kCounter, kGauge, kHistogram };

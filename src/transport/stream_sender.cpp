@@ -38,14 +38,13 @@ bool StreamSender::finished() const noexcept {
 }
 
 ConstBytes StreamSender::buffered(std::uint64_t seq, std::size_t len) const {
-  // deque is contiguous only per block; copy into scratch via iterators.
-  // To keep the datapath simple we expose through a temporary — callers
-  // must consume before the next mutation. (All call sites do.)
-  static thread_local std::vector<std::uint8_t> tmp;
-  tmp.resize(len);
+  // deque is contiguous only per block; copy into the member scratch via
+  // iterators. To keep the datapath simple we expose through that buffer —
+  // callers must consume before the next buffered() call. (All do.)
+  read_scratch_.resize(len);
   const auto start = buf_.begin() + static_cast<std::ptrdiff_t>(seq - buf_base_);
-  std::copy(start, start + static_cast<std::ptrdiff_t>(len), tmp.begin());
-  return {tmp.data(), tmp.size()};
+  std::copy(start, start + static_cast<std::ptrdiff_t>(len), read_scratch_.begin());
+  return {read_scratch_.data(), read_scratch_.size()};
 }
 
 void StreamSender::transmit(std::uint64_t seq, std::size_t len, bool retransmission) {

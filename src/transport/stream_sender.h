@@ -19,6 +19,7 @@
 #include <deque>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "netsim/net_path.h"
 #include "util/event_loop.h"
@@ -99,6 +100,11 @@ class StreamSender {
   NetPath& out_;
   StreamSenderConfig cfg_;
   StreamSenderStats stats_;
+
+  // Scratch for buffered(): the deque is not contiguous, so reads are
+  // staged through this per-sender buffer (a member, not function-local
+  // static state, so independent senders never share or leak storage).
+  mutable std::vector<std::uint8_t> read_scratch_;
 
   // Stream state. buf_ holds [buf_base_, buf_base_+buf_.size()).
   std::deque<std::uint8_t> buf_;

@@ -7,7 +7,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <unordered_map>
 #include <vector>
 
@@ -52,27 +51,36 @@ class EventLoop {
   /// Executes at most one event. Returns false if the queue is empty.
   bool step();
 
-  /// Number of events waiting.
-  std::size_t pending() const noexcept { return heap_.size() - cancelled_count_; }
+  /// Number of live events waiting. Counted from the callback table, so it
+  /// is exact whether or not cancelled heap entries have been compacted
+  /// away yet.
+  std::size_t pending() const noexcept { return callbacks_.size(); }
 
  private:
   struct Event {
     SimTime when;
     std::uint64_t seq;  // insertion order: deterministic tie-break
     EventId id;
-    // Ordering for the min-heap (std::priority_queue is a max-heap).
+    // Heap ordering (std::push_heap et al. build a max-heap; invert so the
+    // earliest event sits at the front).
     bool operator<(const Event& other) const noexcept {
       if (when != other.when) return when > other.when;
       return seq > other.seq;
     }
   };
 
+  /// Drops every cancelled entry and re-heapifies: O(n), amortised O(1)
+  /// per cancel since it only runs once dead entries dominate the heap.
+  void compact();
+  /// Pops cancelled entries off the heap front so front() is live.
+  void drop_cancelled_front();
+
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   EventId next_id_ = 1;
-  std::priority_queue<Event> heap_;
+  std::vector<Event> heap_;  // min-heap via Event::operator<
   // Callbacks keyed by id; erased on cancel. Cancelled heap entries are
-  // skipped lazily when popped.
+  // skipped lazily when popped, or swept in bulk by compact().
   std::unordered_map<EventId, std::function<void()>> callbacks_;
   std::size_t cancelled_count_ = 0;
 };

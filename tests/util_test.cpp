@@ -395,6 +395,58 @@ TEST(EventLoop, CancelPreventsExecution) {
   EXPECT_FALSE(ran);
 }
 
+TEST(EventLoop, CancelHeavyWorkloadCompactsAndStaysCorrect) {
+  // A cancel-heavy pattern (re-armed watchdogs): cancelling most of the
+  // queue triggers heap compaction. pending() must count LIVE events
+  // exactly, before and after compaction, and survivors must still run in
+  // time order.
+  EventLoop loop;
+  std::vector<EventId> ids;
+  std::vector<int> fired;
+  for (int i = 0; i < 100; ++i) {
+    ids.push_back(loop.schedule_at(i + 1, [&fired, i] { fired.push_back(i); }));
+  }
+  EXPECT_EQ(loop.pending(), 100u);
+  for (int i = 0; i < 100; ++i) {
+    if (i % 10 != 0) EXPECT_TRUE(loop.cancel(ids[static_cast<std::size_t>(i)]));
+  }
+  EXPECT_EQ(loop.pending(), 10u);  // exact despite bulk compaction
+  EXPECT_EQ(loop.run(), 10u);
+  ASSERT_EQ(fired.size(), 10u);
+  for (std::size_t i = 0; i < fired.size(); ++i) {
+    EXPECT_EQ(fired[i], static_cast<int>(i * 10));  // time order preserved
+  }
+  EXPECT_EQ(loop.pending(), 0u);
+}
+
+TEST(EventLoop, InterleavedCancelAndScheduleKeepsPendingExact) {
+  EventLoop loop;
+  int live_runs = 0;
+  for (int round = 0; round < 20; ++round) {
+    const EventId doomed = loop.schedule_at(1000 + round, [] {});
+    loop.schedule_at(500 + round, [&] { ++live_runs; });
+    EXPECT_TRUE(loop.cancel(doomed));
+    EXPECT_EQ(loop.pending(), static_cast<std::size_t>(round + 1));
+  }
+  EXPECT_EQ(loop.run(), 20u);
+  EXPECT_EQ(live_runs, 20);
+}
+
+TEST(EventLoop, RunUntilIgnoresCancelledFrontEvents) {
+  // A cancelled event BEFORE the boundary must not let a live event AFTER
+  // the boundary execute early.
+  EventLoop loop;
+  bool late_ran = false;
+  const EventId early = loop.schedule_at(10, [] {});
+  loop.schedule_at(100, [&] { late_ran = true; });
+  EXPECT_TRUE(loop.cancel(early));
+  EXPECT_EQ(loop.run_until(50), 0u);
+  EXPECT_FALSE(late_ran);
+  EXPECT_EQ(loop.now(), 50);
+  EXPECT_EQ(loop.run_until(100), 1u);
+  EXPECT_TRUE(late_ran);
+}
+
 TEST(EventLoop, RunUntilStopsAtBoundaryAndAdvancesClock) {
   EventLoop loop;
   int count = 0;
