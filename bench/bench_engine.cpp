@@ -27,6 +27,7 @@
 #include "crypto/chacha20.h"
 #include "engine/engine.h"
 #include "presentation/codec.h"
+#include "simd/dispatch.h"
 #include "util/rng.h"
 
 namespace {
@@ -223,5 +224,46 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(args.seed), host_cpus,
                 hash_ok ? "true" : "false", ledger_ok ? "true" : "false");
   ngp::bench::emit_json("ENGINE_SCALING_JSON", std::string(head) + points + "]}");
-  return (hash_ok && ledger_ok && failed == 0) ? 0 : 1;
+
+  // Kernel-tier sweep: the same session once per SIMD dispatch level
+  // (inline schedule). The tier may move throughput only — output hash and
+  // §4 ledger must match the worker-sweep baseline bit for bit, the same
+  // invariance engine_test pins. (Throughput moves less here than in
+  // bench_table1: the BER app stage has no word kernel and dominates.)
+  std::printf("\nkernel tiers (inline schedule):\n");
+  const ngp::simd::KernelTier saved_tier = ngp::simd::active_tier();
+  bool tier_hash_ok = true, tier_ledger_ok = true;
+  std::string tier_points;
+  bool first_tier = true;
+  for (std::size_t t = 0; t < ngp::simd::kKernelTierCount; ++t) {
+    const auto tier = static_cast<ngp::simd::KernelTier>(t);
+    if (ngp::simd::tier_table(tier) == nullptr) continue;
+    ngp::simd::set_active_tier(tier);
+    const RunResult r = run_session(adus, 0);
+    const bool h = r.output_hash == results[0].output_hash;
+    const bool l = ledgers_equal(r.ledger, results[0].ledger);
+    tier_hash_ok = tier_hash_ok && h;
+    tier_ledger_ok = tier_ledger_ok && l;
+    failed += r.failed;
+    std::printf("  %-8s %10.1f Mb/s   output %s   ledger %s\n",
+                ngp::simd::tier_name(tier), r.mbps, h ? "identical" : "DIVERGED",
+                l ? "identical" : "DIVERGED");
+    char buf[128];
+    std::snprintf(buf, sizeof buf, "%s{\"tier\":\"%s\",\"mbps\":%.1f}",
+                  first_tier ? "" : ",", ngp::simd::tier_name(tier), r.mbps);
+    tier_points += buf;
+    first_tier = false;
+  }
+  ngp::simd::set_active_tier(saved_tier);
+  char tier_head[160];
+  std::snprintf(tier_head, sizeof tier_head,
+                "{\"best_tier\":\"%s\",\"output_identical\":%s,"
+                "\"ledger_identical\":%s,\"tiers\":[",
+                ngp::simd::tier_name(ngp::simd::best_tier()),
+                tier_hash_ok ? "true" : "false", tier_ledger_ok ? "true" : "false");
+  ngp::bench::emit_json("KERNEL_TIERS_JSON",
+                        std::string(tier_head) + tier_points + "]}");
+  return (hash_ok && ledger_ok && tier_hash_ok && tier_ledger_ok && failed == 0)
+             ? 0
+             : 1;
 }

@@ -14,14 +14,19 @@
 //          pass, BER encode with the checksum fused into the encode loop.
 #include <benchmark/benchmark.h>
 
+#include <string>
+
 #include "bench_util.h"
+#include "checksum/checksum.h"
 #include "checksum/internet.h"
 #include "crypto/chacha20.h"
 #include "ilp/engine.h"
 #include "ilp/kernels.h"
+#include "ilp/pipeline.h"
 #include "ilp/runtime.h"
 #include "obs/metrics.h"
 #include "presentation/ber.h"
+#include "simd/dispatch.h"
 #include "util/rng.h"
 
 namespace {
@@ -330,6 +335,87 @@ void print_cost_profile() {
   std::printf("COST_PROFILE_JSON %s\n", reg.snapshot().to_json().c_str());
 }
 
+// ---- Kernel-tier sweep: the production executor on every dispatch level --------
+//
+// run_manipulation is the single fused executor the receive path and the
+// engine share; here it runs the full depth-3 plan (ChaCha20 decrypt +
+// Internet-checksum verify + byteswap decode) once per SIMD tier, fused vs
+// layered. The fused/layered contrast is §4's claim; the per-tier spread
+// shows the dispatch table compounding on top of it without changing the
+// pass structure (COST_PROFILE_JSON is tier-independent by construction).
+void print_kernel_tiers() {
+  using ngp::bench::measure_mbps;
+  ByteBuffer wire = make_buffer(kBuf);
+  ChaChaKey key{};
+  for (std::size_t i = 0; i < key.key.size(); ++i) {
+    key.key[i] = static_cast<std::uint8_t>(i * 3 + 7);
+  }
+
+  ManipulationPlan plan;
+  plan.decrypt = true;
+  plan.key = key;
+  plan.checksum_kind = ChecksumKind::kInternet;
+  plan.expected_checksum = compute_checksum(ChecksumKind::kInternet, wire.span());
+  plan.byteswap_decode = true;
+  chacha20_xor(key, 0, wire.span());
+
+  struct TierRow {
+    simd::KernelTier tier;
+    double fused, layered;
+  };
+  const simd::KernelTier saved = simd::active_tier();
+  std::vector<TierRow> rows;
+  // The buffer is manipulated in place, so iterations after the first see
+  // churned bytes and the verify result alternates — the per-byte WORK is
+  // data-independent, which is all a throughput measurement needs.
+  ByteBuffer buf = wire;
+  for (std::size_t t = 0; t < simd::kKernelTierCount; ++t) {
+    const auto tier = static_cast<simd::KernelTier>(t);
+    if (simd::tier_table(tier) == nullptr) continue;
+    simd::set_active_tier(tier);
+    TierRow r{tier, 0, 0};
+    plan.layered = false;
+    r.fused = measure_mbps(kBuf, [&] {
+      benchmark::DoNotOptimize(run_manipulation(plan, buf.span(), nullptr));
+    });
+    plan.layered = true;
+    r.layered = measure_mbps(kBuf, [&] {
+      benchmark::DoNotOptimize(run_manipulation(plan, buf.span(), nullptr));
+    });
+    rows.push_back(r);
+  }
+  simd::set_active_tier(saved);
+
+  ngp::bench::print_header(
+      "Kernel tiers: run_manipulation (decrypt+verify+swap) per SIMD level");
+  std::string points;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const TierRow& r = rows[i];
+    std::printf("  %-8s fused %8.1f Mb/s   layered %8.1f Mb/s   gain %.2fx\n",
+                simd::tier_name(r.tier), r.fused, r.layered,
+                r.layered > 0 ? r.fused / r.layered : 0.0);
+    char buf2[160];
+    std::snprintf(buf2, sizeof buf2,
+                  "%s{\"tier\":\"%s\",\"fused_mbps\":%.1f,\"layered_mbps\":%.1f}",
+                  i ? "," : "", simd::tier_name(r.tier), r.fused, r.layered);
+    points += buf2;
+  }
+  double scalar_fused = 0, best_fused = 0;
+  for (const auto& r : rows) {
+    if (r.tier == simd::KernelTier::kScalar) scalar_fused = r.fused;
+    if (r.tier == simd::best_tier()) best_fused = r.fused;
+  }
+  const double ratio = scalar_fused > 0 ? best_fused / scalar_fused : 0.0;
+  std::printf("  best tier (%s) vs scalar, fused executor: %.2fx\n",
+              simd::tier_name(simd::best_tier()), ratio);
+  char head[160];
+  std::snprintf(head, sizeof head,
+                "{\"bytes\":%zu,\"best_tier\":\"%s\","
+                "\"best_vs_scalar_fused\":%.2f,\"tiers\":[",
+                kBuf, simd::tier_name(simd::best_tier()), ratio);
+  ngp::bench::emit_json("KERNEL_TIERS_JSON", std::string(head) + points + "]}");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -341,5 +427,6 @@ int main(int argc, char** argv) {
   print_e1();
   print_e4();
   print_cost_profile();
+  print_kernel_tiers();
   return 0;
 }

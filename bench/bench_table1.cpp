@@ -16,11 +16,16 @@
 // Also registers google-benchmark timers for fine-grained statistics.
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 #include "bench_util.h"
 #include "checksum/internet.h"
+#include "crypto/chacha20.h"
 #include "ilp/kernels.h"
 #include "obs/cost.h"
 #include "obs/metrics.h"
+#include "simd/dispatch.h"
 #include "util/rng.h"
 
 namespace {
@@ -146,6 +151,95 @@ void print_table1() {
   std::printf("COST_PROFILE_JSON %s\n", reg.snapshot().to_json().c_str());
 }
 
+// ---- Kernel-tier sweep (Table 1 on every dispatch tier) ------------------------
+//
+// The same manipulation kernels, once per SIMD tier this host supports.
+// Throughput moves with the tier; the §4 pass structure (COST_PROFILE_JSON
+// above) does not — the dispatch table changes instructions per word, not
+// memory passes. The headline check is the paper's own fusion workload:
+// the fused decrypt+checksum+byteswap kernel on the best tier must clear
+// 1.5x its scalar version, mirroring the 1.5x the paper measured for
+// hand-integrated copy+checksum.
+void print_kernel_tiers() {
+  using ngp::bench::measure_mbps;
+  const std::size_t n = 64 * 1024;
+  ByteBuffer src = make_buffer(n), dst = make_buffer(n);
+  ChaChaKey key{};
+  for (std::size_t i = 0; i < key.key.size(); ++i) {
+    key.key[i] = static_cast<std::uint8_t>(i * 5 + 1);
+  }
+
+  struct TierRow {
+    simd::KernelTier tier;
+    double copy, cksum, crc, chacha, fused;
+  };
+  const simd::KernelTier saved = simd::active_tier();
+  std::vector<TierRow> rows;
+  for (std::size_t t = 0; t < simd::kKernelTierCount; ++t) {
+    const auto tier = static_cast<simd::KernelTier>(t);
+    const simd::KernelTable* table = simd::tier_table(tier);
+    if (table == nullptr) continue;  // not supported on this host
+    simd::set_active_tier(tier);
+    const simd::KernelTable& k = *table;
+    TierRow r{tier, 0, 0, 0, 0, 0};
+    r.copy = measure_mbps(n, [&] {
+      k.copy(src.span(), dst.span());
+      benchmark::DoNotOptimize(dst.data());
+    });
+    volatile std::uint32_t sink = 0;
+    r.cksum = measure_mbps(n, [&] { sink = k.internet_checksum(src.span()); });
+    r.crc = measure_mbps(n, [&] { sink = k.crc32(src.span()); });
+    r.chacha = measure_mbps(n, [&] {
+      k.chacha20_xor(key, 0, dst.span());
+      benchmark::DoNotOptimize(dst.data());
+    });
+    r.fused = measure_mbps(n, [&] {
+      sink = k.decrypt_checksum_byteswap(key, 0, dst.span());
+    });
+    (void)sink;
+    rows.push_back(r);
+  }
+  simd::set_active_tier(saved);
+
+  ngp::bench::print_header("Kernel tiers: dispatch-table Mb/s per SIMD level");
+  std::printf("  %-8s %10s %10s %10s %10s %14s\n", "tier", "copy", "cksum",
+              "crc32", "chacha20", "dec+ck+swap");
+  for (const auto& r : rows) {
+    std::printf("  %-8s %10.0f %10.0f %10.0f %10.0f %14.0f\n",
+                simd::tier_name(r.tier), r.copy, r.cksum, r.crc, r.chacha,
+                r.fused);
+  }
+
+  double scalar_fused = 0, best_fused = 0;
+  for (const auto& r : rows) {
+    if (r.tier == simd::KernelTier::kScalar) scalar_fused = r.fused;
+    if (r.tier == simd::best_tier()) best_fused = r.fused;
+  }
+  const double ratio = scalar_fused > 0 ? best_fused / scalar_fused : 0.0;
+  std::printf("  best tier (%s) fused decrypt+cksum+swap vs scalar: %.2fx\n",
+              simd::tier_name(simd::best_tier()), ratio);
+  std::printf("  shape check: vectorized fusion >= 1.5x scalar fusion -> %s\n",
+              ratio >= 1.5 ? "HOLDS" : "FAILS");
+
+  std::string points;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    char buf[224];
+    std::snprintf(buf, sizeof buf,
+                  "%s{\"tier\":\"%s\",\"copy_mbps\":%.0f,"
+                  "\"internet_checksum_mbps\":%.0f,\"crc32_mbps\":%.0f,"
+                  "\"chacha20_mbps\":%.0f,\"fused_decrypt_cksum_swap_mbps\":%.0f}",
+                  i ? "," : "", simd::tier_name(rows[i].tier), rows[i].copy,
+                  rows[i].cksum, rows[i].crc, rows[i].chacha, rows[i].fused);
+    points += buf;
+  }
+  char head[160];
+  std::snprintf(head, sizeof head,
+                "{\"bytes\":%zu,\"best_tier\":\"%s\","
+                "\"best_vs_scalar_fused\":%.2f,\"tiers\":[",
+                n, simd::tier_name(simd::best_tier()), ratio);
+  ngp::bench::emit_json("KERNEL_TIERS_JSON", std::string(head) + points + "]}");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -154,5 +248,6 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   print_table1();
+  print_kernel_tiers();
   return 0;
 }

@@ -8,6 +8,7 @@
 #include "ilp/engine.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "simd/dispatch.h"
 
 namespace ngp::alf {
 
@@ -186,7 +187,8 @@ void AlfReceiver::on_data(const DataFragment& f) {
   // detects what is genuinely new.
   const std::uint32_t start = f.frag_off;
   const std::uint32_t end = start + static_cast<std::uint32_t>(f.payload.size());
-  copy_bytes(r.buf.data() + start, f.payload.data(), f.payload.size());
+  simd::kernels().copy(f.payload, r.buf.span().subspan(start, f.payload.size()));
+  reassembly_cost_.charge_fused(f.payload.size());
   if (merge_range(r, start, end)) {
     note_progress();
   } else {
@@ -256,10 +258,24 @@ bool AlfReceiver::try_fec_reconstruct(std::uint32_t adu_id, Reassembly& r) {
       }
       if (more_than_one || !missing) continue;
 
-      ByteBuffer frag = reconstruct_fragment(r.buf.span(), block.span(), group, *missing);
+      // Reconstruct directly into the fragment's slot in the reassembly
+      // buffer: no staging allocation, no second copy. The surviving
+      // fragments' slots are disjoint from the missing one, so in-place is
+      // safe. Charge the XOR traffic to the stage-1 ledger: one loading
+      // pass per surviving source, one storing pass over the recovered slot.
       const auto s = static_cast<std::uint32_t>(group.fragment_offset(*missing));
-      std::memcpy(r.buf.data() + s, frag.data(), frag.size());
-      merge_range(r, s, s + static_cast<std::uint32_t>(frag.size()));
+      const std::size_t frag_len = group.fragment_length(*missing);
+      reconstruct_fragment_into(r.buf.span(), block.span(), group, *missing,
+                                r.buf.span().subspan(s, frag_len));
+      reassembly_cost_.charge_operation(frag_len);
+      reassembly_cost_.charge_pass(frag_len, /*stores=*/false);  // parity prefix
+      for (std::size_t i = 0; i < group.fragment_count(); ++i) {
+        if (i == *missing) continue;
+        reassembly_cost_.charge_pass(std::min(group.fragment_length(i), frag_len),
+                                     /*stores=*/false);
+      }
+      reassembly_cost_.charge_pass(frag_len, /*stores=*/true);
+      merge_range(r, s, s + static_cast<std::uint32_t>(frag_len));
       ++stats_.fragments_fec_reconstructed;
       progressed = true;
       break;  // parity map unchanged but ranges changed: rescan
@@ -638,6 +654,7 @@ void AlfReceiver::emit_metrics(obs::MetricSink& sink) const {
   sink.counter("adus_engine_offloaded", s.adus_engine_offloaded);
   sink.gauge("reassembly_bytes", static_cast<double>(reassembly_bytes_));
   obs::emit_cost(sink, "cost", manip_cost_);
+  obs::emit_cost(sink, "reassembly", reassembly_cost_);
 }
 
 void AlfReceiver::register_metrics(obs::MetricsRegistry& reg, std::string prefix) const {

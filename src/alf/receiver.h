@@ -137,6 +137,11 @@ class AlfReceiver {
   /// reports one pass per manipulation — the fused-vs-layered claim,
   /// measured on live traffic.
   const obs::CostAccount& manipulation_cost() const noexcept { return manip_cost_; }
+  /// Stage-1 cost ledger: fragment placement copies and FEC reconstruction
+  /// passes (the "moving to/from the net" traffic, §3). Kept separate from
+  /// the stage-2 manipulation ledger so the §4 fused-vs-layered ratios stay
+  /// comparable across configurations; emitted as "reassembly".
+  const obs::CostAccount& reassembly_cost() const noexcept { return reassembly_cost_; }
   /// Writes all counters (stats + cost) into one snapshot source.
   void emit_metrics(obs::MetricSink& sink) const;
   /// Registers emit_metrics under `prefix` (e.g. "alf.rx"). The receiver
@@ -248,6 +253,7 @@ class AlfReceiver {
   SessionConfig cfg_;
   ReceiverStats stats_;
   obs::CostAccount manip_cost_;
+  obs::CostAccount reassembly_cost_;  ///< stage-1 placement + FEC traffic
   obs::TraceRecorder* trace_ = nullptr;
 
   std::map<std::uint32_t, Reassembly> pending_;

@@ -5,6 +5,7 @@
 #include "alf/fec.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "simd/dispatch.h"
 
 namespace ngp::alf {
 
@@ -29,14 +30,15 @@ ByteBuffer AlfSender::prepare_wire_payload(std::uint32_t adu_id, ConstBytes plai
   checksum_out = compute_checksum(cfg_.checksum, plaintext);
   manip_cost_.charge_pass(plaintext.size(), /*stores=*/false);
   flags_out = 0;
-  ByteBuffer wire(plaintext);
+  ByteBuffer wire(plaintext.size());
+  simd::kernels().copy(plaintext, wire.span());
   manip_cost_.charge_pass(plaintext.size(), /*stores=*/true);  // staging copy
   if (cfg_.encrypt) {
     // Per-ADU nonce: ADU id into the nonce tail; the ADU is the encryption
     // synchronization unit, so any complete ADU decrypts standalone.
     ChaChaKey k = cfg_.key;
     store_u32_be(k.nonce.data() + 8, adu_id);
-    chacha20_xor(k, /*counter=*/0, wire.span());
+    simd::kernels().chacha20_xor(k, /*counter=*/0, wire.span());
     manip_cost_.charge_pass(plaintext.size(), /*stores=*/true);
     flags_out |= kFlagEncrypted;
   }
@@ -99,47 +101,49 @@ void AlfSender::enqueue_adu_fragments(std::uint32_t adu_id, bool retransmit) {
   if (it == store_.end()) return;
   BufferedAdu& b = it->second;
   const std::size_t len = b.wire_payload.size();
-  std::deque<PendingFragment> batch;
-  std::size_t off = 0;
-  std::size_t count = 0;
-  while (off < len) {
-    const auto frag_len =
-        static_cast<std::uint16_t>(std::min(frag_capacity_, len - off));
-    batch.push_back(PendingFragment{adu_id, static_cast<std::uint32_t>(off), frag_len,
-                                    retransmit, /*is_parity=*/false, 0});
-    off += frag_len;
-    ++count;
-  }
 
   // ADU-level FEC (footnote 10): one parity fragment per fec_k data
   // fragments, computed over the wire payload (post-encryption, so the
   // receiver can reconstruct before decrypting).
-  if (cfg_.fec_k > 0) {
-    if (b.parity_blocks.empty()) {
-      for (std::size_t start = 0; start < len;
-           start += std::size_t{cfg_.fec_k} * frag_capacity_) {
-        const FecGroup group{start, cfg_.fec_k, frag_capacity_, len};
-        b.parity_blocks.push_back(compute_parity(b.wire_payload.span(), group));
-      }
-    }
-    for (std::size_t g = 0; g < b.parity_blocks.size(); ++g) {
-      const auto start =
-          static_cast<std::uint32_t>(g * std::size_t{cfg_.fec_k} * frag_capacity_);
-      batch.push_back(PendingFragment{
-          adu_id, start, static_cast<std::uint16_t>(b.parity_blocks[g].size()),
-          retransmit, /*is_parity=*/true, static_cast<std::uint32_t>(g)});
-      ++count;
+  if (cfg_.fec_k > 0 && b.parity_blocks.empty()) {
+    for (std::size_t start = 0; start < len;
+         start += std::size_t{cfg_.fec_k} * frag_capacity_) {
+      const FecGroup group{start, cfg_.fec_k, frag_capacity_, len};
+      b.parity_blocks.push_back(compute_parity(b.wire_payload.span(), group));
     }
   }
 
+  const std::size_t data_frags = (len + frag_capacity_ - 1) / frag_capacity_;
+  const std::size_t parity_frags = cfg_.fec_k > 0 ? b.parity_blocks.size() : 0;
+
+  auto data_fragment = [&](std::size_t i) {
+    const std::size_t off = i * frag_capacity_;
+    const auto frag_len =
+        static_cast<std::uint16_t>(std::min(frag_capacity_, len - off));
+    return PendingFragment{adu_id, static_cast<std::uint32_t>(off), frag_len,
+                           retransmit, /*is_parity=*/false, 0};
+  };
+  auto parity_fragment = [&](std::size_t g) {
+    const auto start =
+        static_cast<std::uint32_t>(g * std::size_t{cfg_.fec_k} * frag_capacity_);
+    return PendingFragment{adu_id, start,
+                           static_cast<std::uint16_t>(b.parity_blocks[g].size()),
+                           retransmit, /*is_parity=*/true, static_cast<std::uint32_t>(g)};
+  };
+
   if (retransmit) {
     // Recovery jumps the backlog: the receiver is stalled on exactly these
-    // bytes, while the queued tail is data nobody is waiting for yet.
-    queue_.insert(queue_.begin(), batch.begin(), batch.end());
+    // bytes, while the queued tail is data nobody is waiting for yet. The
+    // batch is emitted back-to-front through push_front so it lands at the
+    // head in order — one O(1) deque op per fragment, no staging container,
+    // no head-relinking of the resident backlog.
+    for (std::size_t g = parity_frags; g-- > 0;) queue_.push_front(parity_fragment(g));
+    for (std::size_t i = data_frags; i-- > 0;) queue_.push_front(data_fragment(i));
   } else {
-    queue_.insert(queue_.end(), batch.begin(), batch.end());
+    for (std::size_t i = 0; i < data_frags; ++i) queue_.push_back(data_fragment(i));
+    for (std::size_t g = 0; g < parity_frags; ++g) queue_.push_back(parity_fragment(g));
   }
-  it->second.queued_fragments += count;
+  it->second.queued_fragments += data_frags + parity_frags;
 }
 
 void AlfSender::pump() {

@@ -1,6 +1,6 @@
 #include "alf/wire.h"
 
-#include "checksum/internet.h"
+#include "simd/dispatch.h"
 
 namespace ngp::alf {
 
@@ -15,7 +15,7 @@ void write_prologue(WireWriter& w, MessageType type, std::uint16_t session) {
 
 /// Appends the header checksum over everything written so far.
 void seal_header(ByteBuffer& buf) {
-  const std::uint16_t ck = internet_checksum_unrolled(buf.span());
+  const std::uint16_t ck = simd::kernels().internet_checksum(buf.span());
   buf.append(static_cast<std::uint8_t>(ck >> 8));
   buf.append(static_cast<std::uint8_t>(ck));
 }
@@ -24,8 +24,9 @@ void seal_header(ByteBuffer& buf) {
 bool header_ok(ConstBytes frame, std::size_t len) {
   if (frame.size() < len) return false;
   // Sum over the sealed region including the stored complemented checksum
-  // folds to 0xFFFF <=> intact. Region length is even by construction.
-  return internet_checksum_ok(frame.subspan(0, len));
+  // folds to 0xFFFF <=> intact, i.e. the complemented checksum of the
+  // region is 0. Region length is even by construction.
+  return simd::kernels().internet_checksum(frame.subspan(0, len)) == 0;
 }
 
 }  // namespace

@@ -2,16 +2,9 @@
 
 namespace ngp {
 
-std::uint32_t compute_checksum(ChecksumKind kind, ConstBytes data) noexcept {
-  switch (kind) {
-    case ChecksumKind::kNone: return 0;
-    case ChecksumKind::kInternet: return internet_checksum_unrolled(data);
-    case ChecksumKind::kFletcher32: return fletcher32(data);
-    case ChecksumKind::kAdler32: return adler32(data);
-    case ChecksumKind::kCrc32: return crc32_slice8(data);
-  }
-  return 0;
-}
+// compute_checksum is defined in simd/dispatch.cpp: the generic entry
+// point routes through the runtime-selected SIMD kernel tier, which lives
+// one library above ngp_checksum.
 
 std::string_view checksum_kind_name(ChecksumKind kind) noexcept {
   switch (kind) {

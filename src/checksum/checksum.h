@@ -26,7 +26,8 @@ enum class ChecksumKind : std::uint8_t {
 };
 
 /// Computes the selected checksum widened to 32 bits (Internet checksum is
-/// zero-extended). kNone returns 0.
+/// zero-extended). kNone returns 0. Runs on the active ngp::simd kernel
+/// tier (defined in simd/dispatch.cpp; result is tier-independent).
 std::uint32_t compute_checksum(ChecksumKind kind, ConstBytes data) noexcept;
 
 /// Name for bench/test output.

@@ -23,6 +23,7 @@
 
 #include "ilp/stages.h"
 #include "obs/cost.h"
+#include "simd/dispatch.h"
 #include "util/bytes.h"
 
 namespace ngp {
@@ -96,9 +97,12 @@ void ilp_fused(ConstBytes src, MutableBytes dst, Stages&... stages) noexcept {
   }
 }
 
-/// Convenience: fused pipeline with no transform = plain word copy (the
-/// Table 1 "Copy" kernel).
-inline void word_copy(ConstBytes src, MutableBytes dst) noexcept { ilp_fused(src, dst); }
+/// Convenience: fused pipeline with no transform = plain copy. Dispatches
+/// to the active SIMD tier's copy kernel (the scalar tier is the Table 1
+/// "Copy" kernel, copy_unrolled); output is tier-independent.
+inline void word_copy(ConstBytes src, MutableBytes dst) noexcept {
+  simd::kernels().copy(src, dst);
+}
 
 namespace detail {
 

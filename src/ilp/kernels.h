@@ -2,21 +2,54 @@
 //
 // Table 1 of the paper reports copy and checksum speeds for hand-coded
 // unrolled loops. These are the exact kernels bench_table1 times; they are
-// also reused by the transports. Each has a naive and a tuned form so the
-// unrolling ablation can quantify the "hand-coded" part of the claim.
+// also the scalar tier of the ngp::simd dispatch table (simd/dispatch.h).
+// Each has a naive and a tuned form so the unrolling ablation can quantify
+// the "hand-coded" part of the claim. Header-only so the simd layer can use
+// them without linking against ngp_ilp (which sits above ngp_simd).
 #pragma once
+
+#include <cstring>
 
 #include "util/bytes.h"
 
 namespace ngp {
 
 /// Byte-at-a-time copy (the untuned baseline).
-void copy_bytewise(ConstBytes src, MutableBytes dst) noexcept;
+inline void copy_bytewise(ConstBytes src, MutableBytes dst) noexcept {
+  const std::uint8_t* in = src.data();
+  std::uint8_t* out = dst.data();
+  // volatile-free but intentionally unvectorizable-looking: one byte per
+  // iteration with a data dependence on the index only. Compilers may still
+  // vectorize; bench_ablation reports what it actually measured.
+  for (std::size_t i = 0; i < src.size(); ++i) out[i] = in[i];
+}
 
 /// Word-at-a-time copy, 4-way unrolled (Table 1 "Copy" kernel).
-void copy_unrolled(ConstBytes src, MutableBytes dst) noexcept;
+inline void copy_unrolled(ConstBytes src, MutableBytes dst) noexcept {
+  const std::uint8_t* in = src.data();
+  std::uint8_t* out = dst.data();
+  std::size_t n = src.size();
+  while (n >= 32) {
+    store_u64_le(out, load_u64_le(in));
+    store_u64_le(out + 8, load_u64_le(in + 8));
+    store_u64_le(out + 16, load_u64_le(in + 16));
+    store_u64_le(out + 24, load_u64_le(in + 24));
+    in += 32;
+    out += 32;
+    n -= 32;
+  }
+  while (n >= 8) {
+    store_u64_le(out, load_u64_le(in));
+    in += 8;
+    out += 8;
+    n -= 8;
+  }
+  if (n > 0) std::memcpy(out, in, n);
+}
 
 /// libc memcpy for reference (what a modern implementor would write).
-void copy_memcpy(ConstBytes src, MutableBytes dst) noexcept;
+inline void copy_memcpy(ConstBytes src, MutableBytes dst) noexcept {
+  copy_bytes(dst.data(), src.data(), src.size());
+}
 
 }  // namespace ngp

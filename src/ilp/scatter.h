@@ -19,7 +19,9 @@
 #include <cstring>
 #include <vector>
 
+#include "checksum/internet.h"
 #include "ilp/engine.h"
+#include "simd/dispatch.h"
 #include "util/bytes.h"
 
 namespace ngp {
@@ -107,6 +109,33 @@ std::size_t scatter_fused(ConstBytes src, ScatterList& dst, Stages&... stages) {
     written += remaining;
   }
   return written;
+}
+
+/// Scatters `src` into `dst`'s regions in order while computing the RFC
+/// 1071 Internet checksum of the scattered bytes in the SAME pass, on the
+/// active SIMD tier: the §6 "copy into application address space" move
+/// fused with the §4 checksum manipulation. Each region is filled by the
+/// dispatch table's fused copy+checksum kernel and the per-region sums are
+/// folded with InternetChecksum::combine (which handles regions starting
+/// at odd byte parity). Scatters min(src.size(), dst.total_size()) bytes;
+/// `bytes_out`, when non-null, receives that count. Returns the checksum
+/// of the scattered prefix — identical to internet_checksum(prefix) and to
+/// running scatter_fused with a ChecksumStage.
+inline std::uint16_t scatter_copy_checksum(ConstBytes src, ScatterList& dst,
+                                           std::size_t* bytes_out = nullptr) {
+  const simd::KernelTable& k = simd::kernels();
+  InternetChecksum acc;
+  std::size_t off = 0;
+  for (std::size_t i = 0; i < dst.region_count() && off < src.size(); ++i) {
+    const ScatterRegion& r = dst.region(i);
+    const std::size_t take = std::min(r.size, src.size() - off);
+    const std::uint16_t ck =
+        k.copy_internet_checksum(src.subspan(off, take), MutableBytes{r.data, take});
+    acc.combine(ck, take);
+    off += take;
+  }
+  if (bytes_out != nullptr) *bytes_out = off;
+  return acc.finish();
 }
 
 /// One source region in application memory.

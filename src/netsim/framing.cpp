@@ -1,8 +1,7 @@
 #include "netsim/framing.h"
 
-#include "checksum/crc32.h"
-#include "checksum/internet.h"
 #include "obs/metrics.h"
+#include "simd/dispatch.h"
 
 namespace ngp {
 
@@ -17,9 +16,9 @@ ByteBuffer FramedBytePath::encode_frame(ConstBytes payload) {
   w.u16(kMagic);
   w.u16(static_cast<std::uint16_t>(payload.size()));
   // Header checksum over magic+len (4 bytes, even).
-  w.u16(internet_checksum_unrolled(out.subspan(0, 4)));
+  w.u16(simd::kernels().internet_checksum(out.subspan(0, 4)));
   w.bytes(payload);
-  w.u32(crc32_slice8(payload));
+  w.u32(simd::kernels().crc32(payload));
   return out;
 }
 
@@ -52,7 +51,7 @@ void FramedBytePath::deframe() {
     const std::uint16_t stored_ck =
         static_cast<std::uint16_t>((peek(4) << 8) | peek(5));
     const std::uint8_t hdr[4] = {peek(0), peek(1), peek(2), peek(3)};
-    if (internet_checksum_unrolled({hdr, 4}) != stored_ck || len > max_payload_) {
+    if (simd::kernels().internet_checksum({hdr, 4}) != stored_ck || len > max_payload_) {
       // Not a real header (payload bytes mimicking magic, or damage):
       // slide one byte and keep hunting.
       accum_.pop_front();
@@ -70,7 +69,7 @@ void FramedBytePath::deframe() {
       stored_crc = (stored_crc << 8) | peek(kHeaderSize + len + static_cast<std::size_t>(i));
     }
 
-    if (crc32_slice8(payload.span()) != stored_crc) {
+    if (simd::kernels().crc32(payload.span()) != stored_crc) {
       // Damaged payload (or a fake header that survived the 16-bit check):
       // do NOT consume the whole candidate — a real frame may start inside
       // it. Slide one byte.

@@ -2,7 +2,7 @@
 
 #include <cstring>
 
-#include "checksum/internet.h"
+#include "simd/dispatch.h"
 
 namespace ngp {
 
@@ -18,7 +18,7 @@ ByteBuffer encode_segment(const Segment& s) {
   w.u16(0);  // checksum placeholder
   w.bytes(s.payload);
 
-  const std::uint16_t ck = internet_checksum_unrolled(out.span());
+  const std::uint16_t ck = simd::kernels().internet_checksum(out.span());
   out[Segment::kHeaderSize - 2] = static_cast<std::uint8_t>(ck >> 8);
   out[Segment::kHeaderSize - 1] = static_cast<std::uint8_t>(ck);
   return out;
@@ -45,7 +45,7 @@ std::optional<Segment> decode_segment(ConstBytes frame) {
   ByteBuffer scratch(frame);
   scratch[Segment::kHeaderSize - 2] = 0;
   scratch[Segment::kHeaderSize - 1] = 0;
-  if (internet_checksum_unrolled(scratch.span()) != stored_ck) return std::nullopt;
+  if (simd::kernels().internet_checksum(scratch.span()) != stored_ck) return std::nullopt;
 
   // Re-point payload into the original frame (scratch is local).
   s.payload = frame.subspan(Segment::kHeaderSize, len);

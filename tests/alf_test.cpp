@@ -3,6 +3,7 @@
 // pacing, and loss reporting in application terms.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <map>
 #include <set>
 
@@ -450,6 +451,109 @@ TEST(AlfTransfer, WorksOverAtmCells) {
   ASSERT_EQ(delivered.size(), 1u);
   EXPECT_EQ(delivered[0].payload, data);
   EXPECT_GT(cells.stats().cells_sent, 100u);
+}
+
+// ---- Sender transmit-queue regression tests ---------------------------------------
+
+/// Lossless in-memory path capturing every offered frame; deliver() injects
+/// a frame into the registered handler (for driving the feedback channel
+/// synchronously, without a simulated link in between).
+class CapturePath final : public NetPath {
+ public:
+  bool send(ConstBytes frame) override {
+    frames.emplace_back(frame);
+    return true;
+  }
+  void set_handler(FrameHandler handler) override { handler_ = std::move(handler); }
+  std::size_t max_frame_size() const override { return 1500; }
+  void deliver(ConstBytes frame) { handler_(frame); }
+
+  std::vector<ByteBuffer> frames;
+
+ private:
+  FrameHandler handler_;
+};
+
+SessionConfig buffered_paced_config() {
+  SessionConfig scfg;
+  scfg.retransmit = RetransmitPolicy::kTransportBuffered;
+  scfg.pace_bps = 1e6;  // paced: fragments queue instead of draining inline
+  scfg.retransmit_buffer_limit = std::size_t{1} << 30;
+  return scfg;
+}
+
+TEST(AlfSenderQueue, RetransmitBatchJumpsBacklogInOrder) {
+  EventLoop loop;
+  CapturePath out, feedback;
+  SessionConfig scfg = buffered_paced_config();
+  AlfSender sender(loop, out, feedback, scfg);
+  const std::size_t cap = fragment_payload_capacity(out.max_frame_size());
+
+  // ADU 1 fully transmitted (and retained for retransmission)...
+  auto a = payload_of(cap * 10, 21);
+  ASSERT_TRUE(sender.send_adu(generic_name(1), a.span()).ok());
+  loop.run();
+  // ...then ADU 2 builds a paced backlog nobody is waiting on yet.
+  auto b = payload_of(cap * 40, 22);
+  ASSERT_TRUE(sender.send_adu(generic_name(2), b.span()).ok());
+  const std::size_t sent_before = out.frames.size();
+
+  NackMessage m;
+  m.session = scfg.session_id;
+  m.adu_ids.push_back(1);
+  ByteBuffer nack = encode_nack(m);
+  feedback.deliver(nack.span());
+  loop.run();
+
+  // The retransmitted batch must jump the queue: ADU 1's ten fragments, in
+  // offset order, ahead of every remaining ADU 2 fragment.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> order;
+  for (std::size_t i = sent_before; i < out.frames.size(); ++i) {
+    auto msg = decode_message(out.frames[i].span());
+    ASSERT_TRUE(msg.has_value());
+    if (msg->type != MessageType::kData) continue;
+    order.emplace_back(msg->data.adu_id, msg->data.frag_off);
+  }
+  ASSERT_GE(order.size(), 50u);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[i].first, 1u) << i;
+    EXPECT_EQ(order[i].second, i * cap) << i;
+  }
+  for (std::size_t i = 10; i < order.size(); ++i) {
+    EXPECT_EQ(order[i].first, 2u) << i;
+  }
+  EXPECT_EQ(sender.stats().adus_retransmitted, 1u);
+}
+
+TEST(AlfSenderQueue, FrontRequeueOfLargeBatchStaysLinear) {
+  EventLoop loop;
+  CapturePath out, feedback;
+  SessionConfig scfg = buffered_paced_config();
+  AlfSender sender(loop, out, feedback, scfg);
+  const std::size_t cap = fragment_payload_capacity(out.max_frame_size());
+
+  // ADU 1: ~8000 fragments, fully transmitted then retained.
+  auto a = payload_of(cap * 8000, 23);
+  ASSERT_TRUE(sender.send_adu(generic_name(1), a.span()).ok());
+  loop.run();
+  // ADU 2: ~8000 fragments of resident backlog at the head of the queue.
+  auto b = payload_of(cap * 8000, 24);
+  ASSERT_TRUE(sender.send_adu(generic_name(2), b.span()).ok());
+
+  NackMessage m;
+  m.session = scfg.session_id;
+  m.adu_ids.push_back(1);
+  ByteBuffer nack = encode_nack(m);
+  const auto t0 = std::chrono::steady_clock::now();
+  feedback.deliver(nack.span());
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+
+  // Front-requeue of an ~8000-fragment batch onto an ~8000-fragment backlog
+  // must cost O(batch) deque ops. The bound is deliberately loose (works
+  // under sanitizers); a quadratic head-insert regression costs seconds.
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed).count(), 250)
+      << "retransmit front-requeue is no longer linear";
+  EXPECT_EQ(sender.stats().adus_retransmitted, 1u);
 }
 
 }  // namespace

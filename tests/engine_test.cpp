@@ -16,6 +16,7 @@
 #include "engine/spsc_queue.h"
 #include "netsim/net_path.h"
 #include "obs/metrics.h"
+#include "simd/dispatch.h"
 #include "util/rng.h"
 
 namespace ngp::engine {
@@ -229,6 +230,51 @@ TEST(EngineParallel, DistinctIdsSpreadAcrossWorkers) {
   }
   EXPECT_EQ(workers_used, 4);
   EXPECT_EQ(total_jobs, 32u);
+}
+
+// ---- Kernel-tier invariance ------------------------------------------------------
+
+TEST(EngineKernelTiers, PayloadsAndLedgerIdenticalAcrossTiers) {
+  // The SIMD dispatch tier may only change HOW the engine's kernels move
+  // bytes, never WHAT comes out: the same encrypted batch decrypts to
+  // byte-identical payloads and the §4 ledger (analytic memory passes,
+  // not instructions) is identical under every tier this host supports.
+  constexpr int kJobs = 24;
+  const simd::KernelTier saved = simd::active_tier();
+
+  const auto run_batch = [&](simd::KernelTier tier) {
+    EXPECT_TRUE(simd::set_active_tier(tier));
+    std::map<std::uint32_t, ByteBuffer> out;
+    obs::CostAccount cost;
+    Engine eng(EngineConfig{.workers = 4});
+    for (int i = 1; i <= kJobs; ++i) {
+      const auto id = static_cast<std::uint32_t>(i);
+      MadeJob m = make_encrypted(id, 300 + i * 37, 7000 + i);
+      eng.submit(to_job(id, m, [&, id](bool intact, ByteBuffer&& payload,
+                                       const obs::CostAccount& c) {
+        ASSERT_TRUE(intact);
+        out.emplace(id, std::move(payload));
+        cost.merge(c);
+      }));
+    }
+    eng.wait_all();
+    return std::pair{std::move(out), cost};
+  };
+
+  const auto [ref, ref_cost] = run_batch(simd::KernelTier::kScalar);
+  ASSERT_EQ(ref.size(), static_cast<std::size_t>(kJobs));
+  for (std::size_t t = 0; t < simd::kKernelTierCount; ++t) {
+    const auto tier = static_cast<simd::KernelTier>(t);
+    if (simd::tier_table(tier) == nullptr) continue;  // not on this host
+    const auto [out, cost] = run_batch(tier);
+    ASSERT_EQ(out.size(), ref.size()) << simd::tier_name(tier);
+    for (const auto& [id, payload] : ref) {
+      EXPECT_EQ(out.at(id), payload)
+          << simd::tier_name(tier) << " ADU " << id;
+    }
+    expect_costs_equal(cost, ref_cost);
+  }
+  simd::set_active_tier(saved);
 }
 
 // ---- Adversarial completion schedule ---------------------------------------------

@@ -18,6 +18,7 @@
 #include "obs/cost.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "simd/dispatch.h"
 #include "util/rng.h"
 
 namespace ngp {
@@ -418,6 +419,25 @@ TEST(SnapshotDeterminism, SameSeedSameTransferByteIdenticalJson) {
   EXPECT_NE(a.metrics_json.find("alf.rx.cost.memory_passes"), std::string::npos);
   EXPECT_NE(a.metrics_json.find("net.data.frames_delivered"), std::string::npos);
   EXPECT_NE(a.metrics_json.find("chaos.data.payload_bitflips"), std::string::npos);
+}
+
+TEST(SnapshotDeterminism, KernelTierDoesNotPerturbSnapshot) {
+  // Same seed, different SIMD dispatch tier: kernels may only change HOW
+  // bytes are moved, never the bytes or the §4 ledger, so the whole
+  // cross-layer export — cost counters included — stays byte-identical.
+  const simd::KernelTier saved = simd::active_tier();
+  ASSERT_TRUE(simd::set_active_tier(simd::KernelTier::kScalar));
+  const RunResult scalar = run_faulty_transfer(42);
+  ASSERT_TRUE(simd::set_active_tier(simd::best_tier()));
+  const RunResult best = run_faulty_transfer(42);
+  simd::set_active_tier(saved);
+
+  EXPECT_GT(scalar.delivered, 0u);
+  EXPECT_EQ(scalar.delivered, best.delivered);
+  EXPECT_EQ(scalar.metrics_json, best.metrics_json);  // ledger tier-invariant
+  if constexpr (obs::kEnabled) {
+    EXPECT_EQ(scalar.trace_json, best.trace_json);
+  }
 }
 
 TEST(SnapshotDeterminism, DifferentSeedsDiverge) {

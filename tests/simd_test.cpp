@@ -1,0 +1,370 @@
+// simd_test.cpp — kernel-equivalence property tests for ngp::simd.
+//
+// The dispatch layer's contract (dispatch.h): every compiled-in tier
+// produces byte-identical outputs and identical checksum results to the
+// scalar tier, for every size and alignment, and the obs::CostAccount
+// ledger recorded by callers is tier-independent. These tests pin that
+// contract: they sweep all available tiers against the scalar table over
+// exhaustive small sizes, random large sizes to 4096, and all 64 source
+// alignments, then sweep run_manipulation across tiers comparing outputs
+// AND ledgers. The suite also runs under NGP_FORCE_KERNEL_TIER=scalar and
+// =best via dedicated ctest entries (see tests/CMakeLists.txt).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <random>
+#include <vector>
+
+#include "crypto/chacha20.h"
+#include "ilp/engine.h"
+#include "ilp/pipeline.h"
+#include "ilp/scatter.h"
+#include "ilp/stages.h"
+#include "obs/cost.h"
+#include "simd/dispatch.h"
+#include "util/bytes.h"
+
+namespace ngp {
+namespace {
+
+std::vector<const simd::KernelTable*> available_tiers() {
+  std::vector<const simd::KernelTable*> out;
+  for (std::size_t i = 0; i < simd::kKernelTierCount; ++i) {
+    if (const auto* t = simd::tier_table(static_cast<simd::KernelTier>(i))) {
+      out.push_back(t);
+    }
+  }
+  return out;
+}
+
+ChaChaKey test_key() {
+  ChaChaKey k;
+  for (std::size_t i = 0; i < k.key.size(); ++i) {
+    k.key[i] = static_cast<std::uint8_t>(i * 7 + 3);
+  }
+  for (std::size_t i = 0; i < k.nonce.size(); ++i) {
+    k.nonce[i] = static_cast<std::uint8_t>(0xA0 + i);
+  }
+  return k;
+}
+
+/// Deterministic pseudo-random backing store, over-allocated so any
+/// (offset, size) window up to 64+4096 fits.
+std::vector<std::uint8_t> random_backing(std::uint32_t seed, std::size_t n = 64 + 4096) {
+  std::mt19937 rng(seed);
+  std::vector<std::uint8_t> v(n);
+  for (auto& b : v) b = static_cast<std::uint8_t>(rng());
+  return v;
+}
+
+/// The (size, src-alignment) sweep: exhaustive sizes 0..300 over a handful
+/// of alignments, all 64 alignments over a size subset, plus random
+/// (size, align) pairs up to 4096 bytes.
+std::vector<std::pair<std::size_t, std::size_t>> sweep_cases() {
+  std::vector<std::pair<std::size_t, std::size_t>> cases;
+  for (std::size_t n = 0; n <= 300; ++n) {
+    for (std::size_t a : {std::size_t{0}, std::size_t{1}, std::size_t{3},
+                          std::size_t{8}, std::size_t{33}, std::size_t{63}}) {
+      cases.emplace_back(n, a);
+    }
+  }
+  for (std::size_t a = 0; a < 64; ++a) {
+    for (std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{4},
+                          std::size_t{7}, std::size_t{31}, std::size_t{64},
+                          std::size_t{129}, std::size_t{1000}}) {
+      cases.emplace_back(n, a);
+    }
+  }
+  std::mt19937 rng(0xC1E5u);
+  for (int i = 0; i < 64; ++i) {
+    cases.emplace_back(rng() % 4097, rng() % 64);
+  }
+  return cases;
+}
+
+/// Restores the entry-time active tier on destruction so in-process tier
+/// sweeps cannot leak into other tests.
+struct TierGuard {
+  simd::KernelTier saved = simd::active_tier();
+  ~TierGuard() { simd::set_active_tier(saved); }
+};
+
+TEST(SimdDispatch, ScalarTableAlwaysAvailable) {
+  const auto* scalar = simd::tier_table(simd::KernelTier::kScalar);
+  ASSERT_NE(scalar, nullptr);
+  EXPECT_STREQ(scalar->name, "scalar");
+  // The active table is one of the compiled-in tables.
+  const auto* active = simd::tier_table(simd::active_tier());
+  ASSERT_NE(active, nullptr);
+  EXPECT_EQ(active, &simd::kernels());
+  // best_tier() is always available (it is what detection picked).
+  EXPECT_NE(simd::tier_table(simd::best_tier()), nullptr);
+}
+
+TEST(SimdDispatch, SetActiveTierRoundTrips) {
+  TierGuard guard;
+  for (const auto* t : available_tiers()) {
+    ASSERT_TRUE(simd::set_active_tier(t->tier)) << t->name;
+    EXPECT_EQ(simd::active_tier(), t->tier);
+    EXPECT_EQ(&simd::kernels(), t);
+  }
+}
+
+TEST(SimdKernels, ChecksumsMatchScalarAllSizesAndAlignments) {
+  const auto* scalar = simd::tier_table(simd::KernelTier::kScalar);
+  ASSERT_NE(scalar, nullptr);
+  const auto backing = random_backing(1);
+  for (const auto* t : available_tiers()) {
+    if (t == scalar) continue;
+    for (const auto& [n, a] : sweep_cases()) {
+      const ConstBytes src{backing.data() + a, n};
+      EXPECT_EQ(t->internet_checksum(src), scalar->internet_checksum(src))
+          << t->name << " inet n=" << n << " a=" << a;
+      EXPECT_EQ(t->fletcher32(src), scalar->fletcher32(src))
+          << t->name << " fletcher n=" << n << " a=" << a;
+      EXPECT_EQ(t->adler32(src), scalar->adler32(src))
+          << t->name << " adler n=" << n << " a=" << a;
+      EXPECT_EQ(t->crc32(src), scalar->crc32(src))
+          << t->name << " crc n=" << n << " a=" << a;
+    }
+  }
+}
+
+TEST(SimdKernels, CopyMatchesScalarAndStaysInBounds) {
+  const auto* scalar = simd::tier_table(simd::KernelTier::kScalar);
+  const auto backing = random_backing(2);
+  for (const auto* t : available_tiers()) {
+    if (t == scalar) continue;
+    for (const auto& [n, a] : sweep_cases()) {
+      const std::size_t dst_off = (a * 7 + 5) % 64;
+      // Canary-framed destination: the kernel must write exactly [off, off+n).
+      std::vector<std::uint8_t> want(n + 128, 0xEE), got(n + 128, 0xEE);
+      const ConstBytes src{backing.data() + a, n};
+      scalar->copy(src, MutableBytes{want.data() + dst_off, n});
+      t->copy(src, MutableBytes{got.data() + dst_off, n});
+      ASSERT_EQ(want, got) << t->name << " copy n=" << n << " a=" << a;
+    }
+  }
+}
+
+TEST(SimdKernels, InPlaceKernelsMatchScalar) {
+  const auto* scalar = simd::tier_table(simd::KernelTier::kScalar);
+  const auto backing = random_backing(3);
+  const ChaChaKey key = test_key();
+  for (const auto* t : available_tiers()) {
+    if (t == scalar) continue;
+    for (const auto& [n, a] : sweep_cases()) {
+      std::vector<std::uint8_t> want(backing.begin() + static_cast<std::ptrdiff_t>(a),
+                                     backing.begin() + static_cast<std::ptrdiff_t>(a + n));
+      std::vector<std::uint8_t> got = want;
+      // byteswap32 (including the exact-4-byte-tail rule).
+      scalar->byteswap32(MutableBytes{want.data(), n});
+      t->byteswap32(MutableBytes{got.data(), n});
+      ASSERT_EQ(want, got) << t->name << " byteswap n=" << n << " a=" << a;
+      // chacha20_xor at a couple of counters (keystream block phases).
+      for (std::uint32_t counter : {0u, 7u}) {
+        scalar->chacha20_xor(key, counter, MutableBytes{want.data(), n});
+        t->chacha20_xor(key, counter, MutableBytes{got.data(), n});
+        ASSERT_EQ(want, got) << t->name << " chacha n=" << n << " a=" << a
+                             << " ctr=" << counter;
+      }
+    }
+  }
+}
+
+TEST(SimdKernels, FusedKernelsMatchScalar) {
+  const auto* scalar = simd::tier_table(simd::KernelTier::kScalar);
+  const auto backing = random_backing(4);
+  const ChaChaKey key = test_key();
+  for (const auto* t : available_tiers()) {
+    if (t == scalar) continue;
+    for (const auto& [n, a] : sweep_cases()) {
+      const ConstBytes src{backing.data() + a, n};
+      // copy + checksum.
+      std::vector<std::uint8_t> want(n), got(n);
+      const std::uint16_t ck_want =
+          scalar->copy_internet_checksum(src, MutableBytes{want.data(), n});
+      const std::uint16_t ck_got =
+          t->copy_internet_checksum(src, MutableBytes{got.data(), n});
+      ASSERT_EQ(want, got) << t->name << " copy_cksum n=" << n << " a=" << a;
+      ASSERT_EQ(ck_want, ck_got) << t->name << " copy_cksum n=" << n << " a=" << a;
+      // checksum + byteswap, decrypt + checksum, decrypt + checksum + byteswap.
+      want.assign(src.begin(), src.end());
+      got = want;
+      ASSERT_EQ(scalar->checksum_byteswap(MutableBytes{want.data(), n}),
+                t->checksum_byteswap(MutableBytes{got.data(), n}))
+          << t->name << " cksum_swap n=" << n << " a=" << a;
+      ASSERT_EQ(want, got) << t->name << " cksum_swap n=" << n << " a=" << a;
+      ASSERT_EQ(scalar->decrypt_internet_checksum(key, 0, MutableBytes{want.data(), n}),
+                t->decrypt_internet_checksum(key, 0, MutableBytes{got.data(), n}))
+          << t->name << " dec_cksum n=" << n << " a=" << a;
+      ASSERT_EQ(want, got) << t->name << " dec_cksum n=" << n << " a=" << a;
+      ASSERT_EQ(scalar->decrypt_checksum_byteswap(key, 0, MutableBytes{want.data(), n}),
+                t->decrypt_checksum_byteswap(key, 0, MutableBytes{got.data(), n}))
+          << t->name << " dec_cksum_swap n=" << n << " a=" << a;
+      ASSERT_EQ(want, got) << t->name << " dec_cksum_swap n=" << n << " a=" << a;
+    }
+  }
+}
+
+TEST(SimdKernels, KernelsMatchIlpStageComposition) {
+  // Ground truth: every tier (scalar included) must reproduce the ilp_fused
+  // stage compositions bit-for-bit — the dispatch table is an execution
+  // strategy for the SAME §4 manipulations, not a different protocol.
+  const ChaChaKey key = test_key();
+  const auto backing = random_backing(5, 64 + 512);
+  for (const auto* t : available_tiers()) {
+    for (std::size_t n = 0; n <= 200; ++n) {
+      const ConstBytes src{backing.data() + (n % 64), n};
+      std::vector<std::uint8_t> want(src.begin(), src.end());
+      std::vector<std::uint8_t> got = want;
+      {
+        ChecksumStage ck;
+        EncryptStage dec(key, 0);
+        Byteswap32Stage swap;
+        ilp_fused(ConstBytes{want.data(), n}, MutableBytes{want.data(), n}, dec, ck, swap);
+        const std::uint16_t r =
+            t->decrypt_checksum_byteswap(key, 0, MutableBytes{got.data(), n});
+        ASSERT_EQ(want, got) << t->name << " n=" << n;
+        ASSERT_EQ(ck.result(), r) << t->name << " n=" << n;
+      }
+      {
+        std::vector<std::uint8_t> plain(src.begin(), src.end());
+        ChecksumStage ck;
+        detail::layered_pass(MutableBytes{plain.data(), n}, ck);
+        ASSERT_EQ(ck.result(), t->internet_checksum(src)) << t->name << " n=" << n;
+      }
+    }
+  }
+}
+
+TEST(SimdDispatch, RunManipulationOutputAndLedgerTierInvariant) {
+  TierGuard guard;
+  const auto tiers = available_tiers();
+  const ChaChaKey key = test_key();
+  const auto backing = random_backing(6, 2000);
+
+  for (bool layered : {false, true}) {
+    for (bool decrypt : {false, true}) {
+      for (bool byteswap : {false, true}) {
+        for (ChecksumKind kind : {ChecksumKind::kInternet, ChecksumKind::kFletcher32,
+                                  ChecksumKind::kAdler32, ChecksumKind::kCrc32}) {
+          for (std::size_t n : {std::size_t{0}, std::size_t{13}, std::size_t{64},
+                                std::size_t{1000}, std::size_t{1999}}) {
+            const ConstBytes plaintext{backing.data(), n};
+            ManipulationPlan plan;
+            plan.layered = layered;
+            plan.decrypt = decrypt;
+            plan.byteswap_decode = byteswap;
+            plan.key = key;
+            plan.checksum_kind = kind;
+            plan.expected_checksum = compute_checksum(kind, plaintext);
+
+            std::vector<std::uint8_t> wire(plaintext.begin(), plaintext.end());
+            if (decrypt) chacha20_xor(key, 0, MutableBytes{wire.data(), n});
+
+            std::vector<std::uint8_t> ref_out;
+            obs::CostAccount ref_cost;
+            bool ref_ok = false;
+            for (std::size_t i = 0; i < tiers.size(); ++i) {
+              ASSERT_TRUE(simd::set_active_tier(tiers[i]->tier));
+              std::vector<std::uint8_t> buf = wire;
+              obs::CostAccount cost;
+              const bool ok =
+                  run_manipulation(plan, MutableBytes{buf.data(), n}, &cost);
+              EXPECT_TRUE(ok) << tiers[i]->name;
+              if (i == 0) {
+                ref_out = buf;
+                ref_cost = cost;
+                ref_ok = ok;
+                continue;
+              }
+              // Byte-identical output AND identical §4 ledger across tiers:
+              // the ledger prices memory passes, not instructions.
+              EXPECT_EQ(ok, ref_ok) << tiers[i]->name;
+              EXPECT_EQ(buf, ref_out) << tiers[i]->name << " n=" << n;
+              EXPECT_EQ(cost.operations, ref_cost.operations) << tiers[i]->name;
+              EXPECT_EQ(cost.bytes_touched, ref_cost.bytes_touched) << tiers[i]->name;
+              EXPECT_EQ(cost.words_touched, ref_cost.words_touched) << tiers[i]->name;
+              EXPECT_EQ(cost.memory_passes, ref_cost.memory_passes) << tiers[i]->name;
+              EXPECT_EQ(cost.word_loads, ref_cost.word_loads) << tiers[i]->name;
+              EXPECT_EQ(cost.word_stores, ref_cost.word_stores) << tiers[i]->name;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdScatter, ScatterCopyChecksumMatchesUnfused) {
+  TierGuard guard;
+  const auto backing = random_backing(7, 3000);
+  std::mt19937 rng(99);
+  for (const auto* t : available_tiers()) {
+    ASSERT_TRUE(simd::set_active_tier(t->tier));
+    for (int trial = 0; trial < 20; ++trial) {
+      const std::size_t n = rng() % 2500;
+      const ConstBytes src{backing.data(), n};
+      // Random (odd-sized, odd-offset) destination regions covering >= n.
+      std::vector<std::vector<std::uint8_t>> slots;
+      ScatterList dst;
+      std::size_t cap = 0;
+      while (cap < n) {
+        slots.emplace_back(1 + rng() % 600, 0xCD);
+        cap += slots.back().size();
+      }
+      for (auto& s : slots) dst.add(MutableBytes{s.data(), s.size()});
+
+      std::size_t scattered = 0;
+      const std::uint16_t ck = scatter_copy_checksum(src, dst, &scattered);
+      EXPECT_EQ(scattered, n) << t->name;
+      EXPECT_EQ(ck, simd::tier_table(simd::KernelTier::kScalar)->internet_checksum(src))
+          << t->name << " n=" << n;
+      // Region contents equal the contiguous prefix split across slots.
+      std::size_t off = 0;
+      for (const auto& s : slots) {
+        const std::size_t take = std::min(s.size(), n - off);
+        EXPECT_EQ(std::memcmp(s.data(), src.data() + off, take), 0) << t->name;
+        off += take;
+        if (off == n) break;
+      }
+    }
+    // Short destination: scatters only total_size() bytes and checksums them.
+    std::vector<std::uint8_t> small(100);
+    ScatterList dst;
+    dst.add(MutableBytes{small.data(), small.size()});
+    const ConstBytes src{backing.data(), 1000};
+    std::size_t scattered = 0;
+    const std::uint16_t ck = scatter_copy_checksum(src, dst, &scattered);
+    EXPECT_EQ(scattered, 100u);
+    EXPECT_EQ(ck, simd::tier_table(simd::KernelTier::kScalar)
+                      ->internet_checksum(src.subspan(0, 100)));
+  }
+}
+
+TEST(SimdScatter, ScatterCopyChecksumMatchesScatterFused) {
+  // Cross-check against the template executor with a ChecksumStage: same
+  // bytes land in the regions, same checksum comes out.
+  const auto backing = random_backing(8, 1500);
+  const std::size_t n = 1237;
+  const ConstBytes src{backing.data() + 3, n};
+  std::vector<std::uint8_t> a(500), b(301), c(700);
+  ScatterList fused_dst, simd_dst;
+  for (auto* v : {&a, &b, &c}) fused_dst.add(MutableBytes{v->data(), v->size()});
+  std::vector<std::uint8_t> a2(500), b2(301), c2(700);
+  for (auto* v : {&a2, &b2, &c2}) simd_dst.add(MutableBytes{v->data(), v->size()});
+
+  ChecksumStage ck;
+  const std::size_t written = scatter_fused(src, fused_dst, ck);
+  std::size_t scattered = 0;
+  const std::uint16_t got = scatter_copy_checksum(src, simd_dst, &scattered);
+  EXPECT_EQ(written, scattered);
+  EXPECT_EQ(ck.result(), got);
+  EXPECT_EQ(a, a2);
+  EXPECT_EQ(b, b2);
+  EXPECT_EQ(c, c2);
+}
+
+}  // namespace
+}  // namespace ngp
