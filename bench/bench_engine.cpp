@@ -26,6 +26,9 @@
 #include "checksum/checksum.h"
 #include "crypto/chacha20.h"
 #include "engine/engine.h"
+#include "obs/flight.h"
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
 #include "presentation/codec.h"
 #include "simd/dispatch.h"
 #include "util/rng.h"
@@ -97,18 +100,44 @@ struct RunResult {
   obs::CostAccount ledger;
   std::uint64_t failed = 0;
   std::uint64_t backpressure = 0;
+  std::uint64_t flight_events = 0;
+  std::uint64_t flight_dropped = 0;
+  std::uint64_t slo_firings = 0;
 };
+
+/// FlightRecorder clock for a loop-less wall-clock bench: a monotone step
+/// counter — enough to order submit/begin/end/harvest and count drops.
+SimTime step_clock(const void* ctx) {
+  auto* steps = static_cast<std::uint64_t*>(const_cast<void*>(ctx));
+  return static_cast<SimTime>((*steps)++);
+}
 
 RunResult run_session(const std::vector<WireAdu>& adus, unsigned workers) {
   engine::Engine eng(engine::EngineConfig{.workers = workers});
   RunResult r;
   std::size_t wire_bytes = 0;
 
+  // Flight recording of the engine lifecycle (submit / worker begin+end /
+  // harvest) plus a manually-sampled telemetry hub watching queue depth:
+  // p99 ring occupancy >= 1 means control outran the pool this run.
+  std::uint64_t steps = 0;
+  obs::FlightRecorder flight(&step_clock, &steps);
+  eng.set_flight(&flight);
+  flight.set_enabled(true);
+  obs::MetricsRegistry reg;
+  eng.register_metrics(reg, "engine");
+  obs::TelemetryHub hub(nullptr, reg);
+  obs::SloWatch depth_watch;
+  depth_watch.metric = "engine.queue_depth";
+  depth_watch.threshold = 1.0;
+  hub.add_watch(depth_watch, [&r](const obs::SloEvent&) { ++r.slo_firings; });
+
   const double secs = ngp::bench::time_once([&] {
     for (std::size_t a = 0; a < adus.size(); ++a) {
       wire_bytes += adus[a].wire.size();
       engine::ManipulationJob job;
       job.adu_id = static_cast<std::uint32_t>(a + 1);
+      job.flight_id = obs::flight_trace_id(1, job.adu_id);
       job.payload = adus[a].wire;  // fresh copy per run: manipulated in place
       job.plan = adus[a].plan;
       // Presentation decode in application context (worker thread): BER
@@ -135,6 +164,10 @@ RunResult run_session(const std::vector<WireAdu>& adus, unsigned workers) {
   r.seconds = secs;
   r.mbps = megabits_per_second(wire_bytes, secs);
   r.backpressure = eng.stats().submit_backpressure;
+  hub.sample_at(static_cast<SimTime>(steps));
+  const obs::FlightStats fs = flight.stats();
+  r.flight_events = fs.events_recorded;
+  r.flight_dropped = fs.events_dropped;
   return r;
 }
 
@@ -165,15 +198,31 @@ int main(int argc, char** argv) {
   (void)run_session(adus, 0);
 
   std::vector<RunResult> results;
-  std::printf("%8s %10s %10s %9s %12s\n", "workers", "time(s)", "Mb/s",
-              "speedup", "backpressure");
+  std::printf("%8s %10s %10s %9s %12s %9s %6s\n", "workers", "time(s)", "Mb/s",
+              "speedup", "backpressure", "flight_ev", "slo");
   for (unsigned w : sweep) {
     RunResult r = run_session(adus, w);
     const double speedup = results.empty() ? 1.0 : results[0].mbps > 0
         ? r.mbps / results[0].mbps : 0.0;
-    std::printf("%8u %10.4f %10.1f %8.2fx %12llu\n", w, r.seconds, r.mbps,
-                speedup, static_cast<unsigned long long>(r.backpressure));
+    std::printf("%8u %10.4f %10.1f %8.2fx %12llu %9llu %6llu\n", w, r.seconds,
+                r.mbps, speedup, static_cast<unsigned long long>(r.backpressure),
+                static_cast<unsigned long long>(r.flight_events),
+                static_cast<unsigned long long>(r.slo_firings));
     results.push_back(std::move(r));
+  }
+  {
+    std::uint64_t ev = 0, dropped = 0, slo = 0;
+    for (const RunResult& r : results) {
+      ev += r.flight_events;
+      dropped += r.flight_dropped;
+      slo += r.slo_firings;
+    }
+    ngp::bench::emit_json("ENGINE_TELEMETRY_JSON",
+                          ngp::bench::JsonWriter()
+                              .field("flight_events", ev)
+                              .field("flight_dropped", dropped)
+                              .field("slo_firings", slo)
+                              .str());
   }
 
   bool hash_ok = true, ledger_ok = true;

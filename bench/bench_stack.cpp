@@ -23,6 +23,7 @@
 #include "checksum/internet.h"
 #include "ilp/kernels.h"
 #include "obs/metrics.h"
+#include "obs/telemetry.h"
 #include "presentation/codec.h"
 #include "util/rng.h"
 
@@ -163,9 +164,27 @@ void run_e3() {
   using ngp::bench::print_header;
   const int reps = 8;
 
-  // Baseline: long OCTET STRING in raw/image mode (no conversion).
+  // Per-layer §4 cost ledgers, telemetered: the registry is sampled
+  // MANUALLY (no EventLoop here — the hub's wall-clock bench mode) after
+  // every case, so each delta sample isolates one case's added cost. The
+  // watchdog flags the paper's headline: the toolkit's presentation stage
+  // touching at least one full memory pass' worth of bytes per rep.
   StackCosts base_costs;
+  StackCosts toolkit_costs;
+  obs::MetricsRegistry reg;
+  base_costs.register_metrics(reg, "stack.octets_raw");
+  toolkit_costs.register_metrics(reg, "stack.ints_ber_toolkit");
+  obs::TelemetryHub hub(nullptr, reg);
+  obs::SloWatch passes_watch;
+  passes_watch.metric = "stack.ints_ber_toolkit.presentation.tx.cost.bytes_touched";
+  passes_watch.threshold = 1.0 * reps * kBytes;
+  std::uint64_t slo_firings = 0;
+  hub.add_watch(passes_watch, [&](const obs::SloEvent&) { ++slo_firings; });
+  hub.sample_at(0);  // baseline sample: every delta that follows is one case
+
+  // Baseline: long OCTET STRING in raw/image mode (no conversion).
   const LayerTimes base = run_stack<false>(TransferSyntax::kRaw, reps, &base_costs);
+  hub.sample_at(1);
 
   print_header("E3 (paper §4): full stack, baseline vs conversion-intensive");
   std::printf("  workload: %zu bytes end to end, MSS %zu\n", kBytes, kMss);
@@ -176,9 +195,9 @@ void run_e3() {
              base.total());
   const LayerTimes ber = run_stack<true>(TransferSyntax::kBer, reps);
   print_case("int array, BER hand-coded", ber, base.total());
-  StackCosts toolkit_costs;
   const LayerTimes toolkit =
       run_stack<true>(TransferSyntax::kBerToolkit, reps, &toolkit_costs);
+  hub.sample_at(2);
   print_case("int array, BER toolkit (ISODE-like)", toolkit, base.total());
 
   std::printf("\n  paper: conversion-intensive ~30x slower; ~97%% of stack overhead\n");
@@ -197,10 +216,12 @@ void run_e3() {
 
   // Machine-readable per-layer cost profile: the timing attribution above,
   // re-derived as memory-pass counts (deterministic across machines).
-  obs::MetricsRegistry reg;
-  base_costs.register_metrics(reg, "stack.octets_raw");
-  toolkit_costs.register_metrics(reg, "stack.ints_ber_toolkit");
   ngp::bench::emit_json("STACK_SNAPSHOT_JSON", reg.snapshot().to_json());
+  ngp::bench::emit_json("TELEMETRY_JSON",
+                        ngp::bench::JsonWriter()
+                            .field("samples", hub.samples().size())
+                            .field("slo_firings", slo_firings)
+                            .str());
 }
 
 // google-benchmark registration of the end-to-end stack per syntax.

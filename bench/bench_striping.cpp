@@ -15,6 +15,7 @@
 
 #include "alf/file_sink.h"
 #include "alf/striper.h"
+#include "bench_util.h"
 #include "netsim/net_path.h"
 #include "util/rng.h"
 #include "util/stats.h"
@@ -109,6 +110,14 @@ int main() {
       if (lanes == 1) base = r.goodput_mbps;
       std::printf("%6zu | %8.3f | %10.1f | %8.2fx | %7s\n", lanes, r.seconds,
                   r.goodput_mbps, r.goodput_mbps / base, r.intact ? "yes" : "NO");
+      ngp::bench::emit_json("E7_JSON", ngp::bench::JsonWriter()
+                                           .field("loss", loss)
+                                           .field("lanes", lanes)
+                                           .field("seconds", r.seconds)
+                                           .field("goodput_mbps", r.goodput_mbps)
+                                           .field("scaling", r.goodput_mbps / base)
+                                           .field("intact", r.intact)
+                                           .str());
     }
   }
   std::printf("\nshape: aggregate goodput scales with lane count because every\n"

@@ -10,17 +10,23 @@
 #include <cstdlib>
 #include <functional>
 #include <string>
+#include <string_view>
+#include <type_traits>
 
 #include "util/stats.h"
 
 namespace ngp::bench {
 
 /// Command-line flags shared by the bench binaries:
-///   --threads=N  engine worker count (0 = inline) for engine-aware benches
-///   --seed=S     workload / fault-plan seed, so a sweep can be re-rolled
+///   --threads=N      engine worker count (0 = inline) for engine-aware benches
+///   --seed=S         workload / fault-plan seed, so a sweep can be re-rolled
+///   --smoke          reduced sweep for CI smoke runs
+///   --trace-out=P    write the exported Perfetto trace JSON to path P
 struct Args {
   int threads = 0;
   std::uint64_t seed = 1;
+  bool smoke = false;
+  std::string trace_out;
 };
 
 /// Parses and STRIPS the recognized flags out of argv, leaving everything
@@ -35,6 +41,10 @@ inline Args parse_args(int* argc, char** argv) {
       a.threads = std::atoi(arg.c_str() + 10);
     } else if (arg.rfind("--seed=", 0) == 0) {
       a.seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    } else if (arg == "--smoke") {
+      a.smoke = true;
+    } else if (arg.rfind("--trace-out=", 0) == 0) {
+      a.trace_out = arg.substr(12);
     } else {
       argv[out++] = argv[i];
     }
@@ -47,6 +57,110 @@ inline Args parse_args(int* argc, char** argv) {
 /// format the plotting/driver scripts grep for.
 inline void emit_json(const std::string& tag, const std::string& json) {
   std::printf("\n%s %s\n", tag.c_str(), json.c_str());
+}
+
+/// Tiny deterministic JSON object builder for the `TAG {json}` records, so
+/// every bench renders numbers the same way (doubles via %.10g — locale
+/// independent, round-trippable) instead of hand-rolling snprintf formats.
+class JsonWriter {
+ public:
+  JsonWriter& field(std::string_view name, double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.10g", v);
+    key(name);
+    body_ += buf;
+    return *this;
+  }
+  JsonWriter& field(std::string_view name, bool v) {
+    key(name);
+    body_ += v ? "true" : "false";
+    return *this;
+  }
+  template <typename T,
+            std::enable_if_t<std::is_integral_v<T> && !std::is_same_v<T, bool>,
+                             int> = 0>
+  JsonWriter& field(std::string_view name, T v) {
+    char buf[32];
+    if constexpr (std::is_signed_v<T>) {
+      std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+    } else {
+      std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(v));
+    }
+    key(name);
+    body_ += buf;
+    return *this;
+  }
+  JsonWriter& field(std::string_view name, std::string_view v) {
+    key(name);
+    body_ += '"';
+    for (char c : v) {
+      if (c == '"' || c == '\\') {
+        body_ += '\\';
+        body_ += c;
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        char buf[8];
+        std::snprintf(buf, sizeof buf, "\\u%04x", c);
+        body_ += buf;
+      } else {
+        body_ += c;
+      }
+    }
+    body_ += '"';
+    return *this;
+  }
+  JsonWriter& field(std::string_view name, const char* v) {
+    return field(name, std::string_view(v));
+  }
+  /// Splices pre-rendered JSON (a nested object/array) under `name`.
+  JsonWriter& raw(std::string_view name, std::string_view json) {
+    key(name);
+    body_ += json;
+    return *this;
+  }
+  std::string str() const { return "{" + body_ + "}"; }
+
+ private:
+  void key(std::string_view name) {
+    if (!body_.empty()) body_ += ',';
+    body_ += '"';
+    body_ += name;
+    body_ += "\":";
+  }
+  std::string body_;
+};
+
+/// Structural well-formedness check for exported JSON (string-aware brace /
+/// bracket balance). Not a full parser — it is the bench-side self-check
+/// that an exported trace will load at all.
+inline bool json_well_formed(std::string_view s) {
+  std::string stack;
+  bool in_str = false, esc = false;
+  for (char c : s) {
+    if (in_str) {
+      if (esc) {
+        esc = false;
+      } else if (c == '\\') {
+        esc = true;
+      } else if (c == '"') {
+        in_str = false;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"': in_str = true; break;
+      case '{': case '[': stack += c; break;
+      case '}':
+        if (stack.empty() || stack.back() != '{') return false;
+        stack.pop_back();
+        break;
+      case ']':
+        if (stack.empty() || stack.back() != '[') return false;
+        stack.pop_back();
+        break;
+      default: break;
+    }
+  }
+  return stack.empty() && !in_str;
 }
 
 /// Wall-clock seconds for one invocation of `fn`.

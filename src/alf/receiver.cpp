@@ -6,6 +6,7 @@
 #include "alf/fec.h"
 #include "engine/engine.h"
 #include "ilp/engine.h"
+#include "obs/flight.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "simd/dispatch.h"
@@ -189,6 +190,8 @@ void AlfReceiver::on_data(const DataFragment& f) {
   const std::uint32_t end = start + static_cast<std::uint32_t>(f.payload.size());
   simd::kernels().copy(f.payload, r.buf.span().subspan(start, f.payload.size()));
   reassembly_cost_.charge_fused(f.payload.size());
+  obs::flight_record(flight_, flight_track_, obs::FlightStage::kFragRx,
+                     flight_id(f.adu_id), f.payload.size());
   if (merge_range(r, start, end)) {
     note_progress();
   } else {
@@ -289,6 +292,15 @@ bool AlfReceiver::try_fec_reconstruct(std::uint32_t adu_id, Reassembly& r) {
   return false;
 }
 
+void AlfReceiver::set_flight(obs::FlightRecorder* flight) {
+  flight_ = flight;
+  if (flight_ != nullptr) flight_track_ = flight_->add_track("alf.rx");
+}
+
+std::uint64_t AlfReceiver::flight_id(std::uint32_t adu_id) const noexcept {
+  return obs::flight_trace_id(cfg_.session_id, adu_id);
+}
+
 ManipulationPlan AlfReceiver::make_plan(std::uint32_t adu_id,
                                         const Reassembly& r) const {
   ManipulationPlan p;
@@ -307,10 +319,18 @@ bool AlfReceiver::verify_and_decrypt(std::uint32_t adu_id, Reassembly& r) {
   // executor charges manip_cost_ — this is where the live pipeline's
   // fused-vs-layered pass counts come from.
   obs::TraceSpan span(trace_, "alf.rx.manip", r.buf.size());
-  return run_manipulation(make_plan(adu_id, r), r.buf.span(), &manip_cost_);
+  obs::flight_record(flight_, flight_track_, obs::FlightStage::kManipBegin,
+                     flight_id(adu_id), r.buf.size());
+  const bool intact =
+      run_manipulation(make_plan(adu_id, r), r.buf.span(), &manip_cost_);
+  obs::flight_record(flight_, flight_track_, obs::FlightStage::kManipEnd,
+                     flight_id(adu_id), r.buf.size());
+  return intact;
 }
 
 void AlfReceiver::complete_adu(std::uint32_t adu_id, Reassembly& r) {
+  obs::flight_record(flight_, flight_track_, obs::FlightStage::kAduComplete,
+                     flight_id(adu_id), r.adu_len);
   if (eng_ != nullptr) {
     offload_adu(adu_id, r);
     return;
@@ -336,9 +356,12 @@ void AlfReceiver::offload_adu(std::uint32_t adu_id, Reassembly& r) {
   manip_inflight_.emplace(adu_id, InflightManip{r.name, r.syntax});
   ++stats_.adus_engine_offloaded;
   if (trace_ != nullptr) trace_->instant("alf.rx.engine.submit", r.buf.size());
+  obs::flight_record(flight_, flight_track_, obs::FlightStage::kEngineSubmit,
+                     flight_id(adu_id), r.buf.size());
 
   engine::ManipulationJob job;
   job.adu_id = adu_id;
+  job.flight_id = flight_id(adu_id);
   job.plan = make_plan(adu_id, r);
   job.payload = std::move(r.buf);
   job.on_done = [this, adu_id](bool intact, ByteBuffer&& payload,
@@ -372,6 +395,8 @@ void AlfReceiver::on_manip_done(std::uint32_t adu_id, bool intact,
   // The worker charged its private ledger; merge is commutative, so the
   // session ledger is identical whatever order completions arrive in.
   manip_cost_.merge(cost);
+  obs::flight_record(flight_, flight_track_, obs::FlightStage::kHarvest,
+                     flight_id(adu_id), payload.size());
   auto it = manip_inflight_.find(adu_id);
   if (it == manip_inflight_.end()) return;  // session failed meanwhile
   InflightManip meta = std::move(it->second);
@@ -397,6 +422,8 @@ void AlfReceiver::deliver_payload(std::uint32_t adu_id, const AduName& name,
   // Out of order w.r.t. the id sequence? (Any earlier id still open.)
   // closed_prefix_ = ids 1..closed_prefix_ are all closed already.
   const bool earlier_open = adu_id > closed_prefix_ + 1;
+  obs::flight_record(flight_, flight_track_, obs::FlightStage::kDeliver,
+                     flight_id(adu_id), payload.size());
   close_id(adu_id);
   ++delivered_count_;
   ++stats_.adus_delivered;
@@ -424,6 +451,8 @@ void AlfReceiver::close_id(std::uint32_t adu_id) {
 }
 
 void AlfReceiver::abandon(std::uint32_t adu_id, const Reassembly* r) {
+  obs::flight_record(flight_, flight_track_, obs::FlightStage::kAbandon,
+                     flight_id(adu_id), 0);
   close_id(adu_id);
   ++abandoned_count_;
   ++stats_.adus_abandoned;

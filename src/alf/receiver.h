@@ -34,6 +34,7 @@ namespace ngp::obs {
 class MetricSink;
 class MetricsRegistry;
 class TraceRecorder;
+class FlightRecorder;
 }  // namespace ngp::obs
 
 namespace ngp::engine {
@@ -149,6 +150,10 @@ class AlfReceiver {
   void register_metrics(obs::MetricsRegistry& reg, std::string prefix) const;
   /// Attaches a span trace recorder (null = untraced).
   void set_trace(obs::TraceRecorder* trace) noexcept { trace_ = trace; }
+  /// Attaches the per-ADU flight recorder on a new "alf.rx" track:
+  /// fragment-placed / complete / manipulation / engine-submit / harvest /
+  /// deliver / abandon events (null = untraced).
+  void set_flight(obs::FlightRecorder* flight);
 
  private:
   struct Reassembly {
@@ -255,6 +260,10 @@ class AlfReceiver {
   obs::CostAccount manip_cost_;
   obs::CostAccount reassembly_cost_;  ///< stage-1 placement + FEC traffic
   obs::TraceRecorder* trace_ = nullptr;
+  obs::FlightRecorder* flight_ = nullptr;
+  std::uint16_t flight_track_ = 0;
+  /// This ADU's flow-scoped trace id (shared with the sender's side).
+  std::uint64_t flight_id(std::uint32_t adu_id) const noexcept;
 
   std::map<std::uint32_t, Reassembly> pending_;
   std::set<std::uint32_t> closed_;        ///< closed ids above the prefix

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "alf/fec.h"
+#include "obs/flight.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "simd/dispatch.h"
@@ -91,9 +92,17 @@ Result<std::uint32_t> AlfSender::send_adu(const AduName& name, ConstBytes payloa
   }
 
   ++stats_.adus_sent;
+  obs::flight_record(flight_, flight_track_, obs::FlightStage::kStaged,
+                     obs::flight_trace_id(cfg_.session_id, adu_id),
+                     payload.size());
   enqueue_adu_fragments(adu_id, /*retransmit=*/false);
   pump();
   return adu_id;
+}
+
+void AlfSender::set_flight(obs::FlightRecorder* flight) {
+  flight_ = flight;
+  if (flight_ != nullptr) flight_track_ = flight_->add_track("alf.tx");
 }
 
 void AlfSender::enqueue_adu_fragments(std::uint32_t adu_id, bool retransmit) {
@@ -229,6 +238,11 @@ void AlfSender::send_fragment(const PendingFragment& pf) {
   ++stats_.fragments_sent;
   if (pf.is_parity) ++stats_.fec_parity_sent;
   stats_.payload_bytes_sent += pf.frag_len;
+  obs::flight_record(flight_, flight_track_,
+                     pf.is_retransmit ? obs::FlightStage::kRetransmitTx
+                                      : obs::FlightStage::kFragTx,
+                     obs::flight_trace_id(cfg_.session_id, pf.adu_id),
+                     pf.frag_len);
 
   if (b.queued_fragments > 0) --b.queued_fragments;
   if (b.queued_fragments == 0 &&

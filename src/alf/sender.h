@@ -35,6 +35,7 @@ namespace ngp::obs {
 class MetricSink;
 class MetricsRegistry;
 class TraceRecorder;
+class FlightRecorder;
 }  // namespace ngp::obs
 
 namespace ngp::alf {
@@ -112,6 +113,9 @@ class AlfSender {
   void register_metrics(obs::MetricsRegistry& reg, std::string prefix) const;
   /// Attaches a span trace recorder (null = untraced).
   void set_trace(obs::TraceRecorder* trace) noexcept { trace_ = trace; }
+  /// Attaches the per-ADU flight recorder on a new "alf.tx" track:
+  /// staged / fragment-tx / retransmit-tx events (null = untraced).
+  void set_flight(obs::FlightRecorder* flight);
 
  private:
   struct PendingFragment {
@@ -149,6 +153,8 @@ class AlfSender {
   SenderStats stats_;
   obs::CostAccount manip_cost_;
   obs::TraceRecorder* trace_ = nullptr;
+  obs::FlightRecorder* flight_ = nullptr;
+  std::uint16_t flight_track_ = 0;
   RecomputeFn recompute_;
 
   void send_done();

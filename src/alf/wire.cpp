@@ -161,4 +161,19 @@ std::optional<Message> decode_message(ConstBytes frame) {
   return std::nullopt;
 }
 
+std::uint64_t peek_flight_tag(ConstBytes frame) noexcept {
+  // Fixed prefix of every ALF frame: magic(1) type(1) session(2) adu_id(4).
+  // Only DATA frames carry a per-ADU flow; everything else tags as 0.
+  if (frame.size() < 8 || frame[0] != kMagic ||
+      frame[1] != static_cast<std::uint8_t>(MessageType::kData)) {
+    return 0;
+  }
+  const std::uint16_t session =
+      static_cast<std::uint16_t>((std::uint16_t{frame[2]} << 8) | frame[3]);
+  const std::uint32_t adu_id = (std::uint32_t{frame[4]} << 24) |
+                               (std::uint32_t{frame[5]} << 16) |
+                               (std::uint32_t{frame[6]} << 8) | frame[7];
+  return (std::uint64_t{session} << 32) | adu_id;
+}
+
 }  // namespace ngp::alf

@@ -119,4 +119,13 @@ constexpr std::size_t fragment_payload_capacity(std::size_t mtu) noexcept {
   return mtu > DataFragment::kHeaderSize ? mtu - DataFragment::kHeaderSize : 0;
 }
 
+/// Cheap frame peek for the flight recorder: reads only the fixed-offset
+/// prefix (magic, type, session, adu_id) of a DATA frame and returns its
+/// flow-scoped trace id ((session << 32) | adu_id), or 0 for anything that
+/// is not a recognisable DATA frame (control traffic, garbage, foreign
+/// protocols). Netsim components take this as an injected tagger so they
+/// can label frames without learning the ALF wire format — the same
+/// layering rule as fault-plan adversaries.
+std::uint64_t peek_flight_tag(ConstBytes frame) noexcept;
+
 }  // namespace ngp::alf

@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "engine/spsc_queue.h"
+#include "obs/flight.h"
 #include "obs/metrics.h"
 #include "util/rng.h"
 
@@ -14,6 +15,7 @@ namespace ngp::engine {
 
 struct Engine::Task {
   std::uint64_t ticket = 0;
+  SimTime submitted_at = 0;  ///< sim clock at submit (workers can't read it)
   ManipulationJob job;
 };
 
@@ -24,6 +26,7 @@ struct Engine::Completion {
   std::uint32_t adu_id = 0;
   std::size_t bytes = 0;        ///< plan input size (pre app-stage)
   std::uint64_t latency_ns = 0;
+  std::uint64_t flight_id = 0;
   ByteBuffer payload;
   obs::CostAccount cost;
   CompletionFn on_done;
@@ -81,20 +84,37 @@ Engine::~Engine() {
 }
 
 Engine::Completion Engine::execute_job(unsigned worker, std::uint64_t ticket,
-                                       ManipulationJob&& job) {
+                                       SimTime submitted_at, ManipulationJob&& job) {
   Completion c;
   c.ticket = ticket;
   c.worker = worker;
   c.adu_id = job.adu_id;
   c.bytes = job.payload.size();
+  c.flight_id = job.flight_id;
   c.on_done = std::move(job.on_done);
 
+  // Worker-side flight events carry the submit-time sim clock: a worker
+  // thread cannot touch the (control-thread) clock source, and sim time
+  // does not advance while real threads compute anyway.
+  const bool fly = obs::kEnabled && flight_ != nullptr &&
+                   worker < flight_worker_tracks_.size();
+  if (fly) {
+    flight_->record_at(flight_worker_tracks_[worker], submitted_at,
+                       obs::FlightStage::kWorkerBegin, job.flight_id,
+                       job.payload.size());
+  }
   const auto t0 = std::chrono::steady_clock::now();
   c.intact = run_manipulation(job.plan, job.payload.span(), &c.cost);
   if (c.intact && job.app_stage) job.app_stage(job.payload, c.cost);
   const auto t1 = std::chrono::steady_clock::now();
   c.latency_ns = static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
+  // arg is the byte count, NOT latency_ns: flight events must stay
+  // deterministic (sim-time and sizes only) so exports are reproducible.
+  if (fly) {
+    flight_->record_at(flight_worker_tracks_[worker], submitted_at,
+                       obs::FlightStage::kWorkerEnd, job.flight_id, c.bytes);
+  }
   c.payload = std::move(job.payload);
   return c;
 }
@@ -112,7 +132,7 @@ void Engine::worker_loop(unsigned idx) {
   Task t;
   for (;;) {
     if (w.ring.try_pop(t)) {
-      push_completion(execute_job(idx, t.ticket, std::move(t.job)));
+      push_completion(execute_job(idx, t.ticket, t.submitted_at, std::move(t.job)));
       continue;
     }
     std::unique_lock lk(w.m);
@@ -130,16 +150,24 @@ std::uint64_t Engine::submit(ManipulationJob job) {
   stats_.bytes_submitted += job.payload.size();
   ++outstanding_;
 
+  SimTime submitted_at = 0;
+  if (obs::kEnabled && flight_ != nullptr) {
+    submitted_at = flight_->now();
+    flight_->record_at(flight_ctl_track_, submitted_at,
+                       obs::FlightStage::kEngineSubmit, job.flight_id,
+                       job.payload.size());
+  }
+
   if (workers_.empty()) {
     ++stats_.inline_executions;
-    push_completion(execute_job(0, ticket, std::move(job)));
+    push_completion(execute_job(0, ticket, submitted_at, std::move(job)));
     return ticket;
   }
 
   const unsigned idx = static_cast<unsigned>(job.adu_id % workers_.size());
   Worker& w = *workers_[idx];
   queue_depth_.add(static_cast<double>(w.ring.size()));
-  Task t{ticket, std::move(job)};
+  Task t{ticket, submitted_at, std::move(job)};
   if (!w.ring.try_push(std::move(t))) {
     // Ring full: the worker is the only consumer and needs no help from
     // this thread, so spinning here is safe (and rare — it means control
@@ -185,6 +213,10 @@ std::size_t Engine::drain_ready(bool block) {
     ++ws.jobs;
     ws.bytes += c.bytes;
     job_latency_us_.add(static_cast<double>(c.latency_ns) / 1e3);
+    if (obs::kEnabled && flight_ != nullptr) {
+      flight_->record(flight_ctl_track_, obs::FlightStage::kHarvest,
+                      c.flight_id, c.bytes);
+    }
     if (c.on_done) c.on_done(c.intact, std::move(c.payload), c.cost);
   }
   return batch.size();
@@ -216,6 +248,19 @@ void Engine::emit_metrics(obs::MetricSink& sink) const {
 void Engine::register_metrics(obs::MetricsRegistry& reg, std::string prefix) const {
   reg.add_source(std::move(prefix),
                  [this](obs::MetricSink& sink) { emit_metrics(sink); });
+}
+
+void Engine::set_flight(obs::FlightRecorder* flight) {
+  flight_ = flight;
+  flight_worker_tracks_.clear();
+  if (flight_ == nullptr) return;
+  flight_ctl_track_ = flight_->add_track("engine");
+  const std::size_t lanes = workers_.empty() ? 1 : workers_.size();
+  flight_worker_tracks_.reserve(lanes);
+  for (std::size_t i = 0; i < lanes; ++i) {
+    flight_worker_tracks_.push_back(
+        flight_->add_track("engine.worker" + std::to_string(i)));
+  }
 }
 
 }  // namespace ngp::engine

@@ -33,11 +33,13 @@
 #include "ilp/pipeline.h"
 #include "obs/cost.h"
 #include "util/bytes.h"
+#include "util/sim_clock.h"
 #include "util/stats.h"
 
 namespace ngp::obs {
 class MetricSink;
 class MetricsRegistry;
+class FlightRecorder;
 }  // namespace ngp::obs
 
 namespace ngp::engine {
@@ -72,6 +74,10 @@ struct ManipulationJob {
   ManipulationPlan plan;
   AppStage app_stage;        ///< optional, worker context, intact ADUs only
   CompletionFn on_done;
+  /// Flow-scoped flight-recorder trace id (obs::flight_trace_id); 0 =
+  /// untraced. Carried through worker execution so begin/end events land
+  /// on the right ADU journey.
+  std::uint64_t flight_id = 0;
 };
 
 struct WorkerStats {
@@ -132,19 +138,32 @@ class Engine {
   /// Registers emit_metrics under `prefix` (e.g. "engine"). The engine
   /// must outlive the registry or be removed first.
   void register_metrics(obs::MetricsRegistry& reg, std::string prefix) const;
+  /// Attaches the per-ADU flight recorder: an "engine" control track
+  /// (submit / harvest) plus one "engine.worker<i>" track per worker
+  /// (begin / end, stamped with the job's submit-time sim clock — workers
+  /// cannot read the sim clock, and each worker track has exactly one
+  /// writer). Call before traffic flows; null detaches.
+  void set_flight(obs::FlightRecorder* flight);
 
  private:
   struct Task;
   struct Worker;
   struct Completion;
 
-  Completion execute_job(unsigned worker, std::uint64_t ticket, ManipulationJob&& job);
+  Completion execute_job(unsigned worker, std::uint64_t ticket, SimTime submitted_at,
+                         ManipulationJob&& job);
   void worker_loop(unsigned idx);
   std::size_t drain_ready(bool block);
   void push_completion(Completion&& c);
 
   EngineConfig cfg_;
   std::vector<std::unique_ptr<Worker>> workers_;
+
+  // Flight recorder wiring (see set_flight). worker_tracks_[i] is written
+  // only by worker i (or by control, for the inline worker 0).
+  obs::FlightRecorder* flight_ = nullptr;
+  std::uint16_t flight_ctl_track_ = 0;
+  std::vector<std::uint16_t> flight_worker_tracks_;
 
   // Control-thread state (never touched by workers).
   std::uint64_t last_ticket_ = 0;

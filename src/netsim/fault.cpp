@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/flight.h"
 #include "obs/metrics.h"
 
 namespace ngp {
@@ -29,9 +30,24 @@ bool FaultyPath::send(ConstBytes frame) {
     // A flapped link accepts the frame and loses it: outages are silent at
     // the sender, exactly like loss in flight.
     ++stats_.outage_dropped;
+    flight_note(obs::FlightStage::kFaultDrop, frame, 0);
     return true;
   }
   return inner_.send(frame);
+}
+
+void FaultyPath::set_flight(obs::FlightRecorder* flight,
+                            std::string_view track_name, FlightTagFn tag) {
+  flight_ = flight;
+  flight_tag_ = tag;
+  if (flight_ != nullptr) flight_track_ = flight_->add_track(track_name);
+}
+
+void FaultyPath::flight_note(obs::FlightStage stage, ConstBytes frame,
+                             std::uint64_t trace_id) {
+  if (!obs::kEnabled || flight_ == nullptr) return;
+  if (trace_id == 0 && flight_tag_ != nullptr) trace_id = flight_tag_(frame);
+  flight_->record(flight_track_, stage, trace_id, frame.size());
 }
 
 void FaultyPath::set_handler(FrameHandler handler) {
@@ -48,10 +64,12 @@ void FaultyPath::on_inner_delivery(ConstBytes frame) {
   ++stats_.frames_seen;
   if (in_outage()) {
     ++stats_.outage_dropped;
+    flight_note(obs::FlightStage::kFaultDrop, frame, 0);
     return;
   }
   if (rng_.bernoulli(plan_.blackhole_rate)) {
     ++stats_.blackholed;
+    flight_note(obs::FlightStage::kFaultDrop, frame, 0);
     return;
   }
 
@@ -74,6 +92,16 @@ void FaultyPath::on_inner_delivery(ConstBytes frame) {
   if (adversary_ && rng_.bernoulli(plan_.adversary_rate)) {
     forged = adversary_(frame, rng_);
   }
+
+  // Tag from the pristine frame: a mangled header may no longer name its
+  // flow, but the corruption event should still land on the right ADU.
+  const std::uint64_t pristine_tag =
+      (obs::kEnabled && flight_ != nullptr && flight_tag_ != nullptr)
+          ? flight_tag_(frame)
+          : 0;
+  const std::uint64_t faults_before = stats_.payload_bitflips +
+                                      stats_.header_mutations +
+                                      stats_.truncations + stats_.extensions;
 
   ByteBuffer mangled(frame);
   if (!mangled.empty() && rng_.bernoulli(plan_.header_byte_rate)) {
@@ -98,6 +126,13 @@ void FaultyPath::on_inner_delivery(ConstBytes frame) {
     rng_.fill(junk.span());
     mangled.append(junk.span());
     ++stats_.extensions;
+  }
+
+  const std::uint64_t faults_after = stats_.payload_bitflips +
+                                     stats_.header_mutations +
+                                     stats_.truncations + stats_.extensions;
+  if (faults_after != faults_before) {
+    flight_note(obs::FlightStage::kFaultCorrupt, mangled.span(), pristine_tag);
   }
 
   deliver(mangled.span());

@@ -28,6 +28,8 @@
 namespace ngp::obs {
 class MetricSink;
 class MetricsRegistry;
+class FlightRecorder;
+enum class FlightStage : std::uint8_t;
 }  // namespace ngp::obs
 
 namespace ngp {
@@ -112,9 +114,21 @@ class FaultyPath final : public NetPath {
   /// Registers emit_metrics under `prefix` (e.g. "chaos.path0").
   void register_metrics(obs::MetricsRegistry& reg, std::string prefix) const;
 
+  /// Labels a frame with its flow-scoped trace id (injected from above,
+  /// e.g. alf::peek_flight_tag); 0 = untraced.
+  using FlightTagFn = std::uint64_t (*)(ConstBytes);
+
+  /// Attaches the per-ADU flight recorder: corruption and swallow events
+  /// are recorded on a new track named `track_name`, labelled via `tag`
+  /// (tagging happens on the pristine frame, before any mangling).
+  void set_flight(obs::FlightRecorder* flight, std::string_view track_name,
+                  FlightTagFn tag);
+
  private:
   void on_inner_delivery(ConstBytes frame);
   void deliver(ConstBytes frame);
+  void flight_note(obs::FlightStage stage, ConstBytes frame,
+                   std::uint64_t trace_id);
 
   EventLoop& loop_;
   NetPath& inner_;
@@ -123,6 +137,9 @@ class FaultyPath final : public NetPath {
   FaultStats stats_;
   FrameHandler handler_;
   AdversaryFn adversary_;
+  obs::FlightRecorder* flight_ = nullptr;
+  std::uint16_t flight_track_ = 0;
+  FlightTagFn flight_tag_ = nullptr;
   std::deque<ByteBuffer> history_;  ///< recent frames, replay source
 };
 

@@ -1,5 +1,6 @@
 #include "netsim/link.h"
 
+#include "obs/flight.h"
 #include "obs/metrics.h"
 
 namespace ngp {
@@ -13,12 +14,15 @@ bool Link::send(ConstBytes frame) {
   ++stats_.frames_offered;
   if (frame.size() > config_.mtu) {
     ++stats_.dropped_oversize;
+    flight_note(obs::FlightStage::kLinkDrop, frame);
     return false;
   }
   if (queued_ >= config_.queue_limit) {
     ++stats_.dropped_queue;
+    flight_note(obs::FlightStage::kLinkDrop, frame);
     return false;
   }
+  flight_note(obs::FlightStage::kLinkEnqueue, frame);
 
   // Serialization: the frame occupies the transmitter starting when it is
   // free; it finishes tx_time later.
@@ -51,6 +55,7 @@ bool Link::send(ConstBytes frame) {
 
   if (lost) {
     ++stats_.dropped_loss;
+    flight_note(obs::FlightStage::kLinkDrop, frame);
     return true;  // accepted; silently lost in flight
   }
 
@@ -73,7 +78,21 @@ bool Link::send(ConstBytes frame) {
 void Link::deliver(ByteBuffer frame, bool /*is_duplicate*/) {
   ++stats_.frames_delivered;
   stats_.bytes_delivered += frame.size();
+  flight_note(obs::FlightStage::kLinkDeliver, frame.span());
   if (handler_) handler_(frame.span());
+}
+
+void Link::set_flight(obs::FlightRecorder* flight, std::string_view track_name,
+                      FlightTagFn tag) {
+  flight_ = flight;
+  flight_tag_ = tag;
+  if (flight_ != nullptr) flight_track_ = flight_->add_track(track_name);
+}
+
+void Link::flight_note(obs::FlightStage stage, ConstBytes frame) {
+  if (!obs::kEnabled || flight_ == nullptr) return;
+  const std::uint64_t tid = flight_tag_ != nullptr ? flight_tag_(frame) : 0;
+  flight_->record(flight_track_, stage, tid, frame.size());
 }
 
 void Link::emit_metrics(obs::MetricSink& sink) const {

@@ -21,6 +21,8 @@
 namespace ngp::obs {
 class MetricSink;
 class MetricsRegistry;
+class FlightRecorder;
+enum class FlightStage : std::uint8_t;
 }  // namespace ngp::obs
 
 namespace ngp {
@@ -91,8 +93,19 @@ class Link {
   /// Registers emit_metrics under `prefix` (e.g. "netsim.link0").
   void register_metrics(obs::MetricsRegistry& reg, std::string prefix) const;
 
+  /// Labels a frame with its flow-scoped trace id; 0 = untraced. Injected
+  /// from the protocol above (e.g. alf::peek_flight_tag) so the link never
+  /// learns a wire format — same layering rule as fault-plan adversaries.
+  using FlightTagFn = std::uint64_t (*)(ConstBytes);
+
+  /// Attaches the per-ADU flight recorder: enqueue / drop / deliver events
+  /// are recorded on a new track named `track_name`, labelled via `tag`.
+  void set_flight(obs::FlightRecorder* flight, std::string_view track_name,
+                  FlightTagFn tag);
+
  private:
   void deliver(ByteBuffer frame, bool is_duplicate);
+  void flight_note(obs::FlightStage stage, ConstBytes frame);
 
   EventLoop& loop_;
   LinkConfig config_;
@@ -100,6 +113,9 @@ class Link {
   std::unique_ptr<LossModel> loss_;
   FrameHandler handler_;
   LinkStats stats_;
+  obs::FlightRecorder* flight_ = nullptr;
+  std::uint16_t flight_track_ = 0;
+  FlightTagFn flight_tag_ = nullptr;
   obs::CostAccount transfer_cost_;
   Histogram frame_sizes_;
   SimTime tx_free_at_ = 0;    ///< when the serializer becomes idle

@@ -54,6 +54,8 @@ class CollectingSink final : public MetricSink {
     s.kind = Sample::Kind::kHistogram;
     s.buckets.reserve(h.bucket_count());
     for (std::size_t i = 0; i < h.bucket_count(); ++i) s.buckets.push_back(h.bucket(i));
+    s.lo = h.lo();
+    s.hi = h.hi();
     s.underflow = h.underflow();
     s.overflow = h.overflow();
     s.count = h.total();
@@ -74,6 +76,29 @@ class CollectingSink final : public MetricSink {
 };
 
 }  // namespace
+
+double histogram_percentile(const Sample& s, double p) {
+  if (s.kind != Sample::Kind::kHistogram || s.count == 0) return 0.0;
+  if (p < 0.0) p = 0.0;
+  if (p > 100.0) p = 100.0;
+  // Nearest-rank target, then linear interpolation inside the bucket that
+  // holds it. The rank is 1-based: rank r means "the r-th smallest sample".
+  const double rank = std::max(1.0, p / 100.0 * static_cast<double>(s.count));
+  double cum = static_cast<double>(s.underflow);
+  if (rank <= cum) return s.lo;
+  const double width =
+      s.buckets.empty() ? 0.0
+                        : (s.hi - s.lo) / static_cast<double>(s.buckets.size());
+  for (std::size_t i = 0; i < s.buckets.size(); ++i) {
+    const double b = static_cast<double>(s.buckets[i]);
+    if (b > 0.0 && rank <= cum + b) {
+      const double frac = (rank - cum) / b;
+      return s.lo + width * (static_cast<double>(i) + frac);
+    }
+    cum += b;
+  }
+  return s.hi;  // rank lands in the overflow region
+}
 
 Snapshot::Snapshot(std::vector<Sample> samples) : samples_(std::move(samples)) {
   std::stable_sort(samples_.begin(), samples_.end(),
@@ -118,7 +143,10 @@ std::string Snapshot::to_text() const {
           if (i > 0) out += ' ';
           out += std::to_string(s.buckets[i]);
         }
-        out += "])";
+        out += "], p50=" + format_double(histogram_percentile(s, 50));
+        out += ", p95=" + format_double(histogram_percentile(s, 95));
+        out += ", p99=" + format_double(histogram_percentile(s, 99));
+        out += ')';
         break;
       }
     }
@@ -147,6 +175,9 @@ std::string Snapshot::to_json() const {
         out += "histogram\",\"total\":" + std::to_string(s.count);
         out += ",\"underflow\":" + std::to_string(s.underflow);
         out += ",\"overflow\":" + std::to_string(s.overflow);
+        out += ",\"p50\":" + format_double(histogram_percentile(s, 50));
+        out += ",\"p95\":" + format_double(histogram_percentile(s, 95));
+        out += ",\"p99\":" + format_double(histogram_percentile(s, 99));
         out += ",\"buckets\":[";
         for (std::size_t i = 0; i < s.buckets.size(); ++i) {
           if (i > 0) out += ',';
@@ -178,6 +209,44 @@ Snapshot MetricsRegistry::snapshot() const {
     src.fn(sink);
   }
   return Snapshot(std::move(samples));
+}
+
+Snapshot MetricsRegistry::delta_snapshot(Snapshot* absolute_out) {
+  Snapshot abs = snapshot();
+  const auto sat_sub = [](std::uint64_t cur, std::uint64_t prev) {
+    return cur >= prev ? cur - prev : 0;
+  };
+  std::vector<Sample> delta;
+  delta.reserve(abs.samples().size());
+  for (const Sample& cur : abs.samples()) {
+    Sample d = cur;
+    const auto it = mark_.find(cur.name);
+    if (it != mark_.end() && it->second.kind == cur.kind) {
+      const Sample& prev = it->second;
+      switch (cur.kind) {
+        case Sample::Kind::kCounter:
+          d.count = sat_sub(cur.count, prev.count);
+          break;
+        case Sample::Kind::kHistogram:
+          d.count = sat_sub(cur.count, prev.count);
+          d.underflow = sat_sub(cur.underflow, prev.underflow);
+          d.overflow = sat_sub(cur.overflow, prev.overflow);
+          if (prev.buckets.size() == cur.buckets.size()) {
+            for (std::size_t i = 0; i < d.buckets.size(); ++i) {
+              d.buckets[i] = sat_sub(cur.buckets[i], prev.buckets[i]);
+            }
+          }
+          break;
+        case Sample::Kind::kGauge:
+          break;  // gauges are instantaneous: pass through
+      }
+    }
+    delta.push_back(std::move(d));
+  }
+  mark_.clear();
+  for (const Sample& cur : abs.samples()) mark_.emplace(cur.name, cur);
+  if (absolute_out != nullptr) *absolute_out = std::move(abs);
+  return Snapshot(std::move(delta));
 }
 
 }  // namespace ngp::obs

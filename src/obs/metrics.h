@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -83,10 +84,18 @@ struct Sample {
   std::uint64_t underflow = 0, overflow = 0;
 };
 
+/// Estimates the p-th percentile (p in [0,100]) of a histogram sample from
+/// its bucket counts, interpolating linearly within the bucket that holds
+/// the rank. Underflow collapses to `lo`, overflow to `hi`; 0 when empty
+/// or not a histogram. Used for the p50/p95/p99 summary lines in exports
+/// and by TelemetryHub SLO watchdogs.
+double histogram_percentile(const Sample& s, double p);
+
 /// A full-stack profile at one instant: name-sorted samples with
 /// deterministic text/JSON renderings.
 class Snapshot {
  public:
+  Snapshot() = default;
   explicit Snapshot(std::vector<Sample> samples);
 
   const std::vector<Sample>& samples() const noexcept { return samples_; }
@@ -133,6 +142,15 @@ class MetricsRegistry {
   /// resulting samples are stably sorted by full name.
   Snapshot snapshot() const;
 
+  /// Snapshot of the CHANGE since the previous delta_snapshot() (or since
+  /// construction): counters and histogram buckets are differenced against
+  /// the internal mark (saturating at zero, so a component reset never
+  /// exports garbage); gauges pass through as absolute values. When
+  /// `absolute_out` is non-null it receives the underlying full snapshot —
+  /// sources run exactly once either way. This is the TelemetryHub's
+  /// sampling primitive.
+  Snapshot delta_snapshot(Snapshot* absolute_out = nullptr);
+
  private:
   struct Source {
     std::size_t id;
@@ -142,6 +160,7 @@ class MetricsRegistry {
 
   std::vector<Source> sources_;
   std::size_t next_id_ = 1;
+  std::map<std::string, Sample, std::less<>> mark_;  // delta_snapshot state
 };
 
 }  // namespace ngp::obs

@@ -36,7 +36,12 @@ void append_json_escaped(std::string& out, std::string_view s) {
 std::string TraceRecorder::to_json() const {
   std::string out = "{\"trace\":[";
   bool first = true;
-  for (const TraceEvent& e : events_) {
+  // After a ring wrap the oldest surviving event sits at wrap_; render
+  // chronologically regardless.
+  const std::size_t n = events_.size();
+  const std::size_t start = dropped_ > 0 ? wrap_ : 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const TraceEvent& e = events_[(start + i) % n];
     if (!first) out += ',';
     first = false;
     out += "{\"at\":" + std::to_string(e.at);
@@ -53,6 +58,7 @@ std::string TraceRecorder::to_json() const {
 void TraceRecorder::register_metrics(MetricsRegistry& reg, std::string prefix) const {
   reg.add_source(std::move(prefix), [this](MetricSink& sink) {
     sink.counter("events", events_.size());
+    sink.counter("dropped_events", dropped_);
     std::uint64_t bytes = 0;
     for (const TraceEvent& e : events_) bytes += e.arg;
     sink.counter("span_bytes", bytes);

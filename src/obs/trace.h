@@ -42,6 +42,12 @@ struct TraceEvent {
   std::string name;
 };
 
+struct TraceStats {
+  std::uint64_t recorded = 0;  ///< events ever recorded
+  std::uint64_t dropped = 0;   ///< overwritten by ring wrap-around
+  std::uint64_t stored = 0;    ///< events currently held
+};
+
 #if NGP_OBS_ENABLED
 
 /// Collects TraceEvents against a caller-supplied sim-time source.
@@ -51,11 +57,22 @@ class TraceRecorder {
   /// the caller; any SimTime source works — benches use a step counter).
   using ClockFn = SimTime (*)(const void*);
 
+  /// Default ring bound: generous for any one experiment, but a ceiling,
+  /// so unbounded chaos runs cannot grow recorder memory without limit.
+  static constexpr std::size_t kDefaultMaxEvents = std::size_t{1} << 20;
+
   TraceRecorder(ClockFn clock, const void* clock_ctx)
       : clock_(clock), clock_ctx_(clock_ctx) {}
 
   void set_enabled(bool on) noexcept { enabled_ = on; }
   bool enabled() const noexcept { return enabled_; }
+
+  /// Caps stored events (ring semantics: a full recorder overwrites its
+  /// oldest event and counts it as dropped). Set before recording starts.
+  void set_max_events(std::size_t n) noexcept {
+    max_events_ = n == 0 ? 1 : n;
+  }
+  std::size_t max_events() const noexcept { return max_events_; }
 
   SimTime now() const { return clock_(clock_ctx_); }
 
@@ -67,13 +84,29 @@ class TraceRecorder {
 
   void record(SimTime at, SimDuration duration, std::string_view name,
               std::uint64_t arg) {
-    events_.push_back(TraceEvent{at, duration, arg, std::string(name)});
+    if (events_.size() < max_events_) {
+      events_.push_back(TraceEvent{at, duration, arg, std::string(name)});
+    } else {
+      events_[wrap_] = TraceEvent{at, duration, arg, std::string(name)};
+      wrap_ = (wrap_ + 1) % max_events_;
+      ++dropped_;
+    }
   }
 
+  /// Stored events. Once the ring has wrapped (stats().dropped > 0) the
+  /// storage order rotates; to_json() always renders chronologically.
   const std::vector<TraceEvent>& events() const noexcept { return events_; }
-  void clear() noexcept { events_.clear(); }
+  TraceStats stats() const noexcept {
+    return TraceStats{events_.size() + dropped_, dropped_, events_.size()};
+  }
+  void clear() noexcept {
+    events_.clear();
+    wrap_ = 0;
+    dropped_ = 0;
+  }
 
-  /// One-line JSON: {"trace":[{"at":...,"dur":...,"arg":...,"name":...}]}.
+  /// One-line JSON: {"trace":[{"at":...,"dur":...,"arg":...,"name":...}]},
+  /// oldest surviving event first.
   std::string to_json() const;
 
   /// Registers event-count metrics under `prefix` (snapshot-on-demand).
@@ -83,6 +116,9 @@ class TraceRecorder {
   ClockFn clock_;
   const void* clock_ctx_;
   bool enabled_ = false;
+  std::size_t max_events_ = kDefaultMaxEvents;
+  std::size_t wrap_ = 0;         ///< next overwrite slot once full
+  std::uint64_t dropped_ = 0;    ///< events overwritten by the ring
   std::vector<TraceEvent> events_;
 };
 
@@ -119,10 +155,14 @@ class TraceRecorder {
  public:
   using ClockFn = SimTime (*)(const void*);
 
+  static constexpr std::size_t kDefaultMaxEvents = std::size_t{1} << 20;
+
   TraceRecorder(ClockFn, const void*) {}
 
   void set_enabled(bool) noexcept {}
   bool enabled() const noexcept { return false; }
+  void set_max_events(std::size_t) noexcept {}
+  std::size_t max_events() const noexcept { return 0; }
   SimTime now() const noexcept { return 0; }
   void instant(std::string_view, std::uint64_t = 0) noexcept {}
   void record(SimTime, SimDuration, std::string_view, std::uint64_t) noexcept {}
@@ -130,6 +170,7 @@ class TraceRecorder {
     static const std::vector<TraceEvent> kEmpty;
     return kEmpty;
   }
+  TraceStats stats() const noexcept { return {}; }
   void clear() noexcept {}
   std::string to_json() const { return "{\"trace\":[]}"; }
   void register_metrics(MetricsRegistry&, std::string) const {}

@@ -53,6 +53,8 @@ class Histogram {
   Histogram(double lo, double hi, std::size_t buckets);
 
   void add(double x) noexcept;
+  double lo() const noexcept { return lo_; }
+  double hi() const noexcept { return hi_; }
   std::size_t bucket_count() const noexcept { return counts_.size(); }
   std::uint64_t bucket(std::size_t i) const { return counts_.at(i); }
   std::uint64_t underflow() const noexcept { return underflow_; }

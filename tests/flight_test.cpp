@@ -1,0 +1,377 @@
+// flight_test — the per-ADU flight recorder (obs/flight.h).
+//
+// Covers, in order of increasing integration:
+//   * FlightTable segment math on hand-built rows (always compiled);
+//   * ring bounding: a full track overwrites oldest and counts drops;
+//   * runtime gate: a disabled recorder accumulates nothing;
+//   * Perfetto export shape: track metadata, slices, flow arrows;
+//   * the headline property from flight.h: two identically-seeded
+//     fault-injected ALF transfers (engine offload included) export
+//     byte-identical Perfetto JSON and latency tables.
+//
+// Every ON-only expectation branches on obs::kEnabled so the same file
+// passes under NGP_OBS=OFF, where it instead pins the stub's behaviour
+// (empty stats, empty table, minimal JSON envelope).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "alf/receiver.h"
+#include "alf/sender.h"
+#include "alf/wire.h"
+#include "engine/engine.h"
+#include "netsim/fault.h"
+#include "netsim/link.h"
+#include "obs/flight.h"
+#include "util/rng.h"
+
+namespace ngp::obs {
+namespace {
+
+using Segment = FlightTable::Segment;
+
+/// Manual clock: reads a SimTime the test advances by hand.
+SimTime fixed_clock(const void* ctx) {
+  return *static_cast<const SimTime*>(ctx);
+}
+
+TEST(FlightTraceId, PacksSessionHighAduLow) {
+  EXPECT_EQ(flight_trace_id(0, 0), 0u);
+  EXPECT_EQ(flight_trace_id(7, 1), (std::uint64_t{7} << 32) | 1u);
+  EXPECT_EQ(flight_trace_id(0xFFFF, 0xFFFFFFFF), 0x0000FFFFFFFFFFFFull);
+  // Distinct sessions never collide on the same ADU id.
+  EXPECT_NE(flight_trace_id(1, 42), flight_trace_id(2, 42));
+}
+
+TEST(FlightStageNames, EveryStageHasAStableName) {
+  for (std::size_t i = 0; i < kFlightStageCount; ++i) {
+    const auto s = static_cast<FlightStage>(i);
+    EXPECT_FALSE(flight_stage_name(s).empty());
+    EXPECT_NE(flight_stage_name(s), "?");
+  }
+  EXPECT_EQ(flight_stage_name(FlightStage::kStaged), "staged");
+  EXPECT_EQ(flight_stage_name(FlightStage::kAbandon), "abandon");
+}
+
+TEST(FlightTableTest, SegmentsDecomposeHandBuiltRows) {
+  FlightRow a;
+  a.trace_id = flight_trace_id(7, 2);
+  a.staged = 0;
+  a.first_tx = 10;
+  a.first_rx = 100;
+  a.complete = 150;
+  a.submit = 160;
+  a.harvest = 200;
+  a.manip_begin = 210;
+  a.manip_end = 240;
+  a.delivered = 300;
+  a.bytes = 6000;
+
+  FlightRow b;  // staged then abandoned: most segments undefined
+  b.trace_id = flight_trace_id(7, 1);
+  b.staged = 5;
+  b.abandoned = true;
+
+  FlightTable t({a, b});
+  EXPECT_EQ(t.rows().size(), 2u);
+  EXPECT_EQ(t.delivered_count(), 1u);
+  EXPECT_EQ(t.abandoned_count(), 1u);
+  // Rows are sorted by trace id regardless of insertion order.
+  EXPECT_EQ(t.rows().front().trace_id, flight_trace_id(7, 1));
+
+  EXPECT_EQ(t.segment_count(Segment::kSendToFirstByte), 1u);
+  EXPECT_DOUBLE_EQ(t.percentile(Segment::kSendToFirstByte, 50), 100.0);
+  EXPECT_DOUBLE_EQ(t.percentile(Segment::kNetwork, 50), 90.0);
+  EXPECT_DOUBLE_EQ(t.percentile(Segment::kReassemblyWait, 50), 50.0);
+  EXPECT_DOUBLE_EQ(t.percentile(Segment::kEngineQueue, 50), 40.0);
+  EXPECT_DOUBLE_EQ(t.percentile(Segment::kManipulation, 50), 30.0);
+  EXPECT_DOUBLE_EQ(t.percentile(Segment::kCompletion, 99), 300.0);
+
+  const std::string text = t.to_text();
+  EXPECT_NE(text.find("ABANDONED"), std::string::npos);
+  EXPECT_NE(text.find("completion"), std::string::npos);
+  EXPECT_NE(text.find("delivered=1"), std::string::npos);
+
+  const std::string json = t.to_json();
+  EXPECT_NE(json.find("\"delivered\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"abandoned\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"completion\":{\"n\":1,\"p50\":300"),
+            std::string::npos);
+}
+
+TEST(FlightTableTest, EmptySegmentsReportZero) {
+  FlightTable t;
+  EXPECT_TRUE(t.empty());
+  for (std::size_t i = 0; i < FlightTable::kSegmentCount; ++i) {
+    const auto seg = static_cast<Segment>(i);
+    EXPECT_EQ(t.segment_count(seg), 0u);
+    EXPECT_DOUBLE_EQ(t.percentile(seg, 50), 0.0);
+  }
+}
+
+TEST(FlightRecorderTest, FullRingOverwritesOldestAndCountsDrops) {
+  SimTime now = 0;
+  FlightConfig cfg;
+  cfg.events_per_track = 8;
+  FlightRecorder rec(&fixed_clock, &now, cfg);
+  const std::uint16_t t = rec.add_track("t");
+  rec.set_enabled(true);
+  for (std::uint32_t i = 0; i < 20; ++i) {
+    now = static_cast<SimTime>(i);
+    rec.record(t, FlightStage::kStaged, flight_trace_id(1, i + 1), 100);
+  }
+  const FlightStats st = rec.stats();
+  if constexpr (kEnabled) {
+    EXPECT_EQ(st.events_recorded, 20u);
+    EXPECT_EQ(st.events_dropped, 12u);
+    EXPECT_EQ(st.tracks, 1u);
+    // The survivors are exactly the newest 8 events.
+    const FlightTable table = rec.latency_table();
+    ASSERT_EQ(table.rows().size(), 8u);
+    EXPECT_EQ(table.rows().front().trace_id, flight_trace_id(1, 13));
+    EXPECT_EQ(table.rows().back().trace_id, flight_trace_id(1, 20));
+    rec.clear();
+    EXPECT_EQ(rec.stats().events_recorded, 0u);
+    EXPECT_EQ(rec.stats().events_dropped, 0u);
+  } else {
+    EXPECT_EQ(st.events_recorded, 0u);
+    EXPECT_EQ(st.events_dropped, 0u);
+    EXPECT_EQ(st.tracks, 0u);
+    EXPECT_TRUE(rec.latency_table().empty());
+  }
+}
+
+TEST(FlightRecorderTest, DisabledRecorderAccumulatesNothing) {
+  SimTime now = 0;
+  FlightRecorder rec(&fixed_clock, &now);
+  const std::uint16_t t = rec.add_track("t");
+  ASSERT_FALSE(rec.enabled());  // constructs disabled
+  rec.record(t, FlightStage::kStaged, flight_trace_id(1, 1), 64);
+  flight_record(&rec, t, FlightStage::kDeliver, flight_trace_id(1, 1), 64);
+  flight_record(nullptr, t, FlightStage::kDeliver, 1, 64);  // null-safe
+  EXPECT_EQ(rec.stats().events_recorded, 0u);
+  EXPECT_TRUE(rec.latency_table().empty());
+}
+
+TEST(FlightRecorderTest, PerfettoExportHasTracksSlicesAndFlowArrows) {
+  SimTime now = 0;
+  FlightRecorder rec(&fixed_clock, &now);
+  const std::uint16_t tx = rec.add_track("alf.tx");
+  const std::uint16_t rx = rec.add_track("alf.rx");
+  rec.set_enabled(true);
+  const std::uint64_t id = flight_trace_id(7, 1);  // 0x700000001
+  rec.record(tx, FlightStage::kStaged, id, 6000);
+  now = 1000;
+  rec.record(rx, FlightStage::kFragRx, id, 1400);
+  now = 2000;
+  rec.record(rx, FlightStage::kDeliver, id, 6000);
+  // A lone sighting (and component-level id 0) must draw no arrow.
+  rec.record(tx, FlightStage::kStaged, flight_trace_id(7, 2), 10);
+  rec.record(tx, FlightStage::kLinkEnqueue, 0, 10);
+
+  const std::string j = rec.to_perfetto_json();
+  EXPECT_EQ(j.find("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["), 0u);
+  if constexpr (kEnabled) {
+    EXPECT_NE(j.find("\"name\":\"thread_name\""), std::string::npos);
+    EXPECT_NE(j.find("\"name\":\"alf.tx\""), std::string::npos);
+    EXPECT_NE(j.find("\"name\":\"alf.rx\""), std::string::npos);
+    EXPECT_NE(j.find("\"ph\":\"X\""), std::string::npos);
+    // The three-sighting journey opens, steps and closes one flow.
+    EXPECT_NE(j.find("\"ph\":\"s\""), std::string::npos);
+    EXPECT_NE(j.find("\"ph\":\"t\""), std::string::npos);
+    EXPECT_NE(j.find("\"ph\":\"f\""), std::string::npos);
+    EXPECT_NE(j.find("\"bp\":\"e\""), std::string::npos);
+    EXPECT_NE(j.find("\"id\":\"0x700000001\""), std::string::npos);
+    EXPECT_EQ(j.find("\"id\":\"0x700000002\""), std::string::npos);
+    EXPECT_EQ(j.find("\"id\":\"0x0\""), std::string::npos);
+    // Timestamps render as integer-derived microseconds.
+    EXPECT_NE(j.find("\"ts\":1.000"), std::string::npos);
+  } else {
+    EXPECT_EQ(j, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}");
+  }
+}
+
+// ---- end-to-end determinism ------------------------------------------------
+
+/// AlfPair over a lossy duplex link whose data direction runs through a
+/// FaultyPath, with the flight recorder attached to every layer and the
+/// receiver's stage 2 offloaded to an inline (workers=0, deterministic)
+/// engine. Mirrors chaos_test's ChaosPair wiring.
+struct TracedPair {
+  EventLoop loop;
+  FlightRecorder rec;  // before the components that point at it
+  engine::Engine eng;
+  DuplexChannel channel;
+  LinkPath raw_data;
+  FaultyPath data;
+  LinkPath feedback_tx;
+  LinkPath feedback_rx;
+  alf::AlfSender sender;
+  alf::AlfReceiver receiver;
+
+  std::map<std::uint64_t, ByteBuffer> sent;
+  std::vector<Adu> delivered;
+  bool completed = false;
+
+  TracedPair(alf::SessionConfig scfg, LinkConfig link_cfg, FaultPlan plan)
+      : rec(make_loop_flight_recorder(loop)),
+        eng(engine::EngineConfig{}),  // workers = 0: inline, deterministic
+        channel(loop, link_cfg, link_cfg),
+        raw_data(channel.forward),
+        data(loop, raw_data, std::move(plan)),
+        feedback_tx(channel.reverse),
+        feedback_rx(channel.reverse),
+        sender(loop, data, feedback_rx, scfg),
+        receiver(loop, data, feedback_tx, scfg) {
+    sender.set_flight(&rec);
+    channel.forward.set_flight(&rec, "link.fwd", &alf::peek_flight_tag);
+    data.set_flight(&rec, "fault.fwd", &alf::peek_flight_tag);
+    receiver.set_flight(&rec);
+    receiver.set_engine(&eng, kMillisecond);
+    eng.set_flight(&rec);
+    rec.set_enabled(true);
+    receiver.set_on_adu([this](Adu&& a) { delivered.push_back(std::move(a)); });
+    receiver.set_on_complete([this] { completed = true; });
+  }
+};
+
+struct TransferArtifacts {
+  std::string perfetto;
+  std::string table_text;
+  std::string table_json;
+  std::size_t delivered = 0;
+  std::size_t tracks = 0;
+  std::uint64_t events = 0;
+};
+
+TransferArtifacts run_traced_transfer() {
+  alf::SessionConfig scfg;
+  scfg.session_id = 7;
+  scfg.nack_delay = 10 * kMillisecond;
+  scfg.nack_retry = 20 * kMillisecond;
+
+  LinkConfig link;
+  link.bandwidth_bps = 100e6;
+  link.propagation_delay = 2 * kMillisecond;
+  link.queue_limit = 1 << 15;
+
+  FaultPlan plan;  // mild: corruption the NACK machinery recovers from
+  plan.seed = 11;
+  plan.payload_bitflip_rate = 0.01;
+  plan.truncate_rate = 0.005;
+
+  TracedPair p(scfg, link, plan);
+  p.channel.forward.set_loss_rate(0.03);
+
+  constexpr std::size_t kAdus = 24;
+  constexpr std::size_t kAduBytes = 6000;
+  for (std::uint64_t i = 0; i < kAdus; ++i) {
+    ByteBuffer b(kAduBytes);
+    Rng rng(500 + i);
+    rng.fill(b.span());
+    EXPECT_TRUE(p.sender.send_adu(generic_name(i), b.span()).ok());
+    p.sent.emplace(i, std::move(b));
+  }
+  p.sender.finish();
+  p.loop.run_until(30 * kSecond);
+
+  // Whatever arrived is byte-exact (corruption may cost ADUs, never fake one).
+  EXPECT_FALSE(p.delivered.empty());
+  for (const auto& adu : p.delivered) {
+    EXPECT_EQ(adu.payload, p.sent.at(adu.name.a));
+  }
+
+  TransferArtifacts a;
+  a.perfetto = p.rec.to_perfetto_json();
+  const FlightTable table = p.rec.latency_table();
+  a.table_text = table.to_text();
+  a.table_json = table.to_json();
+  a.delivered = p.delivered.size();
+  a.tracks = p.rec.track_count();
+  a.events = p.rec.stats().events_recorded;
+  return a;
+}
+
+TEST(FlightDeterminism, SeededFaultyTransfersExportByteIdentically) {
+  const TransferArtifacts a = run_traced_transfer();
+  const TransferArtifacts b = run_traced_transfer();
+
+  // The headline contract: identical seeds, identical exports — bytes, not
+  // just shapes.
+  EXPECT_EQ(a.perfetto, b.perfetto);
+  EXPECT_EQ(a.table_text, b.table_text);
+  EXPECT_EQ(a.table_json, b.table_json);
+  EXPECT_EQ(a.delivered, b.delivered);
+  EXPECT_EQ(a.events, b.events);
+
+  if constexpr (kEnabled) {
+    // One track per attached layer: alf.tx, link.fwd, fault.fwd, alf.rx,
+    // engine control + its single inline lane.
+    EXPECT_EQ(a.tracks, 6u);
+    EXPECT_GT(a.events, 0u);
+    for (const char* name :
+         {"alf.tx", "link.fwd", "fault.fwd", "alf.rx", "engine",
+          "engine.worker0"}) {
+      EXPECT_NE(a.perfetto.find("\"name\":\"" + std::string(name) + "\""),
+                std::string::npos)
+          << name;
+    }
+  } else {
+    EXPECT_EQ(a.tracks, 0u);
+    EXPECT_EQ(a.perfetto, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}");
+  }
+}
+
+TEST(FlightDeterminism, LatencyTableSegmentsAreSane) {
+  if constexpr (!kEnabled) GTEST_SKIP() << "flight recorder compiled out";
+
+  alf::SessionConfig scfg;
+  scfg.session_id = 7;
+  scfg.nack_delay = 10 * kMillisecond;
+  scfg.nack_retry = 20 * kMillisecond;
+  LinkConfig link;
+  link.bandwidth_bps = 100e6;
+  link.propagation_delay = 2 * kMillisecond;
+  link.queue_limit = 1 << 15;
+  FaultPlan plan;
+  plan.seed = 11;
+
+  TracedPair p(scfg, link, plan);
+  constexpr std::size_t kAdus = 12;
+  for (std::uint64_t i = 0; i < kAdus; ++i) {
+    ByteBuffer b(4000);
+    Rng rng(900 + i);
+    rng.fill(b.span());
+    ASSERT_TRUE(p.sender.send_adu(generic_name(i), b.span()).ok());
+    p.sent.emplace(i, std::move(b));
+  }
+  p.sender.finish();
+  p.loop.run_until(30 * kSecond);
+  ASSERT_TRUE(p.completed);
+  ASSERT_EQ(p.delivered.size(), kAdus);
+
+  const FlightTable t = p.rec.latency_table();
+  EXPECT_EQ(t.delivered_count(), kAdus);
+  EXPECT_EQ(t.abandoned_count(), 0u);
+  // Every delivered ADU has a completion sample, and completion dominates
+  // each of its constituent segments.
+  EXPECT_EQ(t.segment_count(Segment::kCompletion), kAdus);
+  EXPECT_GT(t.percentile(Segment::kCompletion, 50), 0.0);
+  // Propagation alone puts the network segment at >= 2 ms.
+  EXPECT_GE(t.percentile(Segment::kNetwork, 50),
+            static_cast<double>(2 * kMillisecond));
+  // Stage 2 went through the engine (1 ms harvest pump), so the queue
+  // segment is populated — positive (harvest is a later loop event) but
+  // bounded by the pump period (a submit can land mid-period).
+  EXPECT_EQ(t.segment_count(Segment::kEngineQueue), kAdus);
+  EXPECT_GT(t.percentile(Segment::kEngineQueue, 50), 0.0);
+  EXPECT_LE(t.percentile(Segment::kEngineQueue, 99),
+            static_cast<double>(kMillisecond));
+  EXPECT_GE(t.percentile(Segment::kCompletion, 50),
+            t.percentile(Segment::kNetwork, 50));
+}
+
+}  // namespace
+}  // namespace ngp::obs

@@ -11,6 +11,7 @@
 
 #include "checksum/internet.h"
 #include "obs/cost.h"
+#include "obs/flight.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/rng.h"
@@ -62,6 +63,33 @@ TEST(ObsOverhead, DisabledTracingLeavesNoState) {
     rec.instant("hot");
     EXPECT_TRUE(rec.events().empty());
     EXPECT_EQ(rec.to_json(), "{\"trace\":[]}");
+  }
+}
+
+TEST(ObsOverhead, FlightRecordingFollowsTheSameDiscipline) {
+  if constexpr (obs::kEnabled) {
+    // ON build: a runtime-disabled flight recorder accumulates nothing —
+    // the datapath pays one relaxed-atomic load per event and no more.
+    obs::FlightRecorder rec(+[](const void*) -> SimTime { return 0; }, nullptr);
+    const std::uint16_t t = rec.add_track("hot");
+    for (int i = 0; i < 1000; ++i) {
+      rec.record(t, obs::FlightStage::kFragTx, obs::flight_trace_id(1, 1), 64);
+    }
+    EXPECT_EQ(rec.stats().events_recorded, 0u);
+    EXPECT_EQ(rec.stats().events_dropped, 0u);
+  } else {
+    // OFF build: every method is an empty inline body — tracks don't even
+    // register, and the exports are constant minimal envelopes.
+    obs::FlightRecorder rec(nullptr, nullptr);
+    rec.set_enabled(true);  // even asking for recording is a no-op
+    EXPECT_EQ(rec.add_track("hot"), 0u);
+    EXPECT_EQ(rec.track_count(), 0u);
+    rec.record(0, obs::FlightStage::kFragTx, obs::flight_trace_id(1, 1), 64);
+    obs::flight_record(&rec, 0, obs::FlightStage::kDeliver, 1, 64);
+    EXPECT_EQ(rec.stats().events_recorded, 0u);
+    EXPECT_TRUE(rec.latency_table().empty());
+    EXPECT_EQ(rec.to_perfetto_json(),
+              "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}");
   }
 }
 

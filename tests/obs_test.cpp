@@ -252,6 +252,37 @@ TEST(TraceRecorder, SpansRecordSimClockDurations) {
   EXPECT_GE(reg.snapshot().counter_or("trace.events"), 2u);
 }
 
+TEST(TraceRecorder, BoundedRingOverwritesOldestAndCountsDrops) {
+  if constexpr (!obs::kEnabled) GTEST_SKIP() << "NGP_OBS=OFF build";
+
+  obs::TraceRecorder rec(+[](const void*) -> SimTime { return 0; }, nullptr);
+  rec.set_max_events(4);
+  rec.set_enabled(true);
+  for (int i = 0; i < 10; ++i) {
+    rec.record(i, 0, "e" + std::to_string(i), static_cast<std::uint64_t>(i));
+  }
+
+  const obs::TraceStats st = rec.stats();
+  EXPECT_EQ(st.recorded, 10u);
+  EXPECT_EQ(st.dropped, 6u);
+  EXPECT_EQ(st.stored, 4u);
+  EXPECT_EQ(rec.events().size(), 4u);
+
+  // Survivors are the newest 4, and to_json renders them oldest-first even
+  // though the ring's storage order has rotated.
+  const std::string json = rec.to_json();
+  EXPECT_EQ(json.find("\"e5\""), std::string::npos);
+  const std::size_t oldest = json.find("\"e6\"");
+  const std::size_t newest = json.find("\"e9\"");
+  ASSERT_NE(oldest, std::string::npos);
+  ASSERT_NE(newest, std::string::npos);
+  EXPECT_LT(oldest, newest);
+
+  rec.clear();
+  EXPECT_EQ(rec.stats().recorded, 0u);
+  EXPECT_EQ(rec.stats().dropped, 0u);
+}
+
 TEST(TraceRecorder, DisabledRecorderAndNullSpanCostNothingVisible) {
   EventLoop loop;
   obs::TraceRecorder rec = obs::make_loop_recorder(loop);
