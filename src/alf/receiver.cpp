@@ -15,7 +15,10 @@ namespace ngp::alf {
 
 AlfReceiver::AlfReceiver(EventLoop& loop, NetPath& data_in, NetPath& feedback_out,
                          SessionConfig config)
-    : loop_(loop), feedback_out_(feedback_out), cfg_(config) {
+    : loop_(loop), feedback_out_(feedback_out), cfg_(config),
+      jitter_rng_(config.recovery_seed != 0
+                      ? config.recovery_seed
+                      : 0x6E677052ull ^ (std::uint64_t{config.session_id} << 8)) {
   data_in.set_handler([this](ConstBytes frame) { on_frame(frame); });
   // Out-of-band control cadence: the NACK scan and progress report run on
   // their own timers, decoupled from per-fragment processing (§3). They
@@ -27,17 +30,37 @@ AlfReceiver::~AlfReceiver() {
   // settle them (on this, the control thread) before the members they
   // touch are destroyed.
   if (eng_ != nullptr && !manip_inflight_.empty()) eng_->wait_all();
+  // A receiver destroyed mid-session (supervised restart) must leave no
+  // timer that would call into freed memory — and teardown is not a
+  // failure, so on_session_failed must NOT fire from here.
+  cancel_timers();
+}
+
+void AlfReceiver::cancel_timers() {
+  if (nack_timer_ != 0) loop_.cancel(nack_timer_);
+  if (progress_timer_ != 0) loop_.cancel(progress_timer_);
+  if (engine_pump_timer_ != 0) loop_.cancel(engine_pump_timer_);
+  if (watchdog_timer_ != 0) loop_.cancel(watchdog_timer_);
+  nack_timer_ = progress_timer_ = engine_pump_timer_ = watchdog_timer_ = 0;
+  nack_timer_armed_ = progress_timer_armed_ = watchdog_armed_ = false;
+  engine_pump_armed_ = false;
 }
 
 void AlfReceiver::arm_timers() {
   if (cfg_.retransmit != RetransmitPolicy::kNone && !nack_timer_armed_ &&
       !complete_fired_ && !failed_) {
     nack_timer_armed_ = true;
-    loop_.schedule_after(cfg_.nack_delay, [this] { nack_scan(); });
+    nack_timer_ = loop_.schedule_after(cfg_.nack_delay, [this] {
+      nack_timer_ = 0;
+      nack_scan();
+    });
   }
   if (!progress_timer_armed_ && !complete_fired_ && !failed_) {
     progress_timer_armed_ = true;
-    loop_.schedule_after(cfg_.progress_interval, [this] { send_progress(); });
+    progress_timer_ = loop_.schedule_after(cfg_.progress_interval, [this] {
+      progress_timer_ = 0;
+      send_progress();
+    });
   }
   if (cfg_.stall_timeout > 0 && !watchdog_armed_ && !complete_fired_ && !failed_) {
     watchdog_armed_ = true;
@@ -64,18 +87,50 @@ void AlfReceiver::watchdog_tick() {
 }
 
 void AlfReceiver::fail_session() {
+  if (failed_) return;  // terminal failure is a one-shot verdict
   failed_ = true;
   ++stats_.watchdog_fired;
+  obs::flight_record(flight_, flight_track_, obs::FlightStage::kSessionFail,
+                     /*trace_id=*/0, /*arg=*/cfg_.session_id);
   // Release everything: a failed session must hold no memory and schedule
   // no further work. Ids are not individually reported — the session-level
-  // failure supersedes per-ADU loss reporting.
+  // failure supersedes per-ADU loss reporting. Note what is NOT cleared:
+  // closed_/closed_prefix_/counts — resume_summary() reads them so a
+  // supervisor can rebuild on what already completed (DESIGN.md §10).
   pending_.clear();
   reassembly_bytes_ = 0;
   nack_counts_.clear();
   // In-flight engine jobs are orphaned: their completions will still be
   // harvested (the cost was genuinely paid) but deliver nothing.
   manip_inflight_.clear();
+  cancel_timers();
   if (on_session_failed_) on_session_failed_();
+}
+
+ResumeSummary AlfReceiver::resume_summary() const {
+  ResumeSummary s;
+  s.closed_prefix = closed_prefix_;
+  s.closed_above.assign(closed_.begin(), closed_.end());
+  s.delivered = delivered_count_;
+  s.abandoned = abandoned_count_;
+  s.highest_seen = highest_seen_;
+  s.expected_total = expected_total_;
+  return s;
+}
+
+void AlfReceiver::restore(const ResumeSummary& s) {
+  closed_prefix_ = s.closed_prefix;
+  closed_.clear();
+  closed_.insert(s.closed_above.begin(), s.closed_above.end());
+  delivered_count_ = s.delivered;
+  abandoned_count_ = s.abandoned;
+  highest_seen_ = s.highest_seen;
+  expected_total_ = s.expected_total;
+  // Deliberately no arm_timers(): a restored receiver must not burn its
+  // NACK budget (or trip its watchdog) while the sender has not resumed
+  // yet; the first new-epoch frame arms everything. But if the
+  // predecessor had already closed every expected ADU, complete now.
+  check_complete();
 }
 
 void AlfReceiver::on_frame(ConstBytes frame) {
@@ -100,6 +155,14 @@ void AlfReceiver::on_frame(ConstBytes frame) {
 void AlfReceiver::on_data(const DataFragment& f) {
   ++stats_.fragments_received;
 
+  // Epoch guard (DESIGN.md §10): fragments stamped by another incarnation
+  // of this session are stale — frames in flight across a supervised
+  // restart must not pollute the new epoch's reassembly state.
+  if (f.epoch != cfg_.epoch) {
+    ++stats_.fragments_stale_epoch;
+    return;
+  }
+
   // Hostile-substrate validation BEFORE any resource is committed: the
   // header's claims are attacker-controlled until the ADU checksum has
   // spoken, so a claimed length or id outside the session's bounds is
@@ -118,6 +181,14 @@ void AlfReceiver::on_data(const DataFragment& f) {
 
   highest_seen_ = std::max(highest_seen_, f.adu_id);
   arm_timers();
+
+  // Liveness, not novelty: any validated current-epoch fragment proves the
+  // path and the peer are alive, so it resets the stall watchdog even when
+  // every byte is redundant. Recovery traffic is full of duplicates (a
+  // re-staged burst racing its own NACK retransmissions); failing a session
+  // that is audibly talking would turn one restart into a restart storm.
+  // Silence — not redundancy — is the failure signal.
+  note_progress();
 
   if (is_closed(f.adu_id)) {
     ++stats_.fragments_for_done_adus;  // late duplicate of a finished ADU
@@ -147,7 +218,6 @@ void AlfReceiver::on_data(const DataFragment& f) {
     r.checksum = f.adu_checksum;
     r.buf.resize(f.adu_len);
     r.charged_bytes = f.adu_len;
-    note_progress();
   } else if (f.adu_len != r.adu_len) {
     return;  // inconsistent metadata: ignore the stray fragment
   }
@@ -175,7 +245,6 @@ void AlfReceiver::on_data(const DataFragment& f) {
       }
       r.parity.emplace(f.frag_off, ByteBuffer(f.payload));
       r.charged_bytes += f.payload.size();
-      note_progress();
     } else {
       ++stats_.fragments_duplicate;
     }
@@ -192,17 +261,23 @@ void AlfReceiver::on_data(const DataFragment& f) {
   reassembly_cost_.charge_fused(f.payload.size());
   obs::flight_record(flight_, flight_track_, obs::FlightStage::kFragRx,
                      flight_id(f.adu_id), f.payload.size());
-  if (merge_range(r, start, end)) {
-    note_progress();
-  } else {
+  if (!merge_range(r, start, end)) {
     ++stats_.fragments_duplicate;
   }
 
   if (r.bytes_received == r.adu_len) {
     complete_adu(f.adu_id, r);
+    shed_for_overload(0);
     return;
   }
-  (void)try_fec_reconstruct(f.adu_id, r);
+  if (try_fec_reconstruct(f.adu_id, r)) {
+    shed_for_overload(0);
+    return;
+  }
+  // Admission policy: the newly charged bytes may have pushed reassembly
+  // memory over the high-water mark — shed the least important incomplete
+  // ADUs (not this one) rather than letting the hard limit evict blindly.
+  shed_for_overload(f.adu_id);
 }
 
 bool AlfReceiver::merge_range(Reassembly& r, std::uint32_t start, std::uint32_t end) {
@@ -350,6 +425,14 @@ void AlfReceiver::complete_adu(std::uint32_t adu_id, Reassembly& r) {
 }
 
 void AlfReceiver::offload_adu(std::uint32_t adu_id, Reassembly& r) {
+  // Engine-backlog pressure valve (DESIGN.md §10.3): when stage-2 jobs
+  // pile up faster than they harvest, each further offload sheds one
+  // lowest-priority incomplete ADU — the pipeline keeps moving and the
+  // application hears about the casualties by name.
+  if (cfg_.engine_shed_highwater > 0 &&
+      manip_inflight_.size() >= cfg_.engine_shed_highwater) {
+    (void)shed_one(adu_id);
+  }
   // Control keeps only what delivery needs (§5: the name addresses the
   // ADU); the bytes travel with the job. The reassembly charge is released
   // now — the job owns the buffer, not the reassembly pool.
@@ -376,7 +459,10 @@ void AlfReceiver::offload_adu(std::uint32_t adu_id, Reassembly& r) {
 void AlfReceiver::arm_engine_pump() {
   if (engine_pump_armed_) return;
   engine_pump_armed_ = true;
-  loop_.schedule_after(engine_harvest_delay_, [this] { engine_pump(); });
+  engine_pump_timer_ = loop_.schedule_after(engine_harvest_delay_, [this] {
+    engine_pump_timer_ = 0;
+    engine_pump();
+  });
 }
 
 void AlfReceiver::engine_pump() {
@@ -473,6 +559,57 @@ void AlfReceiver::release_pending(std::map<std::uint32_t, Reassembly>::iterator 
   pending_.erase(it);
 }
 
+std::map<std::uint32_t, AlfReceiver::Reassembly>::iterator
+AlfReceiver::pick_shed_victim(std::uint32_t protect_id) {
+  // Lowest priority first (ALF: the application ranked its names); ties go
+  // to the ADU with the least reassembly progress (cheapest loss), then to
+  // the youngest id — all deterministic, so seeded runs shed identically.
+  auto best = pending_.end();
+  int best_pri = 0;
+  for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+    if (it->first == protect_id) continue;
+    if (it->second.bytes_received >= it->second.adu_len) continue;  // completing
+    const int pri = priority_ ? priority_(it->second.name) : 0;
+    if (best == pending_.end() || pri < best_pri ||
+        (pri == best_pri &&
+         (it->second.bytes_received < best->second.bytes_received ||
+          (it->second.bytes_received == best->second.bytes_received &&
+           it->first > best->first)))) {
+      best = it;
+      best_pri = pri;
+    }
+  }
+  return best;
+}
+
+void AlfReceiver::shed(std::map<std::uint32_t, Reassembly>::iterator it) {
+  const std::uint32_t adu_id = it->first;
+  ++stats_.adus_shed;
+  obs::flight_record(flight_, flight_track_, obs::FlightStage::kShed,
+                     flight_id(adu_id), it->second.bytes_received);
+  close_id(adu_id);
+  ++abandoned_count_;
+  if (on_adu_lost_) on_adu_lost_(adu_id, it->second.name, /*name_known=*/true);
+  release_pending(it);
+  check_complete();
+}
+
+bool AlfReceiver::shed_one(std::uint32_t protect_id) {
+  auto victim = pick_shed_victim(protect_id);
+  if (victim == pending_.end()) return false;
+  shed(victim);
+  return true;
+}
+
+void AlfReceiver::shed_for_overload(std::uint32_t protect_id) {
+  if (cfg_.shed_highwater == 0 || reassembly_bytes_ <= cfg_.shed_highwater) return;
+  const std::size_t target =
+      cfg_.shed_lowwater > 0 ? cfg_.shed_lowwater : cfg_.shed_highwater / 2;
+  while (reassembly_bytes_ > target) {
+    if (!shed_one(protect_id)) break;
+  }
+}
+
 void AlfReceiver::evict(std::map<std::uint32_t, Reassembly>::iterator it) {
   // The evicted ADU's bytes are dropped but its id stays OPEN: the nack
   // bookkeeping inherits the per-ADU recovery state, so the id is
@@ -552,7 +689,17 @@ void AlfReceiver::nack_scan() {
     }
     ++*count;
     const int shift = std::min(*count - 1, 6);
-    *next_at = now + (cfg_.nack_retry << shift);
+    SimDuration backoff = cfg_.nack_retry << shift;
+    // Explicit ceiling (many-epoch recoveries should not wait out the full
+    // doubling), then deterministic seeded jitter: sessions recovering from
+    // one shared outage must not re-NACK in lockstep.
+    if (cfg_.nack_backoff_cap > 0) backoff = std::min(backoff, cfg_.nack_backoff_cap);
+    if (cfg_.nack_jitter > 0) {
+      const auto span = static_cast<std::uint64_t>(
+          static_cast<double>(backoff) * cfg_.nack_jitter);
+      backoff += static_cast<SimDuration>(jitter_rng_.uniform(span + 1));
+    }
+    *next_at = now + backoff;
     m.adu_ids.push_back(id);
   }
 
@@ -571,7 +718,10 @@ void AlfReceiver::nack_scan() {
   // Re-arm only while some known ADU is still outstanding; new arrivals
   // re-arm via arm_timers().
   if (!complete_fired_ && !failed_ && recovery_work_remains()) {
-    loop_.schedule_after(cfg_.nack_retry, [this] { nack_scan(); });
+    nack_timer_ = loop_.schedule_after(cfg_.nack_retry, [this] {
+      nack_timer_ = 0;
+      nack_scan();
+    });
   } else {
     nack_timer_armed_ = false;
   }
@@ -605,7 +755,10 @@ void AlfReceiver::send_progress() {
   // Keep reporting while the session is live and unfinished (this is also
   // what lets the sender repair a lost DONE); stand down once idle.
   if (session_active()) {
-    loop_.schedule_after(cfg_.progress_interval, [this] { send_progress(); });
+    progress_timer_ = loop_.schedule_after(cfg_.progress_interval, [this] {
+      progress_timer_ = 0;
+      send_progress();
+    });
   } else {
     progress_timer_armed_ = false;
   }
@@ -680,6 +833,8 @@ void AlfReceiver::emit_metrics(obs::MetricSink& sink) const {
   sink.counter("fragments_dropped_mem", s.fragments_dropped_mem);
   sink.counter("reassembly_evictions", s.reassembly_evictions);
   sink.counter("watchdog_fired", s.watchdog_fired);
+  sink.counter("fragments_stale_epoch", s.fragments_stale_epoch);
+  sink.counter("adus_shed", s.adus_shed);
   sink.counter("adus_engine_offloaded", s.adus_engine_offloaded);
   sink.gauge("reassembly_bytes", static_cast<double>(reassembly_bytes_));
   obs::emit_cost(sink, "cost", manip_cost_);

@@ -29,6 +29,7 @@
 #include "netsim/net_path.h"
 #include "obs/cost.h"
 #include "util/event_loop.h"
+#include "util/rng.h"
 
 namespace ngp::obs {
 class MetricSink;
@@ -65,10 +66,30 @@ struct ReceiverStats {
   std::uint64_t fragments_dropped_mem = 0;   ///< no reassembly room even after eviction
   std::uint64_t reassembly_evictions = 0;    ///< incomplete ADUs evicted for space
   std::uint64_t watchdog_fired = 0;          ///< stall watchdog abandoned the session
+  std::uint64_t fragments_stale_epoch = 0;   ///< stamped with another epoch
+  std::uint64_t adus_shed = 0;               ///< dropped by the overload policy
 
   /// ADUs whose stage-2 manipulation ran as an engine job (0 when inline).
   std::uint64_t adus_engine_offloaded = 0;
 };
+
+/// What a receiver knows about a session's closed ADUs, extracted after a
+/// failure and replayed into the restarted incarnation (DESIGN.md §10):
+/// delivery state survives a supervised restart, so the sender retransmits
+/// only what never completed.
+struct ResumeSummary {
+  std::uint32_t closed_prefix = 0;          ///< ids 1..prefix all closed
+  std::vector<std::uint32_t> closed_above;  ///< closed ids above the prefix
+  std::uint32_t delivered = 0;
+  std::uint32_t abandoned = 0;
+  std::uint32_t highest_seen = 0;
+  std::uint32_t expected_total = 0;         ///< 0 if DONE was never seen
+};
+
+/// Ranks an ADU for the overload shedding policy: lower = shed first.
+/// Defaults to 0 for everything (shedding then falls back to least-progress
+/// / youngest-id order).
+using PriorityFn = std::function<int(const AduName&)>;
 
 /// ALF receiving endpoint for one association.
 ///
@@ -89,7 +110,9 @@ class AlfReceiver {
   AlfReceiver& operator=(const AlfReceiver&) = delete;
 
   /// Settles any manipulation jobs still in flight on the engine (their
-  /// completions hold callbacks into this object) before teardown.
+  /// completions hold callbacks into this object) before teardown, and
+  /// cancels every pending timer — destroying a receiver mid-session
+  /// (a supervisor restart) must leave no event into freed memory.
   ~AlfReceiver();
 
   /// Optional execution-engine hookup (the §4/§5 control/manipulation
@@ -127,6 +150,21 @@ class AlfReceiver {
   void set_on_session_failed(std::function<void()> fn) {
     on_session_failed_ = std::move(fn);
   }
+
+  /// Overload-shedding rank (see PriorityFn); unset = all equal.
+  void set_priority(PriorityFn fn) { priority_ = std::move(fn); }
+
+  /// Snapshot of the closed-ADU books for a RESUME frame / a restarted
+  /// incarnation. Valid even after fail_session(): the closed bookkeeping
+  /// deliberately survives failure so recovery can build on it.
+  ResumeSummary resume_summary() const;
+
+  /// Replays a predecessor's summary into this (fresh, pre-traffic)
+  /// incarnation: delivered/abandoned ADUs stay closed, the DONE total is
+  /// remembered, and completion fires immediately if nothing is left. No
+  /// timers are armed — a restored receiver waits for new-epoch traffic
+  /// (the NACK budget must not burn while the sender has not resumed).
+  void restore(const ResumeSummary& s);
 
   bool complete() const noexcept { return complete_fired_; }
   bool failed() const noexcept { return failed_; }
@@ -212,6 +250,17 @@ class AlfReceiver {
   void deliver_payload(std::uint32_t adu_id, const AduName& name,
                        TransferSyntax syntax, ByteBuffer&& payload);
   void abandon(std::uint32_t adu_id, const Reassembly* r);
+  /// Overload policy (DESIGN.md §10.3): while reassembly memory sits above
+  /// shed_highwater, drop lowest-priority incomplete ADUs (never
+  /// `protect_id`) down to the low-water mark. Shed ADUs are closed and
+  /// reported via on_adu_lost — the application copes in its own terms.
+  void shed_for_overload(std::uint32_t protect_id);
+  /// Sheds one victim for engine backlog pressure. Returns false if no
+  /// incomplete ADU remains to shed.
+  bool shed_one(std::uint32_t protect_id);
+  std::map<std::uint32_t, Reassembly>::iterator pick_shed_victim(
+      std::uint32_t protect_id);
+  void shed(std::map<std::uint32_t, Reassembly>::iterator it);
   void nack_scan();
   void send_progress();
   void check_complete();
@@ -291,13 +340,23 @@ class AlfReceiver {
 
   // Maintenance timers are armed only while the session has open work, so
   // an idle or never-used association does not keep the event loop (or a
-  // host's timer wheel) busy forever. Activity re-arms them.
+  // host's timer wheel) busy forever. Activity re-arms them. Every armed
+  // timer's EventId is retained so destruction and terminal failure can
+  // cancel it (no callback may outlive the receiver).
   bool nack_timer_armed_ = false;
   bool progress_timer_armed_ = false;
   bool watchdog_armed_ = false;
+  EventId nack_timer_ = 0;
+  EventId progress_timer_ = 0;
+  EventId engine_pump_timer_ = 0;
   EventId watchdog_timer_ = 0;  ///< cancelled on completion so a finished
                                 ///< session leaves no event pending
   SimTime last_progress_mark_ = 0;  ///< last substantive forward progress
+  /// Cancels every pending maintenance timer (teardown / terminal failure).
+  void cancel_timers();
+
+  Rng jitter_rng_;       ///< seeded NACK-backoff jitter stream
+  PriorityFn priority_;  ///< overload-shedding rank; unset = all equal
 
   // Consumption-rate measurement for PROGRESS.
   std::uint64_t bytes_at_last_progress_ = 0;

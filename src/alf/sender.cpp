@@ -13,8 +13,15 @@ namespace ngp::alf {
 AlfSender::AlfSender(EventLoop& loop, NetPath& data_out, NetPath& feedback_in,
                      SessionConfig config)
     : loop_(loop), out_(data_out), cfg_(config),
+      next_adu_id_(std::max<std::uint32_t>(1, config.first_adu_id)),
       frag_capacity_(fragment_payload_capacity(data_out.max_frame_size())) {
   feedback_in.set_handler([this](ConstBytes frame) { on_feedback(frame); });
+}
+
+AlfSender::~AlfSender() {
+  if (pace_timer_ != 0) loop_.cancel(pace_timer_);
+  if (done_timer_ != 0) loop_.cancel(done_timer_);
+  if (watchdog_timer_ != 0) loop_.cancel(watchdog_timer_);
 }
 
 ByteBuffer AlfSender::prepare_wire_payload(std::uint32_t adu_id, ConstBytes plaintext,
@@ -57,6 +64,8 @@ void AlfSender::emit_metrics(obs::MetricSink& sink) const {
   sink.counter("payload_bytes_sent", s.payload_bytes_sent);
   sink.counter("nacks_received", s.nacks_received);
   sink.counter("progress_received", s.progress_received);
+  sink.counter("resumes_received", s.resumes_received);
+  sink.counter("adus_resumed", s.adus_resumed);
   sink.counter("retransmit_buffer_bytes", s.retransmit_buffer_bytes);
   sink.counter("retransmit_buffer_peak", s.retransmit_buffer_peak);
   sink.counter("watchdog_fired", s.watchdog_fired);
@@ -69,8 +78,31 @@ void AlfSender::register_metrics(obs::MetricsRegistry& reg, std::string prefix) 
 }
 
 Result<std::uint32_t> AlfSender::send_adu(const AduName& name, ConstBytes payload) {
-  if (failed_) return Error{ErrorCode::kClosed, "session failed (feedback watchdog)"};
   if (finished_) return Error{ErrorCode::kClosed, "finish() already called"};
+  Result<std::uint32_t> r = stage_adu(next_adu_id_, name, payload);
+  if (r.ok()) ++next_adu_id_;
+  return r;
+}
+
+Result<std::uint32_t> AlfSender::send_adu_as(std::uint32_t adu_id,
+                                             const AduName& name,
+                                             ConstBytes payload) {
+  if (adu_id == 0 || adu_id >= cfg_.first_adu_id) {
+    return Error{ErrorCode::kOutOfRange,
+                 "resumed id must predate this incarnation"};
+  }
+  if (store_.contains(adu_id)) {
+    return Error{ErrorCode::kOutOfRange, "id already staged"};
+  }
+  Result<std::uint32_t> r = stage_adu(adu_id, name, payload);
+  if (r.ok()) ++stats_.adus_resumed;
+  return r;
+}
+
+Result<std::uint32_t> AlfSender::stage_adu(std::uint32_t adu_id,
+                                           const AduName& name,
+                                           ConstBytes payload) {
+  if (failed_) return Error{ErrorCode::kClosed, "session failed (feedback watchdog)"};
   if (payload.empty()) return Error{ErrorCode::kOutOfRange, "empty ADU"};
   if (payload.size() > UINT32_MAX) return Error{ErrorCode::kOutOfRange, "ADU too large"};
   if (cfg_.retransmit == RetransmitPolicy::kTransportBuffered &&
@@ -78,7 +110,6 @@ Result<std::uint32_t> AlfSender::send_adu(const AduName& name, ConstBytes payloa
     return Error{ErrorCode::kLimitExceeded, "retransmit buffer full"};
   }
 
-  const std::uint32_t adu_id = next_adu_id_++;
   names_[adu_id] = name;
 
   BufferedAdu b;
@@ -164,8 +195,9 @@ void AlfSender::pump() {
     if (cfg_.pace_bps > 0 && loop_.now() < next_send_at_) {
       if (!pace_timer_armed_) {
         pace_timer_armed_ = true;
-        loop_.schedule_at(next_send_at_, [this] {
+        pace_timer_ = loop_.schedule_at(next_send_at_, [this] {
           pace_timer_armed_ = false;
+          pace_timer_ = 0;
           pump();
         });
       }
@@ -217,6 +249,7 @@ void AlfSender::send_fragment(const PendingFragment& pf) {
 
   DataFragment f;
   f.session = cfg_.session_id;
+  f.epoch = cfg_.epoch;
   f.adu_id = pf.adu_id;
   f.name = b.name;
   f.syntax = cfg_.syntax;
@@ -285,8 +318,11 @@ void AlfSender::watchdog_tick() {
 }
 
 void AlfSender::fail_session() {
+  if (failed_) return;  // terminal failure is a one-shot verdict
   failed_ = true;
   ++stats_.watchdog_fired;
+  obs::flight_record(flight_, flight_track_, obs::FlightStage::kSessionFail,
+                     /*trace_id=*/0, /*arg=*/cfg_.session_id);
   queue_.clear();
   store_.clear();
   names_.clear();
@@ -294,6 +330,16 @@ void AlfSender::fail_session() {
   if (done_timer_ != 0) {
     loop_.cancel(done_timer_);
     done_timer_ = 0;
+  }
+  if (pace_timer_ != 0) {
+    loop_.cancel(pace_timer_);
+    pace_timer_ = 0;
+    pace_timer_armed_ = false;
+  }
+  if (watchdog_timer_ != 0) {
+    loop_.cancel(watchdog_timer_);
+    watchdog_timer_ = 0;
+    watchdog_armed_ = false;
   }
   if (on_session_failed_) on_session_failed_();
 }
@@ -318,6 +364,11 @@ void AlfSender::on_feedback(ConstBytes frame) {
     last_feedback_at_ = loop_.now();
     ++stats_.nacks_received;
     handle_nack(msg->nack);
+  } else if (msg->type == MessageType::kResume) {
+    if (msg->resume.session != cfg_.session_id) return;
+    last_feedback_at_ = loop_.now();
+    ++stats_.resumes_received;
+    if (on_resume_) on_resume_(msg->resume);
   } else if (msg->type == MessageType::kProgress) {
     if (msg->progress.session != cfg_.session_id) return;
     last_feedback_at_ = loop_.now();

@@ -50,6 +50,8 @@ struct SenderStats {
   std::uint64_t payload_bytes_sent = 0;
   std::uint64_t nacks_received = 0;
   std::uint64_t progress_received = 0;
+  std::uint64_t resumes_received = 0;   ///< RESUME frames (supervised restart)
+  std::uint64_t adus_resumed = 0;       ///< re-staged under their old ids
   std::size_t retransmit_buffer_bytes = 0;
   std::size_t retransmit_buffer_peak = 0;
   std::uint64_t watchdog_fired = 0;  ///< gave up on a dead feedback channel
@@ -71,11 +73,25 @@ class AlfSender {
   AlfSender(const AlfSender&) = delete;
   AlfSender& operator=(const AlfSender&) = delete;
 
+  /// Cancels every pending timer (pace, DONE retry, watchdog): destroying
+  /// a sender mid-session — exactly what a supervisor's restart does —
+  /// must leave no event that would call into freed memory, and must not
+  /// fire on_session_failed from teardown.
+  ~AlfSender();
+
   /// Queues one ADU. `payload` must already be in the session's transfer
   /// syntax (the application/presentation produced it — the sender
   /// transport does not convert). Returns the assigned ADU id, or an error
   /// if the retransmit buffer is full.
   Result<std::uint32_t> send_adu(const AduName& name, ConstBytes payload);
+
+  /// Re-stages an ADU under an id assigned by a PREVIOUS incarnation of
+  /// this session (supervised restart, DESIGN.md §10): the id must predate
+  /// this sender's first_adu_id so the receiver's books reconcile. The
+  /// payload is re-prepared (re-checksummed, re-encrypted with the id's
+  /// nonce) exactly as the original was.
+  Result<std::uint32_t> send_adu_as(std::uint32_t adu_id, const AduName& name,
+                                    ConstBytes payload);
 
   /// Marks the stream complete; a DONE message follows the last fragment.
   void finish();
@@ -93,6 +109,14 @@ class AlfSender {
   /// DONE-ack, the sender releases its buffers and reports the failure.
   void set_on_session_failed(std::function<void()> fn) {
     on_session_failed_ = std::move(fn);
+  }
+
+  /// Fires when a RESUME frame for this session arrives on the feedback
+  /// path (the receiver side re-establishing after a failure). The
+  /// supervisor re-stages the not-yet-closed ADUs in response; a bare
+  /// sender ignores RESUME.
+  void set_on_resume(std::function<void(const ResumeMessage&)> fn) {
+    on_resume_ = std::move(fn);
   }
 
   /// True once all queued fragments (and DONE, if finished) have left.
@@ -139,6 +163,9 @@ class AlfSender {
   /// Queues an ADU's fragments (and FEC parity). Retransmissions go to the
   /// FRONT of the queue: recovery latency is what stalls the receiver's
   /// pipeline, so recovered data must not wait behind the backlog.
+  /// Shared body of send_adu / send_adu_as once the id is chosen.
+  Result<std::uint32_t> stage_adu(std::uint32_t adu_id, const AduName& name,
+                                  ConstBytes payload);
   void enqueue_adu_fragments(std::uint32_t adu_id, bool retransmit);
   void pump();               ///< sends fragments respecting pacing
   void send_fragment(const PendingFragment& pf);
@@ -175,6 +202,7 @@ class AlfSender {
                                 ///< session leaves no event pending
   SimTime last_feedback_at_ = 0;  ///< any valid feedback for our session
   std::function<void()> on_session_failed_;
+  std::function<void(const ResumeMessage&)> on_resume_;
 
   // ADUs retained for retransmission (policy-dependent).
   std::map<std::uint32_t, BufferedAdu> store_;
@@ -183,6 +211,7 @@ class AlfSender {
 
   std::deque<PendingFragment> queue_;
   bool pace_timer_armed_ = false;
+  EventId pace_timer_ = 0;  ///< cancelled on destruction (restart safety)
   SimTime next_send_at_ = 0;
 
   std::size_t frag_capacity_;

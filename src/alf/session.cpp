@@ -25,6 +25,22 @@ Status SessionConfig::validate() const {
   if (nack_delay <= 0 || nack_retry <= 0) {
     return Error{ErrorCode::kOutOfRange, "nack timers must be positive"};
   }
+  if (nack_backoff_cap < 0 ||
+      (nack_backoff_cap > 0 && nack_backoff_cap < nack_retry)) {
+    // A cap below the base retry interval would invert the backoff.
+    return Error{ErrorCode::kOutOfRange,
+                 "nack_backoff_cap must be 0 (none) or >= nack_retry"};
+  }
+  if (!std::isfinite(nack_jitter) || nack_jitter < 0 || nack_jitter > 1) {
+    return Error{ErrorCode::kOutOfRange, "nack_jitter must be in [0, 1]"};
+  }
+  if (first_adu_id == 0) {
+    return Error{ErrorCode::kOutOfRange, "first_adu_id 0 is reserved"};
+  }
+  if (shed_lowwater > 0 && shed_highwater > 0 && shed_lowwater >= shed_highwater) {
+    return Error{ErrorCode::kOutOfRange,
+                 "shed_lowwater must sit below shed_highwater"};
+  }
   if (progress_interval <= 0) {
     return Error{ErrorCode::kOutOfRange, "progress_interval must be positive"};
   }

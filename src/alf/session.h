@@ -52,11 +52,34 @@ struct SessionConfig {
   /// rate (no pacing).
   double pace_bps = 0;
 
+  /// Recovery epoch this endpoint speaks (supervised restart, DESIGN.md
+  /// §10): a restarted incarnation bumps the epoch, and the receiver drops
+  /// DATA fragments stamped with any other epoch as stale. 0 is the
+  /// initial epoch and encodes identically to the pre-epoch wire format.
+  std::uint8_t epoch = 0;
+  /// Sender: first ADU id this incarnation assigns. A restarted sender
+  /// continues its predecessor's id space (ids are the recovery handles a
+  /// RESUME bitmap refers to), so the supervisor passes the old
+  /// next_adu_id here. 0 is reserved; must be >= 1.
+  std::uint32_t first_adu_id = 1;
+
   /// Receiver: how long an ADU-id gap may persist before it is NACKed
   /// (covers plain reordering without spurious recovery traffic).
   SimDuration nack_delay = 20 * kMillisecond;
   /// Receiver: re-NACK interval while an ADU stays missing.
   SimDuration nack_retry = 50 * kMillisecond;
+  /// Receiver: explicit ceiling on the per-ADU NACK exponential backoff
+  /// (the doubling otherwise tops out at nack_retry * 64). 0 = no extra
+  /// cap beyond that implicit one.
+  SimDuration nack_backoff_cap = 0;
+  /// Receiver: deterministic seeded jitter added to every NACK backoff, as
+  /// a fraction of the backoff in [0, nack_jitter). Many sessions
+  /// recovering from one shared outage must not synchronise their NACK
+  /// storms; the jitter decorrelates them while staying reproducible.
+  double nack_jitter = 0.25;
+  /// Seed for the endpoint's private jitter stream. 0 derives one from
+  /// session_id, so unconfigured endpoints remain deterministic.
+  std::uint64_t recovery_seed = 0;
   /// Receiver: give up on an ADU after this many NACKs (then report loss
   /// to the application in application terms).
   int max_nacks = 10;
@@ -87,11 +110,29 @@ struct SessionConfig {
   /// scan range against forged far-future ids. 0 = unlimited.
   std::uint32_t adu_id_window = 1 << 16;
 
-  /// Both ends: stall watchdog. A receiver session making no progress (no
-  /// new payload bytes, no ADU closed, no DONE news) for this long is
-  /// abandoned via on_session_failed; a finished sender hearing no feedback
-  /// for this long gives up waiting for the DONE-ack and releases its
-  /// buffers. 0 disables.
+  // --- Graceful degradation under overload (DESIGN.md §10.3) ---
+  // ALF's escape hatch: because the application names its data, the
+  // receiver can shed the least important incomplete ADUs under memory or
+  // engine pressure instead of stalling (or evicting) indiscriminately.
+
+  /// Receiver: once reassembly memory exceeds this mark, shed
+  /// lowest-priority incomplete ADUs (see AlfReceiver::set_priority) until
+  /// back under shed_lowwater. Should sit below reassembly_bytes_limit so
+  /// policy acts before the hard limit's blind eviction. 0 disables.
+  std::size_t shed_highwater = 0;
+  /// Shedding target. 0 = shed_highwater / 2.
+  std::size_t shed_lowwater = 0;
+  /// Receiver: engine backlog (offloaded, unharvested ADUs) at or above
+  /// which each further offload sheds one lowest-priority incomplete ADU.
+  /// 0 disables.
+  std::size_t engine_shed_highwater = 0;
+
+  /// Both ends: stall watchdog. A receiver session hearing nothing valid
+  /// for this long — no validated current-epoch fragment, no DONE news —
+  /// is abandoned via on_session_failed (silence, not redundancy, is the
+  /// failure signal: duplicate traffic still proves the peer is alive); a
+  /// finished sender hearing no feedback for this long gives up waiting
+  /// for the DONE-ack and releases its buffers. 0 disables.
   SimDuration stall_timeout = 30 * kSecond;
 
   /// Single bounds-check path for a whole config (the checks the endpoint

@@ -44,7 +44,7 @@ ByteBuffer encode_fragment(const DataFragment& f) {
   w.u8(f.flags);
   w.u8(static_cast<std::uint8_t>(f.checksum_kind));
   w.u8(f.fec_k);
-  w.u8(0);  // reserved (pads the sealed header to an even length)
+  w.u8(f.epoch);  // recovery epoch (also pads the sealed header even)
   w.u32(f.adu_len);
   w.u32(f.frag_off);
   w.u16(static_cast<std::uint16_t>(f.payload.size()));
@@ -85,10 +85,40 @@ ByteBuffer encode_done(const DoneMessage& m) {
   return out;
 }
 
+ByteBuffer encode_resume(const ResumeMessage& m) {
+  ByteBuffer out;
+  WireWriter w(out);
+  write_prologue(w, MessageType::kResume, m.session);
+  w.u8(m.epoch);
+  w.u8(0);  // pad: keeps the sealed region even with an even bitmap
+  w.u32(m.closed_prefix);
+  // The bitmap travels inside the sealed (checksummed) region, so it is
+  // padded to an even length; trailing pad bits read as "not closed".
+  std::size_t n = std::min(m.bitmap.size(), ResumeMessage::kMaxBitmapBytes);
+  n += n & 1;
+  w.u16(static_cast<std::uint16_t>(n));
+  for (std::size_t i = 0; i < n; ++i) {
+    w.u8(i < m.bitmap.size() ? m.bitmap[i] : 0);
+  }
+  seal_header(out);
+  return out;
+}
+
+ByteBuffer encode_probe(const ProbeMessage& m) {
+  ByteBuffer out;
+  WireWriter w(out);
+  write_prologue(w, MessageType::kProbe, m.session);
+  w.u8(m.epoch);
+  w.u8(0);  // pad (even sealed region)
+  w.u32(m.seq);
+  seal_header(out);
+  return out;
+}
+
 std::optional<Message> decode_message(ConstBytes frame) {
   if (frame.size() < 4 || frame[0] != kMagic) return std::nullopt;
   const auto type_byte = frame[1];
-  if (type_byte > static_cast<std::uint8_t>(MessageType::kDone)) return std::nullopt;
+  if (type_byte > static_cast<std::uint8_t>(MessageType::kProbe)) return std::nullopt;
 
   Message msg;
   msg.type = static_cast<MessageType>(type_byte);
@@ -104,11 +134,11 @@ std::optional<Message> decode_message(ConstBytes frame) {
       if (!header_ok(frame, DataFragment::kHeaderSize)) return std::nullopt;
       DataFragment& f = msg.data;
       f.session = session;
-      std::uint8_t ns = 0, syntax = 0, ck_kind = 0, reserved = 0;
+      std::uint8_t ns = 0, syntax = 0, ck_kind = 0;
       std::uint16_t frag_len = 0, header_ck = 0;
       if (!r.u32(f.adu_id) || !r.u8(ns) || !r.u64(f.name.a) || !r.u64(f.name.b) ||
           !r.u64(f.name.c) || !r.u8(syntax) || !r.u8(f.flags) || !r.u8(ck_kind) ||
-          !r.u8(f.fec_k) || !r.u8(reserved) || !r.u32(f.adu_len) ||
+          !r.u8(f.fec_k) || !r.u8(f.epoch) || !r.u32(f.adu_len) ||
           !r.u32(f.frag_off) || !r.u16(frag_len) || !r.u32(f.adu_checksum) ||
           !r.u16(header_ck)) {
         return std::nullopt;
@@ -155,6 +185,34 @@ std::optional<Message> decode_message(ConstBytes frame) {
       if (!header_ok(frame, 4 + 4 + 2)) return std::nullopt;
       msg.done.session = session;
       if (!r.u32(msg.done.total_adus)) return std::nullopt;
+      return msg;
+    }
+    case MessageType::kResume: {
+      std::uint8_t pad = 0;
+      std::uint16_t bitmap_len = 0;
+      if (!r.u8(msg.resume.epoch) || !r.u8(pad) ||
+          !r.u32(msg.resume.closed_prefix) || !r.u16(bitmap_len)) {
+        return std::nullopt;
+      }
+      if (bitmap_len > ResumeMessage::kMaxBitmapBytes || (bitmap_len & 1)) {
+        return std::nullopt;
+      }
+      const std::size_t sealed = 4 + 8 + bitmap_len + 2;
+      if (!header_ok(frame, sealed)) return std::nullopt;
+      msg.resume.session = session;
+      msg.resume.bitmap.resize(bitmap_len);
+      for (auto& b : msg.resume.bitmap) {
+        if (!r.u8(b)) return std::nullopt;
+      }
+      return msg;
+    }
+    case MessageType::kProbe: {
+      if (!header_ok(frame, 4 + 6 + 2)) return std::nullopt;
+      std::uint8_t pad = 0;
+      msg.probe.session = session;
+      if (!r.u8(msg.probe.epoch) || !r.u8(pad) || !r.u32(msg.probe.seq)) {
+        return std::nullopt;
+      }
       return msg;
     }
   }

@@ -35,6 +35,8 @@ enum class MessageType : std::uint8_t {
   kNack = 1,      ///< receiver -> sender: these ADU ids are missing
   kProgress = 2,  ///< receiver -> sender: rate/credit feedback (out-of-band)
   kDone = 3,      ///< sender -> receiver: stream complete, total ADU count
+  kResume = 4,    ///< receiver -> sender: new epoch + received-ADU bitmap
+  kProbe = 5,     ///< either way: path liveness probe (circuit breakers)
 };
 
 enum AduFlags : std::uint8_t {
@@ -46,6 +48,11 @@ enum AduFlags : std::uint8_t {
 /// One transmission unit of an ADU.
 struct DataFragment {
   std::uint16_t session = 0;
+  /// Recovery epoch (supervised restart, DESIGN.md §10): a restarted
+  /// session bumps the epoch so fragments from the failed incarnation are
+  /// recognisably stale. Carried in the header byte that used to be
+  /// reserved padding — epoch 0 encodes identically to the old format.
+  std::uint8_t epoch = 0;
   std::uint32_t adu_id = 0;     ///< sender-sequential id (recovery handle)
   AduName name;                 ///< application name (delivery handle)
   TransferSyntax syntax = TransferSyntax::kRaw;
@@ -95,12 +102,49 @@ struct DoneMessage {
   std::uint32_t total_adus = 0;
 };
 
+/// Receiver -> sender: supervised-restart delta-resume summary (DESIGN.md
+/// §10). Establishes a new epoch and tells the sender which ADU ids the
+/// receiver already closed, so only the remainder is retransmitted:
+/// ids 1..closed_prefix are all closed, and bitmap bit i (byte i/8, bit
+/// i%8 LSB-first) covers id closed_prefix + 1 + i.
+struct ResumeMessage {
+  std::uint16_t session = 0;
+  std::uint8_t epoch = 0;          ///< the NEW epoch being established
+  std::uint32_t closed_prefix = 0; ///< ids 1..prefix closed at the receiver
+  std::vector<std::uint8_t> bitmap;
+
+  /// Bitmap bytes are bounded: a RESUME summarises at most 8 * kMaxBytes
+  /// ids above the prefix (everything further is simply re-sent — delta
+  /// resume is an optimisation, never a correctness requirement).
+  static constexpr std::size_t kMaxBitmapBytes = 1024;
+
+  bool id_closed(std::uint32_t adu_id) const noexcept {
+    if (adu_id == 0) return false;
+    if (adu_id <= closed_prefix) return true;
+    const std::uint64_t bit = std::uint64_t{adu_id} - closed_prefix - 1;
+    if (bit >= std::uint64_t{bitmap.size()} * 8) return false;
+    return (bitmap[static_cast<std::size_t>(bit / 8)] >> (bit % 8)) & 1;
+  }
+};
+
+/// Path liveness probe: circuit breakers half-open a tripped path by
+/// sending a few of these and watching whether the path delivers them.
+/// Endpoints ignore probes entirely — only path-level delivery counters
+/// (LinkStats / FaultStats) observe them.
+struct ProbeMessage {
+  std::uint16_t session = 0;
+  std::uint8_t epoch = 0;
+  std::uint32_t seq = 0;
+};
+
 // ---- Encoding --------------------------------------------------------------
 
 ByteBuffer encode_fragment(const DataFragment& f);
 ByteBuffer encode_nack(const NackMessage& m);
 ByteBuffer encode_progress(const ProgressMessage& m);
 ByteBuffer encode_done(const DoneMessage& m);
+ByteBuffer encode_resume(const ResumeMessage& m);
+ByteBuffer encode_probe(const ProbeMessage& m);
 
 /// Any decoded ALF message.
 struct Message {
@@ -109,6 +153,8 @@ struct Message {
   NackMessage nack;        // valid when type == kNack
   ProgressMessage progress;// valid when type == kProgress
   DoneMessage done;        // valid when type == kDone
+  ResumeMessage resume;    // valid when type == kResume
+  ProbeMessage probe;      // valid when type == kProbe
 };
 
 /// Parses and verifies a frame (header checksum). nullopt on any damage.

@@ -1,5 +1,6 @@
 #include "engine/engine.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -149,6 +150,7 @@ std::uint64_t Engine::submit(ManipulationJob job) {
   ++stats_.jobs_submitted;
   stats_.bytes_submitted += job.payload.size();
   ++outstanding_;
+  stats_.outstanding_peak = std::max(stats_.outstanding_peak, outstanding_);
 
   SimTime submitted_at = 0;
   if (obs::kEnabled && flight_ != nullptr) {
@@ -236,6 +238,7 @@ void Engine::emit_metrics(obs::MetricSink& sink) const {
   sink.counter("completions_reordered", stats_.completions_reordered);
   sink.counter("submit_backpressure", stats_.submit_backpressure);
   sink.gauge("outstanding", static_cast<double>(outstanding_));
+  sink.counter("outstanding_peak", stats_.outstanding_peak);
   sink.histogram("queue_depth", queue_depth_);
   sink.histogram("job_latency_us", job_latency_us_);
   for (std::size_t i = 0; i < worker_stats_.size(); ++i) {

@@ -93,6 +93,7 @@ struct EngineStats {
   std::uint64_t inline_executions = 0;     ///< workers=0 submissions
   std::uint64_t completions_reordered = 0; ///< displaced by reorder_seed
   std::uint64_t submit_backpressure = 0;   ///< submits that found a full ring
+  std::size_t outstanding_peak = 0;        ///< high-water mark of outstanding()
 };
 
 /// Worker-pool execution engine for ManipulationJobs. All public methods

@@ -18,9 +18,13 @@ FaultyPath::FaultyPath(EventLoop& loop, NetPath& inner, FaultPlan plan)
 }
 
 bool FaultyPath::in_outage() const noexcept {
+  const SimTime now = loop_.now();
+  for (const auto& [start, duration] : plan_.scheduled_outages) {
+    if (now >= start && now < start + duration) return true;
+  }
   if (plan_.outage_period <= 0 || plan_.outage_duration <= 0) return false;
   const SimDuration down = std::min(plan_.outage_duration, plan_.outage_period);
-  const SimDuration phase = loop_.now() % plan_.outage_period;
+  const SimDuration phase = now % plan_.outage_period;
   return phase >= plan_.outage_period - down;
 }
 

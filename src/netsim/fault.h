@@ -57,6 +57,11 @@ struct FaultPlan {
   SimDuration outage_period = 0;
   SimDuration outage_duration = 0;
 
+  /// One-shot outages at absolute sim times (start, duration), in addition
+  /// to any periodic flap above. A recovery bench kills the path at a known
+  /// instant with these; the supervisor's clock starts from the same seed.
+  std::vector<std::pair<SimTime, SimDuration>> scheduled_outages;
+
   /// P(the adversary hook is offered a delivered frame to forge from).
   double adversary_rate = 0;
 

@@ -15,7 +15,8 @@ constexpr std::string_view kStageNames[kFlightStageCount] = {
     "link_drop",     "link_deliver", "fault_corrupt", "fault_drop",
     "frag_rx",       "adu_complete", "engine_submit", "worker_begin",
     "worker_end",    "harvest",      "manip_begin",   "manip_end",
-    "deliver",       "abandon",
+    "deliver",       "abandon",      "shed",          "session_fail",
+    "epoch_resume",  "probe_tx",     "failover",
 };
 
 constexpr std::string_view kSegmentNames[FlightTable::kSegmentCount] = {
@@ -282,6 +283,7 @@ FlightTable FlightRecorder::latency_table() const {
           if (e.arg != 0) r.bytes = e.arg;
           break;
         case FlightStage::kAbandon:
+        case FlightStage::kShed:
           r.abandoned = true;
           break;
         default:

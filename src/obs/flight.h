@@ -65,10 +65,15 @@ enum class FlightStage : std::uint8_t {
   kManipEnd,         ///< inline stage-2 manipulation finished
   kDeliver,          ///< ADU handed to the application
   kAbandon,          ///< recovery gave up on this ADU
+  kShed,             ///< overload policy shed this incomplete ADU
+  kSessionFail,      ///< an endpoint's stall watchdog went terminal
+  kEpochResume,      ///< supervised restart established a new epoch
+  kProbeTx,          ///< circuit breaker sent a half-open probe
+  kFailover,         ///< circuit breaker switched the active path
 };
 
 inline constexpr std::size_t kFlightStageCount =
-    static_cast<std::size_t>(FlightStage::kAbandon) + 1;
+    static_cast<std::size_t>(FlightStage::kFailover) + 1;
 
 /// Stable short name ("staged", "frag_tx", ...) used in exports.
 std::string_view flight_stage_name(FlightStage s) noexcept;

@@ -17,6 +17,8 @@
 #include "alf/sender.h"
 #include "netsim/fault.h"
 #include "netsim/link.h"
+#include "resilience/breaker.h"
+#include "resilience/supervisor.h"
 #include "util/rng.h"
 
 #include "test_paths.h"
@@ -291,6 +293,240 @@ TEST(FuzzWire, TruncatedAndExtendedValidFramesRejected) {
   // payload; whether the frame is rejected or salvaged, bytes stay exact.
   if (!fx.delivered.empty()) {
     EXPECT_EQ(fx.delivered[0].payload, payload);
+  }
+}
+
+// ---- Recovery under chaos (DESIGN.md §10) ---------------------------------
+//
+// The self-healing plane interleaved with the full fault storm: the
+// supervisor's epoch/RESUME machinery must make progress even while the
+// feedback channel corrupts its control frames, and a circuit breaker must
+// pre-empt the watchdog when an alternate path exists.
+
+std::uint64_t fnv1a(const std::vector<Adu>& adus) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (i * 8)) & 0xff;
+      h *= 0x100000001b3ull;
+    }
+  };
+  for (const Adu& a : adus) {
+    mix(a.name.a);
+    for (std::uint8_t byte : a.payload.span()) {
+      h = (h ^ byte) * 0x100000001b3ull;
+    }
+  }
+  return h;
+}
+
+/// Supervised association where BOTH directions are hostile: the data path
+/// runs the full storm plus a hard mid-transfer outage, and the feedback
+/// path bit-flips control frames — NACKs and the supervisor's own RESUMEs.
+/// (FaultyPath applies corruption on the arrival side, so the fault wrapper
+/// sits on feedback_rx, where the sender listens.)
+struct SupervisedStorm {
+  EventLoop loop;
+  DuplexChannel channel;
+  LinkPath raw_data;
+  FaultyPath data;
+  LinkPath feedback_tx;
+  LinkPath raw_feedback_rx;
+  FaultyPath feedback_rx;
+  resilience::SessionSupervisor sup;
+
+  std::map<std::uint64_t, ByteBuffer> sent;
+  std::vector<Adu> delivered;
+  bool completed = false;
+  bool permanently_failed = false;
+
+  static LinkConfig fast_link() {
+    LinkConfig cfg;
+    cfg.bandwidth_bps = 100e6;
+    cfg.propagation_delay = 2 * kMillisecond;
+    cfg.queue_limit = 1 << 16;
+    return cfg;
+  }
+
+  static FaultPlan storm_plan(std::uint64_t seed) {
+    FaultPlan plan;
+    plan.seed = seed;
+    plan.payload_bitflip_rate = 0.03;
+    plan.truncate_rate = 0.02;
+    plan.replay_rate = 0.02;
+    // The kill: a mid-transfer outage that outlasts the stall watchdog.
+    plan.scheduled_outages.push_back({50 * kMillisecond, 800 * kMillisecond});
+    return plan;
+  }
+
+  static FaultPlan feedback_plan(std::uint64_t seed) {
+    FaultPlan plan;
+    plan.seed = seed;
+    // Heavy corruption of receiver->sender control traffic: damaged
+    // RESUMEs must be rejected by the wire checksum and retried, never
+    // half-applied.
+    plan.payload_bitflip_rate = 0.15;
+    plan.header_byte_rate = 0.05;
+    return plan;
+  }
+
+  explicit SupervisedStorm(resilience::SupervisorConfig scfg,
+                           std::uint64_t seed = 2027)
+      : channel(loop, fast_link(), fast_link()),
+        raw_data(channel.forward),
+        data(loop, raw_data, storm_plan(seed)),
+        feedback_tx(channel.reverse),
+        raw_feedback_rx(channel.reverse),
+        feedback_rx(loop, raw_feedback_rx, feedback_plan(seed + 1)),
+        sup(loop, data, feedback_tx, feedback_rx, scfg) {
+    sup.set_on_adu([this](Adu&& a) { delivered.push_back(std::move(a)); });
+    sup.set_on_complete([this] { completed = true; });
+    sup.set_on_permanent_failure([this] { permanently_failed = true; });
+  }
+
+  void send_file(std::size_t adus, std::size_t adu_bytes) {
+    for (std::uint64_t i = 1; i <= adus; ++i) {
+      ByteBuffer b = payload_of(adu_bytes, 3000 + i);
+      ASSERT_TRUE(sup.send_adu(generic_name(i), b.span()).ok());
+      sent.emplace(i, std::move(b));
+    }
+    sup.finish();
+  }
+};
+
+resilience::SupervisorConfig storm_supervisor(std::uint64_t seed = 77) {
+  resilience::SupervisorConfig cfg;
+  cfg.session.stall_timeout = 400 * kMillisecond;
+  cfg.session.nack_delay = 10 * kMillisecond;
+  cfg.session.nack_retry = 20 * kMillisecond;
+  cfg.session.max_nacks = 30;
+  cfg.seed = seed;
+  cfg.restart_backoff = 50 * kMillisecond;
+  cfg.max_restarts = 8;
+  cfg.max_resume_retries = 30;
+  return cfg;
+}
+
+TEST(ChaosRecovery, SupervisedStormWithCorruptedResumesStillCompletes) {
+  SupervisedStorm p(storm_supervisor());
+  p.send_file(/*adus=*/16, /*adu_bytes=*/4000);
+  p.loop.run_until(60 * kSecond);
+
+  EXPECT_TRUE(p.completed);
+  EXPECT_FALSE(p.permanently_failed);
+  // The outage outlasted the watchdog, so recovery really ran...
+  EXPECT_GE(p.sup.stats().restarts, 1u);
+  // ...and the feedback corruption really hit control frames (any RESUME
+  // that was damaged in flight failed its wire checksum at the sender and
+  // was simply retried — resume_frames_sent counts every attempt).
+  EXPECT_GT(p.feedback_rx.stats().payload_bitflips, 0u);
+  EXPECT_GE(p.sup.stats().resume_frames_sent, p.sup.stats().restarts);
+
+  // Chaos may delay ADUs but supervision must not lose or corrupt them.
+  ASSERT_EQ(p.delivered.size(), p.sent.size());
+  for (const auto& adu : p.delivered) {
+    EXPECT_EQ(adu.payload, p.sent.at(adu.name.a))
+        << "corrupt delivery for adu " << adu.name.a;
+  }
+}
+
+TEST(ChaosRecovery, SeededSupervisedStormIsByteIdentical) {
+  // The entire recovery interleaving — watchdog firing, backoff jitter,
+  // RESUME retries through a corrupting channel — is a pure function of
+  // its seeds: rerunning must reproduce the outcome bit for bit.
+  auto run = [] {
+    SupervisedStorm p(storm_supervisor(5150), /*seed=*/909);
+    p.send_file(12, 4000);
+    p.loop.run_until(60 * kSecond);
+    return std::tuple{p.completed,
+                      p.delivered.size(),
+                      fnv1a(p.delivered),
+                      p.sup.stats().restarts,
+                      p.sup.stats().resume_frames_sent,
+                      p.sup.stats().adus_resent,
+                      p.data.stats().payload_bitflips,
+                      p.loop.now()};
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(ChaosRecovery, BreakerTripDuringRetransmitBurstAvoidsRestart) {
+  // Path A corrupts enough frames to keep a NACK-driven retransmit burst
+  // alive, then dies outright mid-burst. With a breaker-fronted data path
+  // and a clean alternate, failover (a few poll intervals) beats the 400ms
+  // stall watchdog: the transfer completes with ZERO supervisor restarts.
+  EventLoop loop;
+  LinkConfig link = SupervisedStorm::fast_link();
+  DuplexChannel ch_a(loop, link, link);
+  DuplexChannel ch_b(loop, link, link);
+
+  LinkPath raw_a(ch_a.forward);
+  FaultPlan plan_a;
+  plan_a.seed = 404;
+  plan_a.payload_bitflip_rate = 0.05;  // fuel for the retransmit burst
+  plan_a.scheduled_outages.push_back({60 * kMillisecond, 30 * kSecond});
+  FaultyPath path_a(loop, raw_a, plan_a);
+
+  LinkPath raw_b(ch_b.forward);
+  FaultPlan plan_b;
+  plan_b.seed = 405;  // no faults: just the offered/delivered counters
+  FaultyPath path_b(loop, raw_b, plan_b);
+
+  resilience::BreakerConfig bcfg;
+  bcfg.poll_interval = 10 * kMillisecond;
+  bcfg.min_polls = 2;
+  bcfg.trip_below = 0.5;
+  bcfg.close_above = 0.5;
+  bcfg.open_backoff = 20 * kMillisecond;
+  resilience::SwitchingPath sw(loop, bcfg);
+  sw.add_path(path_a, [&path_a] {
+    return resilience::PathSample{path_a.stats().frames_offered,
+                                  path_a.stats().frames_delivered};
+  });
+  sw.add_path(path_b, [&path_b] {
+    return resilience::PathSample{path_b.stats().frames_offered,
+                                  path_b.stats().frames_delivered};
+  });
+  sw.set_probe([](std::uint32_t seq) {
+    ProbeMessage p;
+    p.session = 1;
+    p.seq = seq;
+    return encode_probe(p);
+  });
+  sw.start();
+
+  LinkPath feedback_tx(ch_a.reverse);
+  LinkPath feedback_rx(ch_a.reverse);
+  resilience::SupervisorConfig scfg = storm_supervisor(606);
+  // Pace the sender so the transfer is still in flight when path A dies at
+  // 60ms — an unpaced burst would finish before the kill.
+  scfg.session.pace_bps = 2e6;
+  resilience::SessionSupervisor sup(loop, sw, feedback_tx, feedback_rx, scfg);
+
+  std::map<std::uint64_t, ByteBuffer> sent;
+  std::vector<Adu> delivered;
+  bool completed = false;
+  sup.set_on_adu([&](Adu&& a) { delivered.push_back(std::move(a)); });
+  sup.set_on_complete([&] { completed = true; });
+  for (std::uint64_t i = 1; i <= 12; ++i) {
+    ByteBuffer b = payload_of(4000, 7000 + i);
+    ASSERT_TRUE(sup.send_adu(generic_name(i), b.span()).ok());
+    sent.emplace(i, std::move(b));
+  }
+  sup.finish();
+  loop.run_until(30 * kSecond);
+
+  EXPECT_TRUE(completed);
+  // The breaker, not the watchdog, absorbed the path kill.
+  EXPECT_EQ(sup.stats().restarts, 0u);
+  EXPECT_GE(sw.stats().trips, 1u);
+  EXPECT_GE(sw.stats().failovers, 1u);
+  EXPECT_EQ(sw.active(), 1u);
+  EXPECT_GT(path_b.stats().frames_offered, 0u);
+
+  ASSERT_EQ(delivered.size(), sent.size());
+  for (const auto& adu : delivered) {
+    EXPECT_EQ(adu.payload, sent.at(adu.name.a));
   }
 }
 

@@ -428,3 +428,196 @@ TEST(StreamSenderRobustness, EmptySendAccepted) {
 
 }  // namespace
 }  // namespace ngp
+
+// ---- Recovery discipline (DESIGN.md §10): timer safety, exactly-once -------
+
+namespace ngp::alf {
+namespace {
+
+using ngp::test::LoopbackPath;
+using ngp::test::SinkPath;
+using ngp::test::make_fragment;
+using ngp::test::ReceiverFixture;
+
+/// Feedback sink that also timestamps every frame (for NACK-cadence pins).
+class TimedSink final : public NetPath {
+ public:
+  explicit TimedSink(EventLoop& loop) : loop_(loop) {}
+  bool send(ConstBytes frame) override {
+    frames.emplace_back(loop_.now(), ByteBuffer(frame));
+    return true;
+  }
+  void set_handler(FrameHandler) override {}
+  std::size_t max_frame_size() const override { return 65535; }
+
+  std::vector<std::pair<SimTime, ByteBuffer>> frames;
+
+ private:
+  EventLoop& loop_;
+};
+
+/// NACK frames (with timestamps) extracted from a TimedSink capture.
+std::vector<SimTime> nack_times(const TimedSink& sink) {
+  std::vector<SimTime> times;
+  for (const auto& [at, frame] : sink.frames) {
+    auto msg = decode_message(frame.span());
+    if (msg && msg->type == MessageType::kNack) times.push_back(at);
+  }
+  return times;
+}
+
+SessionConfig jitter_config(std::uint64_t seed) {
+  SessionConfig cfg;
+  cfg.nack_delay = 5 * kMillisecond;
+  cfg.nack_retry = 10 * kMillisecond;
+  // NACK sends are quantized to the nack_retry scan grid, so the jitter
+  // span must exceed one scan period to be observable: cap 80ms with
+  // jitter 1.0 draws up to 80ms of spread per re-NACK.
+  cfg.nack_backoff_cap = 80 * kMillisecond;
+  cfg.nack_jitter = 1.0;
+  cfg.recovery_seed = seed;
+  cfg.max_nacks = 12;
+  return cfg;
+}
+
+/// Runs a one-gap session (ADU 2 arrives, ADU 1 never does) to NACK
+/// exhaustion and returns the NACK send times.
+std::vector<SimTime> nack_schedule(std::uint64_t seed) {
+  EventLoop loop;
+  LoopbackPath data;
+  TimedSink feedback(loop);
+  AlfReceiver receiver(loop, data, feedback, jitter_config(seed));
+  auto payload = ByteBuffer::from_string("the one that made it");
+  auto f = ngp::test::make_fragment(1, 2, payload.span(),
+                                    static_cast<std::uint32_t>(payload.size()), 0);
+  f.adu_checksum = internet_checksum_unrolled(payload.span());
+  data.send(encode_fragment(f).span());
+  loop.run_until(10 * kSecond);
+  return nack_times(feedback);
+}
+
+TEST(NackBackoff, JitterIsSeededDeterministicAndCapped) {
+  const auto a = nack_schedule(101);
+  const auto b = nack_schedule(101);
+  const auto c = nack_schedule(202);
+
+  // Same seed: the whole NACK cadence is byte-for-byte reproducible.
+  EXPECT_EQ(a, b);
+  // A different seed draws a different jitter stream. (The first NACK sits
+  // on the un-jittered nack_delay scan; later ones carry jitter.)
+  ASSERT_GE(a.size(), 3u);
+  ASSERT_EQ(a.size(), c.size());  // same budget, different spacing
+  EXPECT_NE(a, c);
+
+  // Every per-ADU re-NACK gap respects cap * (1 + jitter): the exponential
+  // doubling (10, 20, 40, ... ms) is clipped at 80ms plus at most 100%
+  // jitter. Gaps are measured between successive NACKs; the scan cadence
+  // itself (nack_retry) can only make them coarser, never exceed the
+  // ceiling by more than one scan period.
+  const SimDuration ceiling =
+      80 * kMillisecond + 80 * kMillisecond + 10 * kMillisecond;
+  for (std::size_t i = 1; i < a.size(); ++i) {
+    EXPECT_LE(a[i] - a[i - 1], ceiling) << "gap " << i;
+  }
+}
+
+TEST(NackBackoff, ZeroJitterReproducesClassicCadence) {
+  SessionConfig cfg = jitter_config(0);
+  cfg.nack_jitter = 0;
+  cfg.nack_backoff_cap = 0;
+  EventLoop loop;
+  LoopbackPath data;
+  TimedSink feedback(loop);
+  AlfReceiver receiver(loop, data, feedback, cfg);
+  auto payload = ByteBuffer::from_string("x");
+  auto f = ngp::test::make_fragment(1, 2, payload.span(), 1, 0);
+  f.adu_checksum = internet_checksum_unrolled(payload.span());
+  data.send(encode_fragment(f).span());
+  loop.run_until(10 * kSecond);
+  const auto times = nack_times(feedback);
+  // Pure doubling, no randomness: gaps are exact multiples of the scan
+  // cadence and identical across runs by construction.
+  ASSERT_GE(times.size(), 3u);
+  EXPECT_EQ(times, [&] {
+    EventLoop loop2;
+    LoopbackPath data2;
+    TimedSink fb2(loop2);
+    AlfReceiver r2(loop2, data2, fb2, cfg);
+    data2.send(encode_fragment(f).span());
+    loop2.run_until(10 * kSecond);
+    return nack_times(fb2);
+  }());
+}
+
+TEST(RecoveryDiscipline, SenderDtorWithPendingWatchdogLeavesNoLiveTimer) {
+  EventLoop loop;
+  SinkPath data_out;
+  LoopbackPath feedback;
+  SessionConfig cfg;
+  cfg.stall_timeout = 100 * kMillisecond;
+  auto sender = std::make_unique<AlfSender>(loop, data_out, feedback, cfg);
+  int failures = 0;
+  sender->set_on_session_failed([&] { ++failures; });
+  ByteBuffer payload(2048);
+  Rng rng(3);
+  rng.fill(payload.span());
+  ASSERT_TRUE(sender->send_adu(generic_name(1), payload.span()).ok());
+  sender->finish();  // watchdog + DONE retry timers now pending
+
+  // A supervisor restart destroys the endpoint mid-session: every pending
+  // timer must die with it — no use-after-free, and teardown is NOT a
+  // failure, so the callback must never fire.
+  sender.reset();
+  loop.run();
+  EXPECT_EQ(failures, 0);
+}
+
+TEST(RecoveryDiscipline, ReceiverDtorWithPendingTimersLeavesNoLiveTimer) {
+  EventLoop loop;
+  LoopbackPath data;
+  SinkPath feedback;
+  SessionConfig cfg;
+  cfg.stall_timeout = 100 * kMillisecond;
+  auto receiver = std::make_unique<AlfReceiver>(loop, data, feedback, cfg);
+  int failures = 0;
+  receiver->set_on_session_failed([&] { ++failures; });
+  // Half an ADU arms NACK scan, progress heartbeat and stall watchdog.
+  ByteBuffer full(2000);
+  Rng rng(4);
+  rng.fill(full.span());
+  auto f = ngp::test::make_fragment(1, 1, full.subspan(0, 1000), 2000, 0);
+  f.adu_checksum = internet_checksum_unrolled(full.span());
+  data.send(encode_fragment(f).span());
+
+  receiver.reset();
+  loop.run();
+  EXPECT_EQ(failures, 0);
+}
+
+TEST(RecoveryDiscipline, FailureAfterCompletionNeverFires) {
+  SessionConfig cfg;
+  cfg.stall_timeout = 100 * kMillisecond;
+  ReceiverFixture fx(cfg);
+  int failures = 0;
+  fx.receiver->set_on_session_failed([&] { ++failures; });
+  auto payload = ByteBuffer::from_string("complete before any stall");
+  auto f = make_fragment(1, 1, payload.span(),
+                         static_cast<std::uint32_t>(payload.size()), 0);
+  f.adu_checksum = internet_checksum_unrolled(payload.span());
+  fx.inject(f);
+  DoneMessage done;
+  done.session = 1;
+  done.total_adus = 1;
+  fx.data.send(encode_done(done).span());
+  ASSERT_TRUE(fx.receiver->complete());
+
+  // Ten stall windows of silence: a completed session has no watchdog
+  // left to misfire.
+  fx.loop.run_until(kSecond);
+  fx.loop.run();
+  EXPECT_EQ(failures, 0);
+  EXPECT_FALSE(fx.receiver->failed());
+}
+
+}  // namespace
+}  // namespace ngp::alf
