@@ -32,14 +32,13 @@
 #include <string>
 #include <vector>
 
-#include "alf/receiver.h"
-#include "alf/sender.h"
 #include "alf/wire.h"
 #include "bench_util.h"
 #include "netsim/net_path.h"
 #include "obs/flight.h"
 #include "obs/metrics.h"
 #include "obs/telemetry.h"
+#include "sessiond/sessiond.h"
 #include "transport/stream_receiver.h"
 #include "transport/stream_sender.h"
 #include "util/rng.h"
@@ -180,19 +179,23 @@ RunResult run_alf(double loss, bool want_exports) {
   ch.forward.set_loss_rate(loss);
   LinkPath data(ch.forward), fb_tx(ch.reverse), fb_rx(ch.reverse);
 
-  alf::SessionConfig scfg;
-  scfg.nack_delay = 15 * kMillisecond;
-  scfg.nack_retry = 30 * kMillisecond;
-  alf::AlfSender sender(loop, data, fb_rx, scfg);
-  alf::AlfReceiver receiver(loop, data, fb_tx, scfg);
+  sessiond::Sessiond daemon(loop);
+  auto scfg = alf::SessionConfig::builder()
+                  .nack_delay(15 * kMillisecond)
+                  .nack_retry(30 * kMillisecond)
+                  .build();
+  auto handle = daemon.open(scfg.value(), {&data, &fb_tx, &fb_rx});
+  if (!handle.ok()) std::abort();
+  sessiond::SessionHandle& sess = handle.value();
 
   // End-to-end flight recording: sender staging/framing, every data-link
   // event (tagged from the wire header — the link itself learns no ALF),
-  // receiver reassembly/placement/delivery.
+  // receiver reassembly/placement/delivery. Track registration order is
+  // part of the trace schema — sender, link, receiver, as before.
   auto rec = obs::make_loop_flight_recorder(loop);
-  sender.set_flight(&rec);
+  sess.sender().set_flight(&rec);
   ch.forward.set_flight(&rec, "link.fwd", &alf::peek_flight_tag);
-  receiver.set_flight(&rec);
+  sess.receiver().set_flight(&rec);
   rec.set_enabled(true);
 
   RunResult r;
@@ -200,8 +203,8 @@ RunResult run_alf(double loss, bool want_exports) {
   // Telemetry: sample the whole stack's registry on the sim clock; watch
   // the reassembly buffer (holes pinning memory) and the NACK volume.
   obs::MetricsRegistry reg;
-  sender.register_metrics(reg, "alf.tx");
-  receiver.register_metrics(reg, "alf.rx");
+  sess.sender().register_metrics(reg, "alf.tx");
+  sess.receiver().register_metrics(reg, "alf.rx");
   ch.forward.register_metrics(reg, "link.fwd");
   obs::TelemetryConfig tcfg;
   tcfg.interval = 20 * kMillisecond;
@@ -217,7 +220,7 @@ RunResult run_alf(double loss, bool want_exports) {
   hub.start();
 
   AppModel app;
-  receiver.set_on_adu([&](Adu&& a) { app.consume(loop.now(), a.payload.size()); });
+  sess.set_on_adu([&](Adu&& a) { app.consume(loop.now(), a.payload.size()); });
 
   ByteBuffer file(kFileBytes);
   Rng rng(1);
@@ -225,16 +228,16 @@ RunResult run_alf(double loss, bool want_exports) {
   for (std::size_t off = 0; off < kFileBytes; off += kAduSize) {
     const std::size_t len = std::min(kAduSize, kFileBytes - off);
     auto name = FileRegionName{off, len}.to_name();
-    auto res = sender.send_adu(name, file.span().subspan(off, len));
+    auto res = sess.send_adu(name, file.span().subspan(off, len));
     if (!res.ok()) std::abort();
   }
-  sender.finish();
+  sess.finish();
   loop.run();
 
   r.completion_s = to_seconds(app.busy_until);
   r.idle_s = to_seconds(app.idle);
   r.goodput_mbps = megabits_per_second(app.bytes, r.completion_s);
-  r.retransmit_bytes = sender.stats().adus_retransmitted * kAduSize;
+  r.retransmit_bytes = sess.sender().stats().adus_retransmitted * kAduSize;
   summarize_flight(rec.latency_table(), r);
   r.telemetry_samples = hub.samples().size();
   if (want_exports) {

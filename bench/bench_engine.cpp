@@ -18,6 +18,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -26,10 +27,12 @@
 #include "checksum/checksum.h"
 #include "crypto/chacha20.h"
 #include "engine/engine.h"
+#include "netsim/net_path.h"
 #include "obs/flight.h"
 #include "obs/metrics.h"
 #include "obs/telemetry.h"
 #include "presentation/codec.h"
+#include "sessiond/sessiond.h"
 #include "simd/dispatch.h"
 #include "util/rng.h"
 
@@ -177,6 +180,104 @@ bool ledgers_equal(const obs::CostAccount& a, const obs::CostAccount& b) {
          a.word_loads == b.word_loads && a.word_stores == b.word_stores;
 }
 
+/// The same ADU payloads in pre-encryption form (same Rng draw order as
+/// make_session): the session-plane run feeds PLAINTEXT to the sender,
+/// whose config-driven checksum+encrypt produces on the wire exactly the
+/// state make_session() staged by hand.
+std::vector<ByteBuffer> make_plaintext(std::uint64_t seed) {
+  std::vector<ByteBuffer> adus;
+  adus.reserve(kAdus);
+  Rng rng(seed);
+  for (std::size_t a = 0; a < kAdus; ++a) {
+    std::vector<std::int32_t> ints(kIntsPerAdu);
+    for (auto& v : ints) v = static_cast<std::int32_t>(rng.next());
+    adus.push_back(encode_int_array(TransferSyntax::kBer, ints));
+  }
+  return adus;
+}
+
+struct PlaneResult {
+  double mbps = 0;
+  std::uint64_t output_hash = 0;
+  std::uint64_t offloaded = 0;
+  std::uint64_t delivered = 0;
+};
+
+/// Session-plane ingest: eight associations opened on one Sessiond, every
+/// receiver offloading manipulation to ONE shared engine
+/// (OpenOptions::engine) — the §4 shape where a single manipulation pool
+/// serves all sessions on the host. The links are fat and clean so
+/// manipulation still dominates; the decoded output must hash identically
+/// to direct engine submission, whatever the schedule.
+PlaneResult run_session_plane(const std::vector<ByteBuffer>& plain,
+                              unsigned workers) {
+  constexpr std::size_t kPlaneSessions = 8;
+  EventLoop loop;
+  engine::Engine eng(engine::EngineConfig{.workers = workers});
+  sessiond::Sessiond daemon(loop);
+
+  const auto base = alf::SessionConfig::builder()
+                        .checksum(ChecksumKind::kInternet)
+                        .encrypt(session_key())
+                        .build();
+  if (!base.ok()) std::abort();
+
+  LinkConfig link;
+  link.bandwidth_bps = 10e9;
+  link.propagation_delay = 10 * kMicrosecond;
+  link.queue_limit = 1 << 20;
+
+  struct Lane {
+    Lane(EventLoop& l, const LinkConfig& c)
+        : ch(l, c, c), data(ch.forward), fb_tx(ch.reverse), fb_rx(ch.reverse) {}
+    DuplexChannel ch;
+    LinkPath data, fb_tx, fb_rx;
+    sessiond::SessionHandle sess;
+  };
+  std::vector<std::unique_ptr<Lane>> lanes;
+
+  PlaneResult r;
+  for (std::size_t s = 0; s < kPlaneSessions; ++s) {
+    lanes.push_back(std::make_unique<Lane>(loop, link));
+    Lane& lane = *lanes.back();
+    alf::SessionConfig cfg = base.value();
+    cfg.session_id = static_cast<std::uint16_t>(s + 1);
+    sessiond::OpenOptions opts;
+    opts.engine = &eng;
+    opts.engine_harvest_delay = kMillisecond;
+    auto opened = daemon.open(cfg, {&lane.data, &lane.fb_tx, &lane.fb_rx}, opts);
+    if (!opened.ok()) std::abort();
+    lane.sess = std::move(opened.value());
+    lane.sess.set_on_adu([&r](Adu&& a) {
+      auto ints = decode_int_array(TransferSyntax::kBer, a.payload.span());
+      if (!ints.ok()) std::abort();
+      ByteBuffer raw(ints->size() * sizeof(std::int32_t));
+      std::memcpy(raw.data(), ints->data(), raw.size());
+      r.output_hash ^= fnv1a_words(raw.span());
+      ++r.delivered;
+    });
+  }
+
+  std::size_t wire_bytes = 0;
+  const double secs = ngp::bench::time_once([&] {
+    // Round-robin the ADU set across the sessions, then run the sim dry.
+    for (std::size_t a = 0; a < plain.size(); ++a) {
+      Lane& lane = *lanes[a % kPlaneSessions];
+      wire_bytes += plain[a].size();
+      if (!lane.sess.send_adu(generic_name(a + 1), plain[a].span()).ok()) {
+        std::abort();
+      }
+    }
+    for (auto& lane : lanes) lane->sess.finish();
+    loop.run();
+  });
+  r.mbps = megabits_per_second(wire_bytes, secs);
+  for (auto& lane : lanes) {
+    r.offloaded += lane->sess.receiver().stats().adus_engine_offloaded;
+  }
+  return r;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -312,7 +413,39 @@ int main(int argc, char** argv) {
                 tier_hash_ok ? "true" : "false", tier_ledger_ok ? "true" : "false");
   ngp::bench::emit_json("KERNEL_TIERS_JSON",
                         std::string(tier_head) + tier_points + "]}");
-  return (hash_ok && ledger_ok && tier_hash_ok && tier_ledger_ok && failed == 0)
+
+  // Session-plane ingest: the same payloads arrive as ALF ADUs through
+  // Sessiond::open()ed associations sharing one engine. Transport must add
+  // nothing and lose nothing: every ADU offloads, and the decoded output
+  // hashes identically to direct submission.
+  std::printf("\nsession plane (8 sessions, one shared engine):\n");
+  const std::vector<ByteBuffer> plain = make_plaintext(args.seed);
+  bool plane_ok = true;
+  std::string plane_points;
+  bool first_plane = true;
+  for (unsigned w : {0u, 4u}) {
+    const PlaneResult p = run_session_plane(plain, w);
+    const bool h = p.output_hash == results[0].output_hash &&
+                   p.delivered == adus.size() && p.offloaded == adus.size();
+    plane_ok = plane_ok && h;
+    std::printf("  workers %u: %10.1f Mb/s   offloaded %llu/%zu   output %s\n",
+                w, p.mbps, static_cast<unsigned long long>(p.offloaded),
+                adus.size(), h ? "identical" : "DIVERGED");
+    char buf[96];
+    std::snprintf(buf, sizeof buf, "%s{\"workers\":%u,\"mbps\":%.1f}",
+                  first_plane ? "" : ",", w, p.mbps);
+    plane_points += buf;
+    first_plane = false;
+  }
+  char plane_head[96];
+  std::snprintf(plane_head, sizeof plane_head,
+                "{\"sessions\":8,\"output_identical\":%s,\"points\":[",
+                plane_ok ? "true" : "false");
+  ngp::bench::emit_json("SESSIOND_ENGINE_JSON",
+                        std::string(plane_head) + plane_points + "]}");
+
+  return (hash_ok && ledger_ok && tier_hash_ok && tier_ledger_ok &&
+          plane_ok && failed == 0)
              ? 0
              : 1;
 }

@@ -31,13 +31,12 @@
 #include <string>
 #include <vector>
 
-#include "alf/receiver.h"
-#include "alf/sender.h"
 #include "bench_util.h"
 #include "netsim/fault.h"
 #include "netsim/link.h"
 #include "resilience/breaker.h"
 #include "resilience/supervisor.h"
+#include "sessiond/sessiond.h"
 #include "util/rng.h"
 #include "util/stats.h"
 
@@ -66,13 +65,15 @@ LinkConfig data_link() {
 // paces the wire (the idiom every bench here uses — sender-side pacing
 // would entangle the measurement with the PROGRESS rate-adaptation loop).
 alf::SessionConfig session_config() {
-  alf::SessionConfig cfg;
-  cfg.nack_delay = 10 * kMillisecond;
-  cfg.nack_retry = 20 * kMillisecond;
-  cfg.max_nacks = 30;
-  cfg.stall_timeout = 300 * kMillisecond;
-  cfg.adu_id_window = 8192;
-  return cfg;
+  auto cfg = alf::SessionConfig::builder()
+                 .nack_delay(10 * kMillisecond)
+                 .nack_retry(20 * kMillisecond)
+                 .max_nacks(30)
+                 .stall_timeout(300 * kMillisecond)
+                 .adu_id_window(8192)
+                 .build();
+  if (!cfg.ok()) std::abort();
+  return cfg.value();
 }
 
 resilience::SupervisorConfig supervisor_config(std::uint64_t seed) {
@@ -159,24 +160,27 @@ void start_feeder(Feeder& f, EventLoop& loop, std::size_t bytes, SendFn send,
   f.tick();
 }
 
-/// Bare AlfSender/AlfReceiver over a faulty data path — the pre-§10 stack.
+/// Unsupervised endpoint pair over a faulty data path — the pre-§10 stack,
+/// opened through the session plane (open() without supervision builds the
+/// same bare AlfSender/AlfReceiver pair the hand-wired version did).
 RunResult run_unsupervised(std::size_t bytes, FaultPlan plan) {
   EventLoop loop;
   DuplexChannel ch(loop, data_link(), data_link());
   LinkPath raw(ch.forward), fb_tx(ch.reverse), fb_rx(ch.reverse);
   FaultyPath data(loop, raw, std::move(plan));
 
-  const alf::SessionConfig scfg = session_config();
-  alf::AlfSender sender(loop, data, fb_rx, scfg);
-  alf::AlfReceiver receiver(loop, data, fb_tx, scfg);
+  sessiond::Sessiond daemon(loop);
+  auto opened = daemon.open(session_config(), {&data, &fb_tx, &fb_rx});
+  if (!opened.ok()) std::abort();
+  sessiond::SessionHandle& sess = opened.value();
 
   RunResult r;
   SimTime done_at = kRunCap;
-  receiver.set_on_adu([&](Adu&& a) {
+  sess.set_on_adu([&](Adu&& a) {
     ++r.delivered;
     r.delivered_bytes += a.payload.size();
   });
-  receiver.set_on_complete([&] {
+  sess.set_on_complete([&] {
     r.completed = true;
     done_at = loop.now();
   });
@@ -185,12 +189,12 @@ RunResult run_unsupervised(std::size_t bytes, FaultPlan plan) {
   start_feeder(
       feeder, loop, bytes,
       [&](std::uint64_t id, const ByteBuffer& b) {
-        return sender.send_adu(generic_name(id), b.span()).ok();
+        return sess.send_adu(generic_name(id), b.span()).ok();
       },
-      [&] { sender.finish(); });
+      [&] { sess.finish(); });
   loop.run_until(kRunCap);
 
-  r.failed = receiver.failed() || sender.failed();
+  r.failed = sess.receiver().failed() || sess.sender().failed();
   finish_result(r, done_at);
   return r;
 }
@@ -203,15 +207,25 @@ RunResult run_supervised(std::size_t bytes, EventLoop& loop, NetPath& data,
                          resilience::SupervisorConfig scfg,
                          SimTime outage_end = -1,
                          resilience::SwitchingPath* breaker = nullptr) {
-  resilience::SessionSupervisor sup(loop, data, fb_tx, fb_rx, scfg);
+  // Supervision is an open()-time opt-in: the handle's callbacks forward to
+  // the supervisor, so they survive restarts; supervisor-only probes (state,
+  // restart stats) go through handle.supervisor().
+  sessiond::Sessiond daemon(loop);
+  sessiond::OpenOptions oopts;
+  oopts.supervised = true;
+  oopts.supervisor = scfg;
+  auto opened = daemon.open(scfg.session, {&data, &fb_tx, &fb_rx}, oopts);
+  if (!opened.ok()) std::abort();
+  sessiond::SessionHandle& sess = opened.value();
+  resilience::SessionSupervisor& sup = *sess.supervisor();
 
   RunResult r;
   SimTime done_at = kRunCap;
-  sup.set_on_adu([&](Adu&& a) {
+  sess.set_on_adu([&](Adu&& a) {
     ++r.delivered;
     r.delivered_bytes += a.payload.size();
   });
-  sup.set_on_complete([&] {
+  sess.set_on_complete([&] {
     r.completed = true;
     done_at = loop.now();
   });
@@ -234,9 +248,9 @@ RunResult run_supervised(std::size_t bytes, EventLoop& loop, NetPath& data,
   start_feeder(
       feeder, loop, bytes,
       [&](std::uint64_t id, const ByteBuffer& b) {
-        return sup.send_adu(generic_name(id), b.span()).ok();
+        return sess.send_adu(generic_name(id), b.span()).ok();
       },
-      [&] { sup.finish(); });
+      [&] { sess.finish(); });
   loop.run_until(kRunCap);
 
   r.restarts = sup.stats().restarts;
@@ -358,33 +372,39 @@ RunResult run_overload(std::size_t bytes, std::uint64_t seed) {
   // policy never needs to touch them.
   scfg.session.shed_highwater = bytes / 3;
   scfg.session.shed_lowwater = bytes / 5;
-  resilience::SessionSupervisor sup(loop, data, fb_tx, fb_rx, scfg);
-  sup.set_priority(
+  sessiond::Sessiond daemon(loop);
+  sessiond::OpenOptions oopts;
+  oopts.supervised = true;
+  oopts.supervisor = scfg;
+  auto opened = daemon.open(scfg.session, {&data, &fb_tx, &fb_rx}, oopts);
+  if (!opened.ok()) std::abort();
+  sessiond::SessionHandle& sess = opened.value();
+  sess.set_priority(
       [](const AduName& n) { return (n.a % 8 == 0) ? 5 : 1; });
 
   RunResult r;
   SimTime done_at = kRunCap;
-  sup.set_on_adu([&](Adu&& a) {
+  sess.set_on_adu([&](Adu&& a) {
     ++r.delivered;
     r.delivered_bytes += a.payload.size();
   });
-  sup.set_on_complete([&] {
+  sess.set_on_complete([&] {
     r.completed = true;
     done_at = loop.now();
   });
-  sup.set_on_permanent_failure([&] { r.failed = true; });
-  sup.set_on_adu_lost([&](std::uint32_t, const AduName& n, bool) {
+  sess.supervisor()->set_on_permanent_failure([&] { r.failed = true; });
+  sess.set_on_adu_lost([&](std::uint32_t, const AduName& n, bool) {
     ++(n.a % 8 == 0 ? r.lost_high_priority : r.lost_low_priority);
   });
 
   offer_file(bytes, [&](std::uint64_t id, const ByteBuffer& b) {
-    if (!sup.send_adu(generic_name(id), b.span()).ok()) std::abort();
+    if (!sess.send_adu(generic_name(id), b.span()).ok()) std::abort();
   });
-  sup.finish();
+  sess.finish();
   loop.run_until(kRunCap);
 
-  r.restarts = sup.stats().restarts;
-  r.adus_shed = sup.receiver().stats().adus_shed;
+  r.restarts = sess.supervisor()->stats().restarts;
+  r.adus_shed = sess.receiver().stats().adus_shed;
   finish_result(r, done_at);
   return r;
 }

@@ -18,9 +18,8 @@
 #include <string>
 
 #include "alf/file_sink.h"
-#include "alf/receiver.h"
-#include "alf/sender.h"
 #include "netsim/net_path.h"
+#include "sessiond/sessiond.h"
 #include "transport/stream_receiver.h"
 #include "transport/stream_sender.h"
 #include "util/rng.h"
@@ -100,14 +99,20 @@ void run_alf(const ByteBuffer& file, double loss) {
   ch.forward.set_loss_rate(loss);
   LinkPath data(ch.forward), fb_tx(ch.reverse), fb_rx(ch.reverse);
 
-  alf::SessionConfig session;
-  session.nack_delay = 15 * kMillisecond;
-  alf::AlfSender sender(loop, data, fb_rx, session);
-  alf::AlfReceiver receiver(loop, data, fb_tx, session);
+  sessiond::Sessiond daemon(loop);
+  auto session = alf::SessionConfig::builder()
+                     .nack_delay(15 * kMillisecond)
+                     .build();
+  auto handle = daemon.open(session.value(), {&data, &fb_tx, &fb_rx});
+  if (!handle.ok()) {
+    std::printf("  open failed: %s\n", handle.error().to_string().c_str());
+    return;
+  }
+  sessiond::SessionHandle& s = handle.value();
 
   alf::FileSink sink(kFileSize);
   std::size_t next_report = kFileSize / 4;
-  receiver.set_on_adu([&](Adu&& adu) {
+  s.set_on_adu([&](Adu&& adu) {
     if (auto s = sink.place(adu); !s.is_ok()) {
       std::printf("  place failed: %s\n", s.to_string().c_str());
     }
@@ -116,7 +121,7 @@ void run_alf(const ByteBuffer& file, double loss) {
       next_report += kFileSize / 4;
     }
   });
-  receiver.set_on_adu_lost([&](std::uint32_t, const AduName& name, bool known) {
+  s.set_on_adu_lost([&](std::uint32_t, const AduName& name, bool known) {
     if (known) sink.mark_lost(name);
   });
 
@@ -127,18 +132,19 @@ void run_alf(const ByteBuffer& file, double loss) {
   for (std::size_t off = 0; off < kFileSize; off += kAduSize) {
     const std::size_t len = std::min(kAduSize, kFileSize - off);
     auto name = FileRegionName{off, len}.to_name();
-    if (!sender.send_adu(name, file.span().subspan(off, len)).ok()) {
+    if (!s.send_adu(name, file.span().subspan(off, len)).ok()) {
       std::printf("send_adu failed\n");
       return;
     }
   }
-  sender.finish();
+  s.finish();
   loop.run();
 
   std::printf("  done at t=%s; ADU rtx=%llu; out-of-order placements=%llu; "
               "holes=%zu; intact=%s\n",
               format_sim_time(loop.now()).c_str(),
-              static_cast<unsigned long long>(sender.stats().adus_retransmitted),
+              static_cast<unsigned long long>(
+                  s.sender().stats().adus_retransmitted),
               static_cast<unsigned long long>(sink.out_of_order_placements()),
               sink.holes().size(),
               ByteBuffer(sink.contents()) == file ? "yes" : "NO");

@@ -8,9 +8,8 @@
 //   $ ./quickstart
 #include <cstdio>
 
-#include "alf/receiver.h"
-#include "alf/sender.h"
 #include "netsim/net_path.h"
+#include "sessiond/sessiond.h"
 
 using namespace ngp;
 
@@ -28,22 +27,33 @@ int main() {
   LinkPath feedback_tx(channel.reverse);   // NACK/progress flow back
   LinkPath feedback_rx(channel.reverse);
 
-  // 2. One ALF association. The session config is the out-of-band
-  //    agreement between the endpoints.
-  alf::SessionConfig session;
-  session.retransmit = alf::RetransmitPolicy::kTransportBuffered;
-
-  alf::AlfSender sender(loop, data, feedback_rx, session);
-  alf::AlfReceiver receiver(loop, data, feedback_tx, session);
+  // 2. One ALF association, opened through the session plane. The builder
+  //    validates the config at build() — a malformed session fails here,
+  //    not as a misbehaving endpoint.
+  sessiond::Sessiond daemon(loop);
+  auto session = alf::SessionConfig::builder()
+                     .retransmit(alf::RetransmitPolicy::kTransportBuffered)
+                     .build();
+  if (!session.ok()) {
+    std::printf("bad config: %s\n", session.error().to_string().c_str());
+    return 1;
+  }
+  auto handle = daemon.open(session.value(),
+                            {&data, &feedback_tx, &feedback_rx});
+  if (!handle.ok()) {
+    std::printf("open failed: %s\n", handle.error().to_string().c_str());
+    return 1;
+  }
+  sessiond::SessionHandle& s = handle.value();
 
   // 3. The receiver gets COMPLETE ADUs the moment they finish, in whatever
   //    order the network permits.
-  receiver.set_on_adu([&](Adu&& adu) {
+  s.set_on_adu([&](Adu&& adu) {
     std::printf("t=%-10s delivered %-14s (%zu bytes)\n",
                 format_sim_time(loop.now()).c_str(), adu.name.to_string().c_str(),
                 adu.payload.size());
   });
-  receiver.set_on_complete([&] {
+  s.set_on_complete([&] {
     std::printf("t=%-10s transfer complete\n", format_sim_time(loop.now()).c_str());
   });
 
@@ -53,23 +63,25 @@ int main() {
     for (std::size_t j = 0; j < payload.size(); ++j) {
       payload[j] = static_cast<std::uint8_t>(i);
     }
-    if (auto r = sender.send_adu(generic_name(i), payload.span()); !r.ok()) {
+    if (auto r = s.send_adu(generic_name(i), payload.span()); !r.ok()) {
       std::printf("send failed: %s\n", r.error().to_string().c_str());
       return 1;
     }
   }
-  sender.finish();
+  s.finish();
 
-  // 5. Run the simulation to completion.
+  // 5. Run the simulation to completion. The handle closes the session
+  //    when it goes out of scope.
   loop.run();
 
   std::printf("\nsender:   %llu fragments, %llu ADU retransmissions\n",
-              static_cast<unsigned long long>(sender.stats().fragments_sent),
-              static_cast<unsigned long long>(sender.stats().adus_retransmitted));
-  std::printf("receiver: %llu ADUs, %llu delivered out of order, %llu NACKs sent\n",
-              static_cast<unsigned long long>(receiver.stats().adus_delivered),
+              static_cast<unsigned long long>(s.sender().stats().fragments_sent),
               static_cast<unsigned long long>(
-                  receiver.stats().adus_delivered_out_of_order),
-              static_cast<unsigned long long>(receiver.stats().nacks_sent));
+                  s.sender().stats().adus_retransmitted));
+  std::printf("receiver: %llu ADUs, %llu delivered out of order, %llu NACKs sent\n",
+              static_cast<unsigned long long>(s.receiver().stats().adus_delivered),
+              static_cast<unsigned long long>(
+                  s.receiver().stats().adus_delivered_out_of_order),
+              static_cast<unsigned long long>(s.receiver().stats().nacks_sent));
   return 0;
 }

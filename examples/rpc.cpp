@@ -23,10 +23,9 @@
 #include <memory>
 
 #include "alf/negotiate.h"
-#include "alf/receiver.h"
 #include "alf/router.h"
-#include "alf/sender.h"
 #include "presentation/record.h"
+#include "sessiond/sessiond.h"
 #include "util/rng.h"
 
 using namespace ngp;
@@ -93,9 +92,10 @@ int main() {
   alf::HandshakeInitiator initiator(loop, at_server.handshake_plane(),
                                     at_client.handshake_plane(), offer);
 
-  // Endpoints are stood up once the handshake lands.
-  std::unique_ptr<alf::AlfSender> client_tx, server_tx;
-  std::unique_ptr<alf::AlfReceiver> client_rx, server_rx;
+  // Both associations are opened through one session plane once the
+  // handshake lands; each handle owns a sender/receiver pair.
+  sessiond::Sessiond daemon(loop);
+  sessiond::SessionHandle call_sess, reply_sess;
   TransferSyntax agreed_syntax = TransferSyntax::kRaw;
   Rng rng(7);
   std::vector<std::int32_t> values(1000);
@@ -108,17 +108,33 @@ int main() {
                 format_sim_time(loop.now()).c_str(),
                 std::string(transfer_syntax_name(agreed.syntax)).c_str(),
                 std::string(checksum_kind_name(agreed.checksum)).c_str());
-    // Server endpoints: receive calls on session 1, send replies on 2.
+    // The call association: the client transmits on the call-session data
+    // plane, the server receives and NACKs back on its feedback plane. One
+    // open() stands up both endpoints of the association.
+    auto call = daemon.open(agreed, {&at_server.data_plane(kCallSession),
+                                     &at_client.feedback_plane(kCallSession),
+                                     &at_client.feedback_plane(kCallSession)});
+    if (!call.ok()) {
+      std::printf("server: open failed: %s\n", call.error().to_string().c_str());
+      return;
+    }
+    call_sess = std::move(call.value());
+
+    // The reply association runs the other way on its own session id.
     alf::SessionConfig reply_cfg = agreed;
     reply_cfg.session_id = kReplySession;
-    server_rx = std::make_unique<alf::AlfReceiver>(
-        loop, at_server.data_plane(kCallSession),
-        at_client.feedback_plane(kCallSession), agreed);
-    server_tx = std::make_unique<alf::AlfSender>(
-        loop, at_client.data_plane(kReplySession),
-        at_server.feedback_plane(kReplySession), reply_cfg);
+    auto reply = daemon.open(reply_cfg,
+                             {&at_client.data_plane(kReplySession),
+                              &at_server.feedback_plane(kReplySession),
+                              &at_server.feedback_plane(kReplySession)});
+    if (!reply.ok()) {
+      std::printf("server: open failed: %s\n",
+                  reply.error().to_string().c_str());
+      return;
+    }
+    reply_sess = std::move(reply.value());
 
-    server_rx->set_on_adu([&](Adu&& adu) {
+    call_sess.set_on_adu([&](Adu&& adu) {
       const auto arg = RpcArgName::from_name(adu.name);
       auto call = decode_record(adu.syntax, kCallSchema, adu.payload.span());
       if (!call.ok()) {
@@ -135,8 +151,9 @@ int main() {
       Record reply{res.count, res.sum, res.min, res.max};
       auto wire = encode_record(adu.syntax, kReplySchema, reply);
       if (!wire.ok()) return;
-      (void)server_tx->send_adu(RpcArgName{arg.call_id, 0}.to_name(), wire->span());
-      server_tx->finish();
+      (void)reply_sess.send_adu(RpcArgName{arg.call_id, 0}.to_name(),
+                                wire->span());
+      reply_sess.finish();
     });
   });
 
@@ -148,16 +165,7 @@ int main() {
     agreed_syntax = agreed->syntax;
     std::printf("t=%-9s client: session agreed, issuing call\n",
                 format_sim_time(loop.now()).c_str());
-    alf::SessionConfig reply_cfg = *agreed;
-    reply_cfg.session_id = kReplySession;
-    client_tx = std::make_unique<alf::AlfSender>(
-        loop, at_server.data_plane(kCallSession),
-        at_client.feedback_plane(kCallSession), *agreed);
-    client_rx = std::make_unique<alf::AlfReceiver>(
-        loop, at_client.data_plane(kReplySession),
-        at_server.feedback_plane(kReplySession), reply_cfg);
-
-    client_rx->set_on_adu([&](Adu&& adu) {
+    reply_sess.set_on_adu([&](Adu&& adu) {
       auto reply = decode_record(adu.syntax, kReplySchema, adu.payload.span());
       if (!reply.ok()) {
         std::printf("client: bad reply: %s\n", reply.error().to_string().c_str());
@@ -181,8 +189,8 @@ int main() {
       std::printf("client: encode failed\n");
       return;
     }
-    (void)client_tx->send_adu(RpcArgName{1, 0}.to_name(), wire->span());
-    client_tx->finish();
+    (void)call_sess.send_adu(RpcArgName{1, 0}.to_name(), wire->span());
+    call_sess.finish();
   });
 
   initiator.start();

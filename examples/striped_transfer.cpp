@@ -21,6 +21,7 @@
 #include "alf/file_sink.h"
 #include "alf/striper.h"
 #include "netsim/net_path.h"
+#include "sessiond/sessiond.h"
 #include "util/rng.h"
 #include "util/stats.h"
 
@@ -36,10 +37,10 @@ int main(int argc, char** argv) {
               kLaneBps * static_cast<double>(lanes) / 1e6);
 
   EventLoop loop;
+  sessiond::Sessiond daemon(loop);
   std::vector<std::unique_ptr<DuplexChannel>> channels;
   std::vector<std::unique_ptr<LinkPath>> paths;
-  std::vector<std::unique_ptr<alf::AlfSender>> senders;
-  std::vector<std::unique_ptr<alf::AlfReceiver>> receivers;
+  std::vector<sessiond::SessionHandle> lanes_open;
   std::vector<alf::AlfSender*> tx;
   std::vector<alf::AlfReceiver*> rx;
 
@@ -60,13 +61,21 @@ int main(int argc, char** argv) {
     paths.push_back(std::make_unique<LinkPath>(ch.reverse));
     LinkPath* fb_rx = paths.back().get();
 
-    alf::SessionConfig session;
-    session.session_id = static_cast<std::uint16_t>(i + 1);
-    session.nack_delay = 15 * kMillisecond;
-    senders.push_back(std::make_unique<alf::AlfSender>(loop, *data, *fb_rx, session));
-    receivers.push_back(std::make_unique<alf::AlfReceiver>(loop, *data, *fb_tx, session));
-    tx.push_back(senders.back().get());
-    rx.push_back(receivers.back().get());
+    // One association per lane, each its own session id — every lane is an
+    // independent flow in the session plane.
+    auto session = alf::SessionConfig::builder()
+                       .session_id(static_cast<std::uint16_t>(i + 1))
+                       .nack_delay(15 * kMillisecond)
+                       .build();
+    auto handle = daemon.open(session.value(), {data, fb_tx, fb_rx});
+    if (!handle.ok()) {
+      std::printf("lane %zu: open failed: %s\n", i,
+                  handle.error().to_string().c_str());
+      return 1;
+    }
+    lanes_open.push_back(std::move(handle.value()));
+    tx.push_back(&lanes_open.back().sender());
+    rx.push_back(&lanes_open.back().receiver());
   }
 
   alf::AlfStriper striper(tx);

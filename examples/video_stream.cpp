@@ -12,10 +12,9 @@
 #include <cstdlib>
 
 #include "alf/jitter.h"
-#include "alf/receiver.h"
-#include "alf/sender.h"
 #include "alf/video_sink.h"
 #include "netsim/net_path.h"
+#include "sessiond/sessiond.h"
 #include "util/rng.h"
 
 using namespace ngp;
@@ -47,19 +46,24 @@ int main(int argc, char** argv) {
   ch.forward.set_loss_rate(loss);
   LinkPath data(ch.forward), fb_tx(ch.reverse), fb_rx(ch.reverse);
 
-  alf::SessionConfig session;
-  session.retransmit = alf::RetransmitPolicy::kNone;  // real time: never wait
-  session.checksum = ChecksumKind::kInternet;
-
-  alf::AlfSender sender(loop, data, fb_rx, session);
-  alf::AlfReceiver receiver(loop, data, fb_tx, session);
+  sessiond::Sessiond daemon(loop);
+  auto session = alf::SessionConfig::builder()
+                     .retransmit(alf::RetransmitPolicy::kNone)  // never wait
+                     .checksum(ChecksumKind::kInternet)
+                     .build();
+  auto handle = daemon.open(session.value(), {&data, &fb_tx, &fb_rx});
+  if (!handle.ok()) {
+    std::printf("open failed: %s\n", handle.error().to_string().c_str());
+    return 1;
+  }
+  sessiond::SessionHandle& sess = handle.value();
 
   alf::VideoSink sink(kTilesX, kTilesY, kTileBytes, kPlayoutDelay, kFrameInterval);
   // Regenerate inter-packet timing from the carried timestamps (§3's
   // timestamping function): the jitter estimate tells us how much playout
   // delay this path actually needs.
   alf::PlayoutClock playout(kPlayoutDelay);
-  receiver.set_on_adu([&](Adu&& adu) {
+  sess.set_on_adu([&](Adu&& adu) {
     const auto v = VideoRegionName::from_name(adu.name);
     playout.on_arrival(loop.now(),
                        static_cast<SimDuration>(v.timestamp_ms) * kMillisecond);
@@ -67,7 +71,7 @@ int main(int argc, char** argv) {
       std::printf("tile rejected: %s\n", s.to_string().c_str());
     }
   });
-  receiver.set_on_adu_lost([&](std::uint32_t, const AduName& name, bool known) {
+  sess.set_on_adu_lost([&](std::uint32_t, const AduName& name, bool known) {
     if (known) sink.mark_lost(name);
   });
 
@@ -93,13 +97,13 @@ int main(int argc, char** argv) {
             static_cast<std::uint32_t>(frame_no * to_seconds(kFrameInterval) * 1000)};
         // Real-time source: if the transport cannot take it, the frame is
         // simply degraded — never block the capture pipeline.
-        (void)sender.send_adu(name.to_name(), tile.span());
+        (void)sess.send_adu(name.to_name(), tile.span());
       }
     }
     if (++frame_no < frames) {
       loop.schedule_after(kFrameInterval, capture_tick);
     } else {
-      sender.finish();
+      sess.finish();
     }
   };
   capture_tick();
@@ -120,8 +124,10 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(st.tiles_lost));
   std::printf("transport: %llu fragments sent, %llu ADU retransmissions "
               "(policy kNone: must be 0)\n",
-              static_cast<unsigned long long>(sender.stats().fragments_sent),
-              static_cast<unsigned long long>(sender.stats().adus_retransmitted));
+              static_cast<unsigned long long>(
+                  sess.sender().stats().fragments_sent),
+              static_cast<unsigned long long>(
+                  sess.sender().stats().adus_retransmitted));
   std::printf("measured interarrival jitter: %s -> adaptive playout delay "
               "would be %s (configured %s)\n",
               format_sim_time(playout.estimator().jitter()).c_str(),

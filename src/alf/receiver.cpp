@@ -15,11 +15,19 @@ namespace ngp::alf {
 
 AlfReceiver::AlfReceiver(EventLoop& loop, NetPath& data_in, NetPath& feedback_out,
                          SessionConfig config)
+    : AlfReceiver(loop, &data_in, feedback_out, config) {}
+
+AlfReceiver::AlfReceiver(EventLoop& loop, NetPath* data_in, NetPath& feedback_out,
+                         SessionConfig config)
     : loop_(loop), feedback_out_(feedback_out), cfg_(config),
       jitter_rng_(config.recovery_seed != 0
                       ? config.recovery_seed
                       : 0x6E677052ull ^ (std::uint64_t{config.session_id} << 8)) {
-  data_in.set_handler([this](ConstBytes frame) { on_frame(frame); });
+  // Demux-fed receivers (sessiond) own no ingress path: frames reach them
+  // through handle_frame() only.
+  if (data_in != nullptr) {
+    data_in->set_handler([this](ConstBytes frame) { on_frame(frame); });
+  }
   // Out-of-band control cadence: the NACK scan and progress report run on
   // their own timers, decoupled from per-fragment processing (§3). They
   // arm lazily, on first activity (arm_timers), and stand down when idle.
@@ -444,6 +452,10 @@ void AlfReceiver::offload_adu(std::uint32_t adu_id, Reassembly& r) {
 
   engine::ManipulationJob job;
   job.adu_id = adu_id;
+  // Flow+adu worker sharding: an engine shared across many sessions
+  // (sessiond) spreads distinct flows over its workers while this flow's
+  // equal-id jobs still land on one FIFO lane.
+  job.shard_key = obs::flight_trace_id(cfg_.session_id, adu_id);
   job.flight_id = flight_id(adu_id);
   job.plan = make_plan(adu_id, r);
   job.payload = std::move(r.buf);

@@ -106,6 +106,19 @@ class AlfReceiver {
   AlfReceiver(EventLoop& loop, NetPath& data_in, NetPath& feedback_out,
               SessionConfig config);
 
+  /// Demux-fed variant (sessiond): `data_in` may be null, in which case no
+  /// ingress handler is registered and frames arrive only through
+  /// handle_frame() — the receiver shares its ingress path with every
+  /// other session behind a Dispatcher instead of owning one.
+  AlfReceiver(EventLoop& loop, NetPath* data_in, NetPath& feedback_out,
+              SessionConfig config);
+
+  /// Public demux entry: processes one raw ingress frame exactly as the
+  /// path handler would (validation included — the frame is still
+  /// untrusted input). This is what a sessiond Dispatcher routes into
+  /// after peeking the flow id.
+  void handle_frame(ConstBytes frame) { on_frame(frame); }
+
   AlfReceiver(const AlfReceiver&) = delete;
   AlfReceiver& operator=(const AlfReceiver&) = delete;
 

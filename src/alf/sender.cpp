@@ -12,10 +12,18 @@ namespace ngp::alf {
 
 AlfSender::AlfSender(EventLoop& loop, NetPath& data_out, NetPath& feedback_in,
                      SessionConfig config)
+    : AlfSender(loop, data_out, &feedback_in, config) {}
+
+AlfSender::AlfSender(EventLoop& loop, NetPath& data_out, NetPath* feedback_in,
+                     SessionConfig config)
     : loop_(loop), out_(data_out), cfg_(config),
       next_adu_id_(std::max<std::uint32_t>(1, config.first_adu_id)),
       frag_capacity_(fragment_payload_capacity(data_out.max_frame_size())) {
-  feedback_in.set_handler([this](ConstBytes frame) { on_feedback(frame); });
+  // Demux-fed senders (sessiond) share a feedback ingress: frames reach
+  // them through handle_feedback() only.
+  if (feedback_in != nullptr) {
+    feedback_in->set_handler([this](ConstBytes frame) { on_feedback(frame); });
+  }
 }
 
 AlfSender::~AlfSender() {

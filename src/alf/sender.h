@@ -70,6 +70,17 @@ class AlfSender {
   AlfSender(EventLoop& loop, NetPath& data_out, NetPath& feedback_in,
             SessionConfig config);
 
+  /// Demux-fed variant (sessiond): `feedback_in` may be null, in which
+  /// case no handler is registered and feedback arrives only through
+  /// handle_feedback() — the sender shares its feedback ingress with
+  /// every other session behind a Dispatcher.
+  AlfSender(EventLoop& loop, NetPath& data_out, NetPath* feedback_in,
+            SessionConfig config);
+
+  /// Public demux entry: processes one raw feedback frame exactly as the
+  /// path handler would (validation included).
+  void handle_feedback(ConstBytes frame) { on_feedback(frame); }
+
   AlfSender(const AlfSender&) = delete;
   AlfSender& operator=(const AlfSender&) = delete;
 

@@ -219,19 +219,52 @@ std::optional<Message> decode_message(ConstBytes frame) {
   return std::nullopt;
 }
 
+namespace {
+
+/// The fixed prefix every ALF frame shares: magic(1) type(1) session(2).
+struct FramePrefix {
+  MessageType type;
+  std::uint16_t session;
+};
+
+/// The one bounds-checked prefix read all peeks go through. Accepts any
+/// frame whose magic and type byte are recognisable; peeks never verify
+/// the header checksum (demux must be cheaper than validation — the
+/// owning endpoint still rejects damaged frames).
+std::optional<FramePrefix> peek_prefix(ConstBytes frame) noexcept {
+  if (frame.size() < 4 || frame[0] != kMagic ||
+      frame[1] > static_cast<std::uint8_t>(MessageType::kProbe)) {
+    return std::nullopt;
+  }
+  return FramePrefix{
+      static_cast<MessageType>(frame[1]),
+      static_cast<std::uint16_t>((std::uint16_t{frame[2]} << 8) | frame[3])};
+}
+
+}  // namespace
+
+std::optional<MessageType> peek_message_type(ConstBytes frame) noexcept {
+  const auto prefix = peek_prefix(frame);
+  if (!prefix) return std::nullopt;
+  return prefix->type;
+}
+
+std::optional<std::uint16_t> peek_flow_id(ConstBytes frame) noexcept {
+  const auto prefix = peek_prefix(frame);
+  if (!prefix) return std::nullopt;
+  return prefix->session;
+}
+
 std::uint64_t peek_flight_tag(ConstBytes frame) noexcept {
-  // Fixed prefix of every ALF frame: magic(1) type(1) session(2) adu_id(4).
   // Only DATA frames carry a per-ADU flow; everything else tags as 0.
-  if (frame.size() < 8 || frame[0] != kMagic ||
-      frame[1] != static_cast<std::uint8_t>(MessageType::kData)) {
+  const auto prefix = peek_prefix(frame);
+  if (!prefix || prefix->type != MessageType::kData || frame.size() < 8) {
     return 0;
   }
-  const std::uint16_t session =
-      static_cast<std::uint16_t>((std::uint16_t{frame[2]} << 8) | frame[3]);
   const std::uint32_t adu_id = (std::uint32_t{frame[4]} << 24) |
                                (std::uint32_t{frame[5]} << 16) |
                                (std::uint32_t{frame[6]} << 8) | frame[7];
-  return (std::uint64_t{session} << 32) | adu_id;
+  return (std::uint64_t{prefix->session} << 32) | adu_id;
 }
 
 }  // namespace ngp::alf

@@ -165,10 +165,29 @@ constexpr std::size_t fragment_payload_capacity(std::size_t mtu) noexcept {
   return mtu > DataFragment::kHeaderSize ? mtu - DataFragment::kHeaderSize : 0;
 }
 
-/// Cheap frame peek for the flight recorder: reads only the fixed-offset
-/// prefix (magic, type, session, adu_id) of a DATA frame and returns its
-/// flow-scoped trace id ((session << 32) | adu_id), or 0 for anything that
-/// is not a recognisable DATA frame (control traffic, garbage, foreign
+// ---- Frame peeks -----------------------------------------------------------
+//
+// Every ALF frame starts with the same fixed prefix — magic(1) type(1)
+// session(2) — and DATA frames follow it with adu_id(4). The peeks below
+// read ONLY that prefix through one shared bounds-checked reader (no
+// header-checksum verification: they answer "where does this frame go",
+// not "is this frame intact" — the owning endpoint still validates). They
+// are the demux primitives of §6: demultiplexing is the one control step
+// the paper concedes must precede manipulation.
+
+/// Message type off any recognisable ALF frame; nullopt for garbage,
+/// truncation, or foreign protocols.
+std::optional<MessageType> peek_message_type(ConstBytes frame) noexcept;
+
+/// Flow demux key: the session id off any recognisable ALF frame (every
+/// message type carries it at the same offset), nullopt otherwise. A full
+/// flow id pairs this with the peer address of the path the frame arrived
+/// on (sessiond::FlowId); the frame itself only names the session.
+std::optional<std::uint16_t> peek_flow_id(ConstBytes frame) noexcept;
+
+/// Cheap frame peek for the flight recorder: the flow-scoped trace id
+/// ((session << 32) | adu_id) of a DATA frame, or 0 for anything that is
+/// not a recognisable DATA frame (control traffic, garbage, foreign
 /// protocols). Netsim components take this as an injected tagger so they
 /// can label frames without learning the ALF wire format — the same
 /// layering rule as fault-plan adversaries.

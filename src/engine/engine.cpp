@@ -166,7 +166,9 @@ std::uint64_t Engine::submit(ManipulationJob job) {
     return ticket;
   }
 
-  const unsigned idx = static_cast<unsigned>(job.adu_id % workers_.size());
+  const std::uint64_t shard =
+      job.shard_key != 0 ? job.shard_key : std::uint64_t{job.adu_id};
+  const unsigned idx = static_cast<unsigned>(shard % workers_.size());
   Worker& w = *workers_[idx];
   queue_depth_.add(static_cast<double>(w.ring.size()));
   Task t{ticket, submitted_at, std::move(job)};

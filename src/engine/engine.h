@@ -70,6 +70,11 @@ using CompletionFn =
 /// One complete ADU plus its manipulation pipeline.
 struct ManipulationJob {
   std::uint32_t adu_id = 0;  ///< shard key: equal ids share a worker (FIFO)
+  /// Overrides adu_id as the worker-shard key when nonzero. A pool shared
+  /// across many sessions (sessiond) sets this to the flow-scoped trace id
+  /// ((session << 32) | adu_id) so distinct flows spread across workers
+  /// while each flow's equal-id jobs still share one FIFO lane.
+  std::uint64_t shard_key = 0;
   ByteBuffer payload;        ///< the complete ADU, manipulated in place
   ManipulationPlan plan;
   AppStage app_stage;        ///< optional, worker context, intact ADUs only

@@ -16,7 +16,8 @@ constexpr std::string_view kStageNames[kFlightStageCount] = {
     "frag_rx",       "adu_complete", "engine_submit", "worker_begin",
     "worker_end",    "harvest",      "manip_begin",   "manip_end",
     "deliver",       "abandon",      "shed",          "session_fail",
-    "epoch_resume",  "probe_tx",     "failover",
+    "epoch_resume",  "probe_tx",     "failover",      "session_create",
+    "session_evict",
 };
 
 constexpr std::string_view kSegmentNames[FlightTable::kSegmentCount] = {

@@ -70,10 +70,12 @@ enum class FlightStage : std::uint8_t {
   kEpochResume,      ///< supervised restart established a new epoch
   kProbeTx,          ///< circuit breaker sent a half-open probe
   kFailover,         ///< circuit breaker switched the active path
+  kSessionCreate,    ///< sessiond admitted a new flow into the table
+  kSessionEvict,     ///< sessiond evicted a flow (idle sweep or shedding)
 };
 
 inline constexpr std::size_t kFlightStageCount =
-    static_cast<std::size_t>(FlightStage::kFailover) + 1;
+    static_cast<std::size_t>(FlightStage::kSessionEvict) + 1;
 
 /// Stable short name ("staged", "frag_tx", ...) used in exports.
 std::string_view flight_stage_name(FlightStage s) noexcept;

@@ -1,0 +1,316 @@
+// sessiond.h — the many-session plane and the redesigned session API
+// (DESIGN.md §11).
+//
+// Everything below replaces the repo's original endpoint idiom —
+// "construct an AlfSender, construct an AlfReceiver against the same
+// paths, staple callbacks onto each by hand" — with two cooperating
+// pieces:
+//
+//   * Dispatcher: binds shared ingress paths, peeks the session id off
+//     each arriving frame (alf::peek_flow_id — demux is the one control
+//     step §6 concedes), and routes it to the owning session in a sharded
+//     SessionTable, creating sessions on first frame via a registered
+//     SessionFactory. This is how ONE host terminates 100k+ flows: no
+//     per-session ingress path, no per-session handler registration.
+//
+//   * Sessiond::open(config, paths) -> SessionHandle: the facade for
+//     deliberately-opened associations. One call validates the config,
+//     builds the endpoints (supervised via ngp::resilience on opt-in),
+//     registers the flow in the table (pinned — never idle-swept), and
+//     returns an RAII handle that closes the session on destruction.
+//
+// The sim stays deterministic: open() builds endpoints in the exact order
+// the hand-wired examples did, so a migrated program replays the same
+// event sequence byte for byte.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "alf/receiver.h"
+#include "alf/sender.h"
+#include "alf/session.h"
+#include "netsim/net_path.h"
+#include "obs/flight.h"
+#include "resilience/supervisor.h"
+#include "sessiond/session_table.h"
+#include "util/event_loop.h"
+#include "util/result.h"
+
+namespace ngp::sessiond {
+
+class Sessiond;
+
+/// Routes raw ingress frames to table-resident sessions. dispatch() may
+/// run from many threads: distinct shards proceed in parallel, one flow's
+/// frames serialize behind its shard lock. Setup calls (bind, set_factory,
+/// set_flight) belong to the control thread, before traffic.
+class Dispatcher {
+ public:
+  Dispatcher(EventLoop& loop, SessionTable& table)
+      : loop_(loop), table_(table) {}
+  Dispatcher(const Dispatcher&) = delete;
+  Dispatcher& operator=(const Dispatcher&) = delete;
+
+  /// Create-on-first-frame hook. Unset (or returning null) means unknown
+  /// flows are dropped and counted unroutable.
+  void set_factory(SessionFactory fn) { factory_ = std::move(fn); }
+
+  /// Registers this dispatcher as `ingress`'s frame handler under an
+  /// auto-assigned peer address (returned). Frames from different bound
+  /// paths with the same session id are different flows.
+  std::uint32_t bind(NetPath& ingress);
+  /// Same, under an explicit peer address.
+  void bind(NetPath& ingress, std::uint32_t peer);
+
+  /// Routes one frame: peek flow id -> shard lookup -> session->on_frame,
+  /// creating the session via the factory on first frame.
+  void dispatch(std::uint32_t peer, ConstBytes frame);
+
+  struct Stats {
+    std::uint64_t frames_dispatched = 0;
+    std::uint64_t frames_routed = 0;     ///< delivered to an existing session
+    std::uint64_t sessions_created = 0;  ///< create-on-first-frame successes
+    std::uint64_t frames_unroutable = 0; ///< unpeekable / no factory
+    std::uint64_t creates_rejected = 0;  ///< admission control said no
+  };
+  Stats stats() const;
+
+  void emit_metrics(obs::MetricSink& sink) const;
+  void register_metrics(obs::MetricsRegistry& reg, std::string prefix) const;
+  /// kSessionCreate events on an existing flight track (single-threaded
+  /// dispatch only — flight tracks are single-writer).
+  void set_flight(obs::FlightRecorder* flight, std::uint16_t track) noexcept {
+    flight_ = flight;
+    flight_track_ = track;
+  }
+
+ private:
+  EventLoop& loop_;
+  SessionTable& table_;
+  SessionFactory factory_;
+  std::atomic<std::uint32_t> next_peer_{1};
+  std::atomic<std::uint64_t> frames_dispatched_{0};
+  std::atomic<std::uint64_t> frames_routed_{0};
+  std::atomic<std::uint64_t> sessions_created_{0};
+  std::atomic<std::uint64_t> frames_unroutable_{0};
+  std::atomic<std::uint64_t> creates_rejected_{0};
+  obs::FlightRecorder* flight_ = nullptr;
+  std::uint16_t flight_track_ = 0;
+};
+
+/// The three NetPaths one ALF association runs over, exactly as the
+/// hand-wired pattern used them: the sender transmits on `data` and the
+/// receiver listens on it; the receiver transmits NACK/PROGRESS on
+/// `feedback_tx` and the sender listens on `feedback_rx` (usually two
+/// views of one reverse channel).
+struct SessionPaths {
+  NetPath* data = nullptr;
+  NetPath* feedback_tx = nullptr;
+  NetPath* feedback_rx = nullptr;
+};
+
+/// Per-open knobs beyond the SessionConfig itself.
+struct OpenOptions {
+  /// Opt into supervisor-per-session resilience: the association is owned
+  /// by a resilience::SessionSupervisor (restart + delta resume) instead
+  /// of a bare endpoint pair. `supervisor.session` is overridden by the
+  /// config passed to open().
+  bool supervised = false;
+  resilience::SupervisorConfig supervisor{};
+  /// Shared manipulation engine for the receive side (flow+adu sharded —
+  /// one pool serves every session).
+  engine::Engine* engine = nullptr;
+  SimDuration engine_harvest_delay = 0;
+  /// Peer address for the flow id; 0 = auto-assign a fresh one (so two
+  /// opens with the same session id never collide unless asked to).
+  std::uint32_t peer = 0;
+};
+
+/// One table-resident ALF association: either a supervisor or a bare
+/// sender/receiver pair, plus the type-based frame demux a shared ingress
+/// needs. Built by Sessiond::open().
+class AlfSession final : public Session {
+ public:
+  /// Demux routing: data-direction frames (DATA/DONE) to the receiver,
+  /// feedback-direction frames (NACK/PROGRESS/RESUME) to the sender.
+  /// Directions without an endpoint drop the frame (the peer's problem).
+  void on_frame(ConstBytes frame) override;
+
+  bool supervised() const noexcept { return sup_ != nullptr; }
+  /// Current endpoints. Under supervision these are the current
+  /// incarnation — do not cache across restarts.
+  alf::AlfSender& sender() { return sup_ ? sup_->sender() : *sender_; }
+  alf::AlfReceiver& receiver() { return sup_ ? sup_->receiver() : *receiver_; }
+  resilience::SessionSupervisor* supervisor() noexcept { return sup_.get(); }
+
+  // Unified association surface (forwarded to the supervisor when
+  // supervised, so callbacks survive restarts).
+  Result<std::uint32_t> send_adu(const AduName& name, ConstBytes payload);
+  void finish();
+  void set_on_adu(std::function<void(Adu&&)> fn);
+  void set_on_adu_lost(
+      std::function<void(std::uint32_t, const AduName&, bool)> fn);
+  void set_on_complete(std::function<void()> fn);
+  void set_priority(alf::PriorityFn fn);
+
+ private:
+  friend class Sessiond;
+  AlfSession() = default;
+
+  std::unique_ptr<resilience::SessionSupervisor> sup_;
+  std::unique_ptr<alf::AlfSender> sender_;
+  std::unique_ptr<alf::AlfReceiver> receiver_;
+};
+
+/// RAII ownership of an opened session: close() (or destruction) removes
+/// the flow from the table and destroys the endpoints. Move-only. The
+/// Sessiond must outlive its handles.
+class SessionHandle {
+ public:
+  SessionHandle() = default;
+  SessionHandle(SessionHandle&& o) noexcept { *this = std::move(o); }
+  SessionHandle& operator=(SessionHandle&& o) noexcept;
+  SessionHandle(const SessionHandle&) = delete;
+  SessionHandle& operator=(const SessionHandle&) = delete;
+  ~SessionHandle() { close(); }
+
+  bool valid() const noexcept { return session_ != nullptr; }
+  explicit operator bool() const noexcept { return valid(); }
+  FlowId flow() const noexcept { return flow_; }
+
+  /// Ends the association now: unregisters the flow and destroys the
+  /// endpoints (cancelling their timers). Safe to call repeatedly.
+  void close();
+
+  // The association surface, forwarded (see AlfSession).
+  Result<std::uint32_t> send_adu(const AduName& name, ConstBytes payload) {
+    return session().send_adu(name, payload);
+  }
+  void finish() { session().finish(); }
+  void set_on_adu(std::function<void(Adu&&)> fn) {
+    session().set_on_adu(std::move(fn));
+  }
+  void set_on_adu_lost(
+      std::function<void(std::uint32_t, const AduName&, bool)> fn) {
+    session().set_on_adu_lost(std::move(fn));
+  }
+  void set_on_complete(std::function<void()> fn) {
+    session().set_on_complete(std::move(fn));
+  }
+  void set_priority(alf::PriorityFn fn) { session().set_priority(std::move(fn)); }
+
+  alf::AlfSender& sender() { return session().sender(); }
+  alf::AlfReceiver& receiver() { return session().receiver(); }
+  /// Null unless opened with OpenOptions::supervised.
+  resilience::SessionSupervisor* supervisor() { return session().supervisor(); }
+
+ private:
+  friend class Sessiond;
+  SessionHandle(Sessiond* owner, FlowId flow, AlfSession* session)
+      : owner_(owner), flow_(flow), session_(session) {}
+  AlfSession& session() {
+    assert(session_ != nullptr);
+    return *session_;
+  }
+
+  Sessiond* owner_ = nullptr;
+  FlowId flow_{};
+  AlfSession* session_ = nullptr;
+};
+
+/// Options for alf_receiver_factory().
+struct ReceiverFactoryOptions {
+  engine::Engine* engine = nullptr;
+  SimDuration engine_harvest_delay = 0;
+  /// Per-session configurator, run right after construction: set on_adu /
+  /// on_complete / priority here (the factory equivalent of the callback
+  /// stapling open() handles do through their handle).
+  std::function<void(const FlowId&, alf::AlfReceiver&)> configure;
+};
+
+/// SessionFactory for demux-fed receive-side sessions: each new flow gets
+/// an AlfReceiver built from `base` (session_id overridden by the flow's),
+/// sending feedback out `feedback_out`, consuming frames only through the
+/// dispatcher. This is the server shape: thousands of receivers, one
+/// ingress, one feedback egress. Each flow is a single allocation — the
+/// receiver is embedded in the table-resident session object.
+SessionFactory alf_receiver_factory(EventLoop& loop, NetPath& feedback_out,
+                                    alf::SessionConfig base,
+                                    ReceiverFactoryOptions opts = {});
+
+struct SessiondConfig {
+  SessionTableConfig table;
+  /// Sim-clock idle-GC cadence: > 0 arms a recurring sweep_idle() timer.
+  /// NOTE a recurring timer keeps EventLoop::run() busy forever — use
+  /// run_until(), or leave this 0 and call sweep_idle() manually.
+  SimDuration sweep_interval = 0;
+};
+
+/// The facade that owns the table and the dispatcher.
+class Sessiond {
+ public:
+  using Config = SessiondConfig;
+
+  explicit Sessiond(EventLoop& loop, Config cfg = {});
+  Sessiond(const Sessiond&) = delete;
+  Sessiond& operator=(const Sessiond&) = delete;
+  ~Sessiond();
+
+  /// Opens one full association over `paths`: validates `session`, builds
+  /// the endpoints (exactly the hand-wired construction order, so
+  /// migrated programs stay byte-identical), registers the flow pinned in
+  /// the table, and returns the owning handle. Errors: validation
+  /// failures, missing paths, duplicate (peer, session_id).
+  Result<SessionHandle> open(const alf::SessionConfig& session,
+                             const SessionPaths& paths, OpenOptions opts = {});
+
+  /// Dispatcher ingress binding (see Dispatcher::bind).
+  std::uint32_t bind(NetPath& ingress) { return dispatcher_.bind(ingress); }
+  void bind(NetPath& ingress, std::uint32_t peer) {
+    dispatcher_.bind(ingress, peer);
+  }
+  /// Create-on-first-frame hook (see Dispatcher::set_factory).
+  void set_factory(SessionFactory fn) { dispatcher_.set_factory(std::move(fn)); }
+
+  /// Manual idle GC at `now` (or the loop's now). Returns evicted count.
+  std::size_t sweep_idle() { return table_.sweep_idle(loop_.now()); }
+
+  SessionTable& table() noexcept { return table_; }
+  Dispatcher& dispatcher() noexcept { return dispatcher_; }
+  EventLoop& loop() noexcept { return loop_; }
+
+  /// Observes evictions (idle/shed) of any table-resident session.
+  void set_on_evict(std::function<void(const FlowId&, EvictReason)> fn) {
+    on_evict_ = std::move(fn);
+  }
+
+  /// One "sessiond" flight track: kSessionCreate on dispatcher creates,
+  /// kSessionEvict on idle/shed evictions (single-threaded sim only).
+  void set_flight(obs::FlightRecorder* flight);
+
+  /// Registers table ("<prefix>.table", per-shard nested) and dispatcher
+  /// ("<prefix>.dispatch") metrics.
+  void register_metrics(obs::MetricsRegistry& reg, const std::string& prefix);
+
+ private:
+  friend class SessionHandle;
+  void arm_sweep();
+
+  EventLoop& loop_;
+  Config cfg_;
+  SessionTable table_;
+  Dispatcher dispatcher_;
+  std::uint32_t next_open_peer_ = 0x40000000;  ///< disjoint from bind() peers
+  EventId sweep_timer_ = 0;
+  obs::FlightRecorder* flight_ = nullptr;
+  std::uint16_t flight_track_ = 0;
+  std::function<void(const FlowId&, EvictReason)> on_evict_;
+};
+
+}  // namespace ngp::sessiond
