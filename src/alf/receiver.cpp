@@ -26,6 +26,7 @@ AlfReceiver::AlfReceiver(EventLoop& loop, NetPath* data_in, NetPath& feedback_ou
   // Demux-fed receivers (sessiond) own no ingress path: frames reach them
   // through handle_frame() only.
   if (data_in != nullptr) {
+    data_in_ = data_in;
     data_in->set_handler([this](ConstBytes frame) { on_frame(frame); });
   }
   // Out-of-band control cadence: the NACK scan and progress report run on
@@ -34,6 +35,10 @@ AlfReceiver::AlfReceiver(EventLoop& loop, NetPath* data_in, NetPath& feedback_ou
 }
 
 AlfReceiver::~AlfReceiver() {
+  // The ingress handler installed by the ctor closes over `this`: clear it
+  // so frames delivered after teardown drop instead of calling into freed
+  // memory.
+  if (data_in_ != nullptr) data_in_->set_handler(nullptr);
   // Jobs still on the engine hold completion callbacks into this object:
   // settle them (on this, the control thread) before the members they
   // touch are destroyed.

@@ -317,6 +317,7 @@ class AlfReceiver {
 
   EventLoop& loop_;
   NetPath& feedback_out_;
+  NetPath* data_in_ = nullptr;  ///< path whose handler this receiver owns
   SessionConfig cfg_;
   ReceiverStats stats_;
   obs::CostAccount manip_cost_;

@@ -22,11 +22,16 @@ AlfSender::AlfSender(EventLoop& loop, NetPath& data_out, NetPath* feedback_in,
   // Demux-fed senders (sessiond) share a feedback ingress: frames reach
   // them through handle_feedback() only.
   if (feedback_in != nullptr) {
+    feedback_in_ = feedback_in;
     feedback_in->set_handler([this](ConstBytes frame) { on_feedback(frame); });
   }
 }
 
 AlfSender::~AlfSender() {
+  // The handler this ctor installed closes over `this`: leave it behind
+  // and a frame delivered after teardown calls into freed memory. Frames
+  // arriving on a handlerless path drop, as on an unbound port.
+  if (feedback_in_ != nullptr) feedback_in_->set_handler(nullptr);
   if (pace_timer_ != 0) loop_.cancel(pace_timer_);
   if (done_timer_ != 0) loop_.cancel(done_timer_);
   if (watchdog_timer_ != 0) loop_.cancel(watchdog_timer_);

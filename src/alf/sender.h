@@ -187,6 +187,7 @@ class AlfSender {
 
   EventLoop& loop_;
   NetPath& out_;
+  NetPath* feedback_in_ = nullptr;  ///< path whose handler this sender owns
   SessionConfig cfg_;
   SenderStats stats_;
   obs::CostAccount manip_cost_;

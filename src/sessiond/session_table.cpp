@@ -21,6 +21,65 @@ constexpr bool needs_growth(std::size_t count, std::size_t slots) noexcept {
 
 }  // namespace
 
+thread_local SessionTable::ReentryCtx SessionTable::tls_ctx_;
+
+/// RAII lock-or-reenter scope for one shard. The first scope a thread
+/// opens on a shard takes the mutex, advertises itself in tls_ctx_, and —
+/// after unlocking — flushes the graveyard of entries removed while it was
+/// held. A nested scope on the same shard (a callback re-entering the
+/// table) locks nothing and parks its removals in the outer scope's
+/// graveyard, so entries stay alive until the code that might still hold
+/// raw pointers to them has unwound.
+class SessionTable::ShardScope {
+ public:
+  ShardScope(SessionTable& table, Shard& s)
+      : table_(table),
+        reentrant_(table.held_by_this_thread(s)),
+        lock_(s.mu, std::defer_lock) {
+    if (!reentrant_) {
+      lock_.lock();
+      saved_ = tls_ctx_;
+      tls_ctx_ = {&table, &s, &graveyard_};
+    }
+  }
+  ShardScope(const ShardScope&) = delete;
+  ShardScope& operator=(const ShardScope&) = delete;
+  ~ShardScope() {
+    if (reentrant_) return;
+    tls_ctx_ = saved_;
+    lock_.unlock();
+    table_.flush(graveyard_);
+  }
+
+  /// Where removals performed in this scope defer their teardown: the
+  /// outermost scope's graveyard, whichever nesting level we are.
+  std::vector<PendingEvict>& graveyard() noexcept {
+    return reentrant_ ? *tls_ctx_.graveyard : graveyard_;
+  }
+
+ private:
+  SessionTable& table_;
+  bool reentrant_;
+  std::unique_lock<std::mutex> lock_;
+  ReentryCtx saved_;
+  std::vector<PendingEvict> graveyard_;
+};
+
+std::unique_lock<std::mutex> SessionTable::maybe_lock(const Shard& s) const {
+  if (held_by_this_thread(s)) return {};
+  return std::unique_lock<std::mutex>(s.mu);
+}
+
+void SessionTable::flush(std::vector<PendingEvict>& graveyard) {
+  // Callbacks here may re-enter the table; each removal they cause opens
+  // its own scope and flushes on exit, so recursion bottoms out.
+  for (PendingEvict& p : graveyard) {
+    if (p.notify && on_evict_) on_evict_(p.entry->flow, *p.entry->session, p.reason);
+    delete p.entry;
+  }
+  graveyard.clear();
+}
+
 std::uint64_t flow_hash(const FlowId& flow) noexcept {
   // splitmix64 finalizer: full-avalanche, so both the shard index (low
   // bits) and the probe start (high bits) see well-mixed key material even
@@ -130,15 +189,18 @@ void SessionTable::lru_touch_locked(Shard& s, Entry* e) {
   if (s.lru_tail == nullptr) s.lru_tail = e;
 }
 
-void SessionTable::evict_locked(Shard& s, Entry* e, EvictReason reason) {
+void SessionTable::evict_locked(Shard& s, Entry* e, EvictReason reason,
+                                std::vector<PendingEvict>& graveyard) {
   remove_slot_locked(s, e);
   lru_unlink_locked(s, e);
   --s.count;
   size_.fetch_sub(1, std::memory_order_relaxed);
   if (reason == EvictReason::kIdle) ++s.c.evictions_idle;
   else ++s.c.evictions_shed;
-  if (on_evict_) on_evict_(e->flow, *e->session, reason);
-  delete e;
+  // on_evict_ and the session's destructor run at flush time, after the
+  // shard lock drops — callbacks that re-enter the table are safe, and
+  // raw pointers upstack (a route() mid-delivery) stay valid.
+  graveyard.push_back({e, reason, /*notify=*/true});
 }
 
 SessionTable::Entry* SessionTable::pick_shed_victim_locked(Shard& s) {
@@ -162,31 +224,39 @@ SessionTable::Entry* SessionTable::pick_shed_victim_locked(Shard& s) {
 Result<Session*> SessionTable::insert_locked(Shard& s, const FlowId& flow,
                                              std::uint64_t hash,
                                              SessionPtr session, SimTime now,
-                                             bool pinned) {
+                                             bool pinned,
+                                             std::vector<PendingEvict>& graveyard) {
   if (find_locked(s, hash, flow) != nullptr) {
     return {ErrorCode::kDuplicate, "flow already resident"};
   }
-  // Per-shard high water: shed before admitting, so a storm concentrating
-  // on one shard degrades that shard by policy instead of growing it
-  // without bound.
+  // Per-shard high water: admitting into a full shard sheds a resident, so
+  // a storm concentrating on one shard degrades that shard by policy
+  // instead of growing it without bound. The victim is only CHOSEN here —
+  // nothing is evicted until every admission check has passed, so a
+  // rejected insert never costs a resident session.
+  Entry* victim = nullptr;
   if (cfg_.shard_highwater > 0 && s.count >= cfg_.shard_highwater) {
-    Entry* victim = pick_shed_victim_locked(s);
+    victim = pick_shed_victim_locked(s);
     if (victim == nullptr) {
       // Every resident is pinned: nothing to shed, so the shard cannot
       // make room — refuse rather than grow past the water line.
       admission_rejects_.fetch_add(1, std::memory_order_relaxed);
       return {ErrorCode::kLimitExceeded, "shard at high water, all pinned"};
     }
-    evict_locked(s, victim, EvictReason::kShed);
   }
-  // Global cap. The relaxed read can transiently over-admit by one per
-  // concurrent shard — admission is a resource bound, not an invariant,
-  // and an exact global count would serialize every shard on one lock.
-  if (cfg_.max_sessions > 0 &&
-      size_.load(std::memory_order_relaxed) >= cfg_.max_sessions) {
-    admission_rejects_.fetch_add(1, std::memory_order_relaxed);
-    return {ErrorCode::kLimitExceeded, "session table full"};
+  // Global cap, counting the room the pending shed would make (so at the
+  // cap a high-water insert still admits by replacement). The relaxed
+  // read can transiently over-admit by one per concurrent shard —
+  // admission is a resource bound, not an invariant, and an exact global
+  // count would serialize every shard on one lock.
+  if (cfg_.max_sessions > 0) {
+    const std::size_t resident = size_.load(std::memory_order_relaxed);
+    if (resident - (victim != nullptr ? 1 : 0) >= cfg_.max_sessions) {
+      admission_rejects_.fetch_add(1, std::memory_order_relaxed);
+      return {ErrorCode::kLimitExceeded, "session table full"};
+    }
   }
+  if (victim != nullptr) evict_locked(s, victim, EvictReason::kShed, graveyard);
   if (needs_growth(s.count, s.slots.size())) grow_locked(s);
 
   auto* e = new Entry{};
@@ -212,15 +282,16 @@ Result<Session*> SessionTable::insert(const FlowId& flow, SessionPtr session,
                                       SimTime now, bool pinned) {
   const std::uint64_t h = flow_hash(flow);
   Shard& s = shard_for(h);
-  std::lock_guard<std::mutex> lock(s.mu);
-  return insert_locked(s, flow, h, std::move(session), now, pinned);
+  ShardScope scope(*this, s);
+  return insert_locked(s, flow, h, std::move(session), now, pinned,
+                       scope.graveyard());
 }
 
 bool SessionTable::with_session(const FlowId& flow, SimTime now,
                                 const std::function<void(Session&)>& fn) {
   const std::uint64_t h = flow_hash(flow);
   Shard& s = shard_for(h);
-  std::lock_guard<std::mutex> lock(s.mu);
+  ShardScope scope(*this, s);
   ++s.c.lookups;
   Entry* e = find_locked(s, h, flow);
   if (e == nullptr) {
@@ -230,6 +301,8 @@ bool SessionTable::with_session(const FlowId& flow, SimTime now,
   ++s.c.hits;
   e->last_active = now;
   lru_touch_locked(s, e);
+  // fn may erase this very flow: the entry is then unlinked but parked in
+  // the scope's graveyard, so *e->session outlives the call.
   fn(*e->session);
   return true;
 }
@@ -240,7 +313,7 @@ SessionTable::RouteOutcome SessionTable::route(const FlowId& flow, SimTime now,
                                                bool pinned) {
   const std::uint64_t h = flow_hash(flow);
   Shard& s = shard_for(h);
-  std::lock_guard<std::mutex> lock(s.mu);
+  ShardScope scope(*this, s);
   ++s.c.lookups;
   if (Entry* e = find_locked(s, h, flow)) {
     ++s.c.hits;
@@ -253,7 +326,8 @@ SessionTable::RouteOutcome SessionTable::route(const FlowId& flow, SimTime now,
   if (factory == nullptr || !*factory) return RouteOutcome::kNoSession;
   SessionPtr fresh = (*factory)(flow, frame);
   if (fresh == nullptr) return RouteOutcome::kNoSession;
-  auto r = insert_locked(s, flow, h, std::move(fresh), now, pinned);
+  auto r = insert_locked(s, flow, h, std::move(fresh), now, pinned,
+                         scope.graveyard());
   if (!r.ok()) return RouteOutcome::kRejected;
   // First frame delivered under the same lock that admitted the flow: a
   // concurrent second frame for it serializes behind us, in order.
@@ -264,7 +338,7 @@ SessionTable::RouteOutcome SessionTable::route(const FlowId& flow, SimTime now,
 bool SessionTable::erase(const FlowId& flow) {
   const std::uint64_t h = flow_hash(flow);
   Shard& s = shard_for(h);
-  std::lock_guard<std::mutex> lock(s.mu);
+  ShardScope scope(*this, s);
   Entry* e = find_locked(s, h, flow);
   if (e == nullptr) return false;
   remove_slot_locked(s, e);
@@ -272,14 +346,17 @@ bool SessionTable::erase(const FlowId& flow) {
   --s.count;
   ++s.c.erases;
   size_.fetch_sub(1, std::memory_order_relaxed);
-  delete e;
+  // Destruction is deferred past the lock (and past the caller's frame
+  // when this is a session erasing itself mid-on_frame); erase() fires no
+  // eviction callback — the caller asked, no one needs notifying.
+  scope.graveyard().push_back({e, EvictReason::kIdle, /*notify=*/false});
   return true;
 }
 
 bool SessionTable::pin(const FlowId& flow, bool pinned) {
   const std::uint64_t h = flow_hash(flow);
   Shard& s = shard_for(h);
-  std::lock_guard<std::mutex> lock(s.mu);
+  const auto lock = maybe_lock(s);
   Entry* e = find_locked(s, h, flow);
   if (e == nullptr) return false;
   e->pinned = pinned;
@@ -289,7 +366,7 @@ bool SessionTable::pin(const FlowId& flow, bool pinned) {
 bool SessionTable::contains(const FlowId& flow) const {
   const std::uint64_t h = flow_hash(flow);
   Shard& s = shard_for(h);
-  std::lock_guard<std::mutex> lock(s.mu);
+  const auto lock = maybe_lock(s);
   return const_cast<SessionTable*>(this)->find_locked(s, h, flow) != nullptr;
 }
 
@@ -298,7 +375,10 @@ std::size_t SessionTable::sweep_idle(SimTime now) {
   std::size_t evicted = 0;
   for (auto& sp : shards_) {
     Shard& s = *sp;
-    std::lock_guard<std::mutex> lock(s.mu);
+    // One scope per shard: each shard's eviction callbacks run after that
+    // shard unlocks and before the next one locks, so the sweep never
+    // holds a lock while user code runs.
+    ShardScope scope(*this, s);
     // The LRU is ordered by last_active (every touch moves to head), so
     // the sweep walks the cold tail and stops at the first live entry —
     // pinned entries are stepped over, never evicted.
@@ -306,7 +386,7 @@ std::size_t SessionTable::sweep_idle(SimTime now) {
     while (e != nullptr && now - e->last_active >= cfg_.idle_timeout) {
       Entry* prev = e->lru_prev;
       if (!e->pinned) {
-        evict_locked(s, e, EvictReason::kIdle);
+        evict_locked(s, e, EvictReason::kIdle, scope.graveyard());
         ++evicted;
       }
       e = prev;
@@ -323,7 +403,7 @@ std::vector<std::size_t> SessionTable::shard_sizes() const {
   std::vector<std::size_t> out;
   out.reserve(shards_.size());
   for (const auto& sp : shards_) {
-    std::lock_guard<std::mutex> lock(sp->mu);
+    const auto lock = maybe_lock(*sp);
     out.push_back(sp->count);
   }
   return out;
@@ -332,7 +412,7 @@ std::vector<std::size_t> SessionTable::shard_sizes() const {
 SessionTableStats SessionTable::stats() const {
   SessionTableStats t;
   for (const auto& sp : shards_) {
-    std::lock_guard<std::mutex> lock(sp->mu);
+    const auto lock = maybe_lock(*sp);
     const ShardCounters& c = sp->c;
     t.lookups += c.lookups;
     t.hits += c.hits;
@@ -364,7 +444,7 @@ void SessionTable::emit_metrics(obs::MetricSink& sink) const {
   for (std::size_t i = 0; i < shards_.size(); ++i) {
     const Shard& s = *shards_[i];
     obs::PrefixedSink ps(sink, "shard" + std::to_string(i) + ".");
-    std::lock_guard<std::mutex> lock(s.mu);
+    const auto lock = maybe_lock(s);
     ps.gauge("occupancy", static_cast<double>(s.count));
     ps.gauge("occupancy_peak", static_cast<double>(s.c.occupancy_peak));
     ps.counter("lookups", s.c.lookups);

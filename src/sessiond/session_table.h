@@ -15,6 +15,14 @@
 // which also means one flow's frames are processed in order without any
 // extra machinery. Within the deterministic single-threaded sim the locks
 // are uncontended and cost one uncontended CAS each.
+//
+// Re-entrancy: eviction callbacks and Session destructors never run under
+// a shard mutex — removals are parked and settled after the lock drops.
+// Code already running under a shard lock (Session::on_frame, the
+// with_session functor, a SessionFactory) may re-enter the table for that
+// same shard; the table detects the held lock and runs the nested call
+// directly, so a session erasing itself from its own completion callback
+// is a supported, deadlock-free pattern.
 #pragma once
 
 #include <atomic>
@@ -59,7 +67,13 @@ class Session {
  public:
   virtual ~Session() = default;
   /// One raw frame off the wire, untrusted. Called with the owning shard's
-  /// lock held: implementations must not call back into the SessionTable.
+  /// lock held. Re-entering the table for the SAME shard from here —
+  /// erasing this or a sibling flow, inserting, routing — is safe: the
+  /// table detects the held lock and runs the operation immediately,
+  /// deferring any session destruction until the lock is released.
+  /// Operations on OTHER shards take that shard's lock normally (always
+  /// fine single-threaded; multi-threaded dispatch must not erase across
+  /// shards from callbacks, or it risks lock-order inversion).
   virtual void on_frame(ConstBytes frame) = 0;
 };
 
@@ -135,7 +149,8 @@ class SessionTable {
   /// Looks the flow up and, under the owning shard's lock, runs `fn` on
   /// its session; touches the LRU clock. False = not resident. This is
   /// the dispatch primitive: per-flow serialization comes from the shard
-  /// lock, so `fn` must not re-enter the table.
+  /// lock. `fn` may re-enter the table (see Session::on_frame for the
+  /// same-shard guarantee and the cross-shard caveat).
   bool with_session(const FlowId& flow, SimTime now,
                     const std::function<void(Session&)>& fn);
 
@@ -172,7 +187,9 @@ class SessionTable {
   void set_priority(SessionPriorityFn fn) { priority_ = std::move(fn); }
   /// Observes every idle/shed eviction, after removal from the table but
   /// before the session is destroyed (the flight hook and the facade's
-  /// bookkeeping hang off this). Called with the shard lock held.
+  /// bookkeeping hang off this). Runs with the shard lock RELEASED — the
+  /// entry is already unlinked, so the callback may freely re-enter the
+  /// table (erase a related flow, insert a replacement, read stats).
   void set_on_evict(
       std::function<void(const FlowId&, Session&, EvictReason)> fn) {
     on_evict_ = std::move(fn);
@@ -216,6 +233,38 @@ class SessionTable {
     ShardCounters c;
   };
 
+  /// An entry removed from the table whose on_evict_ callback and
+  /// destruction are deferred until the owning shard's lock is released
+  /// (so neither user callbacks nor Session destructors ever run under a
+  /// shard mutex).
+  struct PendingEvict {
+    Entry* entry = nullptr;
+    EvictReason reason = EvictReason::kIdle;
+    bool notify = false;  ///< evictions fire on_evict_; erase() does not
+  };
+
+  /// Which (table, shard) the current thread holds locked, and where its
+  /// deferred teardown work accumulates. This is what makes same-shard
+  /// re-entry from callbacks safe: a nested call sees its shard already
+  /// held and runs lock-free against it, parking removals in the outer
+  /// scope's graveyard.
+  struct ReentryCtx {
+    const SessionTable* table = nullptr;
+    const Shard* shard = nullptr;
+    std::vector<PendingEvict>* graveyard = nullptr;
+  };
+  class ShardScope;
+  static thread_local ReentryCtx tls_ctx_;
+
+  bool held_by_this_thread(const Shard& s) const noexcept {
+    return tls_ctx_.table == this && tls_ctx_.shard == &s;
+  }
+  /// Locks s.mu unless this thread already holds it (re-entrant read path).
+  std::unique_lock<std::mutex> maybe_lock(const Shard& s) const;
+  /// Runs deferred callbacks and destroys parked entries. Caller must NOT
+  /// hold any shard lock.
+  void flush(std::vector<PendingEvict>& graveyard);
+
   Shard& shard_for(std::uint64_t hash) const noexcept;
   // All helpers below run with the shard's lock held.
   Entry* find_locked(Shard& s, std::uint64_t hash, const FlowId& flow) const;
@@ -224,13 +273,15 @@ class SessionTable {
   void grow_locked(Shard& s);
   void lru_touch_locked(Shard& s, Entry* e);
   void lru_unlink_locked(Shard& s, Entry* e);
-  void evict_locked(Shard& s, Entry* e, EvictReason reason);
+  void evict_locked(Shard& s, Entry* e, EvictReason reason,
+                    std::vector<PendingEvict>& graveyard);
   /// Lowest-priority, least-recently-active unpinned entry; null if all
   /// pinned.
   Entry* pick_shed_victim_locked(Shard& s);
   Result<Session*> insert_locked(Shard& s, const FlowId& flow,
                                  std::uint64_t hash, SessionPtr session,
-                                 SimTime now, bool pinned);
+                                 SimTime now, bool pinned,
+                                 std::vector<PendingEvict>& graveyard);
 
   SessionTableConfig cfg_;
   std::vector<std::unique_ptr<Shard>> shards_;

@@ -247,7 +247,20 @@ Result<SessionHandle> Sessiond::open(const alf::SessionConfig& session,
   const std::uint32_t peer = opts.peer != 0 ? opts.peer : next_open_peer_++;
   const FlowId flow{peer, session.session_id};
 
+  // Admission first, endpoints second. Endpoint constructors register
+  // frame handlers on the (shared) paths, so building them before the
+  // table says yes would — on a duplicate or a full table — tear them
+  // straight back down, leaving the paths' handlers dangling and the
+  // already-resident session on those paths deaf. The placeholder
+  // AlfSession is inert (no endpoints: on_frame drops), so reserving the
+  // entry before the endpoints exist is safe even against concurrent
+  // dispatch to this flow.
   auto sess = std::unique_ptr<AlfSession>(new AlfSession());
+  AlfSession* raw = sess.get();
+  auto admitted = table_.insert(flow, std::move(sess), loop_.now(),
+                                /*pinned=*/true);
+  if (!admitted.ok()) return admitted.error();
+
   if (opts.supervised) {
     resilience::SupervisorConfig sup_cfg = opts.supervisor;
     sup_cfg.session = session;
@@ -255,31 +268,33 @@ Result<SessionHandle> Sessiond::open(const alf::SessionConfig& session,
       sup_cfg.engine = opts.engine;
       sup_cfg.engine_harvest_delay = opts.engine_harvest_delay;
     }
-    sess->sup_ = std::make_unique<resilience::SessionSupervisor>(
+    raw->sup_ = std::make_unique<resilience::SessionSupervisor>(
         loop_, *paths.data, *paths.feedback_tx, *paths.feedback_rx, sup_cfg);
   } else {
     // Hand-wired construction order, preserved exactly: sender first (its
     // ctor registers the feedback handler), then receiver (data handler).
     // Migrated programs replay the identical event sequence.
-    sess->sender_ = std::make_unique<alf::AlfSender>(
+    raw->sender_ = std::make_unique<alf::AlfSender>(
         loop_, *paths.data, *paths.feedback_rx, session);
-    sess->receiver_ = std::make_unique<alf::AlfReceiver>(
+    raw->receiver_ = std::make_unique<alf::AlfReceiver>(
         loop_, *paths.data, *paths.feedback_tx, session);
     if (opts.engine != nullptr) {
-      sess->receiver_->set_engine(opts.engine, opts.engine_harvest_delay);
+      raw->receiver_->set_engine(opts.engine, opts.engine_harvest_delay);
     }
   }
-
-  AlfSession* raw = sess.get();
-  auto admitted = table_.insert(flow, std::move(sess), loop_.now(),
-                                /*pinned=*/true);
-  if (!admitted.ok()) return admitted.error();
   return SessionHandle(this, flow, raw);
 }
 
 void Sessiond::set_flight(obs::FlightRecorder* flight) {
+  // One "sessiond" track per recorder, however many times we're pointed
+  // at it: the track is cached so enable/disable/re-enable cycles neither
+  // duplicate tracks nor fall back to writing stage events on track 0.
+  if (flight != nullptr && flight != tracked_flight_) {
+    tracked_flight_ = flight;
+    tracked_track_ = flight->add_track("sessiond");
+  }
   flight_ = flight;
-  flight_track_ = flight != nullptr ? flight->add_track("sessiond") : 0;
+  flight_track_ = flight != nullptr ? tracked_track_ : 0;
   dispatcher_.set_flight(flight_, flight_track_);
 }
 

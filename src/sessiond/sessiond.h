@@ -292,6 +292,8 @@ class Sessiond {
 
   /// One "sessiond" flight track: kSessionCreate on dispatcher creates,
   /// kSessionEvict on idle/shed evictions (single-threaded sim only).
+  /// Idempotent per recorder (repeat calls reuse the cached track); null
+  /// disables recording and a later re-enable picks the track back up.
   void set_flight(obs::FlightRecorder* flight);
 
   /// Registers table ("<prefix>.table", per-shard nested) and dispatcher
@@ -310,6 +312,8 @@ class Sessiond {
   EventId sweep_timer_ = 0;
   obs::FlightRecorder* flight_ = nullptr;
   std::uint16_t flight_track_ = 0;
+  obs::FlightRecorder* tracked_flight_ = nullptr;  ///< recorder the cached
+  std::uint16_t tracked_track_ = 0;                ///< track was added on
   std::function<void(const FlowId&, EvictReason)> on_evict_;
 };
 

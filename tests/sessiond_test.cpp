@@ -671,6 +671,205 @@ TEST(Sessiond, EvictHookAndMetricsSnapshotsAreByteIdentical) {
             std::string::npos);
 }
 
+// ---- locking & admission regressions ---------------------------------------
+
+/// Erases its own flow the moment a frame arrives — the table must accept
+/// same-shard re-entry from under its own dispatch lock.
+class SelfErasingSession final : public Session {
+ public:
+  SelfErasingSession(SessionTable& table, FlowId flow, int* frames)
+      : table_(table), flow_(flow), frames_(frames) {}
+  void on_frame(ConstBytes) override {
+    *frames_ += 1;
+    EXPECT_TRUE(table_.erase(flow_));
+    EXPECT_FALSE(table_.contains(flow_));  // removal is visible immediately
+  }
+
+ private:
+  SessionTable& table_;
+  FlowId flow_;
+  int* frames_;
+};
+
+TEST(SessionTable, SessionMayEraseItselfFromItsOwnDispatch) {
+  SessionTable table;
+  const FlowId flow{1, 7};
+  int frames = 0;
+  ASSERT_TRUE(
+      table.insert(flow, std::make_unique<SelfErasingSession>(table, flow, &frames), 0)
+          .ok());
+
+  // route() holds the shard lock across on_frame; the erase inside used to
+  // deadlock on the non-recursive shard mutex.
+  const ByteBuffer f = make_data_frame(7, 1);
+  EXPECT_EQ(table.route(flow, 0, f.span(), nullptr),
+            SessionTable::RouteOutcome::kRouted);
+  EXPECT_EQ(frames, 1);
+  EXPECT_EQ(table.size(), 0u);
+
+  // Same guarantee through the with_session functor.
+  ASSERT_TRUE(table.insert(flow, std::make_unique<ToySession>(), 0).ok());
+  EXPECT_TRUE(table.with_session(
+      flow, 0, [&](Session&) { EXPECT_TRUE(table.erase(flow)); }));
+  EXPECT_EQ(table.size(), 0u);
+}
+
+TEST(SessionTable, EvictionCallbacksRunOutsideTheShardLock) {
+  SessionTableConfig cfg;
+  cfg.shards = 1;
+  cfg.idle_timeout = 10;
+  SessionTable table(cfg);
+  ASSERT_TRUE(table.insert({1, 1}, std::make_unique<ToySession>(), 0).ok());
+  ASSERT_TRUE(table.insert({1, 2}, std::make_unique<ToySession>(), 0).ok());
+  ASSERT_TRUE(table.insert({1, 3}, std::make_unique<ToySession>(), 5).ok());
+
+  std::size_t evictions = 0;
+  table.set_on_evict([&](const FlowId& flow, Session&, EvictReason why) {
+    EXPECT_EQ(why, EvictReason::kIdle);
+    ++evictions;
+    // The hook fires after the shard unlocks: re-entering the table —
+    // lookups, stats, even inserting a replacement into the same shard —
+    // must not deadlock.
+    EXPECT_FALSE(table.contains(flow));
+    (void)table.stats();
+    if (flow.session_id == 1) {
+      ASSERT_TRUE(table.insert({2, 1}, std::make_unique<ToySession>(), 12).ok());
+    }
+  });
+  EXPECT_EQ(table.sweep_idle(12), 2u);  // {1,1} and {1,2} idle; {1,3} warm
+  EXPECT_EQ(evictions, 2u);
+  EXPECT_TRUE(table.contains({2, 1}));
+  EXPECT_EQ(table.size(), 2u);
+}
+
+TEST(SessionTable, RejectedInsertNeverCostsAResidentSession) {
+  SessionTableConfig cfg;
+  cfg.shards = 1;
+  cfg.max_sessions = 3;
+  cfg.shard_highwater = 3;
+  SessionTable table(cfg);
+  for (std::uint16_t i = 0; i < 3; ++i) {
+    ASSERT_TRUE(table.insert({1, i}, std::make_unique<ToySession>(), i).ok());
+  }
+  EXPECT_EQ(table.size(), 3u);
+
+  // At the global cap AND the shard's high water: admit by replacement —
+  // the coldest resident ({1,0}) is shed only once admission is certain.
+  ASSERT_TRUE(table.insert({1, 100}, std::make_unique<ToySession>(), 10).ok());
+  EXPECT_EQ(table.size(), 3u);
+  EXPECT_EQ(table.stats().evictions_shed, 1u);
+  EXPECT_FALSE(table.contains({1, 0}));
+
+  // With every resident pinned the insert is refused — and the refusal
+  // must not have shed anyone first (the net-loss bug: evict, then find
+  // the cap rejects the newcomer anyway).
+  for (const FlowId f : {FlowId{1, 1}, FlowId{1, 2}, FlowId{1, 100}}) {
+    ASSERT_TRUE(table.pin(f, true));
+  }
+  auto r = table.insert({1, 101}, std::make_unique<ToySession>(), 11);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, ErrorCode::kLimitExceeded);
+  EXPECT_EQ(table.size(), 3u);
+  EXPECT_EQ(table.stats().evictions_shed, 1u);  // unchanged
+  EXPECT_EQ(table.stats().admission_rejects, 1u);
+}
+
+TEST(Sessiond, FailedOpenLeavesResidentSessionLive) {
+  Harness h;
+  Sessiond daemon(h.loop);
+  alf::SessionConfig session;
+  OpenOptions fixed;
+  fixed.peer = 77;
+  auto a = daemon.open(session, h.paths(), fixed);
+  ASSERT_TRUE(a.ok());
+
+  // A duplicate open must fail WITHOUT touching the shared paths: open()
+  // used to construct endpoints first, which re-registered (then, on the
+  // rejected insert, orphaned) the very handlers session `a` lives on.
+  ASSERT_FALSE(daemon.open(session, h.paths(), fixed).ok());
+  EXPECT_EQ(daemon.table().size(), 1u);
+
+  // The resident association still works end to end.
+  bool complete = false;
+  std::uint64_t delivered = 0;
+  a.value().set_on_adu([&](Adu&&) { ++delivered; });
+  a.value().set_on_complete([&] { complete = true; });
+  ByteBuffer payload(256);
+  ASSERT_TRUE(a.value().send_adu(generic_name(1), payload.span()).ok());
+  a.value().finish();
+  h.loop.run();
+  EXPECT_TRUE(complete);
+  EXPECT_EQ(delivered, 1u);
+}
+
+TEST(Sessiond, CloseWithFramesInFlightIsSafe) {
+  Harness h;
+  Sessiond daemon(h.loop);
+  alf::SessionConfig session;
+  auto handle = daemon.open(session, h.paths());
+  ASSERT_TRUE(handle.ok());
+
+  // Close while frames are still in the simulated pipe: the destroyed
+  // endpoints unregister their path handlers, so late deliveries drop on
+  // a handlerless path instead of calling into freed objects.
+  ByteBuffer payload(256);
+  ASSERT_TRUE(handle.value().send_adu(generic_name(1), payload.span()).ok());
+  handle.value().close();
+  EXPECT_EQ(daemon.table().size(), 0u);
+  h.loop.run();
+}
+
+TEST(Sessiond, FactorySessionMayEraseItselfOnComplete) {
+  // The natural server cleanup: a demuxed flow removes itself the moment
+  // its transfer completes. on_complete fires inside route() — under the
+  // owning shard's lock — so this deadlocked before same-shard re-entry
+  // was supported.
+  EventLoop loop;
+  LinkConfig lc;
+  lc.seed = 9;
+  DuplexChannel ch(loop, lc);
+  LinkPath ingress(ch.forward);
+  LinkPath feedback(ch.reverse);
+
+  Sessiond daemon(loop);
+  std::uint64_t completions = 0;
+  alf::SessionConfig base;
+  ReceiverFactoryOptions fopts;
+  fopts.configure = [&](const FlowId& flow, alf::AlfReceiver& rx) {
+    rx.set_on_complete([&completions, &daemon, flow] {
+      ++completions;
+      EXPECT_TRUE(daemon.table().erase(flow));
+    });
+  };
+  daemon.set_factory(alf_receiver_factory(loop, feedback, base, fopts));
+  daemon.bind(ingress);
+
+  const ByteBuffer data = make_data_frame(5, 1);
+  ch.forward.send(data.span());
+  const ByteBuffer done = alf::encode_done({5, 1});
+  ch.forward.send(done.span());
+  loop.run();
+
+  EXPECT_EQ(completions, 1u);
+  EXPECT_EQ(daemon.table().size(), 0u);
+  EXPECT_EQ(daemon.dispatcher().stats().sessions_created, 1u);
+}
+
+TEST(Sessiond, SetFlightIsIdempotentPerRecorder) {
+  if constexpr (!obs::kEnabled) GTEST_SKIP() << "NGP_OBS=OFF build";
+  EventLoop loop;
+  Sessiond daemon(loop);
+  obs::FlightRecorder flight(+[](const void*) -> SimTime { return 0; },
+                             nullptr);
+  const std::size_t before = flight.track_count();
+  daemon.set_flight(&flight);
+  daemon.set_flight(&flight);  // repeat enable: no duplicate track
+  EXPECT_EQ(flight.track_count(), before + 1);
+  daemon.set_flight(nullptr);  // disable...
+  daemon.set_flight(&flight);  // ...and re-enable: cached track reused
+  EXPECT_EQ(flight.track_count(), before + 1);
+}
+
 // ---- concurrency (TSan lane) -----------------------------------------------
 
 TEST(SessionTableThreads, ConcurrentDispatchAcrossShards) {
