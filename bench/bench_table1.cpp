@@ -20,6 +20,8 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "buf/chain_ops.h"
+#include "buf/pool.h"
 #include "checksum/internet.h"
 #include "crypto/chacha20.h"
 #include "ilp/kernels.h"
@@ -240,6 +242,75 @@ void print_kernel_tiers() {
   ngp::bench::emit_json("KERNEL_TIERS_JSON", std::string(head) + points + "]}");
 }
 
+// ---- Copy ledger at kernel granularity (DESIGN.md §12) -------------------------
+//
+// Table 1's kernels, arranged as the two receive routes a fragment can
+// take. Flat route: stage the wire bytes, checksum, then copy into the
+// final buffer — two store passes plus a load pass. Chain route: checksum
+// the pooled segments where the (simulated) wire left them — one load-only
+// gather pass, zero stores; the application scatters at final placement
+// only if it must. Throughput is measured; the ledger rows are the §4
+// analytic pass counts the ALF endpoints actually charge.
+void print_copy_ledger() {
+  using ngp::bench::measure_mbps;
+  const std::size_t n = 64 * 1024;
+  const std::size_t kFrag = 1400;  // MTU-ish segments, like the rx pool holds
+  ByteBuffer wire = make_buffer(n);
+  ByteBuffer staging(n), final_buf(n);
+
+  volatile std::uint16_t sink = 0;
+  const double flat = measure_mbps(n, [&] {
+    copy_unrolled(wire.span(), staging.span());
+    sink = internet_checksum_unrolled(staging.span());
+    copy_unrolled(staging.span(), final_buf.span());
+    benchmark::DoNotOptimize(final_buf.data());
+  });
+
+  buf::BufferPool pool;
+  buf::BufChain chain;
+  for (std::size_t off = 0; off < n; off += kFrag) {
+    const std::size_t len = std::min(kFrag, n - off);
+    buf::BufRef ref = pool.alloc(len);
+    std::memcpy(ref.data(), wire.data() + off, len);
+    chain.append(buf::Slice{std::move(ref), 0, len});
+  }
+  const double pooled = measure_mbps(n, [&] {
+    sink = buf::chain_internet_checksum(chain);
+  });
+  (void)sink;
+
+  obs::CostAccount flat_cost, pooled_cost;
+  flat_cost.charge_operation(n);
+  flat_cost.charge_fused(n);                 // staging copy
+  flat_cost.charge_pass(n, /*stores=*/false);  // checksum
+  flat_cost.charge_fused(n);                 // placement copy
+  pooled_cost.charge_operation(n);
+  pooled_cost.charge_pass(n, /*stores=*/false);  // gather checksum, in place
+
+  ngp::bench::print_header(
+      "Copy ledger: flat receive route vs zero-copy chain route");
+  std::printf("  %-40s %10s %14s\n", "", "Mb/s", "stored bytes");
+  std::printf("  %-40s %10.0f %14llu\n", "flat: stage + checksum + place", flat,
+              static_cast<unsigned long long>(flat_cost.word_stores * 8));
+  std::printf("  %-40s %10.0f %14llu\n", "chain: gather checksum in place",
+              pooled,
+              static_cast<unsigned long long>(pooled_cost.word_stores * 8));
+  std::printf("  shape check: chain route stores nothing and is faster -> %s\n",
+              (pooled_cost.word_stores == 0 && pooled > flat) ? "HOLDS"
+                                                              : "FAILS");
+
+  ngp::bench::emit_json("COPY_LEDGER_JSON",
+                        ngp::bench::JsonWriter()
+                            .field("bytes", n)
+                            .field("fragment_bytes", kFrag)
+                            .field("flat_mbps", flat)
+                            .field("chain_mbps", pooled)
+                            .field("flat_stored_bytes", flat_cost.word_stores * 8)
+                            .field("chain_stored_bytes",
+                                   pooled_cost.word_stores * 8)
+                            .str());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -249,5 +320,6 @@ int main(int argc, char** argv) {
   benchmark::Shutdown();
   print_table1();
   print_kernel_tiers();
+  print_copy_ledger();
   return 0;
 }

@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <string>
 
+#include "buf/chain.h"
 #include "presentation/codec.h"
 #include "util/bytes.h"
 
@@ -104,6 +105,17 @@ struct Adu {
   AduName name;
   TransferSyntax syntax = TransferSyntax::kRaw;
   ByteBuffer payload;  ///< transfer-syntax encoded bytes
+};
+
+/// A complete ADU delivered over the zero-copy receive path: the payload
+/// is a refcounted scatter-gather chain of pool segments — the very bytes
+/// the (simulated) wire deposited, never flattened. The application now
+/// owns the chain; dropping it recycles the segments. Consumers that need
+/// flat bytes call payload.flatten() and pay the one copy themselves.
+struct AduChain {
+  AduName name;
+  TransferSyntax syntax = TransferSyntax::kRaw;
+  buf::BufChain payload;
 };
 
 }  // namespace ngp

@@ -5,9 +5,6 @@
 
 namespace ngp::alf {
 
-namespace {
-
-/// XORs `src` into `dst` (dst.size() >= src.size()), word-wise.
 void xor_into(MutableBytes dst, ConstBytes src) noexcept {
   std::size_t i = 0;
   while (i + 8 <= src.size()) {
@@ -16,8 +13,6 @@ void xor_into(MutableBytes dst, ConstBytes src) noexcept {
   }
   for (; i < src.size(); ++i) dst[i] ^= src[i];
 }
-
-}  // namespace
 
 ByteBuffer compute_parity(ConstBytes adu_payload, const FecGroup& group) {
   ByteBuffer parity(group.parity_length());

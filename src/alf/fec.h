@@ -52,6 +52,11 @@ struct FecGroup {
   std::size_t parity_length() const noexcept { return fragment_length(0); }
 };
 
+/// XORs `src` into `dst` (dst.size() >= src.size()), word-wise. Exposed so
+/// the zero-copy receive path can accumulate parity over pool slices
+/// without materializing a flat ADU buffer.
+void xor_into(MutableBytes dst, ConstBytes src) noexcept;
+
 /// Computes the XOR parity block for `group` over the (complete) ADU
 /// payload.
 ByteBuffer compute_parity(ConstBytes adu_payload, const FecGroup& group);

@@ -9,16 +9,48 @@ Status FileSink::place(const Adu& adu) {
   const auto region = FileRegionName::from_name(adu.name);
 
   // Stage-2 presentation processing: decode the transfer syntax here, in
-  // application context.
-  auto decoded = decode_octets(adu.syntax, adu.payload.span());
-  if (!decoded) return decoded.error();
-  if (decoded->size() != region.length) {
+  // application context — straight into the file image (the decode IS the
+  // final-placement copy; no intermediate buffer).
+  auto view = decode_octets_view(adu.syntax, adu.payload.span());
+  if (!view) return view.error();
+  if (view->size() != region.length) {
     return Error{ErrorCode::kMalformed, "decoded size != named region length"};
   }
 
   const std::uint64_t end = region.receiver_offset + region.length;
   if (end > file_.size()) file_.resize(end);
-  std::memcpy(file_.data() + region.receiver_offset, decoded->data(), decoded->size());
+  std::memcpy(file_.data() + region.receiver_offset, view->data(), view->size());
+
+  ++adus_placed_;
+  bytes_placed_ += region.length;
+  if (region.receiver_offset < highest_end_) ++ooo_placements_;
+  highest_end_ = std::max(highest_end_, end);
+  return Status::ok();
+}
+
+Status FileSink::place(const AduChain& adu) {
+  if (adu.syntax != TransferSyntax::kRaw) {
+    Adu flat;
+    flat.name = adu.name;
+    flat.syntax = adu.syntax;
+    flat.payload = adu.payload.flatten();
+    return place(flat);
+  }
+  if (adu.name.ns != NameSpace::kFileRegion) {
+    return Error{ErrorCode::kMalformed, "not a file-region ADU"};
+  }
+  const auto region = FileRegionName::from_name(adu.name);
+  if (adu.payload.size() != region.length) {
+    return Error{ErrorCode::kMalformed, "decoded size != named region length"};
+  }
+
+  const std::uint64_t end = region.receiver_offset + region.length;
+  if (end > file_.size()) file_.resize(end);
+  std::uint8_t* dst = file_.data() + region.receiver_offset;
+  adu.payload.for_each([&dst](ConstBytes seg) {
+    std::memcpy(dst, seg.data(), seg.size());
+    dst += seg.size();
+  });
 
   ++adus_placed_;
   bytes_placed_ += region.length;

@@ -27,6 +27,11 @@ class FileSink {
   /// octets at the region's offset. Grows the file if needed.
   Status place(const Adu& adu);
 
+  /// Chain-delivery variant (zero-copy datapath, DESIGN.md §12): a kRaw
+  /// ADU's segments land straight at the region's offset — one copy, at
+  /// final placement. Framed syntaxes flatten once first.
+  Status place(const AduChain& adu);
+
   /// Records a loss, in file terms: the byte range that never arrived.
   void mark_lost(const AduName& name);
 

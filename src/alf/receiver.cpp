@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "alf/fec.h"
+#include "buf/ingress.h"
 #include "engine/engine.h"
 #include "ilp/engine.h"
 #include "obs/flight.h"
@@ -229,7 +230,11 @@ void AlfReceiver::on_data(const DataFragment& f) {
     r.fec_k = f.fec_k;
     r.adu_len = f.adu_len;
     r.checksum = f.adu_checksum;
-    r.buf.resize(f.adu_len);
+    // Zero-copy opt-in is decided per ADU at first sight: only the
+    // Internet checksum folds across a gather list (ones-complement sums
+    // combine), so other checksum kinds keep the flat buffer.
+    r.pooled = rx_pool_ != nullptr && f.checksum_kind == ChecksumKind::kInternet;
+    if (!r.pooled) r.buf.resize(f.adu_len);
     r.charged_bytes = f.adu_len;
   } else if (f.adu_len != r.adu_len) {
     return;  // inconsistent metadata: ignore the stray fragment
@@ -267,11 +272,17 @@ void AlfReceiver::on_data(const DataFragment& f) {
 
   // Stage 1 placement: copy the fragment to its offset (the one
   // unavoidable move — "moving to/from the net", §3). Range bookkeeping
-  // detects what is genuinely new.
+  // detects what is genuinely new. A pooled ADU places by REFERENCE when
+  // the payload already sits in a pool segment — that placement charges
+  // nothing, which is the whole point.
   const std::uint32_t start = f.frag_off;
   const std::uint32_t end = start + static_cast<std::uint32_t>(f.payload.size());
-  simd::kernels().copy(f.payload, r.buf.span().subspan(start, f.payload.size()));
-  reassembly_cost_.charge_fused(f.payload.size());
+  if (r.pooled) {
+    place_pooled(r, f.payload, start, end);
+  } else {
+    simd::kernels().copy(f.payload, r.buf.span().subspan(start, f.payload.size()));
+    reassembly_cost_.charge_fused(f.payload.size());
+  }
   obs::flight_record(flight_, flight_track_, obs::FlightStage::kFragRx,
                      flight_id(f.adu_id), f.payload.size());
   if (!merge_range(r, start, end)) {
@@ -356,8 +367,28 @@ bool AlfReceiver::try_fec_reconstruct(std::uint32_t adu_id, Reassembly& r) {
       // pass per surviving source, one storing pass over the recovered slot.
       const auto s = static_cast<std::uint32_t>(group.fragment_offset(*missing));
       const std::size_t frag_len = group.fragment_length(*missing);
-      reconstruct_fragment_into(r.buf.span(), block.span(), group, *missing,
-                                r.buf.span().subspan(s, frag_len));
+      if (r.pooled) {
+        // Chain FEC: recover the missing fragment into a fresh pool slice
+        // and link it like any other arrival — the ADU never flattens. The
+        // surviving fragments are read in place (scratch only when one
+        // straddles a slice boundary).
+        buf::Slice out{rx_pool_->alloc(frag_len), 0, frag_len};
+        simd::kernels().copy(block.span().first(frag_len), out.mutable_bytes());
+        ByteBuffer scratch(r.frag_capacity);
+        for (std::size_t i = 0; i < group.fragment_count(); ++i) {
+          if (i == *missing) continue;
+          const std::size_t take = std::min(group.fragment_length(i), frag_len);
+          ConstBytes src;
+          if (read_pooled(r, static_cast<std::uint32_t>(group.fragment_offset(i)),
+                          take, scratch.span(), src)) {
+            xor_into(out.mutable_bytes(), src);
+          }
+        }
+        r.frags.emplace(s, std::move(out));
+      } else {
+        reconstruct_fragment_into(r.buf.span(), block.span(), group, *missing,
+                                  r.buf.span().subspan(s, frag_len));
+      }
       reassembly_cost_.charge_operation(frag_len);
       reassembly_cost_.charge_pass(frag_len, /*stores=*/false);  // parity prefix
       for (std::size_t i = 0; i < group.fragment_count(); ++i) {
@@ -378,6 +409,100 @@ bool AlfReceiver::try_fec_reconstruct(std::uint32_t adu_id, Reassembly& r) {
     return true;
   }
   return false;
+}
+
+void AlfReceiver::place_pooled(Reassembly& r, ConstBytes payload,
+                               std::uint32_t start, std::uint32_t end) {
+  // The link published the frame's backing segment for the duration of
+  // this handler call; if the payload sits inside it, every new byte is
+  // placed by taking a sub-slice reference — zero copies, zero charges.
+  // Payloads from elsewhere (a re-framed path, a corrupted-copy replay)
+  // fall back to ONE copy into a pool segment, same charge as the flat
+  // path's placement.
+  const buf::Slice* ing = buf::IngressFrame::current();
+  const bool by_ref = ing != nullptr && ing->ref.contains(payload);
+  bool placed = false;
+
+  // Walk the not-yet-covered gaps of [start, end): only genuinely new
+  // bytes take a slice — a duplicate must neither hold an extra segment
+  // reference nor shadow bytes already placed.
+  std::uint32_t pos = start;
+  auto it = r.ranges.upper_bound(start);
+  if (it != r.ranges.begin() && std::prev(it)->second > start) {
+    pos = static_cast<std::uint32_t>(std::min<std::uint64_t>(end, std::prev(it)->second));
+  }
+  while (pos < end) {
+    const std::uint32_t gap_end =
+        it != r.ranges.end() ? std::min(end, it->first) : end;
+    if (pos < gap_end) {
+      ConstBytes piece = payload.subspan(pos - start, gap_end - pos);
+      if (by_ref) {
+        const auto at = static_cast<std::size_t>(
+            piece.data() - (ing->ref.data() + ing->off));
+        r.frags.emplace(pos, ing->sub(at, piece.size()));
+      } else {
+        buf::Slice s{rx_pool_->alloc(piece.size()), 0, piece.size()};
+        simd::kernels().copy(piece, s.mutable_bytes());
+        reassembly_cost_.charge_fused(piece.size());
+        r.frags.emplace(pos, std::move(s));
+      }
+      placed = true;
+    }
+    if (it == r.ranges.end()) break;
+    pos = std::max(pos, std::min(end, it->second));
+    ++it;
+  }
+  if (placed) {
+    if (by_ref) ++stats_.fragments_zero_copy;
+    else ++stats_.fragments_pool_copied;
+  }
+}
+
+bool AlfReceiver::read_pooled(const Reassembly& r, std::uint32_t start,
+                              std::size_t len, MutableBytes scratch,
+                              ConstBytes& out) const {
+  if (len == 0) {
+    out = ConstBytes{};
+    return true;
+  }
+  // Fast path: the whole range inside one slice — alias it directly.
+  auto it = r.frags.upper_bound(start);
+  if (it == r.frags.begin()) return false;
+  --it;
+  const std::size_t rel = start - it->first;
+  if (rel < it->second.len && it->second.len - rel >= len) {
+    out = it->second.bytes().subspan(rel, len);
+    return true;
+  }
+  // Gather path: the range straddles slices; stitch it into scratch.
+  std::size_t done = 0;
+  while (done < len) {
+    auto jt = r.frags.upper_bound(static_cast<std::uint32_t>(start + done));
+    if (jt == r.frags.begin()) return false;
+    --jt;
+    const std::size_t at = (start + done) - jt->first;
+    if (at >= jt->second.len) return false;  // hole
+    const std::size_t take = std::min(len - done, jt->second.len - at);
+    simd::kernels().copy(jt->second.bytes().subspan(at, take),
+                         scratch.subspan(done, take));
+    done += take;
+  }
+  out = ConstBytes{scratch.data(), len};
+  return true;
+}
+
+buf::BufChain AlfReceiver::build_chain(Reassembly& r) {
+  // Complete coverage with disjoint slices: ascending key order IS the
+  // ADU's byte order. Moving the slices transfers their references.
+  buf::BufChain chain;
+  for (auto& [off, slice] : r.frags) chain.append(std::move(slice));
+  r.frags.clear();
+  return chain;
+}
+
+void AlfReceiver::note_recycle(std::uint32_t adu_id, std::size_t bytes) {
+  obs::flight_record(flight_, flight_track_, obs::FlightStage::kBufRecycle,
+                     flight_id(adu_id), bytes);
 }
 
 void AlfReceiver::set_flight(obs::FlightRecorder* flight) {
@@ -416,11 +541,44 @@ bool AlfReceiver::verify_and_decrypt(std::uint32_t adu_id, Reassembly& r) {
   return intact;
 }
 
+bool AlfReceiver::verify_and_decrypt_chain(std::uint32_t adu_id,
+                                           const Reassembly& r,
+                                           buf::BufChain& chain) {
+  // Same stage-2 recipe over the gather list: fused checksum folds across
+  // the slices (load-only when nothing decrypts — no flat staging buffer
+  // exists to store into, and that missing store pass is the saving).
+  obs::TraceSpan span(trace_, "alf.rx.manip", chain.size());
+  obs::flight_record(flight_, flight_track_, obs::FlightStage::kManipBegin,
+                     flight_id(adu_id), chain.size());
+  const bool intact =
+      run_manipulation_chain(make_plan(adu_id, r), chain, &manip_cost_);
+  obs::flight_record(flight_, flight_track_, obs::FlightStage::kManipEnd,
+                     flight_id(adu_id), chain.size());
+  return intact;
+}
+
 void AlfReceiver::complete_adu(std::uint32_t adu_id, Reassembly& r) {
   obs::flight_record(flight_, flight_track_, obs::FlightStage::kAduComplete,
                      flight_id(adu_id), r.adu_len);
   if (eng_ != nullptr) {
     offload_adu(adu_id, r);
+    return;
+  }
+  if (r.pooled) {
+    buf::BufChain chain = build_chain(r);
+    if (!verify_and_decrypt_chain(adu_id, r, chain)) {
+      // Same recovery as the flat path: discard (releasing the segments)
+      // and leave the id open for the NACK scan.
+      ++stats_.adus_checksum_failed;
+      note_recycle(adu_id, chain.size());
+      release_pending(pending_.find(adu_id));
+      return;
+    }
+    auto pit = pending_.find(adu_id);
+    reassembly_bytes_ -= std::min(reassembly_bytes_, pit->second.charged_bytes);
+    auto node = pending_.extract(pit);
+    deliver_chain(adu_id, node.mapped().name, node.mapped().syntax,
+                  std::move(chain));
     return;
   }
   if (!verify_and_decrypt(adu_id, r)) {
@@ -451,9 +609,9 @@ void AlfReceiver::offload_adu(std::uint32_t adu_id, Reassembly& r) {
   // now — the job owns the buffer, not the reassembly pool.
   manip_inflight_.emplace(adu_id, InflightManip{r.name, r.syntax});
   ++stats_.adus_engine_offloaded;
-  if (trace_ != nullptr) trace_->instant("alf.rx.engine.submit", r.buf.size());
+  if (trace_ != nullptr) trace_->instant("alf.rx.engine.submit", r.adu_len);
   obs::flight_record(flight_, flight_track_, obs::FlightStage::kEngineSubmit,
-                     flight_id(adu_id), r.buf.size());
+                     flight_id(adu_id), r.adu_len);
 
   engine::ManipulationJob job;
   job.adu_id = adu_id;
@@ -463,11 +621,21 @@ void AlfReceiver::offload_adu(std::uint32_t adu_id, Reassembly& r) {
   job.shard_key = obs::flight_trace_id(cfg_.session_id, adu_id);
   job.flight_id = flight_id(adu_id);
   job.plan = make_plan(adu_id, r);
-  job.payload = std::move(r.buf);
-  job.on_done = [this, adu_id](bool intact, ByteBuffer&& payload,
-                               const obs::CostAccount& cost) {
-    on_manip_done(adu_id, intact, std::move(payload), cost);
-  };
+  if (r.pooled) {
+    // The chain travels to the worker; its last release — wherever that
+    // happens — recycles the segments (the pool is thread-safe for this).
+    job.chain = build_chain(r);
+    job.on_done_chain = [this, adu_id](bool intact, buf::BufChain&& chain,
+                                       const obs::CostAccount& cost) {
+      on_manip_done_chain(adu_id, intact, std::move(chain), cost);
+    };
+  } else {
+    job.payload = std::move(r.buf);
+    job.on_done = [this, adu_id](bool intact, ByteBuffer&& payload,
+                                 const obs::CostAccount& cost) {
+      on_manip_done(adu_id, intact, std::move(payload), cost);
+    };
+  }
   release_pending(pending_.find(adu_id));
   eng_->submit(std::move(job));
   arm_engine_pump();
@@ -516,6 +684,29 @@ void AlfReceiver::on_manip_done(std::uint32_t adu_id, bool intact,
   deliver_payload(adu_id, meta.name, meta.syntax, std::move(payload));
 }
 
+void AlfReceiver::on_manip_done_chain(std::uint32_t adu_id, bool intact,
+                                      buf::BufChain&& chain,
+                                      const obs::CostAccount& cost) {
+  manip_cost_.merge(cost);
+  obs::flight_record(flight_, flight_track_, obs::FlightStage::kHarvest,
+                     flight_id(adu_id), chain.size());
+  auto it = manip_inflight_.find(adu_id);
+  if (it == manip_inflight_.end()) return;  // session failed meanwhile
+  InflightManip meta = std::move(it->second);
+  manip_inflight_.erase(it);
+  if (failed_) return;
+  if (!intact) {
+    // Discard the damaged chain (segments recycle) and leave the id open
+    // for the NACK scan, exactly like the flat engine path.
+    ++stats_.adus_checksum_failed;
+    note_recycle(adu_id, chain.size());
+    note_progress();
+    arm_timers();
+    return;
+  }
+  deliver_chain(adu_id, meta.name, meta.syntax, std::move(chain));
+}
+
 void AlfReceiver::deliver(std::uint32_t adu_id, Reassembly&& r) {
   deliver_payload(adu_id, r.name, r.syntax, std::move(r.buf));
 }
@@ -539,6 +730,43 @@ void AlfReceiver::deliver_payload(std::uint32_t adu_id, const AduName& name,
     adu.syntax = syntax;
     adu.payload = std::move(payload);
     on_adu_(std::move(adu));
+  }
+  check_complete();
+}
+
+void AlfReceiver::deliver_chain(std::uint32_t adu_id, const AduName& name,
+                                TransferSyntax syntax, buf::BufChain&& chain) {
+  const bool earlier_open = adu_id > closed_prefix_ + 1;
+  obs::flight_record(flight_, flight_track_, obs::FlightStage::kDeliver,
+                     flight_id(adu_id), chain.size());
+  close_id(adu_id);
+  ++delivered_count_;
+  ++stats_.adus_delivered;
+  stats_.payload_bytes_delivered += chain.size();
+  if (earlier_open) ++stats_.adus_delivered_out_of_order;
+
+  if (on_adu_chain_) {
+    ++stats_.adus_chain_delivered;
+    AduChain adu;
+    adu.name = name;
+    adu.syntax = syntax;
+    adu.payload = std::move(chain);
+    on_adu_chain_(std::move(adu));
+  } else if (on_adu_) {
+    // Flatten bridge: only a flat consumer is registered, so final
+    // placement happens here — ONE load+store pass, the single copy §4
+    // always grants the receive path. The chain's segments recycle now.
+    const std::size_t n = chain.size();
+    Adu adu;
+    adu.name = name;
+    adu.syntax = syntax;
+    adu.payload = chain.flatten();
+    reassembly_cost_.charge_fused(n);
+    note_recycle(adu_id, n);
+    chain.clear();
+    on_adu_(std::move(adu));
+  } else {
+    note_recycle(adu_id, chain.size());
   }
   check_complete();
 }
@@ -572,6 +800,14 @@ void AlfReceiver::abandon(std::uint32_t adu_id, const Reassembly* r) {
 
 void AlfReceiver::release_pending(std::map<std::uint32_t, Reassembly>::iterator it) {
   if (it == pending_.end()) return;
+  if (it->second.pooled && !it->second.frags.empty()) {
+    // The erase below drops the last references to this ADU's slices:
+    // note the recycle here, on the control thread, so flight timelines
+    // stay deterministic (the pool itself never records events).
+    std::size_t held = 0;
+    for (const auto& [off, s] : it->second.frags) held += s.len;
+    note_recycle(it->first, held);
+  }
   reassembly_bytes_ -= std::min(reassembly_bytes_, it->second.charged_bytes);
   pending_.erase(it);
 }
@@ -853,6 +1089,9 @@ void AlfReceiver::emit_metrics(obs::MetricSink& sink) const {
   sink.counter("fragments_stale_epoch", s.fragments_stale_epoch);
   sink.counter("adus_shed", s.adus_shed);
   sink.counter("adus_engine_offloaded", s.adus_engine_offloaded);
+  sink.counter("fragments_zero_copy", s.fragments_zero_copy);
+  sink.counter("fragments_pool_copied", s.fragments_pool_copied);
+  sink.counter("adus_chain_delivered", s.adus_chain_delivered);
   sink.gauge("reassembly_bytes", static_cast<double>(reassembly_bytes_));
   obs::emit_cost(sink, "cost", manip_cost_);
   obs::emit_cost(sink, "reassembly", reassembly_cost_);

@@ -71,6 +71,11 @@ struct ReceiverStats {
 
   /// ADUs whose stage-2 manipulation ran as an engine job (0 when inline).
   std::uint64_t adus_engine_offloaded = 0;
+
+  // Zero-copy datapath counters (rx pool attached; DESIGN.md §12).
+  std::uint64_t fragments_zero_copy = 0;    ///< placed by reference (no copy)
+  std::uint64_t fragments_pool_copied = 0;  ///< placed by copy into a pool seg
+  std::uint64_t adus_chain_delivered = 0;   ///< handed up as an AduChain
 };
 
 /// What a receiver knows about a session's closed ADUs, extracted after a
@@ -146,6 +151,28 @@ class AlfReceiver {
   /// arrival-completion order (NOT id order — that is the point).
   void set_on_adu(std::function<void(Adu&&)> fn) { on_adu_ = std::move(fn); }
 
+  /// Opts this receiver into the zero-copy datapath (DESIGN.md §12). With a
+  /// pool attached — normally the SAME pool the ingress Link writes into
+  /// (Link::set_rx_pool) — fragments of Internet-checksummed ADUs are
+  /// reassembled as scatter-gather chains of refcounted pool slices: a
+  /// payload that arrives inside a pool segment is linked by reference
+  /// (no copy, no ledger charge); anything else is copied ONCE into a pool
+  /// segment. Stage 2 then runs over the gather list and delivery hands up
+  /// the chain itself (set_on_adu_chain) or flattens once as a bridge.
+  /// Strictly opt-in: with no pool the receiver is bit-identical to the
+  /// flat path. Set before traffic; the pool must outlive the receiver and
+  /// every chain it delivered.
+  void set_rx_pool(buf::BufferPool* pool) noexcept { rx_pool_ = pool; }
+
+  /// Chain-delivery callback for pooled ADUs. When set, pooled ADUs bypass
+  /// the flatten bridge and arrive as AduChain — at most one copy remains
+  /// on the whole path (the link's copy "from the net" into the pool), and
+  /// the final placement is the application's to perform from the gather
+  /// list. Non-pooled ADUs still arrive via set_on_adu.
+  void set_on_adu_chain(std::function<void(AduChain&&)> fn) {
+    on_adu_chain_ = std::move(fn);
+  }
+
   /// Loss report in application terms. `name_known` is false only when no
   /// fragment of the ADU ever arrived (then only the recovery id exists).
   void set_on_adu_lost(
@@ -215,7 +242,12 @@ class AlfReceiver {
     std::uint8_t fec_k = 0;
     std::uint32_t adu_len = 0;
     std::uint32_t checksum = 0;
-    ByteBuffer buf;
+    ByteBuffer buf;  ///< flat reassembly target (unused when pooled)
+    /// Zero-copy reassembly: disjoint pool slices keyed by ADU offset.
+    /// Complete coverage in key order IS the ADU; destroying the map (shed,
+    /// evict, checksum failure) releases every segment reference.
+    std::map<std::uint32_t, buf::Slice> frags;
+    bool pooled = false;  ///< this ADU reassembles as slices, not into buf
     std::map<std::uint32_t, std::uint32_t> ranges;  ///< received [start,end)
     std::map<std::uint32_t, ByteBuffer> parity;     ///< group start -> block
     std::size_t bytes_received = 0;
@@ -249,6 +281,33 @@ class AlfReceiver {
   ManipulationPlan make_plan(std::uint32_t adu_id, const Reassembly& r) const;
   /// Stage 2: fused or layered decrypt+verify. True if intact.
   bool verify_and_decrypt(std::uint32_t adu_id, Reassembly& r);
+  /// Places one data fragment of a pooled ADU: every not-yet-covered gap of
+  /// [start,end) becomes a slice — by reference when the payload sits in
+  /// the published ingress segment, by one pool copy otherwise.
+  void place_pooled(Reassembly& r, ConstBytes payload, std::uint32_t start,
+                    std::uint32_t end);
+  /// Reads [start,start+len) of a pooled ADU. `out` aliases a slice when
+  /// the range is contiguous in one, else the bytes are gathered into
+  /// `scratch`. False if any byte is missing.
+  bool read_pooled(const Reassembly& r, std::uint32_t start, std::size_t len,
+                   MutableBytes scratch, ConstBytes& out) const;
+  /// Links a pooled ADU's slices (complete, disjoint, in offset order) into
+  /// one chain and clears the slice map.
+  buf::BufChain build_chain(Reassembly& r);
+  /// Stage 2 over the gather list (pooled ADUs): the checksum pass reads
+  /// the chain in place — no flat staging buffer exists to store into.
+  bool verify_and_decrypt_chain(std::uint32_t adu_id, const Reassembly& r,
+                                buf::BufChain& chain);
+  /// deliver_payload's zero-copy twin: hands up the chain (or flattens
+  /// once when only a flat consumer is registered).
+  void deliver_chain(std::uint32_t adu_id, const AduName& name,
+                     TransferSyntax syntax, buf::BufChain&& chain);
+  /// Control-thread continuation of an offloaded chain job.
+  void on_manip_done_chain(std::uint32_t adu_id, bool intact,
+                           buf::BufChain&& chain, const obs::CostAccount& cost);
+  /// Flight note for a pool release the receiver itself decided on
+  /// (flatten bridge, checksum-fail discard, shed/evict of a pooled ADU).
+  void note_recycle(std::uint32_t adu_id, std::size_t bytes);
   /// Engine path for complete_adu: moves the payload into a job, releases
   /// the reassembly charge, and arms the harvest pump.
   void offload_adu(std::uint32_t adu_id, Reassembly& r);
@@ -348,6 +407,7 @@ class AlfReceiver {
     TransferSyntax syntax = TransferSyntax::kRaw;
   };
   engine::Engine* eng_ = nullptr;
+  buf::BufferPool* rx_pool_ = nullptr;  ///< zero-copy opt-in (null = flat)
   SimDuration engine_harvest_delay_ = 0;
   bool engine_pump_armed_ = false;
   std::map<std::uint32_t, InflightManip> manip_inflight_;
@@ -377,6 +437,7 @@ class AlfReceiver {
   SimTime last_progress_at_ = 0;
 
   std::function<void(Adu&&)> on_adu_;
+  std::function<void(AduChain&&)> on_adu_chain_;
   std::function<void(std::uint32_t, const AduName&, bool)> on_adu_lost_;
   std::function<void()> on_complete_;
   std::function<void()> on_session_failed_;

@@ -97,6 +97,62 @@ Result<std::uint32_t> AlfSender::send_adu(const AduName& name, ConstBytes payloa
   return r;
 }
 
+Result<std::uint32_t> AlfSender::send_adu(const AduName& name, buf::Slice payload) {
+  if (finished_) return Error{ErrorCode::kClosed, "finish() already called"};
+  Result<std::uint32_t> r = stage_adu_pooled(next_adu_id_, name, std::move(payload));
+  if (r.ok()) ++next_adu_id_;
+  return r;
+}
+
+Result<std::uint32_t> AlfSender::stage_adu_pooled(std::uint32_t adu_id,
+                                                  const AduName& name,
+                                                  buf::Slice payload) {
+  if (failed_) return Error{ErrorCode::kClosed, "session failed (feedback watchdog)"};
+  if (payload.empty()) return Error{ErrorCode::kOutOfRange, "empty ADU"};
+  if (cfg_.retransmit == RetransmitPolicy::kTransportBuffered &&
+      stats_.retransmit_buffer_bytes + payload.len > cfg_.retransmit_buffer_limit) {
+    return Error{ErrorCode::kLimitExceeded, "retransmit buffer full"};
+  }
+
+  names_[adu_id] = name;
+
+  BufferedAdu b;
+  b.name = name;
+  {
+    // In-place prepare — the zero-staging saving: the checksum reads the
+    // plaintext where it lies (load-only) and encryption ciphers the slice
+    // itself. No wire staging buffer is allocated or stored into, which is
+    // one full store pass less than prepare_wire_payload charges.
+    obs::TraceSpan span(trace_, "alf.tx.manip", payload.len);
+    manip_cost_.charge_operation(payload.len);
+    b.checksum = compute_checksum(cfg_.checksum, payload.bytes());
+    manip_cost_.charge_pass(payload.len, /*stores=*/false);
+    b.flags = 0;
+    if (cfg_.encrypt) {
+      ChaChaKey k = cfg_.key;
+      store_u32_be(k.nonce.data() + 8, adu_id);
+      simd::kernels().chacha20_xor(k, /*counter=*/0, payload.mutable_bytes());
+      manip_cost_.charge_pass(payload.len, /*stores=*/true);
+      b.flags |= kFlagEncrypted;
+    }
+  }
+  const std::size_t n = payload.len;
+  b.pooled = std::move(payload);
+  store_.emplace(adu_id, std::move(b));
+  if (cfg_.retransmit == RetransmitPolicy::kTransportBuffered) {
+    stats_.retransmit_buffer_bytes += n;
+    stats_.retransmit_buffer_peak =
+        std::max(stats_.retransmit_buffer_peak, stats_.retransmit_buffer_bytes);
+  }
+
+  ++stats_.adus_sent;
+  obs::flight_record(flight_, flight_track_, obs::FlightStage::kStaged,
+                     obs::flight_trace_id(cfg_.session_id, adu_id), n);
+  enqueue_adu_fragments(adu_id, /*retransmit=*/false);
+  pump();
+  return adu_id;
+}
+
 Result<std::uint32_t> AlfSender::send_adu_as(std::uint32_t adu_id,
                                              const AduName& name,
                                              ConstBytes payload) {
@@ -153,7 +209,7 @@ void AlfSender::enqueue_adu_fragments(std::uint32_t adu_id, bool retransmit) {
   auto it = store_.find(adu_id);
   if (it == store_.end()) return;
   BufferedAdu& b = it->second;
-  const std::size_t len = b.wire_payload.size();
+  const std::size_t len = b.wire_bytes().size();
 
   // ADU-level FEC (footnote 10): one parity fragment per fec_k data
   // fragments, computed over the wire payload (post-encryption, so the
@@ -162,7 +218,7 @@ void AlfSender::enqueue_adu_fragments(std::uint32_t adu_id, bool retransmit) {
     for (std::size_t start = 0; start < len;
          start += std::size_t{cfg_.fec_k} * frag_capacity_) {
       const FecGroup group{start, cfg_.fec_k, frag_capacity_, len};
-      b.parity_blocks.push_back(compute_parity(b.wire_payload.span(), group));
+      b.parity_blocks.push_back(compute_parity(b.wire_bytes(), group));
     }
   }
 
@@ -269,14 +325,14 @@ void AlfSender::send_fragment(const PendingFragment& pf) {
   f.flags = b.flags;
   f.checksum_kind = cfg_.checksum;
   f.fec_k = cfg_.fec_k;
-  f.adu_len = static_cast<std::uint32_t>(b.wire_payload.size());
+  f.adu_len = static_cast<std::uint32_t>(b.wire_bytes().size());
   f.frag_off = pf.frag_off;
   f.adu_checksum = b.checksum;
   if (pf.is_parity) {
     f.flags |= kFlagFecParity;
     f.payload = b.parity_blocks.at(pf.parity_index).span();
   } else {
-    f.payload = b.wire_payload.subspan(pf.frag_off, pf.frag_len);
+    f.payload = b.wire_bytes().subspan(pf.frag_off, pf.frag_len);
   }
 
   ByteBuffer frame = encode_fragment(f);
@@ -362,7 +418,7 @@ void AlfSender::release_adu(std::uint32_t adu_id) {
   if (it == store_.end()) return;
   if (it->second.queued_fragments > 0) return;  // still being transmitted
   if (cfg_.retransmit == RetransmitPolicy::kTransportBuffered) {
-    const std::size_t sz = it->second.wire_payload.size();
+    const std::size_t sz = it->second.wire_bytes().size();
     stats_.retransmit_buffer_bytes -= std::min(stats_.retransmit_buffer_bytes, sz);
   }
   store_.erase(it);

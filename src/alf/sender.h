@@ -96,6 +96,15 @@ class AlfSender {
   /// if the retransmit buffer is full.
   Result<std::uint32_t> send_adu(const AduName& name, ConstBytes payload);
 
+  /// Zero-staging variant (DESIGN.md §12): the application produced the
+  /// payload directly inside a pool segment and hands the slice over. The
+  /// sender prepares IN PLACE — the checksum is a load-only pass and
+  /// encryption (if configured) ciphers the slice itself — so the staging
+  /// copy the flat path pays never happens. The slice is consumed: its
+  /// bytes become the wire payload (post-encryption) and are retained or
+  /// released per the session's retransmit policy like any other ADU.
+  Result<std::uint32_t> send_adu(const AduName& name, buf::Slice payload);
+
   /// Re-stages an ADU under an id assigned by a PREVIOUS incarnation of
   /// this session (supervised restart, DESIGN.md §10): the id must predate
   /// this sender's first_adu_id so the receiver's books reconcile. The
@@ -164,11 +173,18 @@ class AlfSender {
 
   struct BufferedAdu {
     AduName name;
-    ByteBuffer wire_payload;  ///< post-encryption bytes as sent
+    ByteBuffer wire_payload;  ///< post-encryption bytes as sent (flat path)
+    buf::Slice pooled;        ///< zero-staging path: prepared in place here
     std::vector<ByteBuffer> parity_blocks;  ///< FEC parity, one per group
     std::uint32_t checksum = 0;
     std::uint8_t flags = 0;
     std::size_t queued_fragments = 0;  ///< fragments not yet transmitted
+
+    /// The wire bytes, whichever path staged them.
+    ConstBytes wire_bytes() const noexcept {
+      return pooled.ref ? ConstBytes{pooled.bytes()}
+                        : ConstBytes{wire_payload.span()};
+    }
   };
 
   /// Queues an ADU's fragments (and FEC parity). Retransmissions go to the
@@ -177,6 +193,9 @@ class AlfSender {
   /// Shared body of send_adu / send_adu_as once the id is chosen.
   Result<std::uint32_t> stage_adu(std::uint32_t adu_id, const AduName& name,
                                   ConstBytes payload);
+  /// stage_adu's zero-staging twin: prepares the slice in place.
+  Result<std::uint32_t> stage_adu_pooled(std::uint32_t adu_id,
+                                         const AduName& name, buf::Slice payload);
   void enqueue_adu_fragments(std::uint32_t adu_id, bool retransmit);
   void pump();               ///< sends fragments respecting pacing
   void send_fragment(const PendingFragment& pf);

@@ -23,9 +23,12 @@ Status VideoSink::place(const Adu& adu, SimTime now) {
     return Status::ok();  // too late to matter; not an error
   }
 
-  auto decoded = decode_octets(adu.syntax, adu.payload.span());
-  if (!decoded) return decoded.error();
-  if (decoded->size() != tile_bytes_) {
+  // Single-copy placement: validate the decoded size on a zero-copy view,
+  // then decode straight into the tile's slot in the pending frame — no
+  // intermediate tile buffer.
+  auto view = decode_octets_view(adu.syntax, adu.payload.span());
+  if (!view) return view.error();
+  if (view->size() != tile_bytes_) {
     return Error{ErrorCode::kMalformed, "tile size mismatch"};
   }
 
@@ -36,7 +39,50 @@ Status VideoSink::place(const Adu& adu, SimTime now) {
     f.tile_present.assign(std::size_t{tiles_x_} * tiles_y_, false);
   }
   const std::size_t idx = tile_index(v.tile_x, v.tile_y);
-  std::memcpy(f.pixels.data() + idx * tile_bytes_, decoded->data(), tile_bytes_);
+  std::memcpy(f.pixels.data() + idx * tile_bytes_, view->data(), tile_bytes_);
+  if (!f.tile_present[idx]) {
+    f.tile_present[idx] = true;
+    ++f.present_count;
+  }
+  ++stats_.tiles_placed;
+  return Status::ok();
+}
+
+Status VideoSink::place(const AduChain& adu, SimTime now) {
+  if (adu.syntax != TransferSyntax::kRaw) {
+    Adu flat;
+    flat.name = adu.name;
+    flat.syntax = adu.syntax;
+    flat.payload = adu.payload.flatten();
+    return place(flat, now);
+  }
+  if (adu.name.ns != NameSpace::kVideoRegion) {
+    return Error{ErrorCode::kMalformed, "not a video-region ADU"};
+  }
+  const auto v = VideoRegionName::from_name(adu.name);
+  if (v.tile_x >= tiles_x_ || v.tile_y >= tiles_y_) {
+    return Error{ErrorCode::kOutOfRange, "tile outside frame"};
+  }
+  if (v.frame < next_render_ || now > deadline(v.frame)) {
+    ++stats_.tiles_late;
+    return Status::ok();
+  }
+  if (adu.payload.size() != tile_bytes_) {
+    return Error{ErrorCode::kMalformed, "tile size mismatch"};
+  }
+
+  auto [it, inserted] = pending_.try_emplace(v.frame);
+  PendingFrame& f = it->second;
+  if (inserted) {
+    f.pixels.resize(screen_.size());
+    f.tile_present.assign(std::size_t{tiles_x_} * tiles_y_, false);
+  }
+  const std::size_t idx = tile_index(v.tile_x, v.tile_y);
+  std::uint8_t* dst = f.pixels.data() + idx * tile_bytes_;
+  adu.payload.for_each([&dst](ConstBytes seg) {
+    std::memcpy(dst, seg.data(), seg.size());
+    dst += seg.size();
+  });
   if (!f.tile_present[idx]) {
     f.tile_present[idx] = true;
     ++f.present_count;

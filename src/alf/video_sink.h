@@ -48,6 +48,12 @@ class VideoSink {
   /// already-rendered frames count late and are discarded.
   Status place(const Adu& adu, SimTime now);
 
+  /// Chain-delivery variant (zero-copy datapath, DESIGN.md §12): a kRaw
+  /// tile's segments scatter straight into the frame — the only copy the
+  /// sink makes is final placement. Framed syntaxes flatten once first
+  /// (their headers must be contiguous to parse).
+  Status place(const AduChain& adu, SimTime now);
+
   /// Transport-level loss report (tile never arrived).
   void mark_lost(const AduName& name);
 

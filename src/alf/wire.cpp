@@ -161,6 +161,9 @@ std::optional<Message> decode_message(ConstBytes frame) {
       std::uint16_t count = 0;
       if (!r.u16(count)) return std::nullopt;
       if (count > NackMessage::kMaxIds) return std::nullopt;
+      // Length check BEFORE any allocation: a forged count in a truncated
+      // frame must be rejected without sizing a vector to it.
+      if (std::size_t{count} * 4 + 2 > r.remaining()) return std::nullopt;
       const std::size_t sealed = 4 + 2 + std::size_t{count} * 4 + 2;
       if (!header_ok(frame, sealed)) return std::nullopt;
       msg.nack.session = session;
@@ -197,6 +200,8 @@ std::optional<Message> decode_message(ConstBytes frame) {
       if (bitmap_len > ResumeMessage::kMaxBitmapBytes || (bitmap_len & 1)) {
         return std::nullopt;
       }
+      // Same forged-length guard as NACK: reject before sizing the bitmap.
+      if (std::size_t{bitmap_len} + 2 > r.remaining()) return std::nullopt;
       const std::size_t sealed = 4 + 8 + bitmap_len + 2;
       if (!header_ok(frame, sealed)) return std::nullopt;
       msg.resume.session = session;

@@ -1,0 +1,95 @@
+#include "buf/chain_ops.h"
+
+#include <array>
+
+#include "checksum/internet.h"
+#include "simd/dispatch.h"
+
+namespace ngp::buf {
+
+namespace {
+
+/// Decrypts a segment that begins at ADU byte offset `pos`, absorbing the
+/// plaintext into `acc`. Scalar prefix to the next 64-byte keystream block
+/// boundary, then the fused tier kernel from block (pos+prefix)/64.
+void decrypt_segment(const ChaChaKey& key, std::size_t pos, MutableBytes seg,
+                     InternetChecksum& acc) {
+  const simd::KernelTable& k = simd::kernels();
+  std::size_t intra = pos % 64;
+  std::size_t done = 0;
+  if (intra != 0) {
+    std::array<std::uint8_t, 64> ks;
+    chacha20_block(key, static_cast<std::uint32_t>(pos / 64), ks);
+    const std::size_t prefix = std::min<std::size_t>(64 - intra, seg.size());
+    for (std::size_t i = 0; i < prefix; ++i) seg[i] ^= ks[intra + i];
+    acc.add(seg.subspan(0, prefix));
+    done = prefix;
+  }
+  if (done < seg.size()) {
+    MutableBytes bulk = seg.subspan(done);
+    const std::uint16_t sum = k.decrypt_internet_checksum(
+        key, static_cast<std::uint32_t>((pos + done) / 64), bulk);
+    acc.combine(sum, bulk.size());
+  }
+}
+
+}  // namespace
+
+std::uint16_t chain_internet_checksum(const BufChain& c) {
+  const simd::KernelTable& k = simd::kernels();
+  InternetChecksum acc;
+  c.for_each([&](ConstBytes seg) {
+    if (seg.empty()) return;
+    acc.combine(k.internet_checksum(seg), seg.size());
+  });
+  return acc.finish();
+}
+
+std::uint16_t chain_decrypt_internet_checksum(const ChaChaKey& key,
+                                              BufChain& c) {
+  InternetChecksum acc;
+  std::size_t pos = 0;
+  c.for_each_mutable([&](MutableBytes seg) {
+    if (!seg.empty()) decrypt_segment(key, pos, seg, acc);
+    pos += seg.size();
+  });
+  return acc.finish();
+}
+
+void chain_chacha20_xor(const ChaChaKey& key, BufChain& c) {
+  const simd::KernelTable& k = simd::kernels();
+  std::size_t pos = 0;
+  c.for_each_mutable([&](MutableBytes seg) {
+    std::size_t intra = pos % 64;
+    std::size_t done = 0;
+    if (intra != 0 && !seg.empty()) {
+      std::array<std::uint8_t, 64> ks;
+      chacha20_block(key, static_cast<std::uint32_t>(pos / 64), ks);
+      const std::size_t prefix = std::min<std::size_t>(64 - intra, seg.size());
+      for (std::size_t i = 0; i < prefix; ++i) seg[i] ^= ks[intra + i];
+      done = prefix;
+    }
+    if (done < seg.size()) {
+      k.chacha20_xor(key, static_cast<std::uint32_t>((pos + done) / 64),
+                     seg.subspan(done));
+    }
+    pos += seg.size();
+  });
+}
+
+std::uint16_t chain_copy_internet_checksum(const BufChain& c,
+                                           MutableBytes dst) {
+  const simd::KernelTable& k = simd::kernels();
+  InternetChecksum acc;
+  std::size_t off = 0;
+  c.for_each([&](ConstBytes seg) {
+    if (seg.empty()) return;
+    const std::uint16_t sum =
+        k.copy_internet_checksum(seg, dst.subspan(off, seg.size()));
+    acc.combine(sum, seg.size());
+    off += seg.size();
+  });
+  return acc.finish();
+}
+
+}  // namespace ngp::buf

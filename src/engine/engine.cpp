@@ -29,8 +29,10 @@ struct Engine::Completion {
   std::uint64_t latency_ns = 0;
   std::uint64_t flight_id = 0;
   ByteBuffer payload;
+  buf::BufChain chain;
   obs::CostAccount cost;
   CompletionFn on_done;
+  ChainCompletionFn on_done_chain;
 };
 
 /// The dispatch ring plus the sleep/wake machinery for one worker. The
@@ -86,13 +88,15 @@ Engine::~Engine() {
 
 Engine::Completion Engine::execute_job(unsigned worker, std::uint64_t ticket,
                                        SimTime submitted_at, ManipulationJob&& job) {
+  const bool is_chain = static_cast<bool>(job.on_done_chain);
   Completion c;
   c.ticket = ticket;
   c.worker = worker;
   c.adu_id = job.adu_id;
-  c.bytes = job.payload.size();
+  c.bytes = is_chain ? job.chain.size() : job.payload.size();
   c.flight_id = job.flight_id;
   c.on_done = std::move(job.on_done);
+  c.on_done_chain = std::move(job.on_done_chain);
 
   // Worker-side flight events carry the submit-time sim clock: a worker
   // thread cannot touch the (control-thread) clock source, and sim time
@@ -101,12 +105,15 @@ Engine::Completion Engine::execute_job(unsigned worker, std::uint64_t ticket,
                    worker < flight_worker_tracks_.size();
   if (fly) {
     flight_->record_at(flight_worker_tracks_[worker], submitted_at,
-                       obs::FlightStage::kWorkerBegin, job.flight_id,
-                       job.payload.size());
+                       obs::FlightStage::kWorkerBegin, job.flight_id, c.bytes);
   }
   const auto t0 = std::chrono::steady_clock::now();
-  c.intact = run_manipulation(job.plan, job.payload.span(), &c.cost);
-  if (c.intact && job.app_stage) job.app_stage(job.payload, c.cost);
+  if (is_chain) {
+    c.intact = run_manipulation_chain(job.plan, job.chain, &c.cost);
+  } else {
+    c.intact = run_manipulation(job.plan, job.payload.span(), &c.cost);
+    if (c.intact && job.app_stage) job.app_stage(job.payload, c.cost);
+  }
   const auto t1 = std::chrono::steady_clock::now();
   c.latency_ns = static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
@@ -117,6 +124,7 @@ Engine::Completion Engine::execute_job(unsigned worker, std::uint64_t ticket,
                        obs::FlightStage::kWorkerEnd, job.flight_id, c.bytes);
   }
   c.payload = std::move(job.payload);
+  c.chain = std::move(job.chain);
   return c;
 }
 
@@ -147,8 +155,10 @@ void Engine::worker_loop(unsigned idx) {
 
 std::uint64_t Engine::submit(ManipulationJob job) {
   const std::uint64_t ticket = ++last_ticket_;
+  const std::size_t job_bytes =
+      job.on_done_chain ? job.chain.size() : job.payload.size();
   ++stats_.jobs_submitted;
-  stats_.bytes_submitted += job.payload.size();
+  stats_.bytes_submitted += job_bytes;
   ++outstanding_;
   stats_.outstanding_peak = std::max(stats_.outstanding_peak, outstanding_);
 
@@ -157,7 +167,7 @@ std::uint64_t Engine::submit(ManipulationJob job) {
     submitted_at = flight_->now();
     flight_->record_at(flight_ctl_track_, submitted_at,
                        obs::FlightStage::kEngineSubmit, job.flight_id,
-                       job.payload.size());
+                       job_bytes);
   }
 
   if (workers_.empty()) {
@@ -221,7 +231,11 @@ std::size_t Engine::drain_ready(bool block) {
       flight_->record(flight_ctl_track_, obs::FlightStage::kHarvest,
                       c.flight_id, c.bytes);
     }
-    if (c.on_done) c.on_done(c.intact, std::move(c.payload), c.cost);
+    if (c.on_done_chain) {
+      c.on_done_chain(c.intact, std::move(c.chain), c.cost);
+    } else if (c.on_done) {
+      c.on_done(c.intact, std::move(c.payload), c.cost);
+    }
   }
   return batch.size();
 }

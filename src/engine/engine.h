@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "buf/chain.h"
 #include "ilp/pipeline.h"
 #include "obs/cost.h"
 #include "util/bytes.h"
@@ -67,6 +68,13 @@ using AppStage = std::function<void(ByteBuffer& payload, obs::CostAccount& cost)
 using CompletionFn =
     std::function<void(bool intact, ByteBuffer&& payload, const obs::CostAccount& cost)>;
 
+/// Completion callback for zero-copy (chain) jobs; same contract as
+/// CompletionFn, but the payload stays a scatter-gather chain of pool
+/// segments end to end — the worker manipulated it in place, segment by
+/// segment, and never flattened it.
+using ChainCompletionFn = std::function<void(bool intact, buf::BufChain&& chain,
+                                             const obs::CostAccount& cost)>;
+
 /// One complete ADU plus its manipulation pipeline.
 struct ManipulationJob {
   std::uint32_t adu_id = 0;  ///< shard key: equal ids share a worker (FIFO)
@@ -76,9 +84,15 @@ struct ManipulationJob {
   /// while each flow's equal-id jobs still share one FIFO lane.
   std::uint64_t shard_key = 0;
   ByteBuffer payload;        ///< the complete ADU, manipulated in place
+  /// Zero-copy variant: when on_done_chain is set the job's bytes are this
+  /// chain (payload/app_stage unused) and the worker runs the plan via
+  /// run_manipulation_chain — the last release of the chain's segments
+  /// recycles them into their pool, possibly from the control thread.
+  buf::BufChain chain;
   ManipulationPlan plan;
   AppStage app_stage;        ///< optional, worker context, intact ADUs only
   CompletionFn on_done;
+  ChainCompletionFn on_done_chain;  ///< set = chain job (takes precedence)
   /// Flow-scoped flight-recorder trace id (obs::flight_trace_id); 0 =
   /// untraced. Carried through worker execution so begin/end events land
   /// on the right ADU journey.

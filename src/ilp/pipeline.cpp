@@ -1,5 +1,8 @@
 #include "ilp/pipeline.h"
 
+#include <cassert>
+
+#include "buf/chain_ops.h"
 #include "ilp/engine.h"
 #include "ilp/stages.h"
 #include "simd/dispatch.h"
@@ -103,6 +106,36 @@ bool run_manipulation(const ManipulationPlan& plan, MutableBytes buf,
       compute_checksum(plan.checksum_kind, buf) == plan.expected_checksum;
   if (intact && plan.byteswap_decode) byteswap_pass(buf, acct);
   return intact;
+}
+
+bool run_manipulation_chain(const ManipulationPlan& plan, buf::BufChain& chain,
+                            obs::CostAccount* acct) {
+  assert(plan.checksum_kind == ChecksumKind::kInternet &&
+         !plan.byteswap_decode &&
+         "chain manipulation supports the receive-path plan shape only");
+  const auto expected = static_cast<std::uint16_t>(plan.expected_checksum);
+  if (!plan.layered) {
+    // One fused pass over the gather view: decrypt (when asked) writes the
+    // plaintext back, a bare verify only reads.
+    const std::uint16_t got =
+        plan.decrypt ? buf::chain_decrypt_internet_checksum(plan.key, chain)
+                     : buf::chain_internet_checksum(chain);
+    if (acct != nullptr) {
+      acct->charge_operation(chain.size());
+      acct->charge_pass(chain.size(), /*stores=*/plan.decrypt);
+    }
+    return got == expected;
+  }
+
+  // Layered: one pass per manipulation, as in the flat executor.
+  if (acct != nullptr) acct->charge_operation(chain.size());
+  if (plan.decrypt) {
+    buf::chain_chacha20_xor(plan.key, chain);
+    if (acct != nullptr) acct->charge_pass(chain.size(), /*stores=*/true);
+  }
+  const std::uint16_t got = buf::chain_internet_checksum(chain);
+  if (acct != nullptr) acct->charge_pass(chain.size(), /*stores=*/false);
+  return got == expected;
 }
 
 }  // namespace ngp

@@ -14,6 +14,7 @@
 // plan runs — a property the engine tests pin.
 #pragma once
 
+#include "buf/chain.h"
 #include "crypto/chacha20.h"
 #include "checksum/checksum.h"
 #include "obs/cost.h"
@@ -57,5 +58,20 @@ struct ManipulationPlan {
 /// count, layered plans one pass per manipulation.
 bool run_manipulation(const ManipulationPlan& plan, MutableBytes buf,
                       obs::CostAccount* acct);
+
+/// Runs `plan` over a scatter-gather chain in place — the zero-copy twin
+/// of run_manipulation. Supports the receive-path plan shape only:
+/// checksum_kind == kInternet and no byteswap_decode (the receiver keeps
+/// the flat path for every other combination, so this is asserted, not
+/// handled). Per-segment fused kernels + InternetChecksum::combine make
+/// the result bit-identical to running the flat executor on the flattened
+/// chain.
+///
+/// Ledger: unlike the flat fused path — whose kernel is copy-shaped and
+/// charges 1 load + 1 store per word — a checksum-only chain pass never
+/// writes, so it charges a load-only pass. That difference IS the
+/// zero-copy saving the COPY_LEDGER benches measure.
+bool run_manipulation_chain(const ManipulationPlan& plan, buf::BufChain& chain,
+                            obs::CostAccount* acct);
 
 }  // namespace ngp

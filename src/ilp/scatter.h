@@ -19,6 +19,7 @@
 #include <cstring>
 #include <vector>
 
+#include "buf/chain.h"
 #include "checksum/internet.h"
 #include "ilp/engine.h"
 #include "simd/dispatch.h"
@@ -135,6 +136,43 @@ inline std::uint16_t scatter_copy_checksum(ConstBytes src, ScatterList& dst,
     off += take;
   }
   if (bytes_out != nullptr) *bytes_out = off;
+  return acc.finish();
+}
+
+/// Chain-source variant: scatters a pool-backed ADU chain (DESIGN.md §12)
+/// into `dst`'s regions, fused with the Internet checksum — the only copy
+/// the zero-copy datapath ever makes of these bytes is this final placement
+/// into application variables. Segment and region boundaries are
+/// independent, so the walk advances both cursors and folds each fragment's
+/// kernel sum with combine() (odd-parity aware, as above). Scatters
+/// min(src.size(), dst.total_size()) bytes; returns the checksum of the
+/// scattered prefix, identical to the flat overload over src.flatten().
+inline std::uint16_t scatter_copy_checksum(const buf::BufChain& src,
+                                           ScatterList& dst,
+                                           std::size_t* bytes_out = nullptr) {
+  const simd::KernelTable& k = simd::kernels();
+  InternetChecksum acc;
+  std::size_t region_idx = 0;
+  std::size_t region_off = 0;
+  std::size_t moved = 0;
+  src.for_each([&](ConstBytes seg) {
+    std::size_t off = 0;
+    while (off < seg.size() && region_idx < dst.region_count()) {
+      const ScatterRegion& r = dst.region(region_idx);
+      const std::size_t take = std::min(seg.size() - off, r.size - region_off);
+      const std::uint16_t ck = k.copy_internet_checksum(
+          seg.subspan(off, take), MutableBytes{r.data + region_off, take});
+      acc.combine(ck, take);
+      off += take;
+      region_off += take;
+      moved += take;
+      if (region_off == r.size) {
+        ++region_idx;
+        region_off = 0;
+      }
+    }
+  });
+  if (bytes_out != nullptr) *bytes_out = moved;
   return acc.finish();
 }
 

@@ -1,7 +1,9 @@
 #include "netsim/link.h"
 
+#include "buf/ingress.h"
 #include "obs/flight.h"
 #include "obs/metrics.h"
+#include "simd/dispatch.h"
 
 namespace ngp {
 
@@ -47,7 +49,6 @@ bool Link::send(ConstBytes frame) {
     ++stats_.reordered;
   }
 
-  ByteBuffer copy(frame);
   // The queue slot frees when serialization completes, regardless of fate.
   loop_.schedule_at(tx_free_at_, [this] {
     if (queued_ > 0) --queued_;
@@ -59,11 +60,34 @@ bool Link::send(ConstBytes frame) {
     return true;  // accepted; silently lost in flight
   }
 
+  if (dup) ++stats_.duplicated;
+  // Drawn only for duplicates, so the rng stream (and every seeded
+  // simulation) is identical with and without an rx pool.
+  const SimTime dup_arrive =
+      dup ? arrive + static_cast<SimDuration>(rng_.uniform(kMillisecond) + 1)
+          : 0;
+
+  if (rx_pool_ != nullptr) {
+    // Zero-copy rx: the one "from the net" copy lands in a pool segment
+    // the receiving stack can reference instead of re-copying.
+    buf::Slice s{rx_pool_->alloc(frame.size()), 0, frame.size()};
+    simd::kernels().copy(frame, s.mutable_bytes());
+    if (dup) {
+      buf::Slice second{rx_pool_->alloc(frame.size()), 0, frame.size()};
+      simd::kernels().copy(s.bytes(), second.mutable_bytes());
+      loop_.schedule_at(dup_arrive, [this, f = std::move(second)]() mutable {
+        deliver_pooled(std::move(f), /*is_duplicate=*/true);
+      });
+    }
+    loop_.schedule_at(arrive, [this, f = std::move(s)]() mutable {
+      deliver_pooled(std::move(f), /*is_duplicate=*/false);
+    });
+    return true;
+  }
+
+  ByteBuffer copy(frame);
   if (dup) {
-    ++stats_.duplicated;
     ByteBuffer second(copy.span());
-    const SimTime dup_arrive =
-        arrive + static_cast<SimDuration>(rng_.uniform(kMillisecond) + 1);
     loop_.schedule_at(dup_arrive, [this, f = std::move(second)]() mutable {
       deliver(std::move(f), /*is_duplicate=*/true);
     });
@@ -80,6 +104,20 @@ void Link::deliver(ByteBuffer frame, bool /*is_duplicate*/) {
   stats_.bytes_delivered += frame.size();
   flight_note(obs::FlightStage::kLinkDeliver, frame.span());
   if (handler_) handler_(frame.span());
+}
+
+void Link::deliver_pooled(buf::Slice frame, bool /*is_duplicate*/) {
+  ++stats_.frames_delivered;
+  stats_.bytes_delivered += frame.len;
+  flight_note(obs::FlightStage::kLinkDeliver, frame.bytes());
+  if (handler_) {
+    // Publish the backing segment for the handler call: a consumer that
+    // wants to keep the bytes takes a reference; everyone else just sees
+    // the usual borrowed span. The slice (and with it our reference) dies
+    // when this frame delivery returns.
+    buf::IngressFrame scope(frame);
+    handler_(frame.bytes());
+  }
 }
 
 void Link::set_flight(obs::FlightRecorder* flight, std::string_view track_name,

@@ -11,6 +11,7 @@
 #include <memory>
 #include <string>
 
+#include "buf/chain.h"
 #include "netsim/loss_model.h"
 #include "obs/cost.h"
 #include "util/bytes.h"
@@ -69,6 +70,15 @@ class Link {
   /// Registers the delivery callback (the receiving host's rx interrupt).
   void set_handler(FrameHandler handler) { handler_ = std::move(handler); }
 
+  /// Opts the receive side into the zero-copy datapath: accepted frames
+  /// are copied ONCE into a pool segment at send time (the paper's
+  /// unavoidable "from the net" pass), and delivery publishes the segment
+  /// via buf::IngressFrame for the handler's duration, so a downstream
+  /// consumer can take a reference instead of copying. nullptr reverts to
+  /// flat ByteBuffer delivery. The pool must outlive the link's in-flight
+  /// frames.
+  void set_rx_pool(buf::BufferPool* pool) { rx_pool_ = pool; }
+
   /// Replaces the default Bernoulli(0) loss process.
   void set_loss_model(std::unique_ptr<LossModel> model) { loss_ = std::move(model); }
 
@@ -105,6 +115,7 @@ class Link {
 
  private:
   void deliver(ByteBuffer frame, bool is_duplicate);
+  void deliver_pooled(buf::Slice frame, bool is_duplicate);
   void flight_note(obs::FlightStage stage, ConstBytes frame);
 
   EventLoop& loop_;
@@ -112,6 +123,7 @@ class Link {
   Rng rng_;
   std::unique_ptr<LossModel> loss_;
   FrameHandler handler_;
+  buf::BufferPool* rx_pool_ = nullptr;
   LinkStats stats_;
   obs::FlightRecorder* flight_ = nullptr;
   std::uint16_t flight_track_ = 0;

@@ -17,7 +17,7 @@ constexpr std::string_view kStageNames[kFlightStageCount] = {
     "worker_end",    "harvest",      "manip_begin",   "manip_end",
     "deliver",       "abandon",      "shed",          "session_fail",
     "epoch_resume",  "probe_tx",     "failover",      "session_create",
-    "session_evict",
+    "session_evict", "buf_recycle",
 };
 
 constexpr std::string_view kSegmentNames[FlightTable::kSegmentCount] = {

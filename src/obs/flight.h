@@ -72,10 +72,11 @@ enum class FlightStage : std::uint8_t {
   kFailover,         ///< circuit breaker switched the active path
   kSessionCreate,    ///< sessiond admitted a new flow into the table
   kSessionEvict,     ///< sessiond evicted a flow (idle sweep or shedding)
+  kBufRecycle,       ///< a zero-copy ADU chain released its pool segments
 };
 
 inline constexpr std::size_t kFlightStageCount =
-    static_cast<std::size_t>(FlightStage::kSessionEvict) + 1;
+    static_cast<std::size_t>(FlightStage::kBufRecycle) + 1;
 
 /// Stable short name ("staged", "frag_tx", ...) used in exports.
 std::string_view flight_stage_name(FlightStage s) noexcept;

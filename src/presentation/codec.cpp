@@ -88,30 +88,39 @@ ByteBuffer encode_octets(TransferSyntax s, ConstBytes data, obs::CostAccount* co
 
 Result<ByteBuffer> decode_octets(TransferSyntax s, ConstBytes data,
                                  obs::CostAccount* cost) {
-  auto out = [&]() -> Result<ByteBuffer> {
+  auto view = decode_octets_view(s, data);
+  if (!view) return view.error();
+  if (cost != nullptr) cost->charge_transform(data.size(), view->size());
+  return ByteBuffer(*view);
+}
+
+Result<ConstBytes> decode_octets_view(TransferSyntax s, ConstBytes data) {
   switch (s) {
-    case TransferSyntax::kRaw: return ByteBuffer(data);
-    case TransferSyntax::kLwts: {
-      auto view = lwts::decode_octets_view(data);
-      if (!view) return view.error();
-      return ByteBuffer(*view);
-    }
+    case TransferSyntax::kRaw: return data;
+    case TransferSyntax::kLwts: return lwts::decode_octets_view(data);
     case TransferSyntax::kXdr: {
       xdr::XdrReader r(data);
-      return r.get_opaque();
+      return r.get_opaque_view();
     }
     case TransferSyntax::kBer:
     case TransferSyntax::kBerToolkit: {
       ber::BerReader r(data);
-      auto view = r.read_octet_string();
-      if (!view) return view.error();
-      return ByteBuffer(*view);
+      return r.read_octet_string();
     }
   }
   return Error{ErrorCode::kUnsupported, "unknown syntax"};
-  }();
-  if (cost != nullptr && out.ok()) cost->charge_transform(data.size(), out->size());
-  return out;
+}
+
+Status decode_octets_into(TransferSyntax s, ConstBytes data, MutableBytes dst,
+                          obs::CostAccount* cost) {
+  auto view = decode_octets_view(s, data);
+  if (!view) return view.error();
+  if (view->size() != dst.size()) {
+    return Error{ErrorCode::kMalformed, "decoded size != destination size"};
+  }
+  copy_bytes(dst.data(), view->data(), view->size());
+  if (cost != nullptr) cost->charge_transform(data.size(), view->size());
+  return Status::ok();
 }
 
 }  // namespace ngp

@@ -51,4 +51,15 @@ ByteBuffer encode_octets(TransferSyntax s, ConstBytes data,
 Result<ByteBuffer> decode_octets(TransferSyntax s, ConstBytes data,
                                  obs::CostAccount* cost = nullptr);
 
+/// Zero-copy decode: a view of the decoded octets inside `data` (every
+/// octet-string syntax carries the payload contiguously after its
+/// framing). The view is only valid while `data` is.
+Result<ConstBytes> decode_octets_view(TransferSyntax s, ConstBytes data);
+
+/// Decodes straight into `dst` — final placement with no intermediate
+/// buffer (DESIGN.md §12's sink rule: the decode IS the placement copy).
+/// Fails with kMalformed if the decoded size differs from dst.size().
+Status decode_octets_into(TransferSyntax s, ConstBytes data, MutableBytes dst,
+                          obs::CostAccount* cost = nullptr);
+
 }  // namespace ngp

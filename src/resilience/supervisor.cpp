@@ -64,6 +64,7 @@ void SessionSupervisor::build_endpoints() {
   if (cfg_.engine != nullptr) {
     receiver_->set_engine(cfg_.engine, cfg_.engine_harvest_delay);
   }
+  if (cfg_.rx_pool != nullptr) receiver_->set_rx_pool(cfg_.rx_pool);
   if (priority_) receiver_->set_priority(priority_);
   if (flight_ != nullptr) {
     sender_->set_flight(flight_);
@@ -72,6 +73,12 @@ void SessionSupervisor::build_endpoints() {
   receiver_->set_on_adu([this](Adu&& a) {
     if (on_adu_) on_adu_(std::move(a));
   });
+  // Installed only when the application asked for chains: the receiver
+  // decides chain-vs-flatten delivery by the handler's presence.
+  if (on_adu_chain_) {
+    receiver_->set_on_adu_chain(
+        [this](AduChain&& a) { on_adu_chain_(std::move(a)); });
+  }
   receiver_->set_on_adu_lost(
       [this](std::uint32_t id, const AduName& name, bool known) {
         // The receiver closed this id as lost: no future RESUME will ask
@@ -120,6 +127,14 @@ void SessionSupervisor::finish() {
 
 void SessionSupervisor::set_on_adu(std::function<void(Adu&&)> fn) {
   on_adu_ = std::move(fn);
+}
+
+void SessionSupervisor::set_on_adu_chain(std::function<void(AduChain&&)> fn) {
+  on_adu_chain_ = std::move(fn);
+  if (receiver_ && on_adu_chain_) {
+    receiver_->set_on_adu_chain(
+        [this](AduChain&& a) { on_adu_chain_(std::move(a)); });
+  }
 }
 
 void SessionSupervisor::set_on_adu_lost(

@@ -84,6 +84,11 @@ struct SupervisorConfig {
   /// AlfReceiver::set_engine). The engine must outlive the supervisor.
   engine::Engine* engine = nullptr;
   SimDuration engine_harvest_delay = 0;
+  /// Optional zero-copy pool for each receiver incarnation (see
+  /// AlfReceiver::set_rx_pool): a restart rebuilds the receiver with the
+  /// same pool, and the dead incarnation's partial chains recycle on
+  /// destruction. The pool must outlive the supervisor.
+  buf::BufferPool* rx_pool = nullptr;
 };
 
 struct SupervisorStats {
@@ -122,6 +127,9 @@ class SessionSupervisor {
 
   // Receiver-side application callbacks, survive restarts.
   void set_on_adu(std::function<void(Adu&&)> fn);
+  /// Chain delivery (see AlfReceiver::set_on_adu_chain) — re-installed on
+  /// every incarnation, so the zero-copy handoff survives restarts too.
+  void set_on_adu_chain(std::function<void(AduChain&&)> fn);
   void set_on_adu_lost(
       std::function<void(std::uint32_t, const AduName&, bool)> fn);
   void set_on_complete(std::function<void()> fn);
@@ -193,6 +201,7 @@ class SessionSupervisor {
   std::uint16_t flight_track_ = 0;
 
   std::function<void(Adu&&)> on_adu_;
+  std::function<void(AduChain&&)> on_adu_chain_;
   std::function<void(std::uint32_t, const AduName&, bool)> on_adu_lost_;
   std::function<void()> on_complete_;
   std::function<void()> on_permanent_failure_;

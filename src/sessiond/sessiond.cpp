@@ -115,6 +115,11 @@ void AlfSession::set_on_adu(std::function<void(Adu&&)> fn) {
   else receiver_->set_on_adu(std::move(fn));
 }
 
+void AlfSession::set_on_adu_chain(std::function<void(AduChain&&)> fn) {
+  if (sup_) sup_->set_on_adu_chain(std::move(fn));
+  else receiver_->set_on_adu_chain(std::move(fn));
+}
+
 void AlfSession::set_on_adu_lost(
     std::function<void(std::uint32_t, const AduName&, bool)> fn) {
   if (sup_) sup_->set_on_adu_lost(std::move(fn));
@@ -204,6 +209,7 @@ SessionFactory alf_receiver_factory(EventLoop& loop, NetPath& feedback_out,
     if (opts.engine != nullptr) {
       sess->receiver().set_engine(opts.engine, opts.engine_harvest_delay);
     }
+    if (opts.rx_pool != nullptr) sess->receiver().set_rx_pool(opts.rx_pool);
     if (opts.configure) opts.configure(flow, sess->receiver());
     return sess;
   };
@@ -268,6 +274,7 @@ Result<SessionHandle> Sessiond::open(const alf::SessionConfig& session,
       sup_cfg.engine = opts.engine;
       sup_cfg.engine_harvest_delay = opts.engine_harvest_delay;
     }
+    sup_cfg.rx_pool = opts.rx_pool;
     raw->sup_ = std::make_unique<resilience::SessionSupervisor>(
         loop_, *paths.data, *paths.feedback_tx, *paths.feedback_rx, sup_cfg);
   } else {
@@ -281,6 +288,7 @@ Result<SessionHandle> Sessiond::open(const alf::SessionConfig& session,
     if (opts.engine != nullptr) {
       raw->receiver_->set_engine(opts.engine, opts.engine_harvest_delay);
     }
+    if (opts.rx_pool != nullptr) raw->receiver_->set_rx_pool(opts.rx_pool);
   }
   return SessionHandle(this, flow, raw);
 }

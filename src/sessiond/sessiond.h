@@ -127,6 +127,12 @@ struct OpenOptions {
   /// one pool serves every session).
   engine::Engine* engine = nullptr;
   SimDuration engine_harvest_delay = 0;
+  /// Zero-copy opt-in (DESIGN.md §12): the shared rx buffer pool —
+  /// normally the one the ingress Link writes into — handed to this
+  /// session's receiver (every incarnation, under supervision). Closing,
+  /// shedding, or evicting the session destroys its reassembly chains and
+  /// recycles their segments. Must outlive the sessiond.
+  buf::BufferPool* rx_pool = nullptr;
   /// Peer address for the flow id; 0 = auto-assign a fresh one (so two
   /// opens with the same session id never collide unless asked to).
   std::uint32_t peer = 0;
@@ -154,6 +160,8 @@ class AlfSession final : public Session {
   Result<std::uint32_t> send_adu(const AduName& name, ConstBytes payload);
   void finish();
   void set_on_adu(std::function<void(Adu&&)> fn);
+  /// Chain delivery (zero-copy handoff; see AlfReceiver::set_on_adu_chain).
+  void set_on_adu_chain(std::function<void(AduChain&&)> fn);
   void set_on_adu_lost(
       std::function<void(std::uint32_t, const AduName&, bool)> fn);
   void set_on_complete(std::function<void()> fn);
@@ -196,6 +204,9 @@ class SessionHandle {
   void set_on_adu(std::function<void(Adu&&)> fn) {
     session().set_on_adu(std::move(fn));
   }
+  void set_on_adu_chain(std::function<void(AduChain&&)> fn) {
+    session().set_on_adu_chain(std::move(fn));
+  }
   void set_on_adu_lost(
       std::function<void(std::uint32_t, const AduName&, bool)> fn) {
     session().set_on_adu_lost(std::move(fn));
@@ -228,6 +239,9 @@ class SessionHandle {
 struct ReceiverFactoryOptions {
   engine::Engine* engine = nullptr;
   SimDuration engine_harvest_delay = 0;
+  /// Zero-copy opt-in for every factory-created receiver (see
+  /// OpenOptions::rx_pool).
+  buf::BufferPool* rx_pool = nullptr;
   /// Per-session configurator, run right after construction: set on_adu /
   /// on_complete / priority here (the factory equivalent of the callback
   /// stapling open() handles do through their handle).

@@ -108,7 +108,7 @@ TEST(AlfTransfer, MultiFragmentAduReassembled) {
 
 TEST(AlfTransfer, EmptyAduRejected) {
   AlfPair p(SessionConfig{});
-  EXPECT_FALSE(p.sender.send_adu(generic_name(0), {}).ok());
+  EXPECT_FALSE(p.sender.send_adu(generic_name(0), ConstBytes{}).ok());
 }
 
 TEST(AlfTransfer, SendAfterFinishRejected) {

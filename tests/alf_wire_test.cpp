@@ -164,6 +164,55 @@ TEST(AlfWire, NackCorruptionRejected) {
   EXPECT_FALSE(decode_message(frame.span()).has_value());
 }
 
+TEST(AlfWire, ForgedNackCountRejected) {
+  NackMessage m;
+  m.session = 3;
+  m.adu_ids = {1, 2};
+  ByteBuffer frame = encode_nack(m);
+  // Patch the count field (bytes 4..5) to claim kMaxIds ids in a frame
+  // that carries two: the decoder must reject on the remaining-length
+  // check, before sizing any vector to the forged count.
+  frame[4] = static_cast<std::uint8_t>(NackMessage::kMaxIds >> 8);
+  frame[5] = static_cast<std::uint8_t>(NackMessage::kMaxIds & 0xFF);
+  EXPECT_FALSE(decode_message(frame.span()).has_value());
+}
+
+TEST(AlfWire, OverMaxNackCountRejected) {
+  NackMessage m;
+  m.session = 3;
+  m.adu_ids = {1};
+  ByteBuffer frame = encode_nack(m);
+  const std::uint16_t over = NackMessage::kMaxIds + 1;
+  frame[4] = static_cast<std::uint8_t>(over >> 8);
+  frame[5] = static_cast<std::uint8_t>(over & 0xFF);
+  EXPECT_FALSE(decode_message(frame.span()).has_value());
+}
+
+TEST(AlfWire, TruncatedNackRejected) {
+  NackMessage m;
+  m.session = 1;
+  for (std::uint32_t i = 0; i < NackMessage::kMaxIds; ++i) m.adu_ids.push_back(i);
+  ByteBuffer frame = encode_nack(m);
+  for (std::size_t keep : {frame.size() - 1, frame.size() / 2, std::size_t{6}}) {
+    EXPECT_FALSE(decode_message(frame.span().subspan(0, keep)).has_value()) << keep;
+  }
+}
+
+TEST(AlfWire, ForgedResumeBitmapLenRejected) {
+  ResumeMessage m;
+  m.session = 5;
+  m.epoch = 1;
+  m.closed_prefix = 10;
+  m.bitmap = {0xAB, 0xCD};
+  ByteBuffer frame = encode_resume(m);
+  // bitmap_len lives at bytes 10..11 (prologue 4 + epoch + pad +
+  // closed_prefix). Claim the maximum in a frame that carries two bytes.
+  const auto forged = static_cast<std::uint16_t>(ResumeMessage::kMaxBitmapBytes);
+  frame[10] = static_cast<std::uint8_t>(forged >> 8);
+  frame[11] = static_cast<std::uint8_t>(forged & 0xFF);
+  EXPECT_FALSE(decode_message(frame.span()).has_value());
+}
+
 TEST(AlfWire, ProgressRoundTrip) {
   for (bool complete : {false, true}) {
     ProgressMessage m;

@@ -1,0 +1,373 @@
+// Tests for src/buf (DESIGN.md §12): pool refcount lifecycle and recycle,
+// cross-thread last release, chain split/trim/append invariants, and
+// all-tier scatter_copy_checksum equivalence over pool-backed chains.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "buf/chain.h"
+#include "buf/pool.h"
+#include "checksum/internet.h"
+#include "crypto/chacha20.h"
+#include "ilp/pipeline.h"
+#include "ilp/scatter.h"
+#include "simd/dispatch.h"
+#include "util/rng.h"
+
+namespace ngp::buf {
+namespace {
+
+ByteBuffer random_bytes(std::size_t n, std::uint64_t seed) {
+  ByteBuffer b(n);
+  Rng rng(seed);
+  rng.fill(b.span());
+  return b;
+}
+
+/// A pool-backed chain holding `data`, cut into segments of the given
+/// sizes (must sum to data.size()). `misalign` shifts each slice start
+/// inside its segment so tiers see odd source alignments.
+BufChain make_chain(BufferPool& pool, ConstBytes data,
+                    const std::vector<std::size_t>& cuts,
+                    std::size_t misalign = 0) {
+  BufChain chain;
+  std::size_t pos = 0;
+  for (std::size_t n : cuts) {
+    BufRef ref = pool.alloc(n + misalign);
+    std::memcpy(ref.data() + misalign, data.data() + pos, n);
+    chain.append(Slice{std::move(ref), misalign, n});
+    pos += n;
+  }
+  EXPECT_EQ(pos, data.size());
+  return chain;
+}
+
+TEST(BufPool, RefcountRecycleAndReuse) {
+  BufferPool pool;
+  BufRef a = pool.alloc(1000);
+  ASSERT_TRUE(static_cast<bool>(a));
+  EXPECT_GE(a.capacity(), 1000u);
+  EXPECT_EQ(a.use_count(), 1u);
+  EXPECT_TRUE(a.unique());
+
+  BufRef b = a;  // copy adds a reference
+  EXPECT_EQ(a.use_count(), 2u);
+  EXPECT_FALSE(a.unique());
+  EXPECT_EQ(a.data(), b.data());
+
+  std::uint8_t* where = a.data();
+  a.reset();
+  EXPECT_FALSE(static_cast<bool>(a));
+  EXPECT_EQ(b.use_count(), 1u);
+  EXPECT_EQ(pool.stats().recycles, 0u);  // b still holds the segment
+
+  b.reset();
+  const PoolStats s = pool.stats();
+  EXPECT_EQ(s.recycles, 1u);
+  EXPECT_EQ(s.segments_live, 0u);
+
+  // The recycled segment comes straight back from the thread cache.
+  BufRef c = pool.alloc(1000);
+  EXPECT_EQ(c.data(), where);
+  EXPECT_GE(pool.stats().cache_hits, 1u);
+}
+
+TEST(BufPool, ZeroAndOversizeAllocs) {
+  PoolConfig cfg;
+  cfg.size_classes = {512, 2048};
+  BufferPool pool(cfg);
+
+  EXPECT_FALSE(static_cast<bool>(pool.alloc(0)));
+
+  // Oversize requests fall back to one-off heap segments and still
+  // refcount/recycle normally.
+  BufRef big = pool.alloc(1 << 20);
+  ASSERT_TRUE(static_cast<bool>(big));
+  EXPECT_GE(big.capacity(), std::size_t{1} << 20);
+  EXPECT_EQ(pool.stats().heap_fallbacks, 1u);
+  EXPECT_EQ(pool.stats().segments_live, 1u);
+  big.data()[0] = 0x5A;
+  big.reset();
+  EXPECT_EQ(pool.stats().recycles, 1u);
+  EXPECT_EQ(pool.stats().segments_live, 0u);
+}
+
+TEST(BufPool, LiveSegmentsAreDistinct) {
+  BufferPool pool;
+  BufRef a = pool.alloc(64);
+  BufRef b = pool.alloc(64);
+  EXPECT_NE(a.data(), b.data());
+  a.data()[0] = 1;
+  b.data()[0] = 2;
+  EXPECT_EQ(a.bytes()[0], 1);
+  EXPECT_EQ(b.bytes()[0], 2);
+}
+
+TEST(BufPool, ContainsTestsSegmentBounds) {
+  BufferPool pool;
+  BufRef a = pool.alloc(256);
+  BufRef b = pool.alloc(256);
+  EXPECT_TRUE(a.contains(ConstBytes{a.data(), 256}));
+  EXPECT_TRUE(a.contains(ConstBytes{a.data() + 10, 16}));
+  EXPECT_FALSE(a.contains(ConstBytes{b.data(), 16}));
+  EXPECT_FALSE(a.contains(ConstBytes{a.data() + a.capacity() - 4, 8}));
+  EXPECT_FALSE(BufRef{}.contains(ConstBytes{a.data(), 4}));
+}
+
+// The engine-worker shape: the last reference to a segment is dropped on
+// a different thread from the one that allocated it (runs under the tsan
+// lane; see tests/CMakeLists.txt).
+TEST(BufPool, CrossThreadLastRelease) {
+  BufferPool pool;
+  for (int round = 0; round < 8; ++round) {
+    Slice s{pool.alloc(4096), 0, 4096};
+    std::memset(s.mutable_bytes().data(), round, s.len);
+    std::thread t([slice = std::move(s), round] {
+      // Reads must observe the control thread's writes (acq_rel release).
+      EXPECT_EQ(slice.bytes()[0], round);
+      EXPECT_EQ(slice.bytes()[4095], round);
+      // `slice` destroyed here: last release from this thread recycles.
+    });
+    t.join();
+  }
+  const PoolStats s = pool.stats();
+  EXPECT_EQ(s.recycles, 8u);
+  EXPECT_EQ(s.segments_live, 0u);
+  // The pool stays usable from the control thread afterwards.
+  BufRef again = pool.alloc(4096);
+  EXPECT_TRUE(static_cast<bool>(again));
+}
+
+TEST(BufChain, AppendCoalescesContiguousSameSegment) {
+  BufferPool pool;
+  BufRef ref = pool.alloc(1024);
+  for (std::size_t i = 0; i < 1024; ++i) ref.data()[i] = static_cast<std::uint8_t>(i);
+
+  BufChain chain;
+  Slice whole{ref, 0, 1024};
+  chain.append(whole.sub(0, 300));
+  chain.append(whole.sub(300, 400));  // contiguous: coalesces
+  chain.append(whole.sub(700, 324));  // contiguous: coalesces
+  EXPECT_EQ(chain.size(), 1024u);
+  EXPECT_EQ(chain.segment_count(), 1u);
+
+  // A gap (or another segment) breaks coalescing.
+  BufRef other = pool.alloc(64);
+  chain.append(Slice{other, 0, 64});
+  EXPECT_EQ(chain.segment_count(), 2u);
+
+  // Empty slices disappear.
+  chain.append(Slice{});
+  EXPECT_EQ(chain.segment_count(), 2u);
+  EXPECT_EQ(chain.size(), 1088u);
+}
+
+TEST(BufChain, SplitTrimAppendInvariants) {
+  BufferPool pool;
+  const auto data = random_bytes(10'000, 42);
+  BufChain chain = make_chain(pool, data.span(), {1, 4095, 3000, 2048, 856});
+  ASSERT_EQ(chain.size(), 10'000u);
+  ASSERT_EQ(chain.segment_count(), 5u);
+
+  // Split mid-segment: both halves carry the right bytes, the straddled
+  // segment is shared (one reference per side), and no bytes move.
+  BufChain head = chain.split(6000);
+  EXPECT_EQ(head.size(), 6000u);
+  EXPECT_EQ(chain.size(), 4000u);
+  ByteBuffer h = head.flatten();
+  ByteBuffer t = chain.flatten();
+  EXPECT_EQ(h, ByteBuffer(data.span().subspan(0, 6000)));
+  EXPECT_EQ(t, ByteBuffer(data.span().subspan(6000)));
+  // The cut fell inside the 3000-byte segment (range [4096, 7096)):
+  // its pool segment now backs a slice in each chain.
+  EXPECT_EQ(head.segment(head.segment_count() - 1).ref.use_count(), 2u);
+  EXPECT_EQ(head.segment(head.segment_count() - 1).ref.data(),
+            chain.segment(0).ref.data());
+
+  // Rejoin: append(BufChain&&) restores the original byte string and the
+  // shared-segment halves coalesce back into one slice.
+  head.append(std::move(chain));
+  EXPECT_EQ(head.size(), 10'000u);
+  EXPECT_EQ(head.segment_count(), 5u);
+  EXPECT_EQ(head.flatten(), data);
+  EXPECT_EQ(chain.size(), 0u);  // consumed
+
+  // Trims drop whole slices and shrink straddlers; refs go with them.
+  BufRef first_seg = head.segment(0).ref;
+  head.trim_front(4097);  // drops segments 0+1 entirely, 1 byte of seg 2
+  EXPECT_EQ(head.size(), 5903u);
+  EXPECT_EQ(head.flatten(), ByteBuffer(data.span().subspan(4097)));
+  EXPECT_TRUE(first_seg.unique());  // chain no longer references it
+
+  head.trim_back(5903 - 100);
+  EXPECT_EQ(head.size(), 100u);
+  EXPECT_EQ(head.flatten(), ByteBuffer(data.span().subspan(4097, 100)));
+
+  head.clear();
+  EXPECT_TRUE(head.empty());
+
+  // Split at the exact boundaries.
+  BufChain edge = make_chain(pool, data.span().subspan(0, 100), {50, 50});
+  BufChain all = edge.split(100);
+  EXPECT_EQ(all.size(), 100u);
+  EXPECT_TRUE(edge.empty());
+  BufChain none = all.split(0);
+  EXPECT_TRUE(none.empty());
+  EXPECT_EQ(all.size(), 100u);
+}
+
+TEST(BufChain, HeadroomExpandAndPrepend) {
+  BufferPool pool;
+  BufRef ref = pool.alloc(512);
+  Slice s = Slice::with_headroom(ref, 64, 100);
+  EXPECT_EQ(s.headroom(), 64u);
+  EXPECT_GE(s.trailroom(), ref.capacity() - 164);
+  std::memset(s.mutable_bytes().data(), 0xAA, s.len);
+
+  s.expand_front(16);  // header prepend without a copy
+  EXPECT_EQ(s.headroom(), 48u);
+  EXPECT_EQ(s.len, 116u);
+  std::memset(s.mutable_bytes().data(), 0xBB, 16);
+
+  BufChain chain;
+  chain.append(s);
+  EXPECT_EQ(chain.size(), 116u);
+  ByteBuffer flat = chain.flatten();
+  EXPECT_EQ(flat[0], 0xBB);
+  EXPECT_EQ(flat[16], 0xAA);
+
+  BufRef hdr = pool.alloc(8);
+  std::memset(hdr.bytes().data(), 0xCC, 8);
+  chain.prepend(Slice{std::move(hdr), 0, 8});
+  EXPECT_EQ(chain.size(), 124u);
+  EXPECT_EQ(chain.flatten()[0], 0xCC);
+}
+
+TEST(BufChain, ReadAndCopyOutMatchFlatten) {
+  BufferPool pool;
+  const auto data = random_bytes(4321, 7);
+  BufChain chain = make_chain(pool, data.span(), {1000, 1, 2000, 1320}, 3);
+  ByteBuffer flat = chain.flatten();
+  ASSERT_EQ(flat, data);
+
+  ByteBuffer whole(chain.size());
+  chain.copy_out(whole.span());
+  EXPECT_EQ(whole, flat);
+
+  for (auto [pos, n] : {std::pair<std::size_t, std::size_t>{0, 1},
+                        {999, 2},      // straddles segments 0/1
+                        {1000, 1},     // exactly the 1-byte segment
+                        {500, 3821},   // spans everything
+                        {4320, 1}}) {
+    ByteBuffer out(n);
+    chain.read(pos, out.span());
+    EXPECT_EQ(out, ByteBuffer(data.span().subspan(pos, n)))
+        << "pos=" << pos << " n=" << n;
+  }
+}
+
+// The §6 final placement: chain -> scattered application variables, fused
+// with the Internet checksum, must agree with the flat scalar reference on
+// every compiled-in tier for odd segment sizes and misalignments.
+TEST(BufScatter, ChainScatterChecksumMatchesFlatAllTiers) {
+  const simd::KernelTier saved = simd::active_tier();
+  const auto data = random_bytes(7013, 99);
+
+  for (std::size_t ti = 0; ti < simd::kKernelTierCount; ++ti) {
+    const auto tier = static_cast<simd::KernelTier>(ti);
+    const simd::KernelTable* table = simd::tier_table(tier);
+    if (table == nullptr) continue;
+    ASSERT_TRUE(simd::set_active_tier(tier));
+
+    for (std::size_t misalign : {std::size_t{0}, std::size_t{1}, std::size_t{7}}) {
+      BufferPool pool;
+      {
+        BufChain chain =
+            make_chain(pool, data.span(), {1, 13, 4096, 2048, 855}, misalign);
+
+        // Odd-sized destination regions, deliberately not segment-aligned.
+        ByteBuffer dst(data.size());
+        ScatterList regions;
+        regions.add(dst.span().subspan(0, 3));
+        regions.add(dst.span().subspan(3, 1024));
+        regions.add(dst.span().subspan(1027, 5));
+        regions.add(dst.span().subspan(1032, data.size() - 1032));
+
+        std::size_t moved = 0;
+        const std::uint16_t ck = scatter_copy_checksum(chain, regions, &moved);
+        EXPECT_EQ(moved, data.size()) << table->name;
+        EXPECT_EQ(dst, data) << table->name << " misalign=" << misalign;
+
+        // Scalar flat reference: same checksum, same bytes.
+        const std::uint16_t ref_ck = internet_checksum_unrolled(data.span());
+        EXPECT_EQ(ck, ref_ck) << table->name << " misalign=" << misalign;
+
+        // And the flat overload agrees with the chain overload.
+        ByteBuffer dst2(data.size());
+        ScatterList regions2;
+        regions2.add(dst2.span());
+        EXPECT_EQ(scatter_copy_checksum(data.span(), regions2), ck);
+      }
+      // All chain references died with the scope: everything recycled.
+      EXPECT_EQ(pool.stats().segments_live, 0u);
+    }
+  }
+  simd::set_active_tier(saved);
+}
+
+// run_manipulation_chain must be bit-identical to the flat executor over
+// the flattened chain (decrypt + verify), while charging a load-only
+// checksum pass — the measurable zero-copy saving.
+TEST(BufChain, ChainManipulationMatchesFlat) {
+  BufferPool pool;
+  const auto plain = random_bytes(9001, 5);
+  const std::uint16_t expect =
+      internet_checksum_unrolled(plain.span());
+
+  ChaChaKey key;
+  for (std::size_t i = 0; i < key.key.size(); ++i) key.key[i] = static_cast<std::uint8_t>(i);
+  for (std::size_t i = 0; i < key.nonce.size(); ++i) key.nonce[i] = static_cast<std::uint8_t>(0x40 + i);
+
+  ByteBuffer wire(plain.span());
+  chacha20_xor(key, 0, wire.span());
+
+  ManipulationPlan plan;
+  plan.decrypt = true;
+  plan.key = key;
+  plan.checksum_kind = ChecksumKind::kInternet;
+  plan.expected_checksum = expect;
+
+  // Chain path.
+  BufChain chain = make_chain(pool, wire.span(), {1, 8191, 809}, 1);
+  obs::CostAccount chain_acct;
+  EXPECT_TRUE(run_manipulation_chain(plan, chain, &chain_acct));
+  ByteBuffer chain_out = chain.flatten();
+  EXPECT_EQ(chain_out, plain);
+
+  // Flat path.
+  ByteBuffer flat(wire.span());
+  obs::CostAccount flat_acct;
+  EXPECT_TRUE(run_manipulation(plan, flat.span(), &flat_acct));
+  EXPECT_EQ(flat, plain);
+
+  // Corruption is detected on the chain path too.
+  BufChain bad = make_chain(pool, wire.span(), {4500, 4501});
+  bad.segment(1).mutable_bytes()[7] ^= 0x10;
+  EXPECT_FALSE(run_manipulation_chain(plan, bad, nullptr));
+
+  // Checksum-only plans never store: the chain pass is load-only while the
+  // flat fused kernel is copy-shaped (1 store per word).
+  ManipulationPlan verify_only;
+  verify_only.checksum_kind = ChecksumKind::kInternet;
+  verify_only.expected_checksum = expect;
+  BufChain vchain = make_chain(pool, plain.span(), {4500, 4501});
+  obs::CostAccount vacct;
+  EXPECT_TRUE(run_manipulation_chain(verify_only, vchain, &vacct));
+  EXPECT_EQ(vacct.word_stores, 0u);
+  EXPECT_GT(vacct.word_loads, 0u);
+}
+
+}  // namespace
+}  // namespace ngp::buf
