@@ -356,7 +356,7 @@ void print_kernel_tiers() {
   plan.key = key;
   plan.checksum_kind = ChecksumKind::kInternet;
   plan.expected_checksum = compute_checksum(ChecksumKind::kInternet, wire.span());
-  plan.byteswap_decode = true;
+  plan.present = PresentStage::kSwap32;
   chacha20_xor(key, 0, wire.span());
 
   struct TierRow {

@@ -8,14 +8,28 @@
 // We measure encode and decode of a 32-bit integer array through every
 // transfer syntax, against the copy baseline, and print the slowdown
 // factors next to the paper's.
+//
+// Second act (DESIGN.md §13): the same Table-1 workload as a RecordSchema,
+// decoded by the interpreted per-field codecs vs the compiled
+// PresentationPlan, swept across every SIMD kernel tier this host
+// supports. The headline HOLDS: compiled-plan decode beats interpreted
+// BER by >= 3x at the best tier. `--smoke` runs the reduced sweep,
+// self-checks byte-identical round-trips and the JSON schema, and exits
+// non-zero if any HOLDS fails.
 #include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
 
 #include "bench_util.h"
 #include "ilp/kernels.h"
 #include "presentation/ber.h"
 #include "presentation/codec.h"
 #include "presentation/lwts.h"
+#include "presentation/plan.h"
+#include "presentation/record.h"
 #include "presentation/xdr.h"
+#include "simd/dispatch.h"
 #include "util/rng.h"
 
 namespace {
@@ -69,7 +83,7 @@ void register_benches() {
 
 // ---- Paper-style summary ----------------------------------------------------------
 
-void print_e2() {
+std::string print_e2() {
   using ngp::bench::measure_mbps;
   using ngp::bench::print_header;
   using ngp::bench::print_row;
@@ -179,17 +193,233 @@ void print_e2() {
       .raw("syntaxes", syntaxes_json.str())
       .field("ber_slowdown_holds", copy / ber_enc > 2)
       .field("toolkit_slower_holds", toolkit_enc < ber_enc);
-  ngp::bench::emit_json("E2_JSON", e2.str());
+  const std::string json = e2.str();
+  ngp::bench::emit_json("E2_JSON", json);
+  return json;
+}
+
+// ---- Compiled plans vs interpreters, per kernel tier (DESIGN.md §13) -------------
+//
+// The Table-1 workload as a record: one kInt32Array field, decoded through
+// (a) the interpreted per-field codecs for BER / XDR / LWTS and (b) the
+// compiled PresentationPlan for the flattenable syntaxes, the latter swept
+// across every SIMD dispatch tier this host supports (the plan's var-array
+// step calls the tiered byteswap32 kernel, so the tier moves compiled XDR
+// throughput; the interpreter's per-element loop does not vectorize).
+// Also measured: plan_decode_host_order, the load-only residue left after
+// the §4 manipulation pass already swapped the buffer — the fused
+// pipeline's fast path.
+//
+// Returns false if a self-check or the headline HOLDS fails.
+bool print_plans(bool smoke, std::string* json_out) {
+  using ngp::bench::measure_mbps;
+  using ngp::bench::print_header;
+  using presentation::cached_plan;
+  using presentation::plan_decode;
+  using presentation::plan_decode_host_order;
+  using presentation::plan_encode;
+
+  const std::size_t elems = smoke ? 4096 : kElems;
+  const std::size_t bytes = elems * 4;
+  const RecordSchema schema{"table1", {FieldType::kInt32Array}};
+  std::vector<std::int32_t> values(elems);
+  Rng rng(0xCAFE);
+  for (auto& x : values) x = static_cast<std::int32_t>(rng.next());
+  Record record;
+  record.emplace_back(std::move(values));
+
+  bool ok = true;
+  constexpr TransferSyntax kCompiled[] = {TransferSyntax::kLwts,
+                                          TransferSyntax::kXdr};
+  constexpr TransferSyntax kInterpreted[] = {TransferSyntax::kLwts,
+                                             TransferSyntax::kXdr,
+                                             TransferSyntax::kBer};
+
+  // Self-check first (always, not just --smoke): the compiled plan must be
+  // byte-identical to the interpreter before its throughput means anything.
+  for (TransferSyntax s : kCompiled) {
+    const auto plan = cached_plan(schema, s);
+    if (!plan->compiled) {
+      std::printf("  SELF-CHECK FAILS: %s plan not compiled\n",
+                  std::string(transfer_syntax_name(s)).c_str());
+      ok = false;
+      continue;
+    }
+    auto fast = plan_encode(*plan, record);
+    auto slow = encode_record_interpreted(s, schema, record);
+    if (!fast.ok() || !slow.ok() || !(*fast == *slow)) {
+      std::printf("  SELF-CHECK FAILS: %s plan_encode != interpreted bytes\n",
+                  std::string(transfer_syntax_name(s)).c_str());
+      ok = false;
+      continue;
+    }
+    auto back = plan_decode(*plan, fast->span());
+    if (!back.ok() || !(*back == record)) {
+      std::printf("  SELF-CHECK FAILS: %s plan_decode round-trip\n",
+                  std::string(transfer_syntax_name(s)).c_str());
+      ok = false;
+    }
+  }
+
+  // Interpreted decode per syntax — tier-independent (per-field scalar
+  // loops), measured once at the production dispatch setting.
+  struct InterpRow {
+    TransferSyntax syntax;
+    double encode, decode;
+  };
+  std::vector<InterpRow> interp;
+  double interpreted_ber_decode = 0;
+  for (TransferSyntax s : kInterpreted) {
+    auto wire = encode_record_interpreted(s, schema, record);
+    if (!wire.ok()) return false;
+    InterpRow r{s, 0, 0};
+    r.encode = measure_mbps(bytes, [&] {
+      auto out = encode_record_interpreted(s, schema, record);
+      benchmark::DoNotOptimize(out.ok());
+    });
+    r.decode = measure_mbps(bytes, [&] {
+      auto out = decode_record_interpreted(s, schema, wire->span());
+      benchmark::DoNotOptimize(out.ok());
+    });
+    if (s == TransferSyntax::kBer) interpreted_ber_decode = r.decode;
+    interp.push_back(r);
+  }
+
+  // Compiled plans, per tier.
+  struct TierRow {
+    simd::KernelTier tier;
+    double decode, host_order;
+  };
+  struct PlanRows {
+    TransferSyntax syntax;
+    double encode = 0;
+    std::vector<TierRow> tiers;
+  };
+  std::vector<PlanRows> plans;
+  const simd::KernelTier saved = simd::active_tier();
+  double best_plan_decode = 0;
+  for (TransferSyntax s : kCompiled) {
+    const auto plan = cached_plan(schema, s);
+    auto wire = plan_encode(*plan, record);
+    if (!wire.ok()) return false;
+    // Host-order image: what the fused manipulation pass hands the app —
+    // the wire bytes with the plan's present stage already applied.
+    ByteBuffer host(*wire);
+    if (plan->wire_stage() == PresentStage::kSwap32) {
+      simd::kernels().byteswap32(host.span());
+    }
+    PlanRows p{s, 0, {}};
+    p.encode = measure_mbps(bytes, [&] {
+      auto out = plan_encode(*plan, record);
+      benchmark::DoNotOptimize(out.ok());
+    });
+    for (std::size_t t = 0; t < simd::kKernelTierCount; ++t) {
+      const auto tier = static_cast<simd::KernelTier>(t);
+      if (simd::tier_table(tier) == nullptr) continue;  // unsupported host
+      simd::set_active_tier(tier);
+      TierRow r{tier, 0, 0};
+      r.decode = measure_mbps(bytes, [&] {
+        auto out = plan_decode(*plan, wire->span());
+        benchmark::DoNotOptimize(out.ok());
+      });
+      r.host_order = measure_mbps(bytes, [&] {
+        auto out = plan_decode_host_order(*plan, host.span());
+        benchmark::DoNotOptimize(out.ok());
+      });
+      if (tier == simd::best_tier() && r.decode > best_plan_decode) {
+        best_plan_decode = r.decode;
+      }
+      p.tiers.push_back(r);
+    }
+    simd::set_active_tier(saved);
+    plans.push_back(std::move(p));
+  }
+
+  print_header("Compiled plans (§13): Table-1 int-array record decode, Mb/s");
+  for (const auto& r : interp) {
+    std::printf("  interpreted %-10s  encode %10.1f   decode %10.1f\n",
+                std::string(transfer_syntax_name(r.syntax)).c_str(), r.encode,
+                r.decode);
+  }
+  for (const auto& p : plans) {
+    for (const auto& t : p.tiers) {
+      std::printf("  plan %-10s/%-6s  decode %10.1f   host-order %10.1f\n",
+                  std::string(transfer_syntax_name(p.syntax)).c_str(),
+                  simd::tier_name(t.tier), t.decode, t.host_order);
+    }
+  }
+
+  const double speedup =
+      interpreted_ber_decode > 0 ? best_plan_decode / interpreted_ber_decode : 0;
+  const bool holds = speedup >= 3.0;
+  std::printf("  best-tier compiled decode vs interpreted BER: %.1fx\n", speedup);
+  std::printf("  shape check: compiled plan >= 3x interpreted BER -> %s\n",
+              holds ? "HOLDS" : "FAILS");
+  if (!holds) ok = false;
+
+  ngp::bench::JsonWriter syntaxes;
+  for (const auto& r : interp) {
+    ngp::bench::JsonWriter row;
+    row.field("interpreted_encode_mbps", r.encode)
+        .field("interpreted_decode_mbps", r.decode);
+    for (const auto& p : plans) {
+      if (p.syntax != r.syntax) continue;
+      std::string tiers;
+      for (std::size_t i = 0; i < p.tiers.size(); ++i) {
+        tiers += (i ? "," : "") +
+                 ngp::bench::JsonWriter()
+                     .field("tier", simd::tier_name(p.tiers[i].tier))
+                     .field("plan_decode_mbps", p.tiers[i].decode)
+                     .field("plan_host_order_mbps", p.tiers[i].host_order)
+                     .str();
+      }
+      row.field("plan_encode_mbps", p.encode).raw("tiers", "[" + tiers + "]");
+    }
+    syntaxes.raw(transfer_syntax_name(r.syntax), row.str());
+  }
+  const std::string json =
+      ngp::bench::JsonWriter()
+          .field("elems", elems)
+          .field("bytes", bytes)
+          .field("smoke", smoke)
+          .field("best_tier", simd::tier_name(simd::best_tier()))
+          .raw("syntaxes", syntaxes.str())
+          .field("interpreted_ber_decode_mbps", interpreted_ber_decode)
+          .field("best_plan_decode_mbps", best_plan_decode)
+          .field("speedup_vs_interpreted_ber", speedup)
+          .field("holds", holds)
+          .str();
+  ngp::bench::emit_json("PRESENTATION_JSON", json);
+  if (json_out != nullptr) *json_out = json;
+  return ok;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  register_benches();
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  print_e2();
+  const ngp::bench::Args args = ngp::bench::parse_args(&argc, argv);
+  if (!args.smoke) {
+    register_benches();
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+  }
+  const std::string e2_json = print_e2();
+  std::string plans_json;
+  const bool plans_ok = print_plans(args.smoke, &plans_json);
+  if (args.smoke) {
+    // Smoke self-check: both JSON records parse, and every HOLDS held.
+    if (!ngp::bench::json_well_formed(e2_json) ||
+        !ngp::bench::json_well_formed(plans_json)) {
+      std::printf("SMOKE: malformed JSON output\n");
+      return 1;
+    }
+    if (!plans_ok) {
+      std::printf("SMOKE: compiled-plan self-check or HOLDS failed\n");
+      return 1;
+    }
+    std::printf("SMOKE: ok\n");
+  }
   return 0;
 }

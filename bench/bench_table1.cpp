@@ -27,6 +27,7 @@
 #include "ilp/kernels.h"
 #include "obs/cost.h"
 #include "obs/metrics.h"
+#include "presentation/plan.h"
 #include "simd/dispatch.h"
 #include "util/rng.h"
 
@@ -162,6 +163,12 @@ void print_table1() {
 // the fused decrypt+checksum+byteswap kernel on the best tier must clear
 // 1.5x its scalar version, mirroring the 1.5x the paper measured for
 // hand-integrated copy+checksum.
+//
+// The last column is the §13 workload: compiled-plan decode of the same
+// bytes as an XDR int-array record. The plan's array step calls the
+// tiered byteswap32 kernel, so presentation decode rides the dispatch
+// table exactly like the raw manipulation kernels above it — the point
+// of compiling plans down to these kernels in the first place.
 void print_kernel_tiers() {
   using ngp::bench::measure_mbps;
   const std::size_t n = 64 * 1024;
@@ -171,9 +178,19 @@ void print_kernel_tiers() {
     key.key[i] = static_cast<std::uint8_t>(i * 5 + 1);
   }
 
+  // The Table-1 payload reinterpreted as the §13 record workload.
+  const RecordSchema schema{"table1", {FieldType::kInt32Array}};
+  const auto plan = presentation::cached_plan(schema, TransferSyntax::kXdr);
+  std::vector<std::int32_t> values(n / 4);
+  Rng vrng(0xCAFE);
+  for (auto& x : values) x = static_cast<std::int32_t>(vrng.next());
+  Record record;
+  record.emplace_back(std::move(values));
+  const auto record_wire = presentation::plan_encode(*plan, record);
+
   struct TierRow {
     simd::KernelTier tier;
-    double copy, cksum, crc, chacha, fused;
+    double copy, cksum, crc, chacha, fused, plan_decode;
   };
   const simd::KernelTier saved = simd::active_tier();
   std::vector<TierRow> rows;
@@ -183,7 +200,7 @@ void print_kernel_tiers() {
     if (table == nullptr) continue;  // not supported on this host
     simd::set_active_tier(tier);
     const simd::KernelTable& k = *table;
-    TierRow r{tier, 0, 0, 0, 0, 0};
+    TierRow r{tier, 0, 0, 0, 0, 0, 0};
     r.copy = measure_mbps(n, [&] {
       k.copy(src.span(), dst.span());
       benchmark::DoNotOptimize(dst.data());
@@ -198,18 +215,24 @@ void print_kernel_tiers() {
     r.fused = measure_mbps(n, [&] {
       sink = k.decrypt_checksum_byteswap(key, 0, dst.span());
     });
+    if (record_wire.ok()) {
+      r.plan_decode = measure_mbps(n, [&] {
+        auto out = presentation::plan_decode(*plan, record_wire->span());
+        benchmark::DoNotOptimize(out.ok());
+      });
+    }
     (void)sink;
     rows.push_back(r);
   }
   simd::set_active_tier(saved);
 
   ngp::bench::print_header("Kernel tiers: dispatch-table Mb/s per SIMD level");
-  std::printf("  %-8s %10s %10s %10s %10s %14s\n", "tier", "copy", "cksum",
-              "crc32", "chacha20", "dec+ck+swap");
+  std::printf("  %-8s %10s %10s %10s %10s %14s %12s\n", "tier", "copy", "cksum",
+              "crc32", "chacha20", "dec+ck+swap", "plan(xdr)");
   for (const auto& r : rows) {
-    std::printf("  %-8s %10.0f %10.0f %10.0f %10.0f %14.0f\n",
+    std::printf("  %-8s %10.0f %10.0f %10.0f %10.0f %14.0f %12.0f\n",
                 simd::tier_name(r.tier), r.copy, r.cksum, r.crc, r.chacha,
-                r.fused);
+                r.fused, r.plan_decode);
   }
 
   double scalar_fused = 0, best_fused = 0;
@@ -225,13 +248,15 @@ void print_kernel_tiers() {
 
   std::string points;
   for (std::size_t i = 0; i < rows.size(); ++i) {
-    char buf[224];
+    char buf[256];
     std::snprintf(buf, sizeof buf,
                   "%s{\"tier\":\"%s\",\"copy_mbps\":%.0f,"
                   "\"internet_checksum_mbps\":%.0f,\"crc32_mbps\":%.0f,"
-                  "\"chacha20_mbps\":%.0f,\"fused_decrypt_cksum_swap_mbps\":%.0f}",
+                  "\"chacha20_mbps\":%.0f,\"fused_decrypt_cksum_swap_mbps\":%.0f,"
+                  "\"plan_decode_xdr_mbps\":%.0f}",
                   i ? "," : "", simd::tier_name(rows[i].tier), rows[i].copy,
-                  rows[i].cksum, rows[i].crc, rows[i].chacha, rows[i].fused);
+                  rows[i].cksum, rows[i].crc, rows[i].chacha, rows[i].fused,
+                  rows[i].plan_decode);
     points += buf;
   }
   char head[160];

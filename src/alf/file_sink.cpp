@@ -29,25 +29,26 @@ Status FileSink::place(const Adu& adu) {
 }
 
 Status FileSink::place(const AduChain& adu) {
-  if (adu.syntax != TransferSyntax::kRaw) {
-    Adu flat;
-    flat.name = adu.name;
-    flat.syntax = adu.syntax;
-    flat.payload = adu.payload.flatten();
-    return place(flat);
-  }
   if (adu.name.ns != NameSpace::kFileRegion) {
     return Error{ErrorCode::kMalformed, "not a file-region ADU"};
   }
+  // Framed syntaxes: trim the framing off a shared-slice copy of the chain
+  // (reference counts, not bytes) so the remaining slices ARE the payload —
+  // the scatter placement below is then the transfer's ONLY copy, same as
+  // kRaw (DESIGN.md §12's placement floor).
+  buf::BufChain payload = adu.payload;
+  if (auto s = decode_octets_chain(adu.syntax, payload); !s.is_ok()) {
+    return s;
+  }
   const auto region = FileRegionName::from_name(adu.name);
-  if (adu.payload.size() != region.length) {
+  if (payload.size() != region.length) {
     return Error{ErrorCode::kMalformed, "decoded size != named region length"};
   }
 
   const std::uint64_t end = region.receiver_offset + region.length;
   if (end > file_.size()) file_.resize(end);
   std::uint8_t* dst = file_.data() + region.receiver_offset;
-  adu.payload.for_each([&dst](ConstBytes seg) {
+  payload.for_each([&dst](ConstBytes seg) {
     std::memcpy(dst, seg.data(), seg.size());
     dst += seg.size();
   });

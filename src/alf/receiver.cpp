@@ -10,6 +10,7 @@
 #include "obs/flight.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "presentation/plan.h"
 #include "simd/dispatch.h"
 
 namespace ngp::alf {
@@ -523,6 +524,13 @@ ManipulationPlan AlfReceiver::make_plan(std::uint32_t adu_id,
   store_u32_be(p.key.nonce.data() + 8, adu_id);  // per-ADU nonce (§5)
   p.checksum_kind = r.checksum_kind;
   p.expected_checksum = r.checksum;
+  // Fused presentation (DESIGN.md §13): when a compiled plan for this wire
+  // syntax is attached, its wire stage (identity or byteswap32) rides the
+  // same stage-2 pass — the delivered payload is already host order and no
+  // separate decode pass remains.
+  if (present_plan_ != nullptr && r.syntax == present_plan_->syntax) {
+    p.present = present_plan_->wire_stage();
+  }
   return p;
 }
 
@@ -534,8 +542,9 @@ bool AlfReceiver::verify_and_decrypt(std::uint32_t adu_id, Reassembly& r) {
   obs::TraceSpan span(trace_, "alf.rx.manip", r.buf.size());
   obs::flight_record(flight_, flight_track_, obs::FlightStage::kManipBegin,
                      flight_id(adu_id), r.buf.size());
-  const bool intact =
-      run_manipulation(make_plan(adu_id, r), r.buf.span(), &manip_cost_);
+  const ManipulationPlan plan = make_plan(adu_id, r);
+  if (plan.present != PresentStage::kNone) ++stats_.adus_presentation_fused;
+  const bool intact = run_manipulation(plan, r.buf.span(), &manip_cost_);
   obs::flight_record(flight_, flight_track_, obs::FlightStage::kManipEnd,
                      flight_id(adu_id), r.buf.size());
   return intact;
@@ -550,8 +559,9 @@ bool AlfReceiver::verify_and_decrypt_chain(std::uint32_t adu_id,
   obs::TraceSpan span(trace_, "alf.rx.manip", chain.size());
   obs::flight_record(flight_, flight_track_, obs::FlightStage::kManipBegin,
                      flight_id(adu_id), chain.size());
-  const bool intact =
-      run_manipulation_chain(make_plan(adu_id, r), chain, &manip_cost_);
+  const ManipulationPlan plan = make_plan(adu_id, r);
+  if (plan.present != PresentStage::kNone) ++stats_.adus_presentation_fused;
+  const bool intact = run_manipulation_chain(plan, chain, &manip_cost_);
   obs::flight_record(flight_, flight_track_, obs::FlightStage::kManipEnd,
                      flight_id(adu_id), chain.size());
   return intact;
@@ -621,6 +631,7 @@ void AlfReceiver::offload_adu(std::uint32_t adu_id, Reassembly& r) {
   job.shard_key = obs::flight_trace_id(cfg_.session_id, adu_id);
   job.flight_id = flight_id(adu_id);
   job.plan = make_plan(adu_id, r);
+  if (job.plan.present != PresentStage::kNone) ++stats_.adus_presentation_fused;
   if (r.pooled) {
     // The chain travels to the worker; its last release — wherever that
     // happens — recycles the segments (the pool is thread-safe for this).
@@ -1092,6 +1103,7 @@ void AlfReceiver::emit_metrics(obs::MetricSink& sink) const {
   sink.counter("fragments_zero_copy", s.fragments_zero_copy);
   sink.counter("fragments_pool_copied", s.fragments_pool_copied);
   sink.counter("adus_chain_delivered", s.adus_chain_delivered);
+  sink.counter("adus_presentation_fused", s.adus_presentation_fused);
   sink.gauge("reassembly_bytes", static_cast<double>(reassembly_bytes_));
   obs::emit_cost(sink, "cost", manip_cost_);
   obs::emit_cost(sink, "reassembly", reassembly_cost_);

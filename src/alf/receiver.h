@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <set>
 
 #include "alf/adu.h"
@@ -41,6 +42,10 @@ class FlightRecorder;
 namespace ngp::engine {
 class Engine;
 }  // namespace ngp::engine
+
+namespace ngp::presentation {
+struct PresentationPlan;
+}  // namespace ngp::presentation
 
 namespace ngp::alf {
 
@@ -76,6 +81,10 @@ struct ReceiverStats {
   std::uint64_t fragments_zero_copy = 0;    ///< placed by reference (no copy)
   std::uint64_t fragments_pool_copied = 0;  ///< placed by copy into a pool seg
   std::uint64_t adus_chain_delivered = 0;   ///< handed up as an AduChain
+
+  /// ADUs whose presentation decode was fused into the stage-2 pass (a
+  /// compiled plan was attached and its wire stage rode the verify kernel).
+  std::uint64_t adus_presentation_fused = 0;
 };
 
 /// What a receiver knows about a session's closed ADUs, extracted after a
@@ -163,6 +172,20 @@ class AlfReceiver {
   /// flat path. Set before traffic; the pool must outlive the receiver and
   /// every chain it delivered.
   void set_rx_pool(buf::BufferPool* pool) noexcept { rx_pool_ = pool; }
+
+  /// Fuses a compiled presentation plan (DESIGN.md §13) into stage 2: ADUs
+  /// whose wire syntax matches the plan's are delivered already in HOST
+  /// order — the plan's wire_stage() (LWTS identity, XDR byteswap32) runs
+  /// inside the same decrypt+verify pass, inline or as an engine chain
+  /// job, so no separate decode pass remains. The application finishes
+  /// with presentation::plan_decode_host_order on the delivered payload.
+  /// Contract: every ADU of the matching syntax on this session must carry
+  /// a record of the plan's schema (sessions mixing record and plain-octet
+  /// ADUs of one syntax must not attach a plan). Plans whose wire_stage()
+  /// is kNone attach harmlessly (nothing fuses). Null detaches.
+  void set_presentation(std::shared_ptr<const presentation::PresentationPlan> plan) {
+    present_plan_ = std::move(plan);
+  }
 
   /// Chain-delivery callback for pooled ADUs. When set, pooled ADUs bypass
   /// the flatten bridge and arrive as AduChain — at most one copy remains
@@ -408,6 +431,8 @@ class AlfReceiver {
   };
   engine::Engine* eng_ = nullptr;
   buf::BufferPool* rx_pool_ = nullptr;  ///< zero-copy opt-in (null = flat)
+  /// Compiled presentation plan to fuse into stage 2 (null = none).
+  std::shared_ptr<const presentation::PresentationPlan> present_plan_;
   SimDuration engine_harvest_delay_ = 0;
   bool engine_pump_armed_ = false;
   std::map<std::uint32_t, InflightManip> manip_inflight_;

@@ -153,6 +153,72 @@ Result<std::uint32_t> AlfSender::stage_adu_pooled(std::uint32_t adu_id,
   return adu_id;
 }
 
+Result<std::uint32_t> AlfSender::send_record(const AduName& name,
+                                             const presentation::PresentationPlan& plan,
+                                             const Record& record) {
+  if (finished_) return Error{ErrorCode::kClosed, "finish() already called"};
+  if (failed_) return Error{ErrorCode::kClosed, "session failed (feedback watchdog)"};
+  auto wire = plan.compiled
+                  ? presentation::plan_encode(plan, record, &manip_cost_)
+                  : encode_record_interpreted(plan.syntax, plan.schema, record,
+                                              &manip_cost_);
+  if (!wire) return wire.error();
+  Result<std::uint32_t> r = stage_adu_prepared(next_adu_id_, name, std::move(*wire));
+  if (r.ok()) ++next_adu_id_;
+  return r;
+}
+
+Result<std::uint32_t> AlfSender::stage_adu_prepared(std::uint32_t adu_id,
+                                                    const AduName& name,
+                                                    ByteBuffer&& plaintext) {
+  if (plaintext.empty()) return Error{ErrorCode::kOutOfRange, "empty ADU"};
+  if (plaintext.size() > UINT32_MAX) {
+    return Error{ErrorCode::kOutOfRange, "ADU too large"};
+  }
+  if (cfg_.retransmit == RetransmitPolicy::kTransportBuffered &&
+      stats_.retransmit_buffer_bytes + plaintext.size() > cfg_.retransmit_buffer_limit) {
+    return Error{ErrorCode::kLimitExceeded, "retransmit buffer full"};
+  }
+
+  names_[adu_id] = name;
+
+  BufferedAdu b;
+  b.name = name;
+  {
+    // The marshalling already stored into this buffer, so it IS the staging
+    // buffer: checksum reads it where it lies and encryption ciphers it in
+    // place — prepare_wire_payload's copy pass is the pass the fused
+    // encode saved.
+    obs::TraceSpan span(trace_, "alf.tx.manip", plaintext.size());
+    manip_cost_.charge_operation(plaintext.size());
+    b.checksum = compute_checksum(cfg_.checksum, plaintext.span());
+    manip_cost_.charge_pass(plaintext.size(), /*stores=*/false);
+    b.flags = 0;
+    if (cfg_.encrypt) {
+      ChaChaKey k = cfg_.key;
+      store_u32_be(k.nonce.data() + 8, adu_id);
+      simd::kernels().chacha20_xor(k, /*counter=*/0, plaintext.span());
+      manip_cost_.charge_pass(plaintext.size(), /*stores=*/true);
+      b.flags |= kFlagEncrypted;
+    }
+  }
+  const std::size_t n = plaintext.size();
+  b.wire_payload = std::move(plaintext);
+  store_.emplace(adu_id, std::move(b));
+  if (cfg_.retransmit == RetransmitPolicy::kTransportBuffered) {
+    stats_.retransmit_buffer_bytes += n;
+    stats_.retransmit_buffer_peak =
+        std::max(stats_.retransmit_buffer_peak, stats_.retransmit_buffer_bytes);
+  }
+
+  ++stats_.adus_sent;
+  obs::flight_record(flight_, flight_track_, obs::FlightStage::kStaged,
+                     obs::flight_trace_id(cfg_.session_id, adu_id), n);
+  enqueue_adu_fragments(adu_id, /*retransmit=*/false);
+  pump();
+  return adu_id;
+}
+
 Result<std::uint32_t> AlfSender::send_adu_as(std::uint32_t adu_id,
                                              const AduName& name,
                                              ConstBytes payload) {

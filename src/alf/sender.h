@@ -28,6 +28,7 @@
 #include "alf/wire.h"
 #include "netsim/net_path.h"
 #include "obs/cost.h"
+#include "presentation/plan.h"
 #include "util/event_loop.h"
 #include "util/result.h"
 
@@ -104,6 +105,17 @@ class AlfSender {
   /// bytes become the wire payload (post-encryption) and are retained or
   /// released per the session's retransmit policy like any other ADU.
   Result<std::uint32_t> send_adu(const AduName& name, buf::Slice payload);
+
+  /// Fused encode-and-stage (DESIGN.md §13): marshals `record` with the
+  /// compiled plan straight into the wire staging buffer — the presentation
+  /// encode IS the staging pass — then checksums (load-only) and encrypts
+  /// in place, exactly like the pooled path. The flat send_adu path's
+  /// separate staging copy never happens. Falls back to the interpreted
+  /// per-field encoder when the plan is not compiled (e.g. BER); the
+  /// staging-copy saving still applies.
+  Result<std::uint32_t> send_record(const AduName& name,
+                                    const presentation::PresentationPlan& plan,
+                                    const Record& record);
 
   /// Re-stages an ADU under an id assigned by a PREVIOUS incarnation of
   /// this session (supervised restart, DESIGN.md §10): the id must predate
@@ -196,6 +208,12 @@ class AlfSender {
   /// stage_adu's zero-staging twin: prepares the slice in place.
   Result<std::uint32_t> stage_adu_pooled(std::uint32_t adu_id,
                                          const AduName& name, buf::Slice payload);
+  /// Stages an already-marshalled buffer as the wire payload: checksum is a
+  /// load-only pass and encryption ciphers the buffer itself (the encode
+  /// that produced it was the staging pass).
+  Result<std::uint32_t> stage_adu_prepared(std::uint32_t adu_id,
+                                           const AduName& name,
+                                           ByteBuffer&& plaintext);
   void enqueue_adu_fragments(std::uint32_t adu_id, bool retransmit);
   void pump();               ///< sends fragments respecting pacing
   void send_fragment(const PendingFragment& pf);

@@ -33,6 +33,54 @@ void decrypt_segment(const ChaChaKey& key, std::size_t pos, MutableBytes seg,
   }
 }
 
+/// End of the byteswap region for an n-byte buffer, matching the flat
+/// Byteswap32Stage tail rule exactly: whole 8-byte words swap both 32-bit
+/// halves, an exactly-4-byte tail swaps, any other tail (1-3 or 5-7
+/// bytes) passes through unchanged. Always a multiple of 4.
+std::size_t swap_region_end(std::size_t n) {
+  const std::size_t r = n % 8;
+  return r == 4 ? n : n - r;
+}
+
+/// Swaps 32-bit units whose bytes may be scattered across segments: bytes
+/// are fed in chain order, pointers to the first three bytes of the
+/// in-flight unit are held until its fourth byte arrives, then the unit is
+/// reversed through the pointers. Bytes at or past the swap-region end are
+/// ignored (the flat kernels' pass-through tail).
+struct SwapCursor {
+  std::uint8_t* pend[3] = {};
+  std::size_t filled = 0;
+
+  void feed(MutableBytes bytes, std::size_t pos, std::size_t region_end) {
+    for (std::size_t i = 0; i < bytes.size(); ++i) {
+      if (pos + i >= region_end) return;
+      if (filled == 3) {
+        std::swap(*pend[0], bytes[i]);
+        std::swap(*pend[1], *pend[2]);
+        filled = 0;
+      } else {
+        pend[filled++] = &bytes[i];
+      }
+    }
+  }
+};
+
+/// XORs `bytes` (at chain byte offset `pos`) with the keystream, handling
+/// 64-byte block crossings — the scalar path for sub-unit remainders the
+/// fused kernels cannot take.
+void scalar_decrypt(const ChaChaKey& key, std::size_t pos, MutableBytes bytes) {
+  std::array<std::uint8_t, 64> ks;
+  std::size_t have = static_cast<std::size_t>(-1);
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    const std::size_t p = pos + i;
+    if (p / 64 != have) {
+      have = p / 64;
+      chacha20_block(key, static_cast<std::uint32_t>(have), ks);
+    }
+    bytes[i] ^= ks[p % 64];
+  }
+}
+
 }  // namespace
 
 std::uint16_t chain_internet_checksum(const BufChain& c) {
@@ -88,6 +136,105 @@ std::uint16_t chain_copy_internet_checksum(const BufChain& c,
         k.copy_internet_checksum(seg, dst.subspan(off, seg.size()));
     acc.combine(sum, seg.size());
     off += seg.size();
+  });
+  return acc.finish();
+}
+
+void chain_byteswap32(BufChain& c) {
+  const simd::KernelTable& k = simd::kernels();
+  const std::size_t region_end = swap_region_end(c.size());
+  SwapCursor cur;
+  std::size_t pos = 0;
+  c.for_each_mutable([&](MutableBytes seg) {
+    std::size_t done = 0;
+    // Scalar head: completes a unit straddling in from the previous segment.
+    if (pos % 4 != 0 && !seg.empty()) {
+      done = std::min<std::size_t>(4 - pos % 4, seg.size());
+      cur.feed(seg.subspan(0, done), pos, region_end);
+    }
+    // Unit-aligned bulk inside the swap region: the tier kernel.
+    const std::size_t in_region =
+        region_end > pos + done ? region_end - (pos + done) : 0;
+    const std::size_t bulk =
+        std::min(seg.size() - done, in_region) & ~std::size_t{3};
+    if (bulk != 0) {
+      k.byteswap32(seg.subspan(done, bulk));
+      done += bulk;
+    }
+    // Remainder: the head of a straddling unit and/or the pass-through tail.
+    if (done < seg.size()) cur.feed(seg.subspan(done), pos + done, region_end);
+    pos += seg.size();
+  });
+}
+
+std::uint16_t chain_checksum_byteswap(BufChain& c) {
+  const simd::KernelTable& k = simd::kernels();
+  const std::size_t region_end = swap_region_end(c.size());
+  InternetChecksum acc;
+  SwapCursor cur;
+  std::size_t pos = 0;
+  c.for_each_mutable([&](MutableBytes seg) {
+    std::size_t done = 0;
+    if (pos % 4 != 0 && !seg.empty()) {
+      done = std::min<std::size_t>(4 - pos % 4, seg.size());
+      acc.add(seg.subspan(0, done));  // the checksum sees pre-swap bytes
+      cur.feed(seg.subspan(0, done), pos, region_end);
+    }
+    const std::size_t in_region =
+        region_end > pos + done ? region_end - (pos + done) : 0;
+    const std::size_t bulk =
+        std::min(seg.size() - done, in_region) & ~std::size_t{3};
+    if (bulk != 0) {
+      MutableBytes body = seg.subspan(done, bulk);
+      acc.combine(k.checksum_byteswap(body), body.size());
+      done += bulk;
+    }
+    if (done < seg.size()) {
+      MutableBytes rest = seg.subspan(done);
+      acc.add(rest);
+      cur.feed(rest, pos + done, region_end);
+    }
+    pos += seg.size();
+  });
+  return acc.finish();
+}
+
+std::uint16_t chain_decrypt_checksum_byteswap(const ChaChaKey& key,
+                                              BufChain& c) {
+  const simd::KernelTable& k = simd::kernels();
+  const std::size_t region_end = swap_region_end(c.size());
+  InternetChecksum acc;
+  SwapCursor cur;
+  std::size_t pos = 0;
+  c.for_each_mutable([&](MutableBytes seg) {
+    std::size_t done = 0;
+    // Scalar keystream prefix to the next 64-byte block boundary (which is
+    // also a 4-byte swap boundary, so the fused kernel can take over).
+    if (pos % 64 != 0 && !seg.empty()) {
+      done = std::min<std::size_t>(64 - pos % 64, seg.size());
+      MutableBytes prefix = seg.subspan(0, done);
+      scalar_decrypt(key, pos, prefix);
+      acc.add(prefix);
+      cur.feed(prefix, pos, region_end);
+    }
+    const std::size_t in_region =
+        region_end > pos + done ? region_end - (pos + done) : 0;
+    const std::size_t bulk =
+        std::min(seg.size() - done, in_region) & ~std::size_t{3};
+    if (bulk != 0) {
+      MutableBytes body = seg.subspan(done, bulk);
+      acc.combine(k.decrypt_checksum_byteswap(
+                      key, static_cast<std::uint32_t>((pos + done) / 64), body),
+                  body.size());
+      done += bulk;
+    }
+    if (done < seg.size()) {
+      MutableBytes rest = seg.subspan(done);
+      scalar_decrypt(key, pos + done, rest);
+      acc.add(rest);
+      cur.feed(rest, pos + done, region_end);
+    }
+    pos += seg.size();
   });
   return acc.finish();
 }

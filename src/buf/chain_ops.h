@@ -43,4 +43,23 @@ void chain_chacha20_xor(const ChaChaKey& key, BufChain& c);
 std::uint16_t chain_copy_internet_checksum(const BufChain& c,
                                            MutableBytes dst);
 
+/// Byte-swaps each 32-bit unit of the chain in place (the fused
+/// presentation-decode stage of a compiled plan, DESIGN.md §13), counted
+/// from chain byte 0 so units that straddle segment boundaries swap
+/// correctly. Matches the flat byteswap32 kernel's tail rule exactly:
+/// whole 8-byte words and an exactly-4-byte tail swap, any other tail
+/// passes through — bit-identical to flatten + byteswap32 + scatter.
+void chain_byteswap32(BufChain& c);
+
+/// chain_internet_checksum + chain_byteswap32 in ONE pass: the checksum
+/// absorbs the pre-swap wire bytes (so the check still covers what was
+/// sent), the swap lands in place. One load+store pass.
+std::uint16_t chain_checksum_byteswap(BufChain& c);
+
+/// Decrypt + checksum(plaintext) + byteswap32 fused over the gather view —
+/// the chain twin of the decrypt_checksum_byteswap dispatch kernel
+/// (keystream block counter 0 at chain byte 0). One load+store pass.
+std::uint16_t chain_decrypt_checksum_byteswap(const ChaChaKey& key,
+                                              BufChain& c);
+
 }  // namespace ngp::buf

@@ -15,18 +15,24 @@ namespace {
 /// but no dispatch-table entry (currently CRC-32). The stage pack order
 /// matters: the checksum stage sits between decrypt and byteswap so it
 /// always absorbs the plaintext wire bytes.
+/// kSwap32 is the only PresentStage that adds work to a pass; kIdentity
+/// and kNone both leave the bytes alone inside the executor.
+bool swap_fused(const ManipulationPlan& plan) {
+  return plan.present == PresentStage::kSwap32;
+}
+
 template <WordStage CkStage>
 bool fused_verify(const ManipulationPlan& plan, MutableBytes buf,
                   obs::CostAccount* acct, auto expected_of) {
   CkStage ck;
-  if (plan.decrypt && plan.byteswap_decode) {
+  if (plan.decrypt && swap_fused(plan)) {
     EncryptStage dec(plan.key, 0);
     Byteswap32Stage swap;
     ilp_fused_accounted(acct, buf, buf, dec, ck, swap);
   } else if (plan.decrypt) {
     EncryptStage dec(plan.key, 0);
     ilp_fused_accounted(acct, buf, buf, dec, ck);
-  } else if (plan.byteswap_decode) {
+  } else if (swap_fused(plan)) {
     Byteswap32Stage swap;
     ilp_fused_accounted(acct, buf, buf, ck, swap);
   } else {
@@ -44,11 +50,11 @@ bool fused_verify_internet(const ManipulationPlan& plan, MutableBytes buf,
                            obs::CostAccount* acct) {
   const simd::KernelTable& k = simd::kernels();
   std::uint16_t got;
-  if (plan.decrypt && plan.byteswap_decode) {
+  if (plan.decrypt && swap_fused(plan)) {
     got = k.decrypt_checksum_byteswap(plan.key, 0, buf);
   } else if (plan.decrypt) {
     got = k.decrypt_internet_checksum(plan.key, 0, buf);
-  } else if (plan.byteswap_decode) {
+  } else if (swap_fused(plan)) {
     got = k.checksum_byteswap(buf);
   } else {
     got = k.internet_checksum(buf);
@@ -89,7 +95,7 @@ bool run_manipulation(const ManipulationPlan& plan, MutableBytes buf,
     if (acct != nullptr) acct->charge_pass(buf.size(), /*stores=*/false);
     const bool intact =
         compute_checksum(plan.checksum_kind, buf) == plan.expected_checksum;
-    if (intact && plan.byteswap_decode) byteswap_pass(buf, acct);
+    if (intact && swap_fused(plan)) byteswap_pass(buf, acct);
     return intact;
   }
 
@@ -104,25 +110,34 @@ bool run_manipulation(const ManipulationPlan& plan, MutableBytes buf,
   if (acct != nullptr) acct->charge_pass(buf.size(), /*stores=*/false);
   const bool intact =
       compute_checksum(plan.checksum_kind, buf) == plan.expected_checksum;
-  if (intact && plan.byteswap_decode) byteswap_pass(buf, acct);
+  if (intact && swap_fused(plan)) byteswap_pass(buf, acct);
   return intact;
 }
 
 bool run_manipulation_chain(const ManipulationPlan& plan, buf::BufChain& chain,
                             obs::CostAccount* acct) {
   assert(plan.checksum_kind == ChecksumKind::kInternet &&
-         !plan.byteswap_decode &&
          "chain manipulation supports the receive-path plan shape only");
   const auto expected = static_cast<std::uint16_t>(plan.expected_checksum);
+  const bool swap = swap_fused(plan);
   if (!plan.layered) {
-    // One fused pass over the gather view: decrypt (when asked) writes the
-    // plaintext back, a bare verify only reads.
-    const std::uint16_t got =
-        plan.decrypt ? buf::chain_decrypt_internet_checksum(plan.key, chain)
-                     : buf::chain_internet_checksum(chain);
+    // One fused pass over the gather view: decrypt and byteswap (when
+    // asked) write back, a bare verify only reads. Same semantics as the
+    // flat fused kernels: the checksum absorbs the plaintext wire bytes,
+    // the swap lands unconditionally.
+    std::uint16_t got;
+    if (plan.decrypt && swap) {
+      got = buf::chain_decrypt_checksum_byteswap(plan.key, chain);
+    } else if (plan.decrypt) {
+      got = buf::chain_decrypt_internet_checksum(plan.key, chain);
+    } else if (swap) {
+      got = buf::chain_checksum_byteswap(chain);
+    } else {
+      got = buf::chain_internet_checksum(chain);
+    }
     if (acct != nullptr) {
       acct->charge_operation(chain.size());
-      acct->charge_pass(chain.size(), /*stores=*/plan.decrypt);
+      acct->charge_pass(chain.size(), /*stores=*/plan.decrypt || swap);
     }
     return got == expected;
   }
@@ -135,7 +150,12 @@ bool run_manipulation_chain(const ManipulationPlan& plan, buf::BufChain& chain,
   }
   const std::uint16_t got = buf::chain_internet_checksum(chain);
   if (acct != nullptr) acct->charge_pass(chain.size(), /*stores=*/false);
-  return got == expected;
+  const bool intact = got == expected;
+  if (intact && swap) {
+    buf::chain_byteswap32(chain);
+    if (acct != nullptr) acct->charge_pass(chain.size(), /*stores=*/true);
+  }
+  return intact;
 }
 
 }  // namespace ngp

@@ -22,6 +22,20 @@
 
 namespace ngp {
 
+/// The presentation transform a ManipulationPlan fuses into its single
+/// pass. A compiled presentation plan (ngp::presentation::PresentationPlan)
+/// maps its wire shape to one of these via wire_stage():
+///
+///   kNone     — no fused presentation work (plan absent, or a shape the
+///               compiler could not reduce to a whole-buffer kernel; the
+///               decode then runs as its own charged transform pass).
+///   kIdentity — wire bytes ARE host bytes (LWTS on a little-endian host):
+///               the fused pass changes nothing, decode after it is free.
+///   kSwap32   — every wire word is a big-endian 32-bit unit (XDR fixed
+///               records, int arrays): fuse the byteswap32 kernel so the
+///               buffer holds host-order values after the one pass.
+enum class PresentStage : std::uint8_t { kNone = 0, kIdentity, kSwap32 };
+
 /// The fused ILP stage pipeline for one complete ADU:
 /// decrypt -> verify checksum (of the plaintext) -> presentation decode.
 /// Stages are optional and independently selectable; the executor fuses
@@ -41,10 +55,9 @@ struct ManipulationPlan {
   ChecksumKind checksum_kind = ChecksumKind::kInternet;
   std::uint32_t expected_checksum = 0;
 
-  /// Presentation decode fused into the same pass: byte-swap each 32-bit
-  /// element (the XDR/LWTS integer-array decode kernel). Applied after the
+  /// Presentation decode fused into the same pass. Applied after the
   /// checksum absorbs the plaintext, so the check still covers wire bytes.
-  bool byteswap_decode = false;
+  PresentStage present = PresentStage::kNone;
 };
 
 /// Runs `plan` over `buf` in place. Returns true when the checksum matched
@@ -61,11 +74,12 @@ bool run_manipulation(const ManipulationPlan& plan, MutableBytes buf,
 
 /// Runs `plan` over a scatter-gather chain in place — the zero-copy twin
 /// of run_manipulation. Supports the receive-path plan shape only:
-/// checksum_kind == kInternet and no byteswap_decode (the receiver keeps
-/// the flat path for every other combination, so this is asserted, not
-/// handled). Per-segment fused kernels + InternetChecksum::combine make
-/// the result bit-identical to running the flat executor on the flattened
-/// chain.
+/// checksum_kind == kInternet (the receiver keeps the flat path for every
+/// other checksum, so this is asserted, not handled). All PresentStage
+/// values are supported: kSwap32 runs the segment-straddling-safe chain
+/// byteswap fused with the verify. Per-segment fused kernels +
+/// InternetChecksum::combine make the result bit-identical to running the
+/// flat executor on the flattened chain.
 ///
 /// Ledger: unlike the flat fused path — whose kernel is copy-shaped and
 /// charges 1 load + 1 store per word — a checksum-only chain pass never

@@ -1,5 +1,6 @@
 #include "presentation/codec.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "presentation/ber.h"
@@ -109,6 +110,79 @@ Result<ConstBytes> decode_octets_view(TransferSyntax s, ConstBytes data) {
     }
   }
   return Error{ErrorCode::kUnsupported, "unknown syntax"};
+}
+
+Status decode_octets_chain(TransferSyntax s, buf::BufChain& chain) {
+  if (s == TransferSyntax::kRaw) return Status::ok();  // no framing
+
+  // Framing is always contiguous at the front and at most 16 bytes (BER
+  // long form: tag + length-of-length + up to 8 length bytes; LWTS header
+  // 8; XDR length 4), so one tiny ranged read suffices to parse it — the
+  // payload slices are never touched.
+  std::uint8_t head[16] = {};
+  const std::size_t have = std::min<std::size_t>(chain.size(), sizeof(head));
+  chain.read(0, {head, have});
+
+  std::size_t prefix = 0;   // framing bytes before the payload
+  std::size_t payload = 0;  // payload length
+  switch (s) {
+    case TransferSyntax::kLwts: {
+      auto h = lwts::parse_header({head, have});
+      if (!h) return h.error();
+      if (h->type != lwts::TypeId::kOctets) {
+        return Error{ErrorCode::kMalformed, "not octets"};
+      }
+      prefix = lwts::Header::kWireSize;
+      payload = h->count;
+      if (chain.size() - prefix < payload) {
+        return Error{ErrorCode::kTruncated, "LWTS body"};
+      }
+      break;
+    }
+    case TransferSyntax::kXdr: {
+      if (have < 4) return Error{ErrorCode::kTruncated, "XDR item"};
+      const std::uint32_t len = load_u32_be(head);
+      prefix = 4;
+      payload = len;
+      // The wire carries the zero pad to 4 after the body; it must be
+      // present (the flat reader take()s it) and is trimmed with the tail.
+      if (chain.size() - prefix < std::size_t{len} + xdr::pad4(len)) {
+        return Error{ErrorCode::kTruncated, "XDR item"};
+      }
+      break;
+    }
+    case TransferSyntax::kBer:
+    case TransferSyntax::kBerToolkit: {
+      if (have < 2) return Error{ErrorCode::kTruncated, "BER header"};
+      if (head[0] != static_cast<std::uint8_t>(ber::Tag::kOctetString)) {
+        return Error{ErrorCode::kMalformed, "not an OCTET STRING"};
+      }
+      std::size_t len = 0;
+      std::size_t len_bytes = 1;
+      if (head[1] < 0x80) {
+        len = head[1];
+      } else {
+        const std::size_t n = head[1] & 0x7F;
+        if (n == 0) return Error{ErrorCode::kUnsupported, "indefinite length"};
+        if (n > 8) return Error{ErrorCode::kMalformed, "BER length"};
+        if (have < 2 + n) return Error{ErrorCode::kTruncated, "BER length"};
+        for (std::size_t i = 0; i < n; ++i) len = (len << 8) | head[2 + i];
+        len_bytes = 1 + n;
+      }
+      prefix = 1 + len_bytes;
+      payload = len;
+      if (chain.size() - prefix < payload) {
+        return Error{ErrorCode::kTruncated, "BER content"};
+      }
+      break;
+    }
+    default:
+      return Error{ErrorCode::kUnsupported, "unknown syntax"};
+  }
+
+  chain.trim_front(prefix);
+  chain.trim_back(chain.size() - payload);
+  return Status::ok();
 }
 
 Status decode_octets_into(TransferSyntax s, ConstBytes data, MutableBytes dst,

@@ -12,6 +12,7 @@
 #include <string_view>
 #include <vector>
 
+#include "buf/chain.h"
 #include "obs/cost.h"
 #include "util/bytes.h"
 #include "util/result.h"
@@ -61,5 +62,13 @@ Result<ConstBytes> decode_octets_view(TransferSyntax s, ConstBytes data);
 /// Fails with kMalformed if the decoded size differs from dst.size().
 Status decode_octets_into(TransferSyntax s, ConstBytes data, MutableBytes dst,
                           obs::CostAccount* cost = nullptr);
+
+/// Chain-aware octet decode: trims the syntax framing off `chain` in place
+/// (trim_front the header, trim_back any padding/trailing) so the chain's
+/// slices ARE the payload — no flatten, no byte moved or copied. Only the
+/// few framing bytes are even read, which is what keeps a framed transfer's
+/// copied-bytes ledger at the placement floor (DESIGN.md §12/§13). On
+/// error the chain is left unchanged. kRaw is a no-op.
+Status decode_octets_chain(TransferSyntax s, buf::BufChain& chain);
 
 }  // namespace ngp

@@ -1,0 +1,388 @@
+#include "presentation/plan.h"
+
+#include <bit>
+#include <cstring>
+#include <mutex>
+#include <unordered_map>
+
+#include "simd/dispatch.h"
+
+namespace ngp::presentation {
+
+namespace {
+
+/// Fixed wire width of a field, or 0 for variable-size kinds. Identical for
+/// XDR and LWTS — the syntaxes differ in byte order and padding, not in the
+/// fixed widths.
+constexpr std::size_t fixed_width(FieldType t) noexcept {
+  switch (t) {
+    case FieldType::kInt32: return 4;
+    case FieldType::kInt64: return 8;
+    case FieldType::kFloat64: return 8;
+    default: return 0;
+  }
+}
+
+std::uint64_t load_u64_be(const std::uint8_t* p) noexcept {
+  return byteswap64(load_u64_le(p));
+}
+void store_u64_be(std::uint8_t* p, std::uint64_t v) noexcept {
+  store_u64_le(p, byteswap64(v));
+}
+
+std::uint32_t load_u32_host(const std::uint8_t* p) noexcept {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+void store_u32_host(std::uint8_t* p, std::uint32_t v) noexcept {
+  std::memcpy(p, &v, 4);
+}
+
+}  // namespace
+
+PresentationPlan compile_plan(const RecordSchema& schema, TransferSyntax syntax) {
+  PresentationPlan plan;
+  plan.syntax = syntax;
+  plan.schema = schema;
+
+  // BER's TLV framing is value-dependent (lengths of lengths, per-element
+  // tags), so there is no flat program to compile; kRaw carries no field
+  // structure at all. Both stay interpreted.
+  if (syntax != TransferSyntax::kXdr && syntax != TransferSyntax::kLwts) {
+    return plan;
+  }
+
+  const bool swap = syntax == TransferSyntax::kXdr;  // BE wire, LE host
+  for (std::size_t i = 0; i < schema.fields.size(); ++i) {
+    const FieldType t = schema.fields[i];
+    const std::size_t w = fixed_width(t);
+    if (w != 0) {
+      // XDR runs split per element width so each run is one homogeneous
+      // byteswap shape; LWTS is a pure copy, so every adjacent fixed field
+      // collapses into a single run.
+      const auto unit = static_cast<std::uint8_t>(swap ? w : 1);
+      if (!plan.steps.empty() && plan.steps.back().kind == StepKind::kFixedRun &&
+          plan.steps.back().first_field + plan.steps.back().field_count == i &&
+          plan.steps.back().unit == unit) {
+        plan.steps.back().wire_bytes += static_cast<std::uint32_t>(w);
+        plan.steps.back().field_count += 1;
+      } else {
+        plan.steps.push_back({.kind = StepKind::kFixedRun,
+                              .wire_bytes = static_cast<std::uint32_t>(w),
+                              .first_field = static_cast<std::uint16_t>(i),
+                              .field_count = 1,
+                              .unit = unit,
+                              .swap = swap});
+      }
+      plan.fixed_wire += w;
+      continue;
+    }
+    const bool is_array = t == FieldType::kInt32Array;
+    plan.steps.push_back({.kind = is_array ? StepKind::kVarInt32s : StepKind::kVarBytes,
+                          .first_field = static_cast<std::uint16_t>(i),
+                          .field_count = 1,
+                          .unit = 4,
+                          .swap = swap,
+                          .pad4 = swap && !is_array});
+    plan.min_wire_bytes += 4;  // the length prefix
+  }
+  plan.min_wire_bytes += plan.fixed_wire;
+  plan.compiled = true;
+
+  // The wire shape's relation to host memory, for pipeline fusion.
+  if (!swap) {
+    plan.stage = PresentStage::kIdentity;  // packed LE wire on an LE host
+  } else {
+    bool all_u32 = true;
+    for (const PlanStep& s : plan.steps) {
+      if (s.kind == StepKind::kVarBytes || s.unit != 4) all_u32 = false;
+    }
+    plan.stage = all_u32 ? PresentStage::kSwap32 : PresentStage::kNone;
+  }
+  return plan;
+}
+
+namespace {
+
+/// Cache key: the schema's identity under one syntax. Field lists are tiny,
+/// so FNV over (syntax, name, fields) + a full equality compare is cheap
+/// and collision-proof.
+struct PlanKey {
+  TransferSyntax syntax;
+  std::string name;
+  std::vector<FieldType> fields;
+
+  bool operator==(const PlanKey& o) const {
+    return syntax == o.syntax && name == o.name && fields == o.fields;
+  }
+};
+
+struct PlanKeyHash {
+  std::size_t operator()(const PlanKey& k) const noexcept {
+    std::uint64_t h = 1469598103934665603ull;
+    auto mix = [&h](std::uint8_t b) {
+      h ^= b;
+      h *= 1099511628211ull;
+    };
+    mix(static_cast<std::uint8_t>(k.syntax));
+    for (char c : k.name) mix(static_cast<std::uint8_t>(c));
+    for (FieldType f : k.fields) mix(static_cast<std::uint8_t>(f));
+    return static_cast<std::size_t>(h);
+  }
+};
+
+}  // namespace
+
+std::shared_ptr<const PresentationPlan> cached_plan(const RecordSchema& schema,
+                                                    TransferSyntax syntax) {
+  static std::mutex mu;
+  static std::unordered_map<PlanKey, std::shared_ptr<const PresentationPlan>,
+                            PlanKeyHash>
+      cache;
+  PlanKey key{syntax, schema.name, schema.fields};
+  std::lock_guard<std::mutex> lock(mu);
+  auto it = cache.find(key);
+  if (it != cache.end()) return it->second;
+  auto plan = std::make_shared<const PresentationPlan>(compile_plan(schema, syntax));
+  cache.emplace(std::move(key), plan);
+  return plan;
+}
+
+std::size_t plan_wire_size(const PresentationPlan& plan, const Record& record) {
+  std::size_t n = plan.fixed_wire;
+  for (const PlanStep& s : plan.steps) {
+    if (s.kind == StepKind::kFixedRun) continue;
+    const FieldValue& v = record[s.first_field];
+    std::size_t body = 0;
+    if (s.kind == StepKind::kVarInt32s) {
+      body = std::get<std::vector<std::int32_t>>(v).size() * 4;
+    } else if (std::holds_alternative<std::string>(v)) {
+      body = std::get<std::string>(v).size();
+    } else {
+      body = std::get<ByteBuffer>(v).size();
+    }
+    n += 4 + body + (s.pad4 ? (4 - body % 4) % 4 : 0);
+  }
+  return n;
+}
+
+Result<ByteBuffer> plan_encode(const PresentationPlan& plan, const Record& record,
+                               obs::CostAccount* cost) {
+  if (!plan.compiled) {
+    return Error{ErrorCode::kUnsupported, "plan is interpreted; use the codec"};
+  }
+  if (auto s = validate_record(plan.schema, record); !s.is_ok()) return s.error();
+
+  ByteBuffer out;
+  out.resize(plan_wire_size(plan, record));  // one allocation, zero-filled
+  std::uint8_t* p = out.data();
+
+  for (const PlanStep& s : plan.steps) {
+    switch (s.kind) {
+      case StepKind::kFixedRun: {
+        for (std::size_t f = 0; f < s.field_count; ++f) {
+          const FieldValue& v = record[s.first_field + f];
+          switch (static_cast<FieldType>(v.index())) {
+            case FieldType::kInt32: {
+              const auto u = static_cast<std::uint32_t>(std::get<std::int32_t>(v));
+              if (s.swap) {
+                store_u32_be(p, u);
+              } else {
+                store_u32_host(p, u);
+              }
+              p += 4;
+              break;
+            }
+            case FieldType::kInt64: {
+              const auto u = static_cast<std::uint64_t>(std::get<std::int64_t>(v));
+              if (s.swap) {
+                store_u64_be(p, u);
+              } else {
+                store_u64_le(p, u);
+              }
+              p += 8;
+              break;
+            }
+            case FieldType::kFloat64: {
+              const auto u = std::bit_cast<std::uint64_t>(std::get<double>(v));
+              if (s.swap) {
+                store_u64_be(p, u);
+              } else {
+                store_u64_le(p, u);
+              }
+              p += 8;
+              break;
+            }
+            default: break;  // unreachable: fixed runs hold fixed fields
+          }
+        }
+        break;
+      }
+      case StepKind::kVarBytes: {
+        const FieldValue& v = record[s.first_field];
+        ConstBytes body;
+        if (std::holds_alternative<std::string>(v)) {
+          const auto& str = std::get<std::string>(v);
+          body = {reinterpret_cast<const std::uint8_t*>(str.data()), str.size()};
+        } else {
+          body = std::get<ByteBuffer>(v).span();
+        }
+        const auto len = static_cast<std::uint32_t>(body.size());
+        if (s.swap) {
+          store_u32_be(p, len);
+        } else {
+          store_u32_host(p, len);
+        }
+        p += 4;
+        copy_bytes(p, body.data(), body.size());
+        p += body.size();
+        if (s.pad4) p += (4 - body.size() % 4) % 4;  // resize() pre-zeroed
+        break;
+      }
+      case StepKind::kVarInt32s: {
+        const auto& a = std::get<std::vector<std::int32_t>>(record[s.first_field]);
+        const auto count = static_cast<std::uint32_t>(a.size());
+        if (s.swap) {
+          store_u32_be(p, count);
+        } else {
+          store_u32_host(p, count);
+        }
+        p += 4;
+        copy_bytes(p, a.data(), a.size() * 4);
+        // One vectorized pass host->BE over the contiguous run — the
+        // Table-1 shape the kernel tiers accelerate.
+        if (s.swap) simd::kernels().byteswap32({p, a.size() * 4});
+        p += a.size() * 4;
+        break;
+      }
+    }
+  }
+
+  if (cost != nullptr) cost->charge_transform(out.size(), out.size());
+  return out;
+}
+
+namespace {
+
+/// The shared decode walk. `wire_order` distinguishes the standalone path
+/// (bytes as sent; swap per the plan) from the post-fusion path (the
+/// manipulation pass already applied wire_stage(), so every 32-bit unit —
+/// length prefixes included — is host order already).
+Result<Record> decode_walk(const PresentationPlan& plan, ConstBytes wire,
+                           bool wire_order) {
+  if (!plan.compiled) {
+    return Error{ErrorCode::kUnsupported, "plan is interpreted; use the codec"};
+  }
+  Record out;
+  out.reserve(plan.schema.fields.size());
+  std::size_t pos = 0;
+
+  for (const PlanStep& s : plan.steps) {
+    const bool swap = s.swap && wire_order;
+    switch (s.kind) {
+      case StepKind::kFixedRun: {
+        if (wire.size() - pos < s.wire_bytes) {
+          return Error{ErrorCode::kTruncated, plan.schema.name + ": fixed run"};
+        }
+        const std::uint8_t* p = wire.data() + pos;
+        for (std::size_t f = 0; f < s.field_count; ++f) {
+          switch (plan.schema.fields[s.first_field + f]) {
+            case FieldType::kInt32:
+              out.emplace_back(static_cast<std::int32_t>(
+                  swap ? load_u32_be(p) : load_u32_host(p)));
+              p += 4;
+              break;
+            case FieldType::kInt64:
+              out.emplace_back(static_cast<std::int64_t>(
+                  swap ? load_u64_be(p) : load_u64_le(p)));
+              p += 8;
+              break;
+            case FieldType::kFloat64:
+              out.emplace_back(std::bit_cast<double>(
+                  swap ? load_u64_be(p) : load_u64_le(p)));
+              p += 8;
+              break;
+            default:
+              return Error{ErrorCode::kUnsupported, "unknown field type"};
+          }
+        }
+        pos += s.wire_bytes;
+        break;
+      }
+      case StepKind::kVarBytes: {
+        if (wire.size() - pos < 4) {
+          return Error{ErrorCode::kTruncated, plan.schema.name + ": length"};
+        }
+        const std::uint32_t len = swap ? load_u32_be(wire.data() + pos)
+                                       : load_u32_host(wire.data() + pos);
+        pos += 4;
+        const std::size_t padded =
+            std::size_t{len} + (s.pad4 ? (4 - len % 4) % 4 : 0);
+        if (wire.size() - pos < padded) {
+          return Error{ErrorCode::kTruncated, plan.schema.name + ": var bytes"};
+        }
+        ConstBytes body = wire.subspan(pos, len);
+        if (plan.schema.fields[s.first_field] == FieldType::kString) {
+          out.emplace_back(
+              std::string(reinterpret_cast<const char*>(body.data()), body.size()));
+        } else {
+          out.emplace_back(ByteBuffer(body));
+        }
+        pos += padded;
+        break;
+      }
+      case StepKind::kVarInt32s: {
+        if (wire.size() - pos < 4) {
+          return Error{ErrorCode::kTruncated, plan.schema.name + ": count"};
+        }
+        const std::uint32_t count = swap ? load_u32_be(wire.data() + pos)
+                                         : load_u32_host(wire.data() + pos);
+        pos += 4;
+        const std::uint64_t bytes = std::uint64_t{count} * 4;
+        if (wire.size() - pos < bytes) {
+          return Error{ErrorCode::kTruncated, plan.schema.name + ": array body"};
+        }
+        std::vector<std::int32_t> a(count);
+        copy_bytes(a.data(), wire.data() + pos, static_cast<std::size_t>(bytes));
+        // BE wire -> host: one vectorized pass over the contiguous copy
+        // instead of a per-element load_u32_be loop.
+        if (swap) {
+          simd::kernels().byteswap32(
+              {reinterpret_cast<std::uint8_t*>(a.data()),
+               static_cast<std::size_t>(bytes)});
+        }
+        out.emplace_back(std::move(a));
+        pos += static_cast<std::size_t>(bytes);
+        break;
+      }
+    }
+  }
+
+  if (pos != wire.size()) {
+    return Error{ErrorCode::kMalformed, "trailing bytes"};
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<Record> plan_decode(const PresentationPlan& plan, ConstBytes wire,
+                           obs::CostAccount* cost) {
+  auto r = decode_walk(plan, wire, /*wire_order=*/true);
+  if (r && cost != nullptr) cost->charge_transform(wire.size(), wire.size());
+  return r;
+}
+
+Result<Record> plan_decode_host_order(const PresentationPlan& plan,
+                                      ConstBytes host_wire,
+                                      obs::CostAccount* cost) {
+  auto r = decode_walk(plan, host_wire, /*wire_order=*/false);
+  // The transform already ran inside the fused manipulation pass; what
+  // remains is the application reading host-order values — a load-only
+  // pass (the §13 fusion contract: ONE transforming pass total).
+  if (r && cost != nullptr) cost->charge_pass(host_wire.size(), /*stores=*/false);
+  return r;
+}
+
+}  // namespace ngp::presentation

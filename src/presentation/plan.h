@@ -1,0 +1,111 @@
+// plan.h — compiled presentation plans (DESIGN.md §13).
+//
+// §4's headline number: presentation conversion is ~97% of stack overhead,
+// and the interpreter is why — per-field tag dispatch, per-element bounds
+// checks, incremental output growth. A PresentationPlan is the Bebop-style
+// answer: compile the RecordSchema + negotiated TransferSyntax ONCE into a
+// flat run-length program, then execute it branchlessly per record:
+//
+//   kFixedRun   — contiguous fixed-size fields collapsed into one segment
+//                 with a single bounds check and (for XDR) one vectorized
+//                 byteswap shape; zero per-field tag branches.
+//   kVarBytes   — one length-prefixed byte field (string/opaque): a length
+//                 load, a bounds check, one copy.
+//   kVarInt32s  — one length-prefixed int32 array: the Table-1 workload;
+//                 bulk copy + one ngp::simd byteswap32 kernel call.
+//
+// Schema shapes the compiler cannot flatten (BER's TLV framing is
+// value-dependent) stay on the interpreted codec: `compiled == false`
+// routes encode_record/decode_record to the classic per-field path.
+//
+// The plan also knows how its wire image relates to host memory
+// (wire_stage): LWTS on a little-endian host IS host order (kIdentity),
+// an all-32-bit XDR wire is one whole-buffer byteswap32 (kSwap32). That is
+// what lets the §4 pipeline fuse the decode into the decrypt+checksum
+// manipulation pass — see ManipulationPlan::present and
+// plan_decode_host_order below.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ilp/pipeline.h"
+#include "obs/cost.h"
+#include "presentation/record.h"
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace ngp::presentation {
+
+/// One instruction of the run-length program.
+enum class StepKind : std::uint8_t {
+  kFixedRun,   ///< a contiguous run of fixed-size fields
+  kVarBytes,   ///< u32 length + bytes (string/opaque)
+  kVarInt32s,  ///< u32 count + count 32-bit elements
+};
+
+struct PlanStep {
+  StepKind kind = StepKind::kFixedRun;
+  std::uint32_t wire_bytes = 0;   ///< kFixedRun: total bytes of the run
+  std::uint16_t first_field = 0;  ///< schema index of the step's first field
+  std::uint16_t field_count = 1;  ///< kFixedRun: fields collapsed in the run
+  std::uint8_t unit = 1;          ///< element width the swap applies to (4|8)
+  bool swap = false;              ///< big-endian wire (XDR on an LE host)
+  bool pad4 = false;              ///< kVarBytes: zero-pad payload to 4 (XDR)
+};
+
+/// The compiled program plus everything the executors precomputed.
+struct PresentationPlan {
+  TransferSyntax syntax = TransferSyntax::kRaw;
+  RecordSchema schema;
+  std::vector<PlanStep> steps;
+  bool compiled = false;  ///< false → interpreted fallback (BER, kRaw)
+
+  std::size_t fixed_wire = 0;      ///< bytes covered by fixed runs
+  std::size_t min_wire_bytes = 0;  ///< fixed_wire + one prefix per var step
+  PresentStage stage = PresentStage::kNone;
+
+  /// The ManipulationPlan presentation stage this wire shape admits — what
+  /// AlfReceiver fuses into the verify/decrypt pass (kNone when the plan is
+  /// interpreted or mixes element widths).
+  PresentStage wire_stage() const noexcept { return stage; }
+};
+
+/// Compiles `schema` for `syntax`. Never fails: shapes the compiler cannot
+/// flatten come back with compiled == false (interpreted fallback).
+PresentationPlan compile_plan(const RecordSchema& schema, TransferSyntax syntax);
+
+/// Process-wide plan cache keyed by (syntax, schema): the amortization that
+/// makes per-record compile cost disappear. Thread-safe; the returned plan
+/// is immutable and safe to share across sessions and engine workers.
+std::shared_ptr<const PresentationPlan> cached_plan(const RecordSchema& schema,
+                                                    TransferSyntax syntax);
+
+/// Exact wire size of `record` under a compiled plan (record must validate
+/// against the plan's schema). Lets the encoder allocate once.
+std::size_t plan_wire_size(const PresentationPlan& plan, const Record& record);
+
+/// Executes the plan's encode program: one pre-sized allocation, one store
+/// pass, byte-identical to the interpreted encoder for the same syntax.
+/// `cost` is charged one transforming pass. Fails kUnsupported when the
+/// plan is interpreted (callers route to the classic codec).
+Result<ByteBuffer> plan_encode(const PresentationPlan& plan, const Record& record,
+                               obs::CostAccount* cost = nullptr);
+
+/// Executes the plan's decode program over wire-order bytes. Same results
+/// (values AND error codes) as the interpreted decoder; `cost` is charged
+/// one transforming pass.
+Result<Record> plan_decode(const PresentationPlan& plan, ConstBytes wire,
+                           obs::CostAccount* cost = nullptr);
+
+/// Decode for a buffer the fused manipulation pass already brought to host
+/// order (wire_stage() applied: LWTS as-is, XDR byteswapped in the verify
+/// pass). No transform remains, so `cost` is charged a load-only pass —
+/// the fused pipeline's single transforming pass was the manipulation
+/// itself, which is the §13 fusion contract the pipeline tests pin.
+Result<Record> plan_decode_host_order(const PresentationPlan& plan,
+                                      ConstBytes host_wire,
+                                      obs::CostAccount* cost = nullptr);
+
+}  // namespace ngp::presentation

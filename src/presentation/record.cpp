@@ -5,6 +5,7 @@
 
 #include "presentation/ber.h"
 #include "presentation/lwts.h"
+#include "presentation/plan.h"
 #include "presentation/xdr.h"
 
 namespace ngp {
@@ -262,10 +263,9 @@ Result<FieldValue> lwts_decode_field(ConstBytes in, std::size_t& pos, FieldType 
   return Error{ErrorCode::kUnsupported, "unknown field type"};
 }
 
-}  // namespace
-
-Result<ByteBuffer> encode_record(TransferSyntax syntax, const RecordSchema& schema,
-                                 const Record& record) {
+Result<ByteBuffer> encode_interpreted_impl(TransferSyntax syntax,
+                                           const RecordSchema& schema,
+                                           const Record& record) {
   if (auto s = validate_record(schema, record); !s.is_ok()) return s.error();
 
   switch (syntax) {
@@ -299,8 +299,8 @@ Result<ByteBuffer> encode_record(TransferSyntax syntax, const RecordSchema& sche
   return Error{ErrorCode::kUnsupported, "unknown syntax"};
 }
 
-Result<Record> decode_record(TransferSyntax syntax, const RecordSchema& schema,
-                             ConstBytes data) {
+Result<Record> decode_interpreted_impl(TransferSyntax syntax,
+                                       const RecordSchema& schema, ConstBytes data) {
   Record out;
   out.reserve(schema.fields.size());
 
@@ -343,6 +343,45 @@ Result<Record> decode_record(TransferSyntax syntax, const RecordSchema& schema,
                    "raw mode carries no field structure; pick a syntax"};
   }
   return Error{ErrorCode::kUnsupported, "unknown syntax"};
+}
+
+}  // namespace
+
+Result<ByteBuffer> encode_record_interpreted(TransferSyntax syntax,
+                                             const RecordSchema& schema,
+                                             const Record& record,
+                                             obs::CostAccount* cost) {
+  auto r = encode_interpreted_impl(syntax, schema, record);
+  if (r && cost != nullptr) cost->charge_transform(r->size(), r->size());
+  return r;
+}
+
+Result<Record> decode_record_interpreted(TransferSyntax syntax,
+                                         const RecordSchema& schema, ConstBytes data,
+                                         obs::CostAccount* cost) {
+  auto r = decode_interpreted_impl(syntax, schema, data);
+  if (r && cost != nullptr) cost->charge_transform(data.size(), data.size());
+  return r;
+}
+
+// The public entry points route XDR/LWTS through the cached compiled plan
+// (presentation/plan.h) and fall back to the interpreter for everything the
+// compiler leaves alone (BER's value-dependent TLV framing, kRaw's
+// unsupported error). Results are byte-identical either way — record_test
+// and presentation fuzzing pin that.
+
+Result<ByteBuffer> encode_record(TransferSyntax syntax, const RecordSchema& schema,
+                                 const Record& record, obs::CostAccount* cost) {
+  auto plan = presentation::cached_plan(schema, syntax);
+  if (plan->compiled) return presentation::plan_encode(*plan, record, cost);
+  return encode_record_interpreted(syntax, schema, record, cost);
+}
+
+Result<Record> decode_record(TransferSyntax syntax, const RecordSchema& schema,
+                             ConstBytes data, obs::CostAccount* cost) {
+  auto plan = presentation::cached_plan(schema, syntax);
+  if (plan->compiled) return presentation::plan_decode(*plan, data, cost);
+  return decode_record_interpreted(syntax, schema, data, cost);
 }
 
 }  // namespace ngp

@@ -19,6 +19,7 @@
 #include <variant>
 #include <vector>
 
+#include "obs/cost.h"
 #include "presentation/codec.h"
 #include "util/bytes.h"
 #include "util/result.h"
@@ -57,11 +58,26 @@ bool field_matches(const FieldValue& value, FieldType type) noexcept;
 Status validate_record(const RecordSchema& schema, const Record& record);
 
 /// Marshals `record` (which must validate against `schema`) into `syntax`.
+/// XDR and LWTS run on a cached compiled PresentationPlan (plan.h); BER
+/// stays on the interpreted per-field codec. `cost` (nullable) is charged
+/// one transforming pass either way.
 Result<ByteBuffer> encode_record(TransferSyntax syntax, const RecordSchema& schema,
-                                 const Record& record);
+                                 const Record& record,
+                                 obs::CostAccount* cost = nullptr);
 
-/// Unmarshals `data` according to `schema`.
+/// Unmarshals `data` according to `schema` (plan-cached like encode_record).
 Result<Record> decode_record(TransferSyntax syntax, const RecordSchema& schema,
-                             ConstBytes data);
+                             ConstBytes data, obs::CostAccount* cost = nullptr);
+
+/// The classic per-field interpreted paths, bypassing the plan cache — the
+/// baseline the compiled plans are benchmarked and equivalence-tested
+/// against (bench_presentation's interpreted rows).
+Result<ByteBuffer> encode_record_interpreted(TransferSyntax syntax,
+                                             const RecordSchema& schema,
+                                             const Record& record,
+                                             obs::CostAccount* cost = nullptr);
+Result<Record> decode_record_interpreted(TransferSyntax syntax,
+                                         const RecordSchema& schema, ConstBytes data,
+                                         obs::CostAccount* cost = nullptr);
 
 }  // namespace ngp

@@ -65,6 +65,7 @@ void SessionSupervisor::build_endpoints() {
     receiver_->set_engine(cfg_.engine, cfg_.engine_harvest_delay);
   }
   if (cfg_.rx_pool != nullptr) receiver_->set_rx_pool(cfg_.rx_pool);
+  if (cfg_.presentation != nullptr) receiver_->set_presentation(cfg_.presentation);
   if (priority_) receiver_->set_priority(priority_);
   if (flight_ != nullptr) {
     sender_->set_flight(flight_);

@@ -89,6 +89,11 @@ struct SupervisorConfig {
   /// same pool, and the dead incarnation's partial chains recycle on
   /// destruction. The pool must outlive the supervisor.
   buf::BufferPool* rx_pool = nullptr;
+  /// Optional compiled presentation plan fused into each receiver
+  /// incarnation's stage 2 (see AlfReceiver::set_presentation): a restart
+  /// re-attaches the same plan, so delivered payloads stay host-order
+  /// across incarnations.
+  std::shared_ptr<const presentation::PresentationPlan> presentation;
 };
 
 struct SupervisorStats {

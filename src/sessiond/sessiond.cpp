@@ -210,6 +210,9 @@ SessionFactory alf_receiver_factory(EventLoop& loop, NetPath& feedback_out,
       sess->receiver().set_engine(opts.engine, opts.engine_harvest_delay);
     }
     if (opts.rx_pool != nullptr) sess->receiver().set_rx_pool(opts.rx_pool);
+    if (opts.presentation != nullptr) {
+      sess->receiver().set_presentation(opts.presentation);
+    }
     if (opts.configure) opts.configure(flow, sess->receiver());
     return sess;
   };
@@ -275,6 +278,7 @@ Result<SessionHandle> Sessiond::open(const alf::SessionConfig& session,
       sup_cfg.engine_harvest_delay = opts.engine_harvest_delay;
     }
     sup_cfg.rx_pool = opts.rx_pool;
+    sup_cfg.presentation = opts.presentation;
     raw->sup_ = std::make_unique<resilience::SessionSupervisor>(
         loop_, *paths.data, *paths.feedback_tx, *paths.feedback_rx, sup_cfg);
   } else {
@@ -289,6 +293,9 @@ Result<SessionHandle> Sessiond::open(const alf::SessionConfig& session,
       raw->receiver_->set_engine(opts.engine, opts.engine_harvest_delay);
     }
     if (opts.rx_pool != nullptr) raw->receiver_->set_rx_pool(opts.rx_pool);
+    if (opts.presentation != nullptr) {
+      raw->receiver_->set_presentation(opts.presentation);
+    }
   }
   return SessionHandle(this, flow, raw);
 }

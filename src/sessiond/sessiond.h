@@ -133,6 +133,10 @@ struct OpenOptions {
   /// shedding, or evicting the session destroys its reassembly chains and
   /// recycles their segments. Must outlive the sessiond.
   buf::BufferPool* rx_pool = nullptr;
+  /// Compiled presentation plan fused into the receiver's stage 2 (see
+  /// AlfReceiver::set_presentation; survives supervised restarts). Must be
+  /// the session's negotiated syntax. Null = no fusion.
+  std::shared_ptr<const presentation::PresentationPlan> presentation;
   /// Peer address for the flow id; 0 = auto-assign a fresh one (so two
   /// opens with the same session id never collide unless asked to).
   std::uint32_t peer = 0;
@@ -242,6 +246,10 @@ struct ReceiverFactoryOptions {
   /// Zero-copy opt-in for every factory-created receiver (see
   /// OpenOptions::rx_pool).
   buf::BufferPool* rx_pool = nullptr;
+  /// Presentation fusion for every factory-created receiver (see
+  /// OpenOptions::presentation) — the server shape's live-traffic path:
+  /// thousands of receivers decode through one shared compiled plan.
+  std::shared_ptr<const presentation::PresentationPlan> presentation;
   /// Per-session configurator, run right after construction: set on_adu /
   /// on_complete / priority here (the factory equivalent of the callback
   /// stapling open() handles do through their handle).

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "buf/chain.h"
+#include "buf/chain_ops.h"
 #include "buf/pool.h"
 #include "checksum/internet.h"
 #include "crypto/chacha20.h"
@@ -367,6 +368,114 @@ TEST(BufChain, ChainManipulationMatchesFlat) {
   EXPECT_TRUE(run_manipulation_chain(verify_only, vchain, &vacct));
   EXPECT_EQ(vacct.word_stores, 0u);
   EXPECT_GT(vacct.word_loads, 0u);
+}
+
+// The chain byteswap kernels (the fused presentation stage's zero-copy
+// half) must be bit-identical to flattening and running the flat kernel —
+// including the flat tail rule (a final partial word swaps only when
+// exactly 4 bytes remain) — at every tier, segmentation, and alignment.
+TEST(BufChain, ChainByteswapMatchesFlatKernelAllTiers) {
+  const simd::KernelTier saved = simd::active_tier();
+  // Sizes hitting every n % 8 residue: full words, exact-4 tails, and
+  // pass-through tails of 1..3 and 5..7 bytes.
+  const std::size_t sizes[] = {8, 12, 1024, 1025, 1026, 1027, 1028,
+                               1029, 1030, 1031, 4096, 9001};
+  const std::vector<std::vector<std::size_t>> cuttings = {
+      {0},            // single segment (placeholder, fixed up per size)
+      {1, 2, 3, 0},   // tiny heads straddling the first unit
+      {5, 0, 7},      // word-straddling interior boundary
+  };
+
+  for (std::size_t ti = 0; ti < simd::kKernelTierCount; ++ti) {
+    const auto tier = static_cast<simd::KernelTier>(ti);
+    if (simd::tier_table(tier) == nullptr) continue;
+    ASSERT_TRUE(simd::set_active_tier(tier));
+
+    for (std::size_t n : sizes) {
+      const auto data = random_bytes(n, 0xB0B0 + n);
+      for (auto cuts : cuttings) {
+        // Fix up the 0 placeholder to absorb the remainder.
+        std::size_t fixed = 0;
+        for (auto c : cuts) fixed += c;
+        bool ok = true;
+        for (auto& c : cuts) {
+          if (c == 0) c = n - fixed;
+          if (c > n) ok = false;
+        }
+        if (!ok || cuts.size() > n) continue;
+        for (std::size_t misalign : {std::size_t{0}, std::size_t{3}}) {
+          BufferPool pool;
+          BufChain chain = make_chain(pool, data.span(), cuts, misalign);
+          chain_byteswap32(chain);
+          ByteBuffer flat(data.span());
+          simd::kernels().byteswap32(flat.span());
+          EXPECT_EQ(chain.flatten(), flat)
+              << "tier " << ti << " n=" << n << " misalign=" << misalign;
+        }
+      }
+    }
+  }
+  simd::set_active_tier(saved);
+}
+
+TEST(BufChain, ChainChecksumByteswapMatchesFlatFusedKernel) {
+  const simd::KernelTier saved = simd::active_tier();
+  for (std::size_t ti = 0; ti < simd::kKernelTierCount; ++ti) {
+    const auto tier = static_cast<simd::KernelTier>(ti);
+    if (simd::tier_table(tier) == nullptr) continue;
+    ASSERT_TRUE(simd::set_active_tier(tier));
+
+    for (std::size_t n : {std::size_t{16}, std::size_t{1027}, std::size_t{9004}}) {
+      const auto data = random_bytes(n, 0xC0C0 + n);
+      BufferPool pool;
+      BufChain chain = make_chain(pool, data.span(), {n / 3, n / 3, n - 2 * (n / 3)}, 1);
+      const std::uint16_t chain_ck = chain_checksum_byteswap(chain);
+
+      ByteBuffer flat(data.span());
+      const std::uint16_t flat_ck = simd::kernels().checksum_byteswap(flat.span());
+      EXPECT_EQ(chain_ck, flat_ck) << "tier " << ti << " n=" << n;
+      EXPECT_EQ(chain.flatten(), flat) << "tier " << ti << " n=" << n;
+      // The checksum absorbed the PRE-swap bytes (it covers wire order).
+      EXPECT_EQ(flat_ck, internet_checksum_unrolled(data.span()));
+    }
+  }
+  simd::set_active_tier(saved);
+}
+
+TEST(BufChain, ChainDecryptChecksumByteswapMatchesFlatFusedKernel) {
+  const simd::KernelTier saved = simd::active_tier();
+  ChaChaKey key;
+  for (std::size_t i = 0; i < key.key.size(); ++i) {
+    key.key[i] = static_cast<std::uint8_t>(0x11 * (i + 1));
+  }
+  for (std::size_t ti = 0; ti < simd::kKernelTierCount; ++ti) {
+    const auto tier = static_cast<simd::KernelTier>(ti);
+    if (simd::tier_table(tier) == nullptr) continue;
+    ASSERT_TRUE(simd::set_active_tier(tier));
+
+    // Sizes around the 64-byte keystream block boundary AND the 8/4 swap
+    // tail rule; segment cuts that straddle both.
+    for (std::size_t n : {std::size_t{64}, std::size_t{65}, std::size_t{127},
+                          std::size_t{1028}, std::size_t{8132}}) {
+      const auto plain = random_bytes(n, 0xD0D0 + n);
+      ByteBuffer wire(plain.span());
+      chacha20_xor(key, 0, wire.span());
+
+      BufferPool pool;
+      BufChain chain =
+          make_chain(pool, wire.span(), {1, n / 2, n - 1 - n / 2}, 2);
+      const std::uint16_t chain_ck = chain_decrypt_checksum_byteswap(key, chain);
+
+      ByteBuffer flat(wire.span());
+      const std::uint16_t flat_ck =
+          simd::kernels().decrypt_checksum_byteswap(key, 0, flat.span());
+      EXPECT_EQ(chain_ck, flat_ck) << "tier " << ti << " n=" << n;
+      EXPECT_EQ(chain.flatten(), flat) << "tier " << ti << " n=" << n;
+      // Checksum covers the decrypted plaintext, pre-swap.
+      EXPECT_EQ(flat_ck, internet_checksum_unrolled(plain.span()));
+    }
+  }
+  simd::set_active_tier(saved);
 }
 
 }  // namespace

@@ -1,0 +1,325 @@
+// Tests for compiled presentation plans (src/presentation/plan,
+// DESIGN.md §13): compiler shapes, the process-wide cache, byte- and
+// error-code-equivalence with the interpreted codec, the §4 ledger
+// contract (one transforming pass per execution; load-only after fusion),
+// and kernel-tier invariance of both bytes and ledger.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "presentation/plan.h"
+#include "presentation/record.h"
+#include "simd/dispatch.h"
+#include "util/rng.h"
+
+namespace ngp {
+namespace {
+
+using presentation::PlanStep;
+using presentation::PresentationPlan;
+using presentation::StepKind;
+
+RecordSchema sample_schema() {
+  return RecordSchema{"sample",
+                      {FieldType::kInt32, FieldType::kInt64, FieldType::kFloat64,
+                       FieldType::kString, FieldType::kOpaque, FieldType::kInt32Array}};
+}
+
+Record sample_record() {
+  return Record{
+      std::int32_t{-42},
+      std::int64_t{1} << 40,
+      3.14159,
+      std::string("hello record"),
+      ByteBuffer::from_string("\x01\x02 blob"),
+      std::vector<std::int32_t>{1, -2, 3000000, INT32_MIN},
+  };
+}
+
+RecordSchema int_array_schema() {
+  return RecordSchema{"table1", {FieldType::kInt32Array}};
+}
+
+Record random_record(const RecordSchema& schema, std::uint64_t seed) {
+  Rng rng(seed);
+  Record r;
+  for (FieldType t : schema.fields) {
+    switch (t) {
+      case FieldType::kInt32:
+        r.emplace_back(static_cast<std::int32_t>(rng.next()));
+        break;
+      case FieldType::kInt64:
+        r.emplace_back(static_cast<std::int64_t>(rng.next()));
+        break;
+      case FieldType::kFloat64:
+        r.emplace_back(static_cast<double>(rng.next()) / 7.0);
+        break;
+      case FieldType::kString: {
+        std::string s(rng.next() % 40, 'x');
+        for (auto& c : s) c = static_cast<char>('a' + rng.next() % 26);
+        r.emplace_back(std::move(s));
+        break;
+      }
+      case FieldType::kOpaque: {
+        ByteBuffer b(rng.next() % 33);
+        rng.fill(b.span());
+        r.emplace_back(std::move(b));
+        break;
+      }
+      case FieldType::kInt32Array: {
+        std::vector<std::int32_t> v(rng.next() % 50);
+        for (auto& x : v) x = static_cast<std::int32_t>(rng.next());
+        r.emplace_back(std::move(v));
+        break;
+      }
+    }
+  }
+  return r;
+}
+
+// ---- compiler shapes -------------------------------------------------------
+
+TEST(PlanCompiler, XdrSplitsFixedRunsPerUnitAndStaysUncompiledForBer) {
+  const auto plan = presentation::compile_plan(sample_schema(), TransferSyntax::kXdr);
+  ASSERT_TRUE(plan.compiled);
+  // int32 (unit 4) | int64+float64 collapse (unit 8) | string | opaque | array.
+  ASSERT_EQ(plan.steps.size(), 5u);
+  EXPECT_EQ(plan.steps[0].kind, StepKind::kFixedRun);
+  EXPECT_EQ(plan.steps[0].unit, 4u);
+  EXPECT_EQ(plan.steps[0].wire_bytes, 4u);
+  EXPECT_EQ(plan.steps[1].kind, StepKind::kFixedRun);
+  EXPECT_EQ(plan.steps[1].unit, 8u);
+  EXPECT_EQ(plan.steps[1].wire_bytes, 16u);
+  EXPECT_EQ(plan.steps[1].field_count, 2u);
+  EXPECT_EQ(plan.steps[2].kind, StepKind::kVarBytes);
+  EXPECT_TRUE(plan.steps[2].pad4);
+  EXPECT_EQ(plan.steps[4].kind, StepKind::kVarInt32s);
+  EXPECT_EQ(plan.fixed_wire, 20u);
+  // Mixed units: the wire is not one whole-buffer byteswap32.
+  EXPECT_EQ(plan.wire_stage(), PresentStage::kNone);
+
+  const auto ber = presentation::compile_plan(sample_schema(), TransferSyntax::kBer);
+  EXPECT_FALSE(ber.compiled);
+  EXPECT_EQ(ber.wire_stage(), PresentStage::kNone);
+}
+
+TEST(PlanCompiler, LwtsCollapsesAllFixedFieldsIntoOneRun) {
+  const auto plan = presentation::compile_plan(sample_schema(), TransferSyntax::kLwts);
+  ASSERT_TRUE(plan.compiled);
+  ASSERT_EQ(plan.steps.size(), 4u);  // one fixed run + three var steps
+  EXPECT_EQ(plan.steps[0].kind, StepKind::kFixedRun);
+  EXPECT_EQ(plan.steps[0].field_count, 3u);
+  EXPECT_EQ(plan.steps[0].wire_bytes, 20u);
+  EXPECT_FALSE(plan.steps[0].swap);
+  EXPECT_FALSE(plan.steps[1].pad4);  // LWTS packs, no pads
+  EXPECT_EQ(plan.wire_stage(), PresentStage::kIdentity);
+}
+
+TEST(PlanCompiler, AllInt32XdrWireIsOneByteswap) {
+  RecordSchema s{"ints", {FieldType::kInt32, FieldType::kInt32,
+                          FieldType::kInt32Array}};
+  EXPECT_EQ(presentation::compile_plan(s, TransferSyntax::kXdr).wire_stage(),
+            PresentStage::kSwap32);
+  EXPECT_EQ(presentation::compile_plan(int_array_schema(), TransferSyntax::kXdr)
+                .wire_stage(),
+            PresentStage::kSwap32);
+  // An 8-byte field breaks the all-32-bit shape.
+  RecordSchema mixed{"mixed", {FieldType::kInt32, FieldType::kInt64}};
+  EXPECT_EQ(presentation::compile_plan(mixed, TransferSyntax::kXdr).wire_stage(),
+            PresentStage::kNone);
+}
+
+TEST(PlanCache, SameSchemaAndSyntaxShareOnePlan) {
+  auto a = presentation::cached_plan(sample_schema(), TransferSyntax::kXdr);
+  auto b = presentation::cached_plan(sample_schema(), TransferSyntax::kXdr);
+  EXPECT_EQ(a.get(), b.get());
+  auto c = presentation::cached_plan(sample_schema(), TransferSyntax::kLwts);
+  EXPECT_NE(a.get(), c.get());
+  RecordSchema renamed = sample_schema();
+  renamed.fields.push_back(FieldType::kInt32);
+  auto d = presentation::cached_plan(renamed, TransferSyntax::kXdr);
+  EXPECT_NE(a.get(), d.get());
+}
+
+// ---- equivalence with the interpreted codec --------------------------------
+
+class PlanSyntaxTest : public ::testing::TestWithParam<TransferSyntax> {};
+
+TEST_P(PlanSyntaxTest, EncodeMatchesInterpretedByteForByte) {
+  const auto schema = sample_schema();
+  const auto plan = presentation::compile_plan(schema, GetParam());
+  ASSERT_TRUE(plan.compiled);
+  for (std::uint64_t seed = 1; seed <= 32; ++seed) {
+    const Record r = seed == 1 ? sample_record() : random_record(schema, seed);
+    auto compiled = presentation::plan_encode(plan, r);
+    auto interpreted = encode_record_interpreted(GetParam(), schema, r);
+    ASSERT_TRUE(compiled.ok());
+    ASSERT_TRUE(interpreted.ok());
+    EXPECT_EQ(*compiled, *interpreted) << "seed " << seed;
+  }
+}
+
+TEST_P(PlanSyntaxTest, DecodeMatchesInterpretedValuesAndErrors) {
+  const auto schema = sample_schema();
+  const auto plan = presentation::compile_plan(schema, GetParam());
+  ASSERT_TRUE(plan.compiled);
+  const Record r = random_record(schema, 99);
+  auto wire = encode_record_interpreted(GetParam(), schema, r);
+  ASSERT_TRUE(wire.ok());
+
+  auto full = presentation::plan_decode(plan, wire->span());
+  ASSERT_TRUE(full.ok()) << full.error().to_string();
+  EXPECT_EQ(*full, r);
+
+  // Every truncation point and one trailing byte must yield the SAME error
+  // code the interpreted decoder yields (never a crash, never success).
+  for (std::size_t cut = 0; cut < wire->size(); ++cut) {
+    auto a = presentation::plan_decode(plan, wire->span().first(cut));
+    auto b = decode_record_interpreted(GetParam(), schema, wire->span().first(cut));
+    ASSERT_FALSE(a.ok()) << "cut " << cut;
+    ASSERT_FALSE(b.ok()) << "cut " << cut;
+    EXPECT_EQ(a.error().code, b.error().code) << "cut " << cut;
+  }
+  ByteBuffer extra(*wire);
+  extra.append(0x5A);
+  auto a = presentation::plan_decode(plan, extra.span());
+  auto b = decode_record_interpreted(GetParam(), schema, extra.span());
+  ASSERT_FALSE(a.ok());
+  ASSERT_FALSE(b.ok());
+  EXPECT_EQ(a.error().code, b.error().code);
+}
+
+TEST_P(PlanSyntaxTest, PublicEntryPointsRouteThroughThePlan) {
+  const auto schema = sample_schema();
+  const Record r = sample_record();
+  auto enc = encode_record(GetParam(), schema, r);
+  auto ref = encode_record_interpreted(GetParam(), schema, r);
+  ASSERT_TRUE(enc.ok());
+  ASSERT_TRUE(ref.ok());
+  EXPECT_EQ(*enc, *ref);
+  auto dec = decode_record(GetParam(), schema, enc->span());
+  ASSERT_TRUE(dec.ok());
+  EXPECT_EQ(*dec, r);
+}
+
+INSTANTIATE_TEST_SUITE_P(Syntaxes, PlanSyntaxTest,
+                         ::testing::Values(TransferSyntax::kLwts,
+                                           TransferSyntax::kXdr),
+                         [](const auto& info) {
+                           return std::string(transfer_syntax_name(info.param));
+                         });
+
+// ---- host-order decode (the fused pipeline's second half) ------------------
+
+TEST(PlanHostOrder, ByteswappedXdrWireDecodesIdentically) {
+  const auto schema = int_array_schema();
+  const auto plan = presentation::compile_plan(schema, TransferSyntax::kXdr);
+  ASSERT_EQ(plan.wire_stage(), PresentStage::kSwap32);
+  const Record r = random_record(schema, 7);
+  auto wire = presentation::plan_encode(plan, r);
+  ASSERT_TRUE(wire.ok());
+
+  // What the fused manipulation pass does to the buffer...
+  ByteBuffer host(*wire);
+  simd::kernels().byteswap32(host.span());
+  // ...leaves plan_decode_host_order with pure data movement.
+  auto dec = presentation::plan_decode_host_order(plan, host.span());
+  ASSERT_TRUE(dec.ok()) << dec.error().to_string();
+  EXPECT_EQ(*dec, r);
+}
+
+TEST(PlanHostOrder, LwtsWireIsAlreadyHostOrder) {
+  const auto schema = sample_schema();
+  const auto plan = presentation::compile_plan(schema, TransferSyntax::kLwts);
+  ASSERT_EQ(plan.wire_stage(), PresentStage::kIdentity);
+  const Record r = random_record(schema, 8);
+  auto wire = presentation::plan_encode(plan, r);
+  ASSERT_TRUE(wire.ok());
+  auto dec = presentation::plan_decode_host_order(plan, wire->span());
+  ASSERT_TRUE(dec.ok());
+  EXPECT_EQ(*dec, r);
+}
+
+// ---- the §4 ledger contract ------------------------------------------------
+
+TEST(PlanLedger, DecodeChargesExactlyOneTransformingPass) {
+  const auto schema = sample_schema();
+  for (auto syntax : {TransferSyntax::kLwts, TransferSyntax::kXdr}) {
+    const auto plan = presentation::compile_plan(schema, syntax);
+    const Record r = random_record(schema, 12);
+    auto wire = presentation::plan_encode(plan, r);
+    ASSERT_TRUE(wire.ok());
+
+    obs::CostAccount cost;
+    ASSERT_TRUE(presentation::plan_decode(plan, wire->span(), &cost).ok());
+    EXPECT_EQ(cost.operations, 1u);
+    EXPECT_EQ(cost.memory_passes, 1u);
+    EXPECT_EQ(cost.word_loads, obs::CostAccount::words(wire->size()));
+    EXPECT_EQ(cost.word_stores, obs::CostAccount::words(wire->size()));
+
+    obs::CostAccount enc_cost;
+    ASSERT_TRUE(presentation::plan_encode(plan, r, &enc_cost).ok());
+    EXPECT_EQ(enc_cost.memory_passes, 1u);
+
+    // Errors charge nothing: the pass never completed.
+    obs::CostAccount err_cost;
+    ASSERT_FALSE(
+        presentation::plan_decode(plan, wire->span().first(3), &err_cost).ok());
+    EXPECT_EQ(err_cost.memory_passes, 0u);
+  }
+}
+
+TEST(PlanLedger, HostOrderDecodeIsLoadOnly) {
+  // §13 fusion contract: after the manipulation pass did the transform,
+  // materializing the record is a load-only pass — the pipeline's ONE
+  // transforming (storing) pass was the manipulation itself.
+  const auto schema = int_array_schema();
+  const auto plan = presentation::compile_plan(schema, TransferSyntax::kXdr);
+  const Record r = random_record(schema, 13);
+  auto wire = presentation::plan_encode(plan, r);
+  ASSERT_TRUE(wire.ok());
+  ByteBuffer host(*wire);
+  simd::kernels().byteswap32(host.span());
+
+  obs::CostAccount cost;
+  ASSERT_TRUE(presentation::plan_decode_host_order(plan, host.span(), &cost).ok());
+  EXPECT_EQ(cost.memory_passes, 1u);
+  EXPECT_EQ(cost.word_loads, obs::CostAccount::words(host.size()));
+  EXPECT_EQ(cost.word_stores, 0u);
+}
+
+// ---- kernel-tier invariance ------------------------------------------------
+
+TEST(PlanTiers, BytesAndLedgerIdenticalAcrossEveryCompiledTier) {
+  const auto schema = sample_schema();
+  const simd::KernelTier initial = simd::active_tier();
+  for (auto syntax : {TransferSyntax::kLwts, TransferSyntax::kXdr}) {
+    const auto plan = presentation::compile_plan(schema, syntax);
+    const Record r = random_record(schema, 21);
+
+    ASSERT_TRUE(simd::set_active_tier(simd::KernelTier::kScalar));
+    obs::CostAccount ref_cost;
+    auto ref_wire = presentation::plan_encode(plan, r, &ref_cost);
+    ASSERT_TRUE(ref_wire.ok());
+
+    for (std::size_t t = 0; t < simd::kKernelTierCount; ++t) {
+      const auto tier = static_cast<simd::KernelTier>(t);
+      if (simd::tier_table(tier) == nullptr) continue;
+      ASSERT_TRUE(simd::set_active_tier(tier));
+      obs::CostAccount cost;
+      auto wire = presentation::plan_encode(plan, r, &cost);
+      ASSERT_TRUE(wire.ok());
+      EXPECT_EQ(*wire, *ref_wire) << "tier " << t;
+      // Analytic charging: the ledger must not know which tier ran.
+      EXPECT_EQ(cost.word_loads, ref_cost.word_loads) << "tier " << t;
+      EXPECT_EQ(cost.word_stores, ref_cost.word_stores) << "tier " << t;
+      auto dec = presentation::plan_decode(plan, wire->span());
+      ASSERT_TRUE(dec.ok());
+      EXPECT_EQ(*dec, r) << "tier " << t;
+    }
+  }
+  ASSERT_TRUE(simd::set_active_tier(initial));
+}
+
+}  // namespace
+}  // namespace ngp

@@ -255,7 +255,8 @@ TEST(SimdDispatch, RunManipulationOutputAndLedgerTierInvariant) {
             ManipulationPlan plan;
             plan.layered = layered;
             plan.decrypt = decrypt;
-            plan.byteswap_decode = byteswap;
+            plan.present =
+                byteswap ? PresentStage::kSwap32 : PresentStage::kNone;
             plan.key = key;
             plan.checksum_kind = kind;
             plan.expected_checksum = compute_checksum(kind, plaintext);

@@ -346,6 +346,49 @@ TEST(ZeroCopy, FileSinkAssemblesChainDeliveries) {
   EXPECT_EQ(pool.stats().segments_live, 0u);
 }
 
+TEST(ZeroCopy, FramedLwtsChainPlacesAtTheCopyFloor) {
+  // A framed transfer syntax used to force a flatten at the sink; the
+  // chain-aware decode (decode_octets_chain) instead trims the LWTS
+  // framing off the slice list — reference counts, not bytes — so the
+  // scatter placement stays the transfer's ONLY copy, exactly like kRaw.
+  SessionConfig scfg;
+  scfg.syntax = TransferSyntax::kLwts;
+  buf::BufferPool pool;
+
+  const std::size_t kRegion = 9'000;
+  const std::size_t kRegions = 5;
+  ByteBuffer whole = payload_of(kRegion * kRegions, 808);
+  FileSink sink(whole.size());
+  std::size_t multi_segment_chains = 0;
+  {
+    ZcPair p(scfg, &pool);
+    p.receiver.set_on_adu_chain([&](AduChain&& a) {
+      multi_segment_chains += a.payload.segment_count() > 1 ? 1 : 0;
+      ASSERT_TRUE(sink.place(a).ok());
+    });
+
+    for (std::size_t i = 0; i < kRegions; ++i) {
+      FileRegionName region{i * kRegion, kRegion};
+      // The application marshals INTO the pool segment: frame the region
+      // in LWTS there, then hand the slice over.
+      const ByteBuffer framed = encode_octets(
+          TransferSyntax::kLwts, whole.span().subspan(i * kRegion, kRegion));
+      p.send_pooled(pool, region.to_name(), framed.span());
+    }
+    p.sender.finish();
+    p.loop.run();
+
+    ASSERT_EQ(sink.adus_placed(), kRegions);
+    EXPECT_EQ(ByteBuffer(sink.contents()), whole);
+    EXPECT_GT(multi_segment_chains, 0u);  // trimmed in place, never flattened
+    // The copy floor: with the framing trimmed by reference, the §4 ledger
+    // shows the same zero host-side copies the kRaw pooled path shows —
+    // the load-only chain checksum is the only pass the payload saw.
+    EXPECT_EQ(copied_bytes(p.sender, p.receiver), 0u);
+  }
+  EXPECT_EQ(pool.stats().segments_live, 0u);
+}
+
 TEST(ZeroCopy, VideoSinkScattersChainTiles) {
   SessionConfig scfg;
   buf::BufferPool pool;
