@@ -444,6 +444,23 @@ int main(int argc, char** argv) {
   ngp::bench::emit_json("SESSIOND_ENGINE_JSON",
                         std::string(plane_head) + plane_points + "]}");
 
+  ngp::bench::BenchReport rep("engine", args);
+  rep.metric("inline_mbps", results[0].mbps)
+      .tracked("best_speedup", best_speedup, /*higher=*/true, 0.4)
+      .metric("adus", adus.size())
+      .metric("wire_bytes", wire_bytes)
+      .metric("host_cpus", host_cpus)
+      .hold("all_adus_verified_intact", failed == 0)
+      .hold("output_identical_across_schedules", hash_ok)
+      .hold("ledger_identical_across_schedules", ledger_ok)
+      .hold("output_identical_across_tiers", tier_hash_ok)
+      .hold("ledger_identical_across_tiers", tier_ledger_ok)
+      .hold("session_plane_output_identical", plane_ok);
+  if (host_cpus >= 4) {
+    rep.hold("speedup_25x_at_4_workers", best_speedup >= 2.5);
+  }
+  if (!rep.emit("ENGINE_REPORT_JSON")) return 1;
+
   return (hash_ok && ledger_ok && tier_hash_ok && tier_ledger_ok &&
           plane_ok && failed == 0)
              ? 0

@@ -83,7 +83,7 @@ void register_benches() {
 
 // ---- Paper-style summary ----------------------------------------------------------
 
-std::string print_e2() {
+std::string print_e2(ngp::bench::BenchReport& rep) {
   using ngp::bench::measure_mbps;
   using ngp::bench::print_header;
   using ngp::bench::print_row;
@@ -188,6 +188,13 @@ std::string print_e2() {
               "    TLV conversion grew only with scalar IPC — the paper's\n"
               "    'presentation dominates' conclusion strengthens.\n");
 
+  rep.metric("copy_mbps", copy)
+      .metric("ber_encode_mbps", ber_enc)
+      .metric("toolkit_encode_mbps", toolkit_enc)
+      .tracked("copy_over_ber_encode", copy / ber_enc, /*higher=*/true, 0.5)
+      .hold("ber_materially_slower_than_copy", copy / ber_enc > 2)
+      .hold("toolkit_slower_than_hand_coded", toolkit_enc < ber_enc);
+
   ngp::bench::JsonWriter e2;
   e2.field("copy_mbps", copy)
       .raw("syntaxes", syntaxes_json.str())
@@ -211,7 +218,8 @@ std::string print_e2() {
 // pipeline's fast path.
 //
 // Returns false if a self-check or the headline HOLDS fails.
-bool print_plans(bool smoke, std::string* json_out) {
+bool print_plans(bool smoke, std::string* json_out,
+                 ngp::bench::BenchReport& rep) {
   using ngp::bench::measure_mbps;
   using ngp::bench::print_header;
   using presentation::cached_plan;
@@ -391,6 +399,11 @@ bool print_plans(bool smoke, std::string* json_out) {
           .str();
   ngp::bench::emit_json("PRESENTATION_JSON", json);
   if (json_out != nullptr) *json_out = json;
+
+  rep.metric("interpreted_ber_decode_mbps", interpreted_ber_decode)
+      .metric("best_plan_decode_mbps", best_plan_decode)
+      .tracked("speedup_vs_interpreted_ber", speedup, /*higher=*/true, 0.5)
+      .hold("compiled_plan_3x_interpreted_ber", holds);
   return ok;
 }
 
@@ -405,9 +418,10 @@ int main(int argc, char** argv) {
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
   }
-  const std::string e2_json = print_e2();
+  ngp::bench::BenchReport rep("presentation", args);
+  const std::string e2_json = print_e2(rep);
   std::string plans_json;
-  const bool plans_ok = print_plans(args.smoke, &plans_json);
+  const bool plans_ok = print_plans(args.smoke, &plans_json, rep);
   if (args.smoke) {
     // Smoke self-check: both JSON records parse, and every HOLDS held.
     if (!ngp::bench::json_well_formed(e2_json) ||
@@ -421,5 +435,6 @@ int main(int argc, char** argv) {
     }
     std::printf("SMOKE: ok\n");
   }
+  if (!rep.emit("PRESENTATION_REPORT_JSON")) return 1;
   return 0;
 }

@@ -537,5 +537,17 @@ int main(int argc, char** argv) {
     return 1;
   }
   bench::emit_json("RECOVERY_JSON", json);
+
+  bench::BenchReport rep("recovery", args);
+  rep.tracked("goodput_ratio", goodput_ratio, /*higher=*/true, 0.25)
+      .tracked("supervised_delivered", kill_sup.delivered, /*higher=*/true, 0.0)
+      .metric("fault_free_mbps", base.goodput_mbps)
+      .metric("supervised_mbps", kill_sup.goodput_mbps)
+      .metric("time_to_recover_s", kill_sup.time_to_recover_s)
+      .metric("breaker_trips", brk.breaker_trips)
+      .metric("adus_shed", shed.adus_shed);
+  for (const Hold& h : holds) rep.hold(h.name, h.ok);
+  rep.detail("scenarios", "[" + scenarios + "]");
+  if (!rep.emit("RECOVERY_REPORT_JSON")) return 1;
   return all_ok ? 0 : 1;
 }

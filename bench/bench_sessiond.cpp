@@ -373,6 +373,19 @@ int main(int argc, char** argv) {
 
   bench::emit_json("SESSIOND_JSON", json);
 
+  bench::BenchReport rep("sessiond", args);
+  rep.metric("sessions", static_cast<std::uint64_t>(sh.sessions))
+      .metric("storm_wall_ms", storm_ms)
+      .tracked("creates_per_sec", create_rate, /*higher=*/true, 0.6)
+      .metric("p99_dispatch_1k_us", p99_1k_us)
+      .metric("p99_dispatch_full_us", p99_full_us)
+      .tracked("p99_ratio", p99_ratio, /*higher=*/false, 0.9)
+      .metric("churned", churned)
+      .metric("idle_evicted", static_cast<std::uint64_t>(evicted))
+      .metric("adus_delivered", adus_delivered);
+  for (const Hold& h : holds) rep.hold(h.name, h.ok);
+  if (!rep.emit("SESSIOND_REPORT_JSON")) return 1;
+
   bool ok = true;
   for (const Hold& h : holds) ok = ok && h.ok;
   return ok ? 0 : 1;

@@ -164,7 +164,7 @@ void print_case(const char* name, const LayerTimes& t, double baseline_total) {
               100.0 * t.presentation() / t.total());
 }
 
-void run_e3() {
+void run_e3(ngp::bench::BenchReport& rep) {
   using ngp::bench::print_header;
   const int reps = 8;
 
@@ -220,6 +220,12 @@ void run_e3() {
 
   // Machine-readable per-layer cost profile: the timing attribution above,
   // re-derived as memory-pass counts (deterministic across machines).
+  rep.metric("toolkit_slowdown", toolkit.total() / base.total())
+      .metric("presentation_share_of_added_overhead", overhead_frac)
+      .hold("toolkit_dominated_by_presentation",
+            toolkit.presentation() / toolkit.total() > 0.8)
+      .hold("toolkit_slower_than_hand_coded", toolkit.total() > 2 * ber.total());
+
   ngp::bench::emit_json("STACK_SNAPSHOT_JSON", reg.snapshot().to_json());
   ngp::bench::emit_json("TELEMETRY_JSON",
                         ngp::bench::JsonWriter()
@@ -299,7 +305,7 @@ LedgerRun run_ledger_transfer(bool pooled, std::size_t adus, std::size_t adu_len
   return out;
 }
 
-void run_copy_ledger() {
+void run_copy_ledger(ngp::bench::BenchReport& rep) {
   const std::size_t adus = 256, adu_len = 16 * 1024;
   const LedgerRun flat = run_ledger_transfer(false, adus, adu_len);
   const LedgerRun pooled = run_ledger_transfer(true, adus, adu_len);
@@ -324,6 +330,17 @@ void run_copy_ledger() {
   std::printf("  pooled chains delivered: %llu / %zu; payload byte-identical "
               "runs are pinned by ctest -L zerocopy\n",
               static_cast<unsigned long long>(pooled.chains), adus);
+
+  // The copied-bytes ledger is deterministic (§4 arithmetic, not wall
+  // time): tracked at zero tolerance so any future change that sneaks a
+  // copy back into the pooled path fails the trajectory.
+  rep.tracked("pooled_copied_bytes", pooled.copied, /*higher=*/false, 0.0)
+      .tracked("copied_drop_pct", drop, /*higher=*/true, 0.1)
+      .metric("flat_copied_bytes", flat.copied)
+      .metric("link_transfer_bytes", flat.link)
+      .metric("pooled_chains_delivered", pooled.chains)
+      .hold("copied_bytes_drop_40pct", drop >= 40.0)
+      .hold("all_chains_delivered", pooled.chains == adus);
 
   ngp::bench::emit_json(
       "COPY_LEDGER_JSON",
@@ -379,7 +396,9 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  run_e3();
-  run_copy_ledger();
+  ngp::bench::BenchReport rep("zerocopy", args);
+  run_e3(rep);
+  run_copy_ledger(rep);
+  if (!rep.emit("ZEROCOPY_REPORT_JSON")) return 1;
   return 0;
 }

@@ -115,7 +115,7 @@ BENCHMARK(BM_ChecksumUnrolled)->Arg(4000)->Arg(65536)->Arg(1 << 20);
 
 // ---- Paper-style summary table -------------------------------------------------
 
-void print_table1() {
+void print_table1(ngp::bench::BenchReport& rep) {
   using ngp::bench::measure_mbps;
   // The paper's workload: "a typical large packet today might have 4000
   // bytes" — measure at 4000 bytes like Table 1's context implies.
@@ -138,6 +138,11 @@ void print_table1() {
               cksum / copy, 60.0 / 42.0, 115.0 / 130.0);
   std::printf("  shape check: both kernels within one order of magnitude -> %s\n",
               (cksum / copy > 0.1 && cksum / copy < 10.0) ? "HOLDS" : "FAILS");
+  rep.tracked("copy_mbps", copy, /*higher=*/true, 0.5)
+      .tracked("checksum_mbps", cksum, /*higher=*/true, 0.5)
+      .metric("checksum_copy_ratio", cksum / copy)
+      .hold("kernels_same_order_of_magnitude",
+            cksum / copy > 0.1 && cksum / copy < 10.0);
 
   // §4 cost taxonomy for the two kernels: copy = 1 load + 1 store per
   // word; checksum = 1 load per word, no stores. Both are single-pass —
@@ -169,7 +174,7 @@ void print_table1() {
 // tiered byteswap32 kernel, so presentation decode rides the dispatch
 // table exactly like the raw manipulation kernels above it — the point
 // of compiling plans down to these kernels in the first place.
-void print_kernel_tiers() {
+void print_kernel_tiers(ngp::bench::BenchReport& rep) {
   using ngp::bench::measure_mbps;
   const std::size_t n = 64 * 1024;
   ByteBuffer src = make_buffer(n), dst = make_buffer(n);
@@ -245,6 +250,8 @@ void print_kernel_tiers() {
               simd::tier_name(simd::best_tier()), ratio);
   std::printf("  shape check: vectorized fusion >= 1.5x scalar fusion -> %s\n",
               ratio >= 1.5 ? "HOLDS" : "FAILS");
+  rep.tracked("best_vs_scalar_fused", ratio, /*higher=*/true, 0.4)
+      .hold("vector_fusion_beats_scalar_15x", ratio >= 1.5);
 
   std::string points;
   for (std::size_t i = 0; i < rows.size(); ++i) {
@@ -276,7 +283,7 @@ void print_kernel_tiers() {
 // gather pass, zero stores; the application scatters at final placement
 // only if it must. Throughput is measured; the ledger rows are the §4
 // analytic pass counts the ALF endpoints actually charge.
-void print_copy_ledger() {
+void print_copy_ledger(ngp::bench::BenchReport& rep) {
   using ngp::bench::measure_mbps;
   const std::size_t n = 64 * 1024;
   const std::size_t kFrag = 1400;  // MTU-ish segments, like the rx pool holds
@@ -323,6 +330,11 @@ void print_copy_ledger() {
   std::printf("  shape check: chain route stores nothing and is faster -> %s\n",
               (pooled_cost.word_stores == 0 && pooled > flat) ? "HOLDS"
                                                               : "FAILS");
+  rep.metric("flat_route_mbps", flat)
+      .metric("chain_route_mbps", pooled)
+      .tracked("chain_stored_bytes", pooled_cost.word_stores * 8,
+               /*higher=*/false, 0.0)
+      .hold("chain_route_stores_nothing", pooled_cost.word_stores == 0);
 
   ngp::bench::emit_json("COPY_LEDGER_JSON",
                         ngp::bench::JsonWriter()
@@ -339,12 +351,15 @@ void print_copy_ledger() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const ngp::bench::Args args = ngp::bench::parse_args(&argc, argv);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  print_table1();
-  print_kernel_tiers();
-  print_copy_ledger();
+  ngp::bench::BenchReport rep("table1", args);
+  print_table1(rep);
+  print_kernel_tiers(rep);
+  print_copy_ledger(rep);
+  if (!rep.emit("TABLE1_REPORT_JSON")) return 1;
   return 0;
 }

@@ -1,0 +1,179 @@
+// bench_trajectory — the tracked bench trajectory checker (DESIGN.md §14).
+//
+// The checked-in BENCH_*.json baselines are trajectory points: canonical
+// ngp.bench/1 reports whose `tracked` declarations say which numbers a
+// later run must not degrade and by how much. This tool has two modes:
+//
+//   --check [--dir=D]      validate every BENCH_*.json under D (default:
+//                          cwd) against the schema — name/filename
+//                          agreement, no smoke points, holds consistent.
+//                          This is the hermetic CI gate: no benches run.
+//   --current=F [--dir=D]  additionally diff the fresh report F (written
+//                          by a bench's --json-out) against its matching
+//                          baseline BENCH_<bench>.json, failing on any
+//                          tracked metric degraded beyond the BASELINE's
+//                          own tolerance, on schema drift, or on the
+//                          current run's holds failing.
+//
+// Exit codes: 0 clean, 1 drift/regression/invalid, 2 usage.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "perf/json.h"
+#include "perf/schema.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+using namespace ngp::perf;
+
+/// BENCH_<stem>.json -> <stem>; empty when the name doesn't fit the shape.
+std::string baseline_stem(const fs::path& p) {
+  const std::string f = p.filename().string();
+  constexpr const char* kPrefix = "BENCH_";
+  constexpr const char* kSuffix = ".json";
+  if (f.rfind(kPrefix, 0) != 0) return "";
+  if (f.size() <= std::strlen(kPrefix) + std::strlen(kSuffix)) return "";
+  if (f.substr(f.size() - std::strlen(kSuffix)) != kSuffix) return "";
+  return f.substr(std::strlen(kPrefix),
+                  f.size() - std::strlen(kPrefix) - std::strlen(kSuffix));
+}
+
+struct Baseline {
+  fs::path path;
+  std::string stem;
+  json::Value doc;
+};
+
+int fail_usage() {
+  std::fprintf(stderr,
+               "usage: bench_trajectory --check [--dir=D] [--current=F]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool check = false;
+  std::string dir = ".";
+  std::string current_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--check") {
+      check = true;
+    } else if (arg.rfind("--dir=", 0) == 0) {
+      dir = arg.substr(6);
+    } else if (arg.rfind("--current=", 0) == 0) {
+      current_path = arg.substr(10);
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+      return fail_usage();
+    }
+  }
+  if (!check && current_path.empty()) return fail_usage();
+
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) {
+    std::fprintf(stderr, "bench_trajectory: not a directory: %s\n", dir.c_str());
+    return 1;
+  }
+
+  // ---- gather + validate every checked-in trajectory point.
+  std::vector<Baseline> baselines;
+  int failures = 0;
+  std::vector<fs::path> paths;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    if (baseline_stem(entry.path()).empty()) continue;
+    paths.push_back(entry.path());
+  }
+  std::sort(paths.begin(), paths.end());
+
+  for (const fs::path& p : paths) {
+    Baseline b;
+    b.path = p;
+    b.stem = baseline_stem(p);
+    std::string err;
+    if (!json::parse_file(p.string(), b.doc, &err)) {
+      std::printf("FAIL  %s: %s\n", p.filename().string().c_str(), err.c_str());
+      ++failures;
+      continue;
+    }
+    ValidateOptions vopt;
+    vopt.expect_bench = b.stem;
+    vopt.forbid_smoke = true;
+    const ValidationResult v = validate_report(b.doc, vopt);
+    if (!v.ok()) {
+      std::printf("FAIL  %s: schema drift\n", p.filename().string().c_str());
+      for (const std::string& e : v.errors) std::printf("      - %s\n", e.c_str());
+      ++failures;
+      continue;
+    }
+    const std::size_t tracked = tracked_metrics(b.doc).size();
+    std::printf("ok    %s  (bench=%s, %zu tracked metric%s)\n",
+                p.filename().string().c_str(), b.stem.c_str(), tracked,
+                tracked == 1 ? "" : "s");
+    baselines.push_back(std::move(b));
+  }
+  if (paths.empty()) {
+    std::printf("bench_trajectory: no BENCH_*.json under %s\n", dir.c_str());
+    ++failures;
+  }
+
+  // ---- optional: diff a fresh run against its baseline.
+  if (!current_path.empty()) {
+    json::Value cur;
+    std::string err;
+    if (!json::parse_file(current_path, cur, &err)) {
+      std::printf("FAIL  current %s: %s\n", current_path.c_str(), err.c_str());
+      return 1;
+    }
+    const ValidationResult v = validate_report(cur);
+    if (!v.ok()) {
+      std::printf("FAIL  current %s: schema drift\n", current_path.c_str());
+      for (const std::string& e : v.errors) std::printf("      - %s\n", e.c_str());
+      return 1;
+    }
+    const std::string bench = cur.string_or("bench", "");
+    const Baseline* base = nullptr;
+    for (const Baseline& b : baselines) {
+      if (b.stem == bench) base = &b;
+    }
+    if (base == nullptr) {
+      std::printf("FAIL  current: no baseline BENCH_%s.json under %s\n",
+                  bench.c_str(), dir.c_str());
+      return 1;
+    }
+    const TrajectoryDiff d = compare_reports(base->doc, cur);
+    std::printf("\ntrajectory %s vs %s:\n", bench.c_str(),
+                base->path.filename().string().c_str());
+    for (const MetricDelta& m : d.deltas) {
+      if (m.missing) {
+        std::printf("  MISSING     %-28s (tracked in baseline, absent now)\n",
+                    m.metric.c_str());
+        continue;
+      }
+      const char* verdict = m.regression     ? "REGRESSION "
+                            : m.improvement ? "improvement"
+                                            : "within tol ";
+      std::printf("  %s %-28s %14.6g -> %-14.6g (%+.2f%%, tol %.0f%%)\n", verdict,
+                  m.metric.c_str(), m.baseline, m.current, m.change_frac * 100.0,
+                  m.tolerance_frac * 100.0);
+    }
+    for (const std::string& e : d.errors) std::printf("  ERROR %s\n", e.c_str());
+    if (!d.current_holds_ok) std::printf("  FAIL: current run's holds failed\n");
+    if (!d.ok()) ++failures;
+  }
+
+  if (failures > 0) {
+    std::printf("\nbench_trajectory: %d failure%s\n", failures,
+                failures == 1 ? "" : "s");
+    return 1;
+  }
+  std::printf("\nbench_trajectory: all points valid\n");
+  return 0;
+}

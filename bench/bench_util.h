@@ -12,6 +12,7 @@
 #include <string>
 #include <string_view>
 #include <type_traits>
+#include <vector>
 
 #include "util/stats.h"
 
@@ -22,16 +23,21 @@ namespace ngp::bench {
 ///   --seed=S         workload / fault-plan seed, so a sweep can be re-rolled
 ///   --smoke          reduced sweep for CI smoke runs
 ///   --trace-out=P    write the exported Perfetto trace JSON to path P
+///   --json-out=P     write the bench's canonical BenchReport JSON to path P
+///                    (stdout emission is unchanged — the file is for
+///                    drivers like bench_trajectory, no scraping required)
 struct Args {
   int threads = 0;
   std::uint64_t seed = 1;
   bool smoke = false;
   std::string trace_out;
+  std::string json_out;
 };
 
 /// Parses and STRIPS the recognized flags out of argv, leaving everything
 /// else in place (so the remainder can go straight to
 /// benchmark::Initialize — call this first). Unknown flags pass through.
+/// --json-out accepts both `--json-out=path` and `--json-out path`.
 inline Args parse_args(int* argc, char** argv) {
   Args a;
   int out = 1;
@@ -45,6 +51,10 @@ inline Args parse_args(int* argc, char** argv) {
       a.smoke = true;
     } else if (arg.rfind("--trace-out=", 0) == 0) {
       a.trace_out = arg.substr(12);
+    } else if (arg.rfind("--json-out=", 0) == 0) {
+      a.json_out = arg.substr(11);
+    } else if (arg == "--json-out" && i + 1 < *argc) {
+      a.json_out = argv[++i];
     } else {
       argv[out++] = argv[i];
     }
@@ -162,6 +172,197 @@ inline bool json_well_formed(std::string_view s) {
   }
   return stack.empty() && !in_str;
 }
+
+/// String-aware structural re-indenter for a one-line JSON document: the
+/// JsonWriter output, made diffable for checked-in baselines. Purely
+/// lexical — input must already be well-formed (see json_well_formed).
+inline std::string pretty_json(std::string_view s, int indent_width = 4) {
+  std::string out;
+  out.reserve(s.size() * 2);
+  int depth = 0;
+  bool in_str = false, esc = false;
+  const auto newline = [&](int d) {
+    out += '\n';
+    out.append(static_cast<std::size_t>(d * indent_width), ' ');
+  };
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    if (in_str) {
+      out += c;
+      if (esc) {
+        esc = false;
+      } else if (c == '\\') {
+        esc = true;
+      } else if (c == '"') {
+        in_str = false;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_str = true;
+        out += c;
+        break;
+      case '{':
+      case '[': {
+        out += c;
+        // Keep empty containers on one line.
+        if (i + 1 < s.size() && s[i + 1] == (c == '{' ? '}' : ']')) {
+          out += s[++i];
+        } else {
+          newline(++depth);
+        }
+        break;
+      }
+      case '}':
+      case ']':
+        newline(--depth);
+        out += c;
+        break;
+      case ',':
+        out += c;
+        newline(depth);
+        break;
+      case ':':
+        out += ": ";
+        break;
+      default:
+        out += c;
+        break;
+    }
+  }
+  out += '\n';
+  return out;
+}
+
+/// The canonical bench report (DESIGN.md §14): ONE schema every bench
+/// renders its result into, so the checked-in BENCH_*.json baselines form
+/// a machine-diffable trajectory instead of a zoo of ad-hoc shapes.
+///
+///   {"schema":"ngp.bench/1","bench":"<name>","seed":S,"smoke":B,
+///    "metrics":{<flat scalar surface>},
+///    "tracked":[{"metric":M,"higher_is_better":B,"tolerance_frac":F},...],
+///    "holds":[{"name":N,"ok":B},...],"all_holds_ok":B,
+///    "detail":{<free-form nested payload>}}
+///
+/// `metrics` is the comparison surface: flat name -> number. `tracked`
+/// declares which of those numbers the trajectory tool regression-checks
+/// and with what tolerance (the BASELINE owns its tolerance — the check
+/// needs no side-channel config). `holds` are the bench's own acceptance
+/// self-checks; `detail` carries the legacy nested blocks unvalidated.
+/// Validation/diffing lives in src/perf/schema.h (bench_trajectory).
+class BenchReport {
+ public:
+  /// `bench` must match the baseline filename stem: BENCH_<bench>.json.
+  BenchReport(std::string bench, const Args& args)
+      : bench_(std::move(bench)), seed_(args.seed), smoke_(args.smoke),
+        json_out_(args.json_out) {}
+
+  static constexpr std::string_view kSchema = "ngp.bench/1";
+
+  /// Adds one flat scalar metric (the trajectory comparison surface).
+  BenchReport& metric(std::string_view name, double v) {
+    metrics_.field(name, v);
+    return *this;
+  }
+  template <typename T,
+            std::enable_if_t<std::is_integral_v<T> && !std::is_same_v<T, bool>,
+                             int> = 0>
+  BenchReport& metric(std::string_view name, T v) {
+    metrics_.field(name, v);
+    return *this;
+  }
+
+  /// Adds a metric AND declares it regression-tracked: bench_trajectory
+  /// fails when a later run degrades it beyond tolerance_frac (relative).
+  template <typename T>
+  BenchReport& tracked(std::string_view name, T v, bool higher_is_better,
+                       double tolerance_frac) {
+    metric(name, v);
+    JsonWriter t;
+    t.field("metric", name)
+        .field("higher_is_better", higher_is_better)
+        .field("tolerance_frac", tolerance_frac);
+    if (!tracked_.empty()) tracked_ += ',';
+    tracked_ += t.str();
+    return *this;
+  }
+
+  /// Records one acceptance self-check. Also prints the verdict row the
+  /// human-readable summaries use.
+  BenchReport& hold(std::string_view name, bool ok) {
+    JsonWriter h;
+    h.field("name", name).field("ok", ok);
+    if (!holds_.empty()) holds_ += ',';
+    holds_ += h.str();
+    all_holds_ok_ = all_holds_ok_ && ok;
+    return *this;
+  }
+
+  /// Splices a pre-rendered JSON object/array under detail.<name>
+  /// (the bench's legacy nested payload, schema-exempt).
+  BenchReport& detail(std::string_view name, std::string_view json) {
+    detail_.raw(name, json);
+    return *this;
+  }
+
+  bool all_holds_ok() const noexcept { return all_holds_ok_; }
+
+  std::string to_json() const {
+    JsonWriter w;
+    w.field("schema", kSchema)
+        .field("bench", bench_)
+        .field("seed", seed_)
+        .field("smoke", smoke_)
+        .raw("metrics", metrics_.str())
+        .raw("tracked", "[" + tracked_ + "]")
+        .raw("holds", "[" + holds_ + "]")
+        .field("all_holds_ok", all_holds_ok_)
+        .raw("detail", detail_.str());
+    return w.str();
+  }
+
+  /// Emits `TAG {json}` on stdout (the grep-able line every bench keeps)
+  /// and, when --json-out was given, writes the pretty-printed report to
+  /// that file. Returns false on a malformed render or an unwritable path
+  /// — the bench should exit non-zero.
+  bool emit(const std::string& tag = "BENCH_REPORT_JSON") const {
+    const std::string json = to_json();
+    if (!json_well_formed(json)) {
+      std::fprintf(stderr, "BenchReport: malformed JSON render for '%s'\n",
+                   bench_.c_str());
+      return false;
+    }
+    emit_json(tag, json);
+    if (!json_out_.empty()) {
+      std::FILE* f = std::fopen(json_out_.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "BenchReport: cannot write %s\n", json_out_.c_str());
+        return false;
+      }
+      const std::string pretty = pretty_json(json);
+      const bool ok =
+          std::fwrite(pretty.data(), 1, pretty.size(), f) == pretty.size();
+      std::fclose(f);
+      if (!ok) {
+        std::fprintf(stderr, "BenchReport: short write to %s\n", json_out_.c_str());
+        return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  std::string bench_;
+  std::uint64_t seed_;
+  bool smoke_;
+  std::string json_out_;
+  JsonWriter metrics_;
+  JsonWriter detail_;
+  std::string tracked_;  // comma-joined tracked descriptors
+  std::string holds_;    // comma-joined hold objects
+  bool all_holds_ok_ = true;
+};
 
 /// Wall-clock seconds for one invocation of `fn`.
 inline double time_once(const std::function<void()>& fn) {

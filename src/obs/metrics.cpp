@@ -79,25 +79,32 @@ class CollectingSink final : public MetricSink {
 
 double histogram_percentile(const Sample& s, double p) {
   if (s.kind != Sample::Kind::kHistogram || s.count == 0) return 0.0;
-  if (p < 0.0) p = 0.0;
+  if (!(p >= 0.0)) p = 0.0;  // negative AND NaN clamp to the minimum
   if (p > 100.0) p = 100.0;
-  // Nearest-rank target, then linear interpolation inside the bucket that
-  // holds it. The rank is 1-based: rank r means "the r-th smallest sample".
-  const double rank = std::max(1.0, p / 100.0 * static_cast<double>(s.count));
+  // Continuous rank in [0, count]: the amount of sample mass that lies at
+  // or below the reported value. Linear interpolation inside the bucket
+  // that holds the rank; p=0 lands on the lower edge of the lowest
+  // occupied region, p=100 on the upper edge of the highest occupied
+  // bucket (the histogram's `hi` only when overflow mass exists).
+  const double rank = p / 100.0 * static_cast<double>(s.count);
   double cum = static_cast<double>(s.underflow);
-  if (rank <= cum) return s.lo;
+  if (s.underflow > 0 && rank <= cum) return s.lo;
   const double width =
       s.buckets.empty() ? 0.0
                         : (s.hi - s.lo) / static_cast<double>(s.buckets.size());
   for (std::size_t i = 0; i < s.buckets.size(); ++i) {
     const double b = static_cast<double>(s.buckets[i]);
-    if (b > 0.0 && rank <= cum + b) {
-      const double frac = (rank - cum) / b;
-      return s.lo + width * (static_cast<double>(i) + frac);
+    if (b > 0.0) {
+      // p=0 with no underflow mass: the lowest occupied bucket's lower edge.
+      if (rank <= cum) return s.lo + width * static_cast<double>(i);
+      if (rank <= cum + b) {
+        const double frac = (rank - cum) / b;
+        return s.lo + width * (static_cast<double>(i) + frac);
+      }
     }
     cum += b;
   }
-  return s.hi;  // rank lands in the overflow region
+  return s.hi;  // remaining mass lies in the overflow region
 }
 
 Snapshot::Snapshot(std::vector<Sample> samples) : samples_(std::move(samples)) {
@@ -212,6 +219,7 @@ Snapshot MetricsRegistry::snapshot() const {
 }
 
 Snapshot MetricsRegistry::delta_snapshot(Snapshot* absolute_out) {
+  ++delta_seq_;
   Snapshot abs = snapshot();
   const auto sat_sub = [](std::uint64_t cur, std::uint64_t prev) {
     return cur >= prev ? cur - prev : 0;

@@ -86,9 +86,14 @@ struct Sample {
 
 /// Estimates the p-th percentile (p in [0,100]) of a histogram sample from
 /// its bucket counts, interpolating linearly within the bucket that holds
-/// the rank. Underflow collapses to `lo`, overflow to `hi`; 0 when empty
-/// or not a histogram. Used for the p50/p95/p99 summary lines in exports
-/// and by TelemetryHub SLO watchdogs.
+/// the continuous rank p/100 * total. Edge cases are pinned by tests:
+/// empty histograms and non-histogram samples return 0; NaN or negative p
+/// clamps to 0 and p > 100 clamps to 100; p=0 returns the lower edge of
+/// the lowest occupied region (`lo` when underflow mass exists) and p=100
+/// the upper edge of the highest occupied bucket (`hi` only when overflow
+/// mass exists); a single-sample histogram reports its bucket's midpoint
+/// at p=50 rather than the bucket's upper edge. Used for the p50/p95/p99
+/// summary lines in exports and by TelemetryHub SLO watchdogs.
 double histogram_percentile(const Sample& s, double p);
 
 /// A full-stack profile at one instant: name-sorted samples with
@@ -151,6 +156,12 @@ class MetricsRegistry {
   /// sampling primitive.
   Snapshot delta_snapshot(Snapshot* absolute_out = nullptr);
 
+  /// Monotonic sequence number of delta_snapshot() calls: 0 before any
+  /// delta has been taken, N after the Nth. Samplers (TelemetryHub, the
+  /// perf harness) stamp it onto each sample so a series' ordering — and
+  /// any gap where a sample was dropped — survives export and re-import.
+  std::uint64_t delta_sequence() const noexcept { return delta_seq_; }
+
  private:
   struct Source {
     std::size_t id;
@@ -161,6 +172,7 @@ class MetricsRegistry {
   std::vector<Source> sources_;
   std::size_t next_id_ = 1;
   std::map<std::string, Sample, std::less<>> mark_;  // delta_snapshot state
+  std::uint64_t delta_seq_ = 0;  // delta_snapshot call counter
 };
 
 }  // namespace ngp::obs

@@ -50,7 +50,7 @@ void TelemetryHub::sample_at(SimTime at) {
     samples_.pop_front();
     ++stats_.samples_dropped;
   }
-  samples_.push_back(TelemetrySample{at, std::move(delta)});
+  samples_.push_back(TelemetrySample{at, reg_.delta_sequence(), std::move(delta)});
   ++stats_.samples_taken;
   stats_.last_sample_at = at;
   evaluate_watches(absolute, at);
@@ -90,6 +90,7 @@ std::string TelemetryHub::to_jsonl() const {
   std::string out;
   for (const TelemetrySample& s : samples_) {
     out += "{\"t\":" + std::to_string(s.at);
+    out += ",\"seq\":" + std::to_string(s.seq);
     out += ",\"delta\":" + s.delta.to_json();
     out += "}\n";
   }

@@ -39,6 +39,10 @@ struct TelemetryConfig {
 /// One time-series point: the registry's change over the last interval.
 struct TelemetrySample {
   SimTime at = 0;
+  /// The registry's monotonic delta sequence number for this sample
+  /// (MetricsRegistry::delta_sequence). Strictly increasing across the
+  /// series; a gap means another sampler also drew a delta in between.
+  std::uint64_t seq = 0;
   Snapshot delta;
 };
 
@@ -103,7 +107,8 @@ class TelemetryHub {
   }
   TelemetryStats stats() const noexcept { return stats_; }
 
-  /// One JSON object per line: {"t":<sim ns>,"delta":{"metrics":[...]}}.
+  /// One JSON object per line:
+  /// {"t":<sim ns>,"seq":<delta ordinal>,"delta":{"metrics":[...]}}.
   /// Deterministic for a deterministic simulation.
   std::string to_jsonl() const;
 

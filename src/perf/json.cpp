@@ -1,0 +1,380 @@
+#include "perf/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace ngp::perf::json {
+
+const Value* Value::get(std::string_view key) const noexcept {
+  if (type_ != Type::kObject) return nullptr;
+  for (const auto& [k, v] : obj_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+double Value::number_or(std::string_view key, double fallback) const noexcept {
+  const Value* v = get(key);
+  return (v != nullptr && v->is_number()) ? v->as_number() : fallback;
+}
+
+bool Value::bool_or(std::string_view key, bool fallback) const noexcept {
+  const Value* v = get(key);
+  return (v != nullptr && v->is_bool()) ? v->as_bool() : fallback;
+}
+
+std::string Value::string_or(std::string_view key, std::string fallback) const {
+  const Value* v = get(key);
+  return (v != nullptr && v->is_string()) ? v->as_string() : std::move(fallback);
+}
+
+Value Value::boolean(bool b) {
+  Value v;
+  v.type_ = Type::kBool;
+  v.bool_ = b;
+  return v;
+}
+Value Value::number(double d) {
+  Value v;
+  v.type_ = Type::kNumber;
+  v.num_ = d;
+  return v;
+}
+Value Value::string(std::string s) {
+  Value v;
+  v.type_ = Type::kString;
+  v.str_ = std::move(s);
+  return v;
+}
+Value Value::array(std::vector<Value> items) {
+  Value v;
+  v.type_ = Type::kArray;
+  v.arr_ = std::move(items);
+  return v;
+}
+Value Value::object(Members members) {
+  Value v;
+  v.type_ = Type::kObject;
+  v.obj_ = std::move(members);
+  return v;
+}
+
+namespace {
+
+/// Recursive-descent parser over a string_view. Positions are byte
+/// offsets; errors carry the offset so a bad baseline points at itself.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  bool run(Value& out, std::string* err) {
+    skip_ws();
+    if (!parse_value(out, 0)) {
+      fail_out(err);
+      return false;
+    }
+    skip_ws();
+    if (pos_ != text_.size()) {
+      err_ = "trailing garbage after document";
+      err_at_ = pos_;
+      fail_out(err);
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  void fail_out(std::string* err) const {
+    if (err == nullptr) return;
+    char buf[160];
+    std::snprintf(buf, sizeof buf, "JSON parse error at byte %zu: %s", err_at_,
+                  err_.empty() ? "malformed document" : err_.c_str());
+    *err = buf;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool set_err(const char* msg) {
+    if (err_.empty()) {
+      err_ = msg;
+      err_at_ = pos_;
+    }
+    return false;
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return set_err("bad literal");
+    pos_ += word.size();
+    return true;
+  }
+
+  bool parse_value(Value& out, int depth) {
+    if (depth > kMaxDepth) return set_err("nesting too deep");
+    if (pos_ >= text_.size()) return set_err("unexpected end of input");
+    switch (text_[pos_]) {
+      case '{': return parse_object(out, depth);
+      case '[': return parse_array(out, depth);
+      case '"': {
+        std::string s;
+        if (!parse_string(s)) return false;
+        out = Value::string(std::move(s));
+        return true;
+      }
+      case 't':
+        if (!literal("true")) return false;
+        out = Value::boolean(true);
+        return true;
+      case 'f':
+        if (!literal("false")) return false;
+        out = Value::boolean(false);
+        return true;
+      case 'n':
+        if (!literal("null")) return false;
+        out = Value::null();
+        return true;
+      default: return parse_number(out);
+    }
+  }
+
+  bool parse_object(Value& out, int depth) {
+    ++pos_;  // '{'
+    Members members;
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      out = Value::object(std::move(members));
+      return true;
+    }
+    for (;;) {
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != '"') return set_err("expected key");
+      std::string key;
+      if (!parse_string(key)) return false;
+      for (const auto& [k, v] : members) {
+        (void)v;
+        if (k == key) return set_err("duplicate object key");
+      }
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != ':') return set_err("expected ':'");
+      ++pos_;
+      skip_ws();
+      Value v;
+      if (!parse_value(v, depth + 1)) return false;
+      members.emplace_back(std::move(key), std::move(v));
+      skip_ws();
+      if (pos_ >= text_.size()) return set_err("unterminated object");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        out = Value::object(std::move(members));
+        return true;
+      }
+      return set_err("expected ',' or '}'");
+    }
+  }
+
+  bool parse_array(Value& out, int depth) {
+    ++pos_;  // '['
+    std::vector<Value> items;
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      out = Value::array(std::move(items));
+      return true;
+    }
+    for (;;) {
+      skip_ws();
+      Value v;
+      if (!parse_value(v, depth + 1)) return false;
+      items.push_back(std::move(v));
+      skip_ws();
+      if (pos_ >= text_.size()) return set_err("unterminated array");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        out = Value::array(std::move(items));
+        return true;
+      }
+      return set_err("expected ',' or ']'");
+    }
+  }
+
+  static void append_utf8(std::string& s, std::uint32_t cp) {
+    if (cp < 0x80) {
+      s += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      s += static_cast<char>(0xC0 | (cp >> 6));
+      s += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      s += static_cast<char>(0xE0 | (cp >> 12));
+      s += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      s += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      s += static_cast<char>(0xF0 | (cp >> 18));
+      s += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      s += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      s += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  bool parse_hex4(std::uint32_t& out) {
+    if (pos_ + 4 > text_.size()) return set_err("truncated \\u escape");
+    out = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      out <<= 4;
+      if (c >= '0' && c <= '9') {
+        out |= static_cast<std::uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        out |= static_cast<std::uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        out |= static_cast<std::uint32_t>(c - 'A' + 10);
+      } else {
+        return set_err("bad \\u escape digit");
+      }
+    }
+    return true;
+  }
+
+  bool parse_string(std::string& out) {
+    ++pos_;  // opening quote
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) return set_err("raw control char");
+      if (c != '\\') {
+        out += c;
+        ++pos_;
+        continue;
+      }
+      ++pos_;
+      if (pos_ >= text_.size()) return set_err("truncated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          std::uint32_t cp = 0;
+          if (!parse_hex4(cp)) return false;
+          if (cp >= 0xD800 && cp <= 0xDBFF) {  // surrogate pair
+            if (pos_ + 1 < text_.size() && text_[pos_] == '\\' &&
+                text_[pos_ + 1] == 'u') {
+              pos_ += 2;
+              std::uint32_t lo = 0;
+              if (!parse_hex4(lo)) return false;
+              if (lo < 0xDC00 || lo > 0xDFFF) return set_err("bad low surrogate");
+              cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+            } else {
+              return set_err("lone high surrogate");
+            }
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            return set_err("lone low surrogate");
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default: return set_err("unknown escape");
+      }
+    }
+    return set_err("unterminated string");
+  }
+
+  bool parse_number(Value& out) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    // Integer part: one leading zero or a nonzero digit run.
+    if (pos_ < text_.size() && text_[pos_] == '0') {
+      ++pos_;
+    } else {
+      const std::size_t digits = pos_;
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') ++pos_;
+      if (pos_ == digits) {
+        pos_ = start;
+        return set_err("expected value");
+      }
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      const std::size_t digits = pos_;
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') ++pos_;
+      if (pos_ == digits) return set_err("digits required after '.'");
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
+      const std::size_t digits = pos_;
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') ++pos_;
+      if (pos_ == digits) return set_err("digits required in exponent");
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    const double v = std::strtod(token.c_str(), nullptr);
+    if (!std::isfinite(v)) return set_err("number out of range");
+    out = Value::number(v);
+    return true;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::string err_;
+  std::size_t err_at_ = 0;
+};
+
+}  // namespace
+
+bool parse(std::string_view text, Value& out, std::string* err) {
+  return Parser(text).run(out, err);
+}
+
+bool parse_file(const std::string& path, Value& out, std::string* err) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    if (err != nullptr) *err = "cannot open " + path;
+    return false;
+  }
+  std::string text;
+  char buf[1 << 16];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, n);
+  const bool read_ok = std::ferror(f) == 0;
+  std::fclose(f);
+  if (!read_ok) {
+    if (err != nullptr) *err = "read error on " + path;
+    return false;
+  }
+  std::string perr;
+  if (!parse(text, out, &perr)) {
+    if (err != nullptr) *err = path + ": " + perr;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace ngp::perf::json

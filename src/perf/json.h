@@ -1,0 +1,81 @@
+// json.h — a minimal strict JSON reader for the perf tooling (ngp::perf).
+//
+// The bench side WRITES JSON with a deterministic one-pass builder
+// (bench_util JsonWriter); nothing in the repo could READ it back, which
+// is what the trajectory tool needs: parse every checked-in BENCH_*.json
+// baseline, validate it against the canonical schema, and diff a fresh
+// run against it. This parser covers exactly RFC 8259 JSON — objects
+// (insertion-ordered, duplicate keys rejected), arrays, strings with the
+// standard escapes (\uXXXX decoded to UTF-8), numbers as double, true /
+// false / null — with a recursion-depth bound so a hostile file cannot
+// blow the stack. No writer lives here; the report writers stay with the
+// benches.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace ngp::perf::json {
+
+class Value;
+
+/// Object members in insertion order (deterministic re-render / iteration).
+using Members = std::vector<std::pair<std::string, Value>>;
+
+class Value {
+ public:
+  enum class Type : std::uint8_t { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Value() = default;
+
+  Type type() const noexcept { return type_; }
+  bool is_null() const noexcept { return type_ == Type::kNull; }
+  bool is_bool() const noexcept { return type_ == Type::kBool; }
+  bool is_number() const noexcept { return type_ == Type::kNumber; }
+  bool is_string() const noexcept { return type_ == Type::kString; }
+  bool is_array() const noexcept { return type_ == Type::kArray; }
+  bool is_object() const noexcept { return type_ == Type::kObject; }
+
+  bool as_bool() const noexcept { return bool_; }
+  double as_number() const noexcept { return num_; }
+  const std::string& as_string() const noexcept { return str_; }
+  const std::vector<Value>& items() const noexcept { return arr_; }
+  const Members& members() const noexcept { return obj_; }
+
+  /// Object member by key; nullptr when absent or not an object.
+  const Value* get(std::string_view key) const noexcept;
+
+  // Typed lookups with fallbacks — the schema-validation idiom.
+  double number_or(std::string_view key, double fallback) const noexcept;
+  bool bool_or(std::string_view key, bool fallback) const noexcept;
+  std::string string_or(std::string_view key, std::string fallback) const;
+
+  // Construction helpers (parser + tests).
+  static Value null() { return Value(); }
+  static Value boolean(bool b);
+  static Value number(double d);
+  static Value string(std::string s);
+  static Value array(std::vector<Value> items);
+  static Value object(Members members);
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<Value> arr_;
+  Members obj_;
+};
+
+/// Strict parse of exactly one JSON document (trailing whitespace allowed,
+/// trailing garbage is an error). On failure returns false and, when `err`
+/// is non-null, a one-line diagnostic with the byte offset.
+bool parse(std::string_view text, Value& out, std::string* err = nullptr);
+
+/// Reads and parses a file. Missing/unreadable files report through `err`.
+bool parse_file(const std::string& path, Value& out, std::string* err = nullptr);
+
+}  // namespace ngp::perf::json

@@ -1,0 +1,210 @@
+#include "perf/schema.h"
+
+#include <cmath>
+#include <set>
+
+namespace ngp::perf {
+
+namespace {
+
+void err(ValidationResult& r, std::string msg) { r.errors.push_back(std::move(msg)); }
+
+bool valid_name(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+ValidationResult validate_report(const json::Value& doc, const ValidateOptions& opt) {
+  ValidationResult r;
+  if (!doc.is_object()) {
+    err(r, "report is not a JSON object");
+    return r;
+  }
+
+  // schema tag
+  const json::Value* schema = doc.get("schema");
+  if (schema == nullptr || !schema->is_string()) {
+    err(r, "missing string 'schema'");
+  } else if (schema->as_string() != kBenchSchemaId) {
+    err(r, "schema drift: got '" + schema->as_string() + "', want '" +
+               kBenchSchemaId + "'");
+  }
+
+  // bench name
+  const json::Value* bench = doc.get("bench");
+  if (bench == nullptr || !bench->is_string() || !valid_name(bench->as_string())) {
+    err(r, "missing or malformed 'bench' (want non-empty [a-z0-9_]+)");
+  } else if (!opt.expect_bench.empty() && bench->as_string() != opt.expect_bench) {
+    err(r, "bench name '" + bench->as_string() + "' does not match expected '" +
+               opt.expect_bench + "'");
+  }
+
+  // seed
+  const json::Value* seed = doc.get("seed");
+  if (seed == nullptr || !seed->is_number() || seed->as_number() < 0 ||
+      seed->as_number() != std::floor(seed->as_number())) {
+    err(r, "missing or non-integer 'seed'");
+  }
+
+  // smoke
+  const json::Value* smoke = doc.get("smoke");
+  if (smoke == nullptr || !smoke->is_bool()) {
+    err(r, "missing bool 'smoke'");
+  } else if (opt.forbid_smoke && smoke->as_bool()) {
+    err(r, "smoke-run report is not a valid trajectory point");
+  }
+
+  // metrics
+  std::set<std::string> metric_names;
+  const json::Value* metrics = doc.get("metrics");
+  if (metrics == nullptr || !metrics->is_object()) {
+    err(r, "missing object 'metrics'");
+  } else {
+    if (metrics->members().empty()) err(r, "'metrics' is empty");
+    for (const auto& [name, v] : metrics->members()) {
+      if (!v.is_number() || !std::isfinite(v.as_number())) {
+        err(r, "metric '" + name + "' is not a finite number");
+      }
+      metric_names.insert(name);
+    }
+  }
+
+  // tracked
+  const json::Value* tracked = doc.get("tracked");
+  if (tracked == nullptr || !tracked->is_array()) {
+    err(r, "missing array 'tracked'");
+  } else {
+    std::set<std::string> seen;
+    for (const json::Value& t : tracked->items()) {
+      if (!t.is_object()) {
+        err(r, "tracked entry is not an object");
+        continue;
+      }
+      const json::Value* m = t.get("metric");
+      if (m == nullptr || !m->is_string()) {
+        err(r, "tracked entry missing string 'metric'");
+        continue;
+      }
+      const std::string& name = m->as_string();
+      if (!seen.insert(name).second) err(r, "tracked metric '" + name + "' repeated");
+      if (metrics != nullptr && metrics->is_object() && !metric_names.count(name)) {
+        err(r, "tracked metric '" + name + "' absent from 'metrics'");
+      }
+      const json::Value* hib = t.get("higher_is_better");
+      if (hib == nullptr || !hib->is_bool()) {
+        err(r, "tracked '" + name + "' missing bool 'higher_is_better'");
+      }
+      const json::Value* tol = t.get("tolerance_frac");
+      if (tol == nullptr || !tol->is_number() || tol->as_number() < 0.0 ||
+          tol->as_number() >= 1.0) {
+        err(r, "tracked '" + name + "' tolerance_frac not in [0, 1)");
+      }
+    }
+  }
+
+  // holds + all_holds_ok
+  bool holds_and = true;
+  const json::Value* holds = doc.get("holds");
+  if (holds == nullptr || !holds->is_array()) {
+    err(r, "missing array 'holds'");
+  } else {
+    std::set<std::string> seen;
+    for (const json::Value& h : holds->items()) {
+      if (!h.is_object()) {
+        err(r, "holds entry is not an object");
+        continue;
+      }
+      const json::Value* n = h.get("name");
+      const json::Value* ok = h.get("ok");
+      if (n == nullptr || !n->is_string() || ok == nullptr || !ok->is_bool()) {
+        err(r, "holds entry missing string 'name' or bool 'ok'");
+        continue;
+      }
+      if (!seen.insert(n->as_string()).second) {
+        err(r, "hold '" + n->as_string() + "' repeated");
+      }
+      holds_and = holds_and && ok->as_bool();
+    }
+  }
+  const json::Value* all_ok = doc.get("all_holds_ok");
+  if (all_ok == nullptr || !all_ok->is_bool()) {
+    err(r, "missing bool 'all_holds_ok'");
+  } else if (holds != nullptr && holds->is_array() &&
+             all_ok->as_bool() != holds_and) {
+    err(r, "'all_holds_ok' disagrees with the AND of holds[].ok");
+  }
+
+  // detail
+  const json::Value* detail = doc.get("detail");
+  if (detail == nullptr || !detail->is_object()) {
+    err(r, "missing object 'detail'");
+  }
+
+  return r;
+}
+
+std::vector<TrackedMetric> tracked_metrics(const json::Value& doc) {
+  std::vector<TrackedMetric> out;
+  const json::Value* tracked = doc.get("tracked");
+  if (tracked == nullptr || !tracked->is_array()) return out;
+  for (const json::Value& t : tracked->items()) {
+    if (!t.is_object()) continue;
+    TrackedMetric m;
+    m.metric = t.string_or("metric", "");
+    if (m.metric.empty()) continue;
+    m.higher_is_better = t.bool_or("higher_is_better", true);
+    m.tolerance_frac = t.number_or("tolerance_frac", 0.0);
+    out.push_back(std::move(m));
+  }
+  return out;
+}
+
+TrajectoryDiff compare_reports(const json::Value& baseline,
+                               const json::Value& current) {
+  TrajectoryDiff d;
+  d.bench = baseline.string_or("bench", "");
+  const std::string cur_bench = current.string_or("bench", "");
+  if (d.bench != cur_bench) {
+    d.errors.push_back("bench mismatch: baseline '" + d.bench + "' vs current '" +
+                       cur_bench + "'");
+    return d;
+  }
+  d.current_holds_ok = current.bool_or("all_holds_ok", false);
+
+  const json::Value* base_metrics = baseline.get("metrics");
+  const json::Value* cur_metrics = current.get("metrics");
+  for (const TrackedMetric& t : tracked_metrics(baseline)) {
+    MetricDelta m;
+    m.metric = t.metric;
+    m.higher_is_better = t.higher_is_better;
+    m.tolerance_frac = t.tolerance_frac;
+    m.baseline =
+        base_metrics != nullptr ? base_metrics->number_or(t.metric, 0.0) : 0.0;
+    const json::Value* cur =
+        cur_metrics != nullptr ? cur_metrics->get(t.metric) : nullptr;
+    if (cur == nullptr || !cur->is_number()) {
+      m.missing = true;
+      d.deltas.push_back(std::move(m));
+      continue;
+    }
+    m.current = cur->as_number();
+    const double mag = std::fabs(m.baseline);
+    m.change_frac = mag > 0.0 ? (m.current - m.baseline) / mag
+                              : (m.current == m.baseline ? 0.0
+                                 : m.current > m.baseline ? 1.0
+                                                          : -1.0);
+    const double degraded = t.higher_is_better ? -m.change_frac : m.change_frac;
+    m.regression = degraded > t.tolerance_frac;
+    m.improvement = -degraded > t.tolerance_frac;
+    d.deltas.push_back(std::move(m));
+  }
+  return d;
+}
+
+}  // namespace ngp::perf

@@ -1,0 +1,104 @@
+// schema.h — the canonical bench-report schema, read side (ngp::perf).
+//
+// The write side is bench_util's BenchReport (one envelope every bench
+// renders into); this module is its contract enforcement: validate a
+// parsed report against the "ngp.bench/1" schema, and diff a fresh run
+// against a checked-in baseline using the baseline's own `tracked`
+// declarations. bench_trajectory is a thin CLI over these two calls, and
+// perf_test pins the rules with synthetic documents.
+//
+// Schema (all keys required unless noted):
+//   schema        "ngp.bench/1" exactly — anything else is drift
+//   bench         non-empty [a-z0-9_]+ name; must match the baseline
+//                 filename stem BENCH_<bench>.json when checked in
+//   seed          non-negative integer-valued number
+//   smoke         bool (a smoke run is NOT a valid trajectory point;
+//                 validation flags it when `forbid_smoke` asks)
+//   metrics       object: flat name -> finite number (the comparison
+//                 surface; at least one entry)
+//   tracked       array of {metric, higher_is_better, tolerance_frac}:
+//                 every named metric must exist in `metrics`,
+//                 tolerance_frac in [0, 1), metric names unique
+//   holds         array of {name, ok}: names unique
+//   all_holds_ok  bool, must equal the AND of holds[].ok
+//   detail        object (free-form nested payload, not validated deeper)
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "perf/json.h"
+
+namespace ngp::perf {
+
+inline constexpr const char* kBenchSchemaId = "ngp.bench/1";
+
+/// One regression-tracked metric, as declared by the baseline itself.
+struct TrackedMetric {
+  std::string metric;
+  bool higher_is_better = true;
+  double tolerance_frac = 0.0;
+};
+
+/// Validation result: empty `errors` = schema-valid.
+struct ValidationResult {
+  std::vector<std::string> errors;
+  bool ok() const noexcept { return errors.empty(); }
+};
+
+struct ValidateOptions {
+  /// When non-empty, the report's `bench` field must equal this (the
+  /// filename stem for checked-in baselines).
+  std::string expect_bench;
+  /// Reject reports recorded from a --smoke run (reduced workloads are
+  /// not comparable trajectory points).
+  bool forbid_smoke = false;
+};
+
+/// Validates one parsed document against the ngp.bench/1 schema. Every
+/// violation is reported (not just the first) so a drifted baseline can
+/// be fixed in one pass.
+ValidationResult validate_report(const json::Value& doc,
+                                 const ValidateOptions& opt = {});
+
+/// Extracts the tracked-metric declarations of a VALID report.
+std::vector<TrackedMetric> tracked_metrics(const json::Value& doc);
+
+/// One tracked metric's baseline-vs-current comparison.
+struct MetricDelta {
+  std::string metric;
+  double baseline = 0.0;
+  double current = 0.0;
+  double change_frac = 0.0;  ///< (current - baseline) / |baseline|
+  double tolerance_frac = 0.0;
+  bool higher_is_better = true;
+  bool regression = false;  ///< degraded beyond tolerance
+  bool improvement = false; ///< improved beyond tolerance (trajectory news)
+  bool missing = false;     ///< tracked in baseline, absent in current
+};
+
+/// Diff outcome for one (baseline, current) report pair.
+struct TrajectoryDiff {
+  std::string bench;
+  std::vector<MetricDelta> deltas;   // baseline `tracked` order
+  std::vector<std::string> errors;   // mismatched bench names, drift, ...
+  bool current_holds_ok = true;      ///< current run's own self-checks
+  bool regressed() const noexcept {
+    for (const auto& d : deltas) {
+      if (d.regression || d.missing) return true;
+    }
+    return false;
+  }
+  bool ok() const noexcept {
+    return errors.empty() && current_holds_ok && !regressed();
+  }
+};
+
+/// Compares `current` against `baseline` on the BASELINE's tracked
+/// metrics with the baseline's tolerances. Both documents must already be
+/// schema-valid; bench names must match. A current run with failing holds
+/// is a failed trajectory point regardless of its numbers.
+TrajectoryDiff compare_reports(const json::Value& baseline,
+                               const json::Value& current);
+
+}  // namespace ngp::perf

@@ -6,6 +6,8 @@
 // flight_test nothing here branches on obs::kEnabled.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -96,6 +98,81 @@ TEST(HistogramPercentileTest, ReducesBucketsWithInterpolation) {
   counter.kind = Sample::Kind::kCounter;
   counter.count = 7;
   EXPECT_DOUBLE_EQ(histogram_percentile(counter, 99.0), 0.0);
+}
+
+// The documented edge-case contract (obs/metrics.h): these pins are what
+// let TelemetryHub SLO thresholds and the perf harness trust percentile
+// values at the extremes.
+TEST(HistogramPercentileTest, EdgeCasesPinned) {
+  Sample s;
+  s.kind = Sample::Kind::kHistogram;
+  s.lo = 0.0;
+  s.hi = 100.0;
+  s.buckets = {0, 4, 0, 0, 0, 0, 0, 0, 0, 0};  // all mass in [10,20)
+  s.count = 4;
+
+  // p clamps: NaN and negatives behave like p=0, p>100 like p=100.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_DOUBLE_EQ(histogram_percentile(s, nan), histogram_percentile(s, 0.0));
+  EXPECT_DOUBLE_EQ(histogram_percentile(s, -5.0), histogram_percentile(s, 0.0));
+  EXPECT_DOUBLE_EQ(histogram_percentile(s, 250.0),
+                   histogram_percentile(s, 100.0));
+
+  // p=0 is the lower edge of the lowest OCCUPIED bucket, not `lo`; p=100
+  // is that bucket's upper edge, not `hi` — no mass lives outside it.
+  EXPECT_DOUBLE_EQ(histogram_percentile(s, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(histogram_percentile(s, 100.0), 20.0);
+
+  // A single-sample histogram reports within its bucket at every p.
+  Sample one;
+  one.kind = Sample::Kind::kHistogram;
+  one.lo = 0.0;
+  one.hi = 10.0;
+  one.buckets = {0, 0, 0, 0, 1, 0, 0, 0, 0, 0};  // one sample in [4,5)
+  one.count = 1;
+  for (double p : {0.0, 25.0, 50.0, 99.0, 100.0}) {
+    EXPECT_GE(histogram_percentile(one, p), 4.0) << "p=" << p;
+    EXPECT_LE(histogram_percentile(one, p), 5.0) << "p=" << p;
+  }
+
+  // Underflow mass collapses to lo; overflow mass to hi.
+  Sample tails;
+  tails.kind = Sample::Kind::kHistogram;
+  tails.lo = 0.0;
+  tails.hi = 100.0;
+  tails.buckets = {0, 0, 0, 0, 0, 0, 0, 0, 0, 0};
+  tails.underflow = 3;
+  tails.overflow = 3;
+  tails.count = 6;
+  EXPECT_DOUBLE_EQ(histogram_percentile(tails, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(histogram_percentile(tails, 99.0), 100.0);
+}
+
+TEST(DeltaSnapshot, SequenceNumberIsMonotonicAndSampled) {
+  MetricsRegistry reg;
+  FakeComponent c;
+  c.register_metrics(reg, "c");
+  EXPECT_EQ(reg.delta_sequence(), 0u);
+  (void)reg.delta_snapshot();
+  EXPECT_EQ(reg.delta_sequence(), 1u);
+  (void)reg.delta_snapshot();
+  (void)reg.delta_snapshot();
+  EXPECT_EQ(reg.delta_sequence(), 3u);
+  // Plain snapshots do not advance the series.
+  (void)reg.snapshot();
+  EXPECT_EQ(reg.delta_sequence(), 3u);
+
+  // The hub stamps the registry's sequence onto each sample and exports
+  // it, so ordering survives the JSONL round trip.
+  EventLoop loop;
+  TelemetryHub hub(&loop, reg);
+  hub.sample_at(10);
+  hub.sample_at(20);
+  ASSERT_EQ(hub.samples().size(), 2u);
+  EXPECT_EQ(hub.samples()[0].seq + 1, hub.samples()[1].seq);
+  const std::string jsonl = hub.to_jsonl();
+  EXPECT_NE(jsonl.find("\"seq\":4"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"seq\":5"), std::string::npos);
 }
 
 TEST(HistogramPercentileTest, SummariesAppearInSnapshotExports) {
